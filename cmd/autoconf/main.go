@@ -1,0 +1,113 @@
+// Command autoconf demonstrates the configuration tooling the paper's
+// Section II calls for: it profiles a critical application's memory
+// traffic in isolation (empirical arrival curve + fitted token
+// bucket), then searches an ordered ladder of QoS configurations on a
+// contended scenario until the application's p95 read latency meets a
+// target.
+//
+// Usage:
+//
+//	autoconf [-hogs 6] [-ms 2] [-target 0] (0 = 2x better than unmanaged)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/autoconf"
+	"repro/internal/core"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	hogs := flag.Int("hogs", 6, "number of best-effort aggressors")
+	msec := flag.Int("ms", 2, "simulated milliseconds per evaluation")
+	target := flag.Float64("target", 0, "p95 target in ns (0 = half the unmanaged p95)")
+	flag.Parse()
+
+	build := func() (*core.Platform, error) {
+		p, err := core.New(core.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		prof, err := trace.NewProfile(trace.ControlLoop, 0, 1)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.AddApp(core.AppConfig{
+			Name: "crit", Node: noc.Coord{X: 0, Y: 0}, Cluster: 0, Scheme: 1,
+			Profile: prof, Critical: true,
+		}); err != nil {
+			return nil, err
+		}
+		for i := 0; i < *hogs; i++ {
+			hp, err := trace.NewProfile(trace.Infotainment, uint64(i+1)<<30, uint64(i)+3)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.AddApp(core.AppConfig{
+				Name: fmt.Sprintf("hog%d", i), Node: noc.Coord{X: 1 + i%3, Y: i / 3 % 4},
+				Cluster: 0, Scheme: 2, Profile: hp,
+			}); err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
+	}
+
+	horizon := sim.Duration(*msec) * sim.Millisecond
+
+	fmt.Println("== step 1: profile the critical app in isolation ==")
+	prof, err := autoconf.ProfileMemoryTraffic(build, "crit", horizon)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  accesses %d (miss rate %.3f), memory bytes %d\n",
+		prof.Stats.Issued, float64(prof.Stats.L3Misses)/float64(prof.Stats.Issued), prof.Stats.BytesMoved)
+	fmt.Printf("  fitted traffic contract: burst %.0f B, rate %.4f B/ns\n", prof.Burst, prof.Rate)
+	fmt.Printf("  empirical arrival curve: %v\n", prof.Curve)
+
+	fmt.Printf("\n== step 2: search QoS configurations (%d hogs) ==\n", *hogs)
+	s := &autoconf.Search{Build: build, Critical: "crit", Horizon: horizon}
+	cands := []autoconf.Candidate{
+		{Name: "unmanaged"},
+		{Name: "dsu-2-groups", CritGroups: 2},
+		{Name: "memguard-16k", OtherBudget: 16 << 10},
+		{Name: "dsu+memguard", CritGroups: 2, OtherBudget: 16 << 10},
+		{Name: "everything", CritGroups: 3, OtherBudget: 8 << 10, OtherShapeRate: 0.1},
+	}
+	tgt := *target
+	if tgt <= 0 {
+		base, err := s.Evaluate(cands[0], 0)
+		if err != nil {
+			fatal(err)
+		}
+		tgt = base.Stats.P95ReadLatency.Nanoseconds() / 2
+		fmt.Printf("  target: p95 <= %.1f ns (half of unmanaged %.1f ns)\n",
+			tgt, base.Stats.P95ReadLatency.Nanoseconds())
+	}
+	best, all, ok, err := s.Run(cands, tgt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  %-16s %-10s %-10s %s\n", "candidate", "p95(ns)", "mean(ns)", "meets")
+	for _, r := range all {
+		fmt.Printf("  %-16s %-10.1f %-10.1f %v\n", r.Candidate.Name,
+			r.Stats.P95ReadLatency.Nanoseconds(), r.Stats.MeanReadLatency.Nanoseconds(), r.MeetsP95)
+	}
+	if ok {
+		fmt.Printf("\nselected configuration: %q\n", best.Candidate.Name)
+	} else {
+		fmt.Printf("\nno candidate met the target; best was %q at p95 %.1f ns\n",
+			best.Candidate.Name, best.Stats.P95ReadLatency.Nanoseconds())
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "autoconf: %v\n", err)
+	os.Exit(1)
+}

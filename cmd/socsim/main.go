@@ -1,0 +1,145 @@
+// Command socsim runs mixed-criticality contention scenarios on the
+// vehicle-integration-platform model: a critical control loop
+// co-located with best-effort memory hogs, with the paper's QoS
+// mechanisms individually switchable. It prints the critical
+// application's read-latency profile per configuration — the X1
+// experiment from DESIGN.md as a standalone tool.
+//
+// Usage:
+//
+//	socsim [-hogs 6] [-ms 4] [-dsu] [-memguard] [-shape] [-all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dsu"
+	"repro/internal/mpam"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	hogs := flag.Int("hogs", 6, "number of best-effort aggressor apps")
+	msec := flag.Int("ms", 4, "simulated milliseconds per scenario")
+	useDSU := flag.Bool("dsu", false, "partition the L3 with a DSU CLUSTERPARTCR")
+	useMG := flag.Bool("memguard", false, "give each hog a MemGuard budget")
+	useShape := flag.Bool("shape", false, "install NI token-bucket shapers on hog nodes")
+	useMPAM := flag.Bool("mpam", false, "regulate the memory channel with MPAM min/max bandwidth")
+	all := flag.Bool("all", false, "run the full scenario matrix")
+	flag.Parse()
+
+	if *all {
+		fmt.Println("scenario                         mean(ns)   p95(ns)    max(ns)   DRAM row-hit")
+		for _, sc := range []struct {
+			name                  string
+			dsu, mg, shaped, mpam bool
+		}{
+			{"solo (0 hogs)", false, false, false, false},
+			{"contended", false, false, false, false},
+			{"contended + DSU", true, false, false, false},
+			{"contended + MemGuard", false, true, false, false},
+			{"contended + shaping", false, false, true, false},
+			{"contended + MPAM channel", false, false, false, true},
+			{"contended + all mechanisms", true, true, true, true},
+		} {
+			n := *hogs
+			if sc.name == "solo (0 hogs)" {
+				n = 0
+			}
+			st, hit := run(n, *msec, sc.dsu, sc.mg, sc.shaped, sc.mpam)
+			fmt.Printf("%-32s %-10.1f %-10.1f %-9.1f %.2f\n", sc.name,
+				st.MeanReadLatency.Nanoseconds(), st.P95ReadLatency.Nanoseconds(),
+				st.MaxReadLatency.Nanoseconds(), hit)
+		}
+		return
+	}
+
+	st, hit := run(*hogs, *msec, *useDSU, *useMG, *useShape, *useMPAM)
+	fmt.Printf("critical app read latency over %dms with %d hogs (dsu=%v memguard=%v shape=%v mpam=%v):\n",
+		*msec, *hogs, *useDSU, *useMG, *useShape, *useMPAM)
+	fmt.Printf("  accesses  %d (hits %d, misses %d)\n", st.Issued, st.L3Hits, st.L3Misses)
+	fmt.Printf("  mean      %.1f ns\n", st.MeanReadLatency.Nanoseconds())
+	fmt.Printf("  p95       %.1f ns\n", st.P95ReadLatency.Nanoseconds())
+	fmt.Printf("  max       %.1f ns\n", st.MaxReadLatency.Nanoseconds())
+	fmt.Printf("  DRAM row-hit rate %.2f\n", hit)
+}
+
+func run(hogs, msec int, useDSU, useMG, useShape, useMPAM bool) (core.AppStats, float64) {
+	p, err := core.New(core.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+	if useMPAM {
+		if err := p.EnableMPAMChannel(mpam.BWConfig{CapacityBytesPerNS: 2.0}); err != nil {
+			fatal(err)
+		}
+		// Critical traffic (PARTID 1) gets a minimum guarantee and top
+		// priority; hog PARTIDs are capped.
+		if err := p.ConfigureMPAM(1, mpam.PartitionBW{MinBytesPerNS: 0.8, Priority: 1}); err != nil {
+			fatal(err)
+		}
+	}
+	critProf, err := trace.NewProfile(trace.ControlLoop, 0, 1)
+	if err != nil {
+		fatal(err)
+	}
+	crit, err := p.AddApp(core.AppConfig{
+		Name: "crit", Node: noc.Coord{X: 0, Y: 0}, Cluster: 0, Scheme: 1,
+		Profile: critProf, Critical: true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for i := 0; i < hogs; i++ {
+		name := fmt.Sprintf("hog%d", i)
+		prof, err := trace.NewProfile(trace.Infotainment, uint64(1+i)<<30, uint64(100+i))
+		if err != nil {
+			fatal(err)
+		}
+		node := noc.Coord{X: 1 + i%3, Y: i / 3 % 4}
+		hog, err := p.AddApp(core.AppConfig{
+			Name: name, Node: node, Cluster: 0, Scheme: dsu.SchemeID(2 + i%6), Profile: prof,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if useMG {
+			if err := p.SetMemBudget(name, 16<<10); err != nil {
+				fatal(err)
+			}
+		}
+		if useShape {
+			if err := p.SetNodeShaper(node, 256, 0.2); err != nil {
+				fatal(err)
+			}
+		}
+		if useMPAM {
+			if err := p.ConfigureMPAM(mpam.PARTID(hog.Config().Scheme), mpam.PartitionBW{MaxBytesPerNS: 0.15}); err != nil {
+				fatal(err)
+			}
+		}
+		hog.Start()
+	}
+	if useDSU {
+		reg, err := dsu.Encode(map[dsu.SchemeID][]dsu.Group{1: {0, 1}})
+		if err != nil {
+			fatal(err)
+		}
+		if err := p.ProgramDSU(0, reg); err != nil {
+			fatal(err)
+		}
+	}
+	crit.Start()
+	p.RunFor(sim.Duration(msec) * sim.Millisecond)
+	return crit.Stats(), p.Memory().Stats().RowHitRate()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "socsim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+// Command wcdbound reproduces the paper's Section IV-A analysis: it
+// computes upper and lower worst-case delay bounds for a read miss at
+// an FR-FCFS DRAM controller across a sweep of write arrival rates
+// (Table II), prints the timing parameter set in use (Table I), and
+// can emit the resulting Network Calculus service curve.
+//
+// Usage:
+//
+//	wcdbound [-tech ddr3|ddr4|lpddr4] [-n position] [-rates 4,5,6,7]
+//	         [-whigh 55] [-nwd 16] [-ncap 16] [-burst 8]
+//	         [-timings] [-curve N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/dram"
+	"repro/internal/dram/wcd"
+)
+
+func main() {
+	tech := flag.String("tech", "ddr3", "DRAM technology: ddr3, ddr4, lpddr4")
+	n := flag.Int("n", 1, "read queue position of the tagged miss")
+	rates := flag.String("rates", "4,5,6,7", "comma-separated write rates in Gbps")
+	nwd := flag.Int("nwd", 16, "write batch length N_wd")
+	ncap := flag.Int("ncap", 16, "row-hit promotion cap N_cap")
+	burst := flag.Float64("burst", 8, "write token-bucket burst (requests)")
+	showTimings := flag.Bool("timings", false, "print the Table I timing parameters and exit")
+	curveN := flag.Int("curve", 0, "emit the service curve up to this queue depth")
+	flag.Parse()
+
+	var timing dram.Timing
+	switch *tech {
+	case "ddr3":
+		timing = dram.DDR3_1600()
+	case "ddr4":
+		timing = dram.DDR4_2400()
+	case "lpddr4":
+		timing = dram.LPDDR4_3200()
+	default:
+		fmt.Fprintf(os.Stderr, "wcdbound: unknown technology %q\n", *tech)
+		os.Exit(2)
+	}
+
+	if *showTimings {
+		printTimings(*tech, timing)
+		return
+	}
+
+	params := wcd.DefaultParams()
+	params.Timing = timing
+	params.NWd = *nwd
+	params.NCap = *ncap
+	params.WriteBurst = *burst
+
+	var gbps []float64
+	for _, f := range strings.Split(*rates, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wcdbound: bad rate %q: %v\n", f, err)
+			os.Exit(2)
+		}
+		gbps = append(gbps, v)
+	}
+
+	rows, err := wcd.TableII(params, *n, gbps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wcdbound: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Upper and lower bounds on the WCD (ns) — %s, N_wd=%d, N_cap=%d, burst=%g, n=%d\n",
+		strings.ToUpper(*tech), params.NWd, params.NCap, params.WriteBurst, *n)
+	fmt.Printf("%-12s %-14s %-14s\n", "Write rate", "Lower bound", "Upper bound")
+	for _, r := range rows {
+		fmt.Printf("%-12s %-14s %-14s\n",
+			fmt.Sprintf("%g Gbps", r.WriteRateGbps), fmtNS(r.Lower), fmtNS(r.Upper))
+	}
+
+	if *curveN > 0 {
+		p := params
+		if len(gbps) > 0 {
+			p = params.WithWriteRateGbps(gbps[0])
+		}
+		c, err := wcd.ServiceCurve(p, *curveN)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wcdbound: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nService curve (t ns -> requests served), write rate %g Gbps:\n", gbps[0])
+		for _, pt := range c.Points() {
+			fmt.Printf("  (%.3f, %.0f)\n", pt.X, pt.Y)
+		}
+		fmt.Printf("  final rate: %.6f req/ns\n", c.FinalSlope())
+	}
+}
+
+func fmtNS(v float64) string {
+	if math.IsInf(v, 1) {
+		return "unbounded"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+func printTimings(tech string, t dram.Timing) {
+	fmt.Printf("DRAM timing parameters (ns) — %s\n", strings.ToUpper(tech))
+	rows := []struct {
+		name string
+		ns   float64
+	}{
+		{"tCK", t.TCK.Nanoseconds()}, {"tBurst", t.TBurst.Nanoseconds()},
+		{"tRCD", t.TRCD.Nanoseconds()}, {"tCL", t.TCL.Nanoseconds()},
+		{"tRP", t.TRP.Nanoseconds()}, {"tRAS", t.TRAS.Nanoseconds()},
+		{"tRRD", t.TRRD.Nanoseconds()}, {"tXAW", t.TXAW.Nanoseconds()},
+		{"tRFC", t.TRFC.Nanoseconds()}, {"tWR", t.TWR.Nanoseconds()},
+		{"tWTR", t.TWTR.Nanoseconds()}, {"tRTP", t.TRTP.Nanoseconds()},
+		{"tRTW", t.TRTW.Nanoseconds()}, {"tCS", t.TCS.Nanoseconds()},
+		{"tREFI", t.TREFI.Nanoseconds()}, {"tXP", t.TXP.Nanoseconds()},
+		{"tXS", t.TXS.Nanoseconds()},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-8s %g\n", r.name, r.ns)
+	}
+}

@@ -1,0 +1,48 @@
+// Quickstart: compute worst-case delay bounds for a read miss at an
+// FR-FCFS DDR3-1600 controller (the paper's Table II experiment),
+// derive the controller's Network Calculus service curve, and compose
+// it with an interconnect to get an end-to-end latency guarantee.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/dram/wcd"
+	"repro/internal/netcalc"
+)
+
+func main() {
+	// The paper's configuration: DDR3-1600, W_high=55 (implied by the
+	// watermark policy), N_wd=16, N_cap=16, write burst 8 requests.
+	params := wcd.DefaultParams()
+
+	fmt.Println("WCD bounds for a read miss (Table II reproduction):")
+	rows, err := wcd.TableII(params, 1, []float64{4, 5, 6, 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("  %g Gbps writes: [%.1f, %.1f] ns\n", r.WriteRateGbps, r.Lower, r.Upper)
+	}
+
+	// Service curve of the DRAM under 4 Gbps write interference:
+	// "can be composed with other guarantees ... to compute end-to-end
+	// guarantees a priori" (Section IV-A).
+	dramCurve, err := wcd.ServiceCurve(params.WithWriteRateGbps(4), 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The interconnect ahead of it: 0.1 requests/ns after a 100 ns
+	// path latency.
+	nocCurve := netcalc.RateLatency(0.1, 100)
+	endToEnd := netcalc.Convolve(nocCurve, dramCurve)
+
+	// A critical master shaped to 2-request bursts at 1 request/us.
+	alpha := netcalc.TokenBucket(2, 0.001)
+
+	fmt.Printf("\nEnd-to-end guarantees for a (2, 0.001 req/ns) shaped master:\n")
+	fmt.Printf("  delay bound   %.1f ns\n", netcalc.DelayBound(alpha, endToEnd))
+	fmt.Printf("  backlog bound %.2f requests\n", netcalc.BacklogBound(alpha, endToEnd))
+}

@@ -1,0 +1,181 @@
+// Package admission implements the end-to-end admission control
+// architecture of Section V of the paper (Figs. 6 and 7): a control
+// layer decoupled from the data layer, built from per-node supervisors
+// (clients) and a central Resource Manager (RM).
+//
+// Clients trap an application's first transmission, hold its traffic
+// until the RM admits it, enforce the RM-assigned injection rate with
+// a token-bucket shaper, report termination, and block traffic during
+// mode changes. The RM has the global view: each activation or
+// termination moves the system to a new mode (the number of active
+// applications), and the RM re-derives every application's injection
+// rate from the configured policy — symmetric (uniform degradation
+// with rising mode) or non-symmetric (criticality-aware, preserving
+// guarantees for critical applications while squeezing best effort).
+//
+// All four protocol messages (actMsg, terMsg, stopMsg, confMsg) travel
+// as real packets through the internal/noc fabric, so protocol
+// overhead and mode-change latency are measured, not assumed.
+package admission
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/noc"
+)
+
+// Criticality classifies an application for non-symmetric policies.
+type Criticality int
+
+// Criticality levels.
+const (
+	BestEffort Criticality = iota
+	Critical
+)
+
+// String implements fmt.Stringer.
+func (c Criticality) String() string {
+	if c == Critical {
+		return "critical"
+	}
+	return "best-effort"
+}
+
+// AppRef identifies a registered application and where it runs.
+type AppRef struct {
+	Name string
+	Node noc.Coord
+	Crit Criticality
+}
+
+// RatePolicy derives per-application injection rates (bytes/ns) from
+// the set of currently active applications. The returned map is keyed
+// by application name.
+type RatePolicy interface {
+	Rates(active []AppRef) map[string]float64
+	Name() string
+}
+
+// Symmetric shares the budget uniformly: every active application gets
+// TotalBytesPerNS / mode, the paper's "symmetric guarantees where
+// transmission rates decrease uniformly ... along with the increasing
+// number of senders" (Fig. 7).
+type Symmetric struct {
+	TotalBytesPerNS float64
+}
+
+// Name implements RatePolicy.
+func (Symmetric) Name() string { return "symmetric" }
+
+// Rates implements RatePolicy.
+func (p Symmetric) Rates(active []AppRef) map[string]float64 {
+	out := make(map[string]float64, len(active))
+	if len(active) == 0 {
+		return out
+	}
+	r := p.TotalBytesPerNS / float64(len(active))
+	for _, a := range active {
+		out[a.Name] = r
+	}
+	return out
+}
+
+// NonSymmetric preserves critical applications' guaranteed rate and
+// divides the remaining budget among best-effort applications — the
+// paper's mixed-criticality mode: "maintain the critical application
+// guarantees while reducing best effort traffic".
+type NonSymmetric struct {
+	TotalBytesPerNS    float64
+	CriticalBytesPerNS float64
+	// FloorBytesPerNS keeps best-effort applications from starving
+	// entirely (0 permits full starvation).
+	FloorBytesPerNS float64
+}
+
+// Name implements RatePolicy.
+func (NonSymmetric) Name() string { return "non-symmetric" }
+
+// Rates implements RatePolicy.
+func (p NonSymmetric) Rates(active []AppRef) map[string]float64 {
+	out := make(map[string]float64, len(active))
+	var crit, be int
+	for _, a := range active {
+		if a.Crit == Critical {
+			crit++
+		} else {
+			be++
+		}
+	}
+	remaining := p.TotalBytesPerNS - float64(crit)*p.CriticalBytesPerNS
+	beRate := 0.0
+	if be > 0 {
+		beRate = remaining / float64(be)
+	}
+	if beRate < p.FloorBytesPerNS {
+		beRate = p.FloorBytesPerNS
+	}
+	for _, a := range active {
+		if a.Crit == Critical {
+			out[a.Name] = p.CriticalBytesPerNS
+		} else {
+			out[a.Name] = beRate
+		}
+	}
+	return out
+}
+
+// MsgType enumerates the protocol messages.
+type MsgType int
+
+// The four control messages of the protocol (Section V).
+const (
+	ActMsg  MsgType = iota // client -> RM: application activated
+	TerMsg                 // client -> RM: application terminated
+	StopMsg                // RM -> client: block accesses for a mode change
+	ConfMsg                // RM -> client: new mode and rates; unblock
+)
+
+// String implements fmt.Stringer.
+func (m MsgType) String() string {
+	switch m {
+	case ActMsg:
+		return "actMsg"
+	case TerMsg:
+		return "terMsg"
+	case StopMsg:
+		return "stopMsg"
+	case ConfMsg:
+		return "confMsg"
+	}
+	return fmt.Sprintf("msg(%d)", int(m))
+}
+
+// ctrlMsgBytes is the size of a control packet on the NoC.
+const ctrlMsgBytes = 8
+
+// Stats aggregates protocol and mode-change behaviour.
+type Stats struct {
+	Messages      map[MsgType]uint64
+	ModeChanges   uint64
+	Admitted      uint64
+	Terminated    uint64
+	Rejected      uint64
+	TotalModeLatN uint64  // completed reconfigurations measured
+	TotalModeLat  float64 // summed ns
+	MaxModeLat    float64 // ns
+}
+
+// MeanModeChangeLatencyNS reports the average stop-to-conf-complete
+// reconfiguration latency.
+func (s Stats) MeanModeChangeLatencyNS() float64 {
+	if s.TotalModeLatN == 0 {
+		return 0
+	}
+	return s.TotalModeLat / float64(s.TotalModeLatN)
+}
+
+// sortApps orders an active set deterministically.
+func sortApps(apps []AppRef) {
+	sort.Slice(apps, func(i, j int) bool { return apps[i].Name < apps[j].Name })
+}

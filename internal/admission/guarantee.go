@@ -1,0 +1,64 @@
+package admission
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/netcalc"
+)
+
+// Requirement is an application's declared traffic contract and QoS
+// target, used by the analytic admission test.
+type Requirement struct {
+	// BurstBytes is the token-bucket burst of the application's
+	// traffic (its rate is whatever the RM assigns).
+	BurstBytes float64
+	// DeadlineNS is the maximum tolerable per-transmission delay.
+	DeadlineNS float64
+}
+
+// CheckFunc decides whether admitting candidate is acceptable given
+// the post-admission active set and rate assignment. A non-nil error
+// rejects the activation (the RM keeps the previous mode).
+type CheckFunc func(active []AppRef, rates map[string]float64, candidate AppRef) error
+
+// DelayBoundCheck builds the paper's Section IV-A suggestion — running
+// the inexpensive worst-case bound computation online inside admission
+// control. For every active application with a declared Requirement it
+// evaluates the Network Calculus delay bound of a (burst, assignedRate)
+// token bucket through that application's service curve, and rejects
+// the candidate if any bound would exceed its deadline.
+//
+// baseService returns the end-to-end service curve available to an
+// application when granted a sustained rate (bytes/ns) — typically a
+// rate-latency curve whose latency folds in the NoC path and the DRAM
+// WCD (see internal/dram/wcd.ServiceCurve for the memory side).
+// Applications without a Requirement are admitted unconditionally
+// (best effort).
+func DelayBoundCheck(reqs map[string]Requirement,
+	baseService func(app AppRef, rate float64) netcalc.Curve) CheckFunc {
+	return func(active []AppRef, rates map[string]float64, candidate AppRef) error {
+		for _, app := range active {
+			req, has := reqs[app.Name]
+			if !has {
+				continue
+			}
+			rate := rates[app.Name]
+			if rate <= 0 {
+				return fmt.Errorf("admission: %s would receive no bandwidth", app.Name)
+			}
+			alpha := netcalc.TokenBucket(req.BurstBytes, rate)
+			beta := baseService(app, rate)
+			d := netcalc.DelayBound(alpha, beta)
+			if math.IsInf(d, 1) || d > req.DeadlineNS {
+				return fmt.Errorf("admission: admitting %s would push %s to %.1f ns (deadline %.1f ns)",
+					candidate.Name, app.Name, d, req.DeadlineNS)
+			}
+		}
+		return nil
+	}
+}
+
+// SetAdmissionCheck installs an analytic admission test consulted by
+// the RM before every activation. Pass nil to remove it.
+func (s *System) SetAdmissionCheck(check CheckFunc) { s.check = check }

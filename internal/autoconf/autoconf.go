@@ -1,0 +1,204 @@
+// Package autoconf is the "automated profiling as well as
+// sophisticated configuration tooling" Section II of the paper says
+// industrial practitioners need: finding a working QoS configuration
+// for interacting mechanisms (cache partitioning shrinks the cache,
+// which raises DRAM traffic, which shifts the bottleneck to bandwidth
+// regulation...) is workload-dependent and intractable by hand.
+//
+// The package offers two tools on top of internal/core platforms:
+//
+//   - ProfileMemoryTraffic runs one application in isolation and
+//     measures its cache-miss traffic as an empirical arrival curve
+//     plus a fitted token bucket (internal/netcalc), ready to
+//     parameterize a shaper or an admission requirement.
+//
+//   - Search evaluates an ordered list of candidate QoS configurations
+//     (least to most restrictive) on a scenario and returns the first
+//     one whose measured critical-app latency meets the target —
+//     ex-post configuration synthesis, complementing the ex-ante
+//     bounds of internal/netcalc.
+package autoconf
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dsu"
+	"repro/internal/netcalc"
+	"repro/internal/sim"
+)
+
+// Builder constructs a fresh platform with all applications registered
+// but not started. It is called once per evaluation so runs never
+// share state.
+type Builder func() (*core.Platform, error)
+
+// Profile is the result of profiling one application in isolation.
+type Profile struct {
+	// Curve is the empirical arrival curve of the app's memory (miss)
+	// traffic, in bytes over ns.
+	Curve netcalc.Curve
+	// Burst and Rate are fitted token-bucket parameters that would
+	// pass the observed trace unmodified.
+	Burst, Rate float64
+	// Stats are the app's end-of-run counters.
+	Stats core.AppStats
+}
+
+// ProfileMemoryTraffic builds the scenario, runs only the named app
+// for the horizon, and returns its memory-traffic profile.
+func ProfileMemoryTraffic(build Builder, app string, horizon sim.Duration) (*Profile, error) {
+	if build == nil {
+		return nil, fmt.Errorf("autoconf: nil builder")
+	}
+	p, err := build()
+	if err != nil {
+		return nil, err
+	}
+	a, err := p.App(app)
+	if err != nil {
+		return nil, err
+	}
+	rec := netcalc.NewArrivalRecorder()
+	a.TapMemory(func(at sim.Time, bytes int) {
+		_ = rec.Record(at, float64(bytes))
+	})
+	a.Start()
+	p.RunFor(horizon)
+
+	h := horizon.Nanoseconds()
+	curve, err := rec.Curve([]float64{h / 1000, h / 100, h / 10, h / 2, h})
+	if err != nil {
+		return nil, err
+	}
+	prof := &Profile{Curve: curve, Stats: a.Stats()}
+	if rec.Count() > 0 {
+		// Rate candidates from the long-run average upward.
+		avg := rec.Total() / h
+		cands := []float64{avg, 1.25 * avg, 1.5 * avg, 2 * avg, 4 * avg}
+		b, r, err := rec.TokenBucketFit(cands)
+		if err != nil {
+			return nil, err
+		}
+		prof.Burst, prof.Rate = b, r
+	}
+	return prof, nil
+}
+
+// Candidate is one QoS configuration to evaluate: any combination of
+// DSU way partitioning for the critical app, MemGuard budgets and NI
+// shaping for the others.
+type Candidate struct {
+	Name string
+	// CritGroups gives the critical app's scheme ID this many private
+	// L3 partition groups (0 = no cache partitioning).
+	CritGroups int
+	// OtherBudget is the MemGuard budget (bytes/period) applied to
+	// every non-critical app (0 = none).
+	OtherBudget int
+	// OtherShapeRate installs NI token-bucket shapers (bytes/ns) on
+	// every non-critical app's node (0 = none); the burst is 100ns
+	// worth of the rate.
+	OtherShapeRate float64
+}
+
+// Result is one candidate's measured outcome.
+type Result struct {
+	Candidate Candidate
+	Stats     core.AppStats
+	MeetsP95  bool
+}
+
+// Search evaluates candidates on a scenario.
+type Search struct {
+	Build Builder
+	// Critical names the app whose latency is the objective; all other
+	// registered apps are treated as regulable co-runners.
+	Critical string
+	// Horizon is the simulated duration per evaluation.
+	Horizon sim.Duration
+}
+
+// Evaluate applies one candidate and measures the critical app.
+func (s *Search) Evaluate(c Candidate, targetP95NS float64) (Result, error) {
+	if s.Build == nil || s.Critical == "" || s.Horizon <= 0 {
+		return Result{}, fmt.Errorf("autoconf: search needs Build, Critical and Horizon")
+	}
+	p, err := s.Build()
+	if err != nil {
+		return Result{}, err
+	}
+	crit, err := p.App(s.Critical)
+	if err != nil {
+		return Result{}, err
+	}
+	if c.CritGroups < 0 || c.CritGroups > dsu.NumGroups {
+		return Result{}, fmt.Errorf("autoconf: CritGroups %d outside 0..%d", c.CritGroups, dsu.NumGroups)
+	}
+	if c.CritGroups > 0 {
+		groups := make([]dsu.Group, c.CritGroups)
+		for i := range groups {
+			groups[i] = dsu.Group(i)
+		}
+		reg, err := dsu.Encode(map[dsu.SchemeID][]dsu.Group{crit.Config().Scheme: groups})
+		if err != nil {
+			return Result{}, err
+		}
+		if err := p.ProgramDSU(crit.Config().Cluster, reg); err != nil {
+			return Result{}, err
+		}
+	}
+	for _, name := range p.Apps() {
+		if name == s.Critical {
+			continue
+		}
+		other, err := p.App(name)
+		if err != nil {
+			return Result{}, err
+		}
+		if c.OtherBudget > 0 {
+			if err := p.SetMemBudget(name, c.OtherBudget); err != nil {
+				return Result{}, err
+			}
+		}
+		if c.OtherShapeRate > 0 {
+			if err := p.SetNodeShaper(other.Config().Node, 100*c.OtherShapeRate, c.OtherShapeRate); err != nil {
+				return Result{}, err
+			}
+		}
+		other.Start()
+	}
+	crit.Start()
+	p.RunFor(s.Horizon)
+	st := crit.Stats()
+	return Result{
+		Candidate: c,
+		Stats:     st,
+		MeetsP95:  st.P95ReadLatency.Nanoseconds() <= targetP95NS,
+	}, nil
+}
+
+// Run evaluates the candidates in order (callers list them least
+// restrictive first) and returns the first that meets the p95 target,
+// along with every evaluated result. If none meets the target, ok is
+// false and best is the candidate with the lowest p95.
+func (s *Search) Run(cands []Candidate, targetP95NS float64) (best Result, all []Result, ok bool, err error) {
+	if len(cands) == 0 {
+		return Result{}, nil, false, fmt.Errorf("autoconf: no candidates")
+	}
+	bestIdx := -1
+	for _, c := range cands {
+		res, err := s.Evaluate(c, targetP95NS)
+		if err != nil {
+			return Result{}, all, false, err
+		}
+		all = append(all, res)
+		if res.MeetsP95 {
+			return res, all, true, nil
+		}
+		if bestIdx < 0 || res.Stats.P95ReadLatency < all[bestIdx].Stats.P95ReadLatency {
+			bestIdx = len(all) - 1
+		}
+	}
+	return all[bestIdx], all, false, nil
+}

@@ -1,0 +1,147 @@
+package autoconf
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// scenario builds the standard contention scenario: one control loop
+// plus n infotainment hogs.
+func scenario(hogs int) Builder {
+	return func() (*core.Platform, error) {
+		p, err := core.New(core.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		prof, err := trace.NewProfile(trace.ControlLoop, 0, 1)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.AddApp(core.AppConfig{
+			Name: "crit", Node: noc.Coord{X: 0, Y: 0}, Cluster: 0, Scheme: 1, Profile: prof,
+		}); err != nil {
+			return nil, err
+		}
+		for i := 0; i < hogs; i++ {
+			hp, err := trace.NewProfile(trace.Infotainment, uint64(i+1)<<30, uint64(i)+3)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.AddApp(core.AppConfig{
+				Name: fmt.Sprintf("hog%d", i), Node: noc.Coord{X: 1 + i%3, Y: i / 3},
+				Cluster: 0, Scheme: 2, Profile: hp,
+			}); err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
+	}
+}
+
+func TestProfileMemoryTraffic(t *testing.T) {
+	prof, err := ProfileMemoryTraffic(scenario(0), "crit", 2*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Stats.Issued == 0 {
+		t.Fatal("profiled app made no progress")
+	}
+	// A control loop's working set caches; its miss traffic is modest
+	// but non-zero (cold misses + write traffic).
+	if prof.Stats.L3Misses == 0 {
+		t.Error("no misses recorded")
+	}
+	if prof.Rate <= 0 || prof.Burst <= 0 {
+		t.Errorf("token-bucket fit = (%g, %g)", prof.Burst, prof.Rate)
+	}
+	if prof.Curve.IsZero() {
+		t.Error("empty empirical curve")
+	}
+	// The curve's long-run rate should roughly match bytes/horizon.
+	approx := float64(prof.Stats.BytesMoved) / (2 * sim.Millisecond).Nanoseconds()
+	if prof.Curve.FinalSlope() < approx*0.5 {
+		t.Errorf("curve final slope %g far below measured rate %g", prof.Curve.FinalSlope(), approx)
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	if _, err := ProfileMemoryTraffic(nil, "x", sim.Millisecond); err == nil {
+		t.Error("nil builder accepted")
+	}
+	if _, err := ProfileMemoryTraffic(scenario(0), "ghost", sim.Millisecond); err == nil {
+		t.Error("unknown app accepted")
+	}
+	bad := func() (*core.Platform, error) { return nil, fmt.Errorf("boom") }
+	if _, err := ProfileMemoryTraffic(bad, "x", sim.Millisecond); err == nil {
+		t.Error("builder error swallowed")
+	}
+}
+
+func TestSearchFindsWorkingConfig(t *testing.T) {
+	s := &Search{Build: scenario(6), Critical: "crit", Horizon: 2 * sim.Millisecond}
+	cands := []Candidate{
+		{Name: "none"},
+		{Name: "dsu-only", CritGroups: 2},
+		{Name: "dsu+budget", CritGroups: 2, OtherBudget: 16 << 10},
+		{Name: "everything", CritGroups: 3, OtherBudget: 8 << 10, OtherShapeRate: 0.1},
+	}
+	// First find the unmanaged baseline, then target well below it.
+	base, err := s.Evaluate(cands[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := base.Stats.P95ReadLatency.Nanoseconds() * 0.5
+	best, all, ok, err := s.Run(cands, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("no candidate met p95 <= %.1fns; results: %+v", target, all)
+	}
+	if best.Candidate.Name == "none" {
+		t.Error("unmanaged config cannot meet a 2x-better-than-unmanaged target")
+	}
+	if len(all) == 0 || !all[len(all)-1].MeetsP95 {
+		t.Error("Run should stop at the first candidate meeting the target")
+	}
+	t.Logf("selected %q: p95 %.1fns (target %.1f, unmanaged %.1f)",
+		best.Candidate.Name, best.Stats.P95ReadLatency.Nanoseconds(), target,
+		base.Stats.P95ReadLatency.Nanoseconds())
+}
+
+func TestSearchNoCandidateMeets(t *testing.T) {
+	s := &Search{Build: scenario(2), Critical: "crit", Horizon: sim.Millisecond}
+	best, all, ok, err := s.Run([]Candidate{{Name: "none"}}, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("impossible target reported as met")
+	}
+	if len(all) != 1 || best.Candidate.Name != "none" {
+		t.Errorf("best-of-failed selection broken: %+v", best)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	s := &Search{}
+	if _, err := s.Evaluate(Candidate{}, 1); err == nil {
+		t.Error("unconfigured search accepted")
+	}
+	s2 := &Search{Build: scenario(0), Critical: "crit", Horizon: sim.Millisecond}
+	if _, err := s2.Evaluate(Candidate{CritGroups: 9}, 1); err == nil {
+		t.Error("out-of-range CritGroups accepted")
+	}
+	if _, _, _, err := s2.Run(nil, 1); err == nil {
+		t.Error("empty candidate list accepted")
+	}
+	s3 := &Search{Build: scenario(0), Critical: "ghost", Horizon: sim.Millisecond}
+	if _, err := s3.Evaluate(Candidate{}, 1); err == nil {
+		t.Error("unknown critical app accepted")
+	}
+}

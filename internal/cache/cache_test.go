@@ -1,0 +1,346 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustCache(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func smallCfg() Config {
+	return Config{Sets: 4, Ways: 4, LineSize: 64}
+}
+
+// addrFor builds an address hitting the given set with the given tag.
+func addrFor(c *Cache, set int, tag uint64) uint64 {
+	return (tag<<uint(log2(c.cfg.Sets)) | uint64(set)) << c.setShift
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Sets: 3, Ways: 4, LineSize: 64},
+		{Sets: 0, Ways: 4, LineSize: 64},
+		{Sets: 4, Ways: 0, LineSize: 64},
+		{Sets: 4, Ways: 65, LineSize: 64},
+		{Sets: 4, Ways: 4, LineSize: 48},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if smallCfg().Validate() != nil {
+		t.Error("good config rejected")
+	}
+	if _, err := New(Config{Sets: 3}); err == nil {
+		t.Error("New accepted invalid config")
+	}
+}
+
+func TestHitMissBasics(t *testing.T) {
+	c := mustCache(t, smallCfg())
+	a := addrFor(c, 1, 7)
+	if r := c.Access(0, a, false); r.Hit {
+		t.Error("cold access hit")
+	}
+	if r := c.Access(0, a, false); !r.Hit {
+		t.Error("second access missed")
+	}
+	// Same line, different byte offset: still a hit.
+	if r := c.Access(0, a+63, false); !r.Hit {
+		t.Error("same-line offset missed")
+	}
+	st := c.Stats(0)
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if c.Occupancy(0) != 1 {
+		t.Errorf("occupancy = %d", c.Occupancy(0))
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := mustCache(t, smallCfg()) // 4 ways
+	// Fill set 0 with tags 1..4, touch tag 1 again, insert tag 5:
+	// the LRU victim must be tag 2.
+	for tag := uint64(1); tag <= 4; tag++ {
+		c.Access(0, addrFor(c, 0, tag), false)
+	}
+	c.Access(0, addrFor(c, 0, 1), false) // refresh tag 1
+	c.Access(0, addrFor(c, 0, 5), false) // evicts tag 2
+	if r := c.Access(0, addrFor(c, 0, 2), false); r.Hit {
+		t.Error("LRU victim (tag 2) still resident")
+	}
+	if r := c.Access(0, addrFor(c, 0, 1), false); !r.Hit {
+		t.Error("recently used tag 1 was evicted")
+	}
+}
+
+func TestDirtyWritebackAccounting(t *testing.T) {
+	c := mustCache(t, Config{Sets: 1, Ways: 1, LineSize: 64})
+	c.Access(0, addrFor(c, 0, 1), true) // dirty
+	r := c.Access(0, addrFor(c, 0, 2), false)
+	if !r.Evicted || !r.EvictedDirty {
+		t.Errorf("expected dirty eviction, got %+v", r)
+	}
+	if got := c.Stats(0).Writebacks; got != 1 {
+		t.Errorf("writebacks = %d", got)
+	}
+}
+
+func TestInterferenceCounters(t *testing.T) {
+	c := mustCache(t, Config{Sets: 1, Ways: 2, LineSize: 64})
+	c.Access(1, addrFor(c, 0, 1), false)
+	c.Access(1, addrFor(c, 0, 2), false)
+	// Owner 2 thrashes the set: evicts owner 1's lines.
+	c.Access(2, addrFor(c, 0, 3), false)
+	c.Access(2, addrFor(c, 0, 4), false)
+	if got := c.Stats(2).EvictionsOfOthers; got != 2 {
+		t.Errorf("owner 2 EvictionsOfOthers = %d, want 2", got)
+	}
+	if got := c.Stats(1).EvictedByOthers; got != 2 {
+		t.Errorf("owner 1 EvictedByOthers = %d, want 2", got)
+	}
+	if c.Occupancy(1) != 0 || c.Occupancy(2) != 2 {
+		t.Errorf("occupancy = %d/%d", c.Occupancy(1), c.Occupancy(2))
+	}
+}
+
+func TestWayPartitionIsolation(t *testing.T) {
+	// Owner 1 gets ways 0-1, owner 2 gets ways 2-3: thrashing by
+	// owner 2 can no longer evict owner 1.
+	pol := NewWayPartition(map[Owner]uint64{1: 0b0011, 2: 0b1100})
+	cfg := smallCfg()
+	cfg.Policy = pol
+	c := mustCache(t, cfg)
+	c.Access(1, addrFor(c, 0, 1), false)
+	c.Access(1, addrFor(c, 0, 2), false)
+	for tag := uint64(10); tag < 30; tag++ {
+		c.Access(2, addrFor(c, 0, tag), false)
+	}
+	if r := c.Access(1, addrFor(c, 0, 1), false); !r.Hit {
+		t.Error("partitioned line evicted by another owner")
+	}
+	if got := c.Stats(2).EvictionsOfOthers; got != 0 {
+		t.Errorf("cross-owner evictions despite partitioning: %d", got)
+	}
+}
+
+func TestWayPartitionLookupUnrestricted(t *testing.T) {
+	// Partitioning restricts allocation, not visibility: owner 2 hits
+	// on a line in owner 1's ways.
+	pol := NewWayPartition(map[Owner]uint64{1: 0b0011, 2: 0b1100})
+	cfg := smallCfg()
+	cfg.Policy = pol
+	c := mustCache(t, cfg)
+	a := addrFor(c, 0, 1)
+	c.Access(1, a, false)
+	if r := c.Access(2, a, false); !r.Hit {
+		t.Error("shared line not visible across partitions")
+	}
+}
+
+func TestZeroMaskBypasses(t *testing.T) {
+	pol := NewWayPartition(map[Owner]uint64{3: 0})
+	cfg := smallCfg()
+	cfg.Policy = pol
+	c := mustCache(t, cfg)
+	r := c.Access(3, addrFor(c, 0, 1), false)
+	if r.Hit || r.Allocated {
+		t.Errorf("zero-mask access should bypass, got %+v", r)
+	}
+	if c.Occupancy(3) != 0 {
+		t.Error("bypassed access occupies the cache")
+	}
+}
+
+func TestMaxCapacityPolicy(t *testing.T) {
+	pol := &MaxCapacityPolicy{Limits: map[Owner]int{1: 2}}
+	cfg := Config{Sets: 4, Ways: 4, LineSize: 64, Policy: pol}
+	c := mustCache(t, cfg)
+	pol.BindCache(c)
+	// Owner 1 may hold at most 2 lines.
+	for set := 0; set < 4; set++ {
+		c.Access(1, addrFor(c, set, 1), false)
+	}
+	if got := c.Occupancy(1); got != 2 {
+		t.Errorf("occupancy = %d, want capped at 2", got)
+	}
+	// Unlimited owner fills freely.
+	for set := 0; set < 4; set++ {
+		c.Access(2, addrFor(c, set, 2), false)
+	}
+	if got := c.Occupancy(2); got != 4 {
+		t.Errorf("unlimited owner occupancy = %d, want 4", got)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := mustCache(t, smallCfg())
+	for set := 0; set < 4; set++ {
+		c.Access(1, addrFor(c, set, 1), true)
+		c.Access(2, addrFor(c, set, 2), false)
+	}
+	n := c.Flush(1)
+	if n != 4 {
+		t.Errorf("flushed %d lines, want 4", n)
+	}
+	if c.Occupancy(1) != 0 || c.Occupancy(2) != 4 {
+		t.Errorf("occupancy after flush = %d/%d", c.Occupancy(1), c.Occupancy(2))
+	}
+	if got := c.Stats(1).Writebacks; got != 4 {
+		t.Errorf("dirty flush writebacks = %d", got)
+	}
+}
+
+func TestColoringPartitionsSets(t *testing.T) {
+	// 64 sets x 64B lines = 4KB per way; 1KB pages -> 4 colors wait:
+	// colors = sets*line/page = 64*64/1024 = 4.
+	cfg := Config{Sets: 64, Ways: 2, LineSize: 64}
+	col, err := NewColoring(cfg, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.NumColors() != 4 {
+		t.Fatalf("NumColors = %d, want 4", col.NumColors())
+	}
+	if err := col.Assign(1, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Assign(2, []int{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	c := mustCache(t, cfg)
+	// Both owners touch many pages; their set footprints must be
+	// disjoint.
+	setsOf := func(owner Owner) map[int]bool {
+		seen := make(map[int]bool)
+		for p := uint64(0); p < 64; p++ {
+			addr := col.Translate(owner, p*1024)
+			seen[c.SetIndex(addr)] = true
+		}
+		return seen
+	}
+	s1, s2 := setsOf(1), setsOf(2)
+	for s := range s1 {
+		if s2[s] {
+			t.Fatalf("set %d reachable by both colored owners", s)
+		}
+	}
+	// Capacity cost: each owner reaches only half the sets.
+	if len(s1) > 32 || len(s2) > 32 {
+		t.Errorf("colored owners reach %d/%d sets, want <= 32", len(s1), len(s2))
+	}
+}
+
+func TestColoringValidation(t *testing.T) {
+	cfg := Config{Sets: 64, Ways: 2, LineSize: 64}
+	col, err := NewColoring(cfg, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Assign(1, nil); err == nil {
+		t.Error("empty color list accepted")
+	}
+	if err := col.Assign(1, []int{99}); err == nil {
+		t.Error("out-of-range color accepted")
+	}
+	if _, err := NewColoring(cfg, 48); err == nil {
+		t.Error("non-power-of-two page size accepted")
+	}
+	if _, err := NewColoring(cfg, 64*64*4); err == nil {
+		t.Error("page larger than way accepted")
+	}
+	// Unassigned owner: identity mapping.
+	if got := col.Translate(9, 12345); got != 12345 {
+		t.Errorf("unassigned owner translated: %d", got)
+	}
+}
+
+func TestColoringNoCrossOwnerAliasing(t *testing.T) {
+	cfg := Config{Sets: 64, Ways: 2, LineSize: 64}
+	col, _ := NewColoring(cfg, 1024)
+	_ = col.Assign(1, []int{0})
+	_ = col.Assign(2, []int{0}) // same color, shared sets
+	a1 := col.Translate(1, 0)
+	a2 := col.Translate(2, 0)
+	if a1 == a2 {
+		t.Error("different owners alias to the same physical address")
+	}
+}
+
+func TestQuickOccupancyConsistent(t *testing.T) {
+	// Property: sum of per-owner occupancy equals the number of valid
+	// lines, and never exceeds capacity.
+	f := func(seed uint64, ops uint8) bool {
+		c, err := New(Config{Sets: 8, Ways: 4, LineSize: 64})
+		if err != nil {
+			return false
+		}
+		rnd := newRand(seed)
+		for i := 0; i < int(ops); i++ {
+			owner := Owner(rnd() % 3)
+			addr := (rnd() % 512) * 64
+			c.Access(owner, addr, rnd()%2 == 0)
+		}
+		total := 0
+		for o := Owner(0); o < 3; o++ {
+			occ := c.Occupancy(o)
+			if occ < 0 {
+				return false
+			}
+			total += occ
+		}
+		return total <= c.TotalLines()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// newRand is a tiny deterministic generator for property tests.
+func newRand(seed uint64) func() uint64 {
+	state := seed
+	return func() uint64 {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+}
+
+func TestQuickPartitionNeverCrossEvicts(t *testing.T) {
+	// Property: with disjoint way masks, EvictionsOfOthers stays zero
+	// for every owner.
+	f := func(seed uint64, ops uint8) bool {
+		pol := NewWayPartition(map[Owner]uint64{0: 0b0001, 1: 0b0110, 2: 0b1000})
+		pol.Default = 0
+		c, err := New(Config{Sets: 8, Ways: 4, LineSize: 64, Policy: pol})
+		if err != nil {
+			return false
+		}
+		rnd := newRand(seed)
+		for i := 0; i < int(ops)+20; i++ {
+			owner := Owner(rnd() % 3)
+			addr := (rnd() % 256) * 64
+			c.Access(owner, addr, false)
+		}
+		for o := Owner(0); o < 3; o++ {
+			if c.Stats(o).EvictionsOfOthers != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

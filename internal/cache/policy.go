@@ -1,0 +1,135 @@
+package cache
+
+import (
+	"fmt"
+)
+
+// WayPartition is an AllocPolicy that statically assigns way masks per
+// owner — the shape of hardware partitioning in the DSU (per scheme
+// ID) and in MPAM cache-portion control (per PARTID). Owners without
+// an entry receive the Default mask.
+type WayPartition struct {
+	Masks   map[Owner]uint64
+	Default uint64
+}
+
+// NewWayPartition builds a policy with the given per-owner masks and a
+// default covering all ways.
+func NewWayPartition(masks map[Owner]uint64) *WayPartition {
+	m := make(map[Owner]uint64, len(masks))
+	for k, v := range masks {
+		m[k] = v
+	}
+	return &WayPartition{Masks: m, Default: ^uint64(0)}
+}
+
+// AllowedWays implements AllocPolicy.
+func (w *WayPartition) AllowedWays(owner Owner, _ int) uint64 {
+	if m, ok := w.Masks[owner]; ok {
+		return m
+	}
+	return w.Default
+}
+
+// MaxCapacityPolicy wraps another policy and additionally denies
+// allocation to an owner whose occupancy exceeds its configured line
+// limit — MPAM's cache maximum-capacity partitioning. It needs the
+// cache's occupancy, so it is attached via BindCache after New.
+type MaxCapacityPolicy struct {
+	Inner  AllocPolicy
+	Limits map[Owner]int // max resident lines; absent = unlimited
+
+	cache *Cache
+}
+
+// BindCache connects the policy to the cache whose occupancy it
+// enforces. It must be called once before the first access.
+func (p *MaxCapacityPolicy) BindCache(c *Cache) { p.cache = c }
+
+// AllowedWays implements AllocPolicy.
+func (p *MaxCapacityPolicy) AllowedWays(owner Owner, set int) uint64 {
+	inner := uint64(^uint64(0))
+	if p.Inner != nil {
+		inner = p.Inner.AllowedWays(owner, set)
+	}
+	if p.cache == nil {
+		return inner
+	}
+	if limit, ok := p.Limits[owner]; ok && p.cache.Occupancy(owner) >= limit {
+		return 0
+	}
+	return inner
+}
+
+// Coloring models software page coloring (Section II of the paper):
+// the OS constrains each owner's physical pages to a set of page
+// colors, which partitions the cache sets. Translate rewrites an
+// owner's addresses onto its assigned colors; feeding the translated
+// addresses to an unpartitioned Cache reproduces both the isolation
+// and the capacity cost ("a factual smaller cache for each partition").
+type Coloring struct {
+	pageSize  int
+	numColors int
+	assign    map[Owner][]int
+}
+
+// NewColoring builds a coloring for a cache with the given geometry.
+// The number of available colors is sets*lineSize/pageSize.
+func NewColoring(cfg Config, pageSize int) (*Coloring, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		return nil, fmt.Errorf("cache: page size must be a positive power of two, got %d", pageSize)
+	}
+	nc := cfg.Sets * cfg.LineSize / pageSize
+	if nc < 1 {
+		return nil, fmt.Errorf("cache: page size %d spans the whole cache way (%d bytes); no colors available",
+			pageSize, cfg.Sets*cfg.LineSize)
+	}
+	return &Coloring{pageSize: pageSize, numColors: nc, assign: make(map[Owner][]int)}, nil
+}
+
+// NumColors returns how many page colors the geometry provides.
+func (c *Coloring) NumColors() int { return c.numColors }
+
+// Assign gives owner the listed colors. Colors may be shared between
+// owners (shared pages) or disjoint (full isolation).
+func (c *Coloring) Assign(owner Owner, colors []int) error {
+	if len(colors) == 0 {
+		return fmt.Errorf("cache: owner %d assigned no colors", owner)
+	}
+	for _, col := range colors {
+		if col < 0 || col >= c.numColors {
+			return fmt.Errorf("cache: color %d out of range [0,%d)", col, c.numColors)
+		}
+	}
+	c.assign[owner] = append([]int(nil), colors...)
+	return nil
+}
+
+// Translate maps an owner's (virtual) address onto a physical address
+// whose page color is one of the owner's assigned colors. Owners
+// without an assignment keep the identity mapping. Distinct owners
+// never alias: the owner is folded into the high (frame) bits.
+func (c *Coloring) Translate(owner Owner, addr uint64) uint64 {
+	cols := c.assign[owner]
+	if len(cols) == 0 {
+		return addr
+	}
+	off := addr & uint64(c.pageSize-1)
+	page := addr / uint64(c.pageSize)
+	// Injective per-owner mapping: consecutive virtual pages
+	// round-robin across the owner's colors, and each full sweep of
+	// the colors advances the frame group. Distinct virtual pages land
+	// on distinct physical pages, and every physical page's color is
+	// one of the owner's (page color = physPage mod numColors).
+	k := uint64(len(cols))
+	color := uint64(cols[int(page%k)])
+	group := page / k
+	physPage := group*uint64(c.numColors) + color
+	// Disambiguate owners in the tag bits (bit 40+) so shared frames
+	// never false-hit across owners.
+	physPage |= (uint64(owner) + 1) << 40
+	return physPage*uint64(c.pageSize) + off
+}

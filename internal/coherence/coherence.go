@@ -1,0 +1,346 @@
+// Package coherence models a directory-based MESI cache-coherence
+// protocol between clusters. The paper's introduction lists coherency
+// and consistency mechanisms among the dynamic effects that make
+// access latencies on heterogeneous SoCs unpredictable: a read that
+// hits locally in one execution pays a cross-cluster invalidation or a
+// dirty-writeback transfer in the next, purely depending on co-runner
+// behaviour. This package makes that interference measurable: every
+// access reports how it was satisfied, what protocol traffic it
+// caused, and what latency the protocol added.
+//
+// The directory tracks protocol state only (owner/sharers per line);
+// capacity effects live in internal/cache. The two compose: a platform
+// can consult the directory for the protocol cost and its cluster
+// caches for hit/miss behaviour.
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// State is a MESI line state as seen by one cluster.
+type State uint8
+
+// MESI states.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// Kind classifies how an access was satisfied.
+type Kind uint8
+
+// Access outcome kinds.
+const (
+	// LocalHit: the line was already held in a sufficient state.
+	LocalHit Kind = iota
+	// MemoryFetch: no cluster held the line; fetched from memory.
+	MemoryFetch
+	// CacheTransfer: another cluster supplied the line (clean).
+	CacheTransfer
+	// DirtyTransfer: the owner wrote back and supplied the line.
+	DirtyTransfer
+	// UpgradeInvalidate: a write hit a Shared line; sharers were
+	// invalidated.
+	UpgradeInvalidate
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case LocalHit:
+		return "local-hit"
+	case MemoryFetch:
+		return "memory-fetch"
+	case CacheTransfer:
+		return "cache-transfer"
+	case DirtyTransfer:
+		return "dirty-transfer"
+	case UpgradeInvalidate:
+		return "upgrade-invalidate"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Costs parameterizes the protocol latency model.
+type Costs struct {
+	LocalHit    sim.Duration // line already held adequately
+	Memory      sim.Duration // directory miss: fetch from DRAM
+	Transfer    sim.Duration // cluster-to-cluster clean transfer
+	Writeback   sim.Duration // extra cost when the owner was Modified
+	Invalidate  sim.Duration // per invalidated sharer (acks overlap: max counted once)
+	DirectoryRT sim.Duration // directory lookup round trip on any miss
+}
+
+// DefaultCosts returns a plausible on-chip cost set.
+func DefaultCosts() Costs {
+	return Costs{
+		LocalHit:    sim.NS(5),
+		Memory:      sim.NS(120),
+		Transfer:    sim.NS(40),
+		Writeback:   sim.NS(30),
+		Invalidate:  sim.NS(25),
+		DirectoryRT: sim.NS(20),
+	}
+}
+
+// Validate checks the cost model.
+func (c Costs) Validate() error {
+	for _, d := range []sim.Duration{c.LocalHit, c.Memory, c.Transfer, c.Writeback, c.Invalidate, c.DirectoryRT} {
+		if d < 0 {
+			return fmt.Errorf("coherence: negative cost")
+		}
+	}
+	return nil
+}
+
+// Result describes one access's protocol outcome.
+type Result struct {
+	Kind Kind
+	// Latency is the protocol-level service time of the access.
+	Latency sim.Duration
+	// Invalidations is the number of sharer copies destroyed.
+	Invalidations int
+}
+
+// ClusterStats accumulates per-cluster protocol counters.
+type ClusterStats struct {
+	Reads, Writes         uint64
+	LocalHits             uint64
+	MemoryFetches         uint64
+	TransfersIn           uint64 // lines supplied BY others to this cluster
+	DirtyTransfersIn      uint64
+	Upgrades              uint64
+	InvalidationsSent     uint64 // copies this cluster's writes destroyed
+	InvalidationsReceived uint64 // this cluster's copies destroyed by others
+	TotalLatency          sim.Duration
+}
+
+// line is the directory's view of one cache line.
+type line struct {
+	owner   int    // cluster holding E/M, -1 otherwise
+	dirty   bool   // owner is in M
+	sharers uint64 // bitmask of clusters in S
+}
+
+// Directory is the home-node coherence directory.
+type Directory struct {
+	clusters int
+	costs    Costs
+	lines    map[uint64]*line
+	stats    []ClusterStats
+	lineBits uint
+}
+
+// New builds a directory for the given cluster count and 2^lineBits
+// byte lines (64B lines: lineBits = 6).
+func New(clusters int, lineBits uint, costs Costs) (*Directory, error) {
+	if clusters < 1 || clusters > 64 {
+		return nil, fmt.Errorf("coherence: clusters must be 1..64, got %d", clusters)
+	}
+	if lineBits > 16 {
+		return nil, fmt.Errorf("coherence: line bits %d too large", lineBits)
+	}
+	if err := costs.Validate(); err != nil {
+		return nil, err
+	}
+	return &Directory{
+		clusters: clusters,
+		costs:    costs,
+		lines:    make(map[uint64]*line),
+		stats:    make([]ClusterStats, clusters),
+		lineBits: lineBits,
+	}, nil
+}
+
+// Stats returns a cluster's counters.
+func (d *Directory) Stats(cluster int) ClusterStats {
+	if cluster < 0 || cluster >= d.clusters {
+		return ClusterStats{}
+	}
+	return d.stats[cluster]
+}
+
+// StateOf reports the MESI state of addr's line in the given cluster.
+func (d *Directory) StateOf(cluster int, addr uint64) State {
+	l := d.lines[addr>>d.lineBits]
+	if l == nil {
+		return Invalid
+	}
+	if l.owner == cluster {
+		if l.dirty {
+			return Modified
+		}
+		return Exclusive
+	}
+	if l.sharers&(1<<uint(cluster)) != 0 {
+		return Shared
+	}
+	return Invalid
+}
+
+// Access performs a read or write by cluster at addr and returns the
+// protocol outcome. It returns an error for an out-of-range cluster.
+func (d *Directory) Access(cluster int, addr uint64, write bool) (Result, error) {
+	if cluster < 0 || cluster >= d.clusters {
+		return Result{}, fmt.Errorf("coherence: cluster %d of %d", cluster, d.clusters)
+	}
+	key := addr >> d.lineBits
+	l := d.lines[key]
+	if l == nil {
+		l = &line{owner: -1}
+		d.lines[key] = l
+	}
+	st := &d.stats[cluster]
+	if write {
+		st.Writes++
+	} else {
+		st.Reads++
+	}
+
+	var res Result
+	switch {
+	case !write:
+		res = d.read(cluster, l)
+	default:
+		res = d.write(cluster, l)
+	}
+	st.TotalLatency += res.Latency
+	return res, nil
+}
+
+// read implements GetS.
+func (d *Directory) read(c int, l *line) Result {
+	bit := uint64(1) << uint(c)
+	switch {
+	case l.owner == c:
+		// E or M: read hits locally.
+		d.stats[c].LocalHits++
+		return Result{Kind: LocalHit, Latency: d.costs.LocalHit}
+	case l.sharers&bit != 0:
+		d.stats[c].LocalHits++
+		return Result{Kind: LocalHit, Latency: d.costs.LocalHit}
+	case l.owner >= 0:
+		// Another cluster owns it: downgrade owner to S, transfer.
+		res := Result{Kind: CacheTransfer, Latency: d.costs.DirectoryRT + d.costs.Transfer}
+		if l.dirty {
+			res.Kind = DirtyTransfer
+			res.Latency += d.costs.Writeback
+			d.stats[c].DirtyTransfersIn++
+		} else {
+			d.stats[c].TransfersIn++
+		}
+		l.sharers |= (1 << uint(l.owner)) | bit
+		l.owner = -1
+		l.dirty = false
+		return res
+	case l.sharers != 0:
+		// Shared by others: supply from a sharer.
+		d.stats[c].TransfersIn++
+		l.sharers |= bit
+		return Result{Kind: CacheTransfer, Latency: d.costs.DirectoryRT + d.costs.Transfer}
+	default:
+		// Nobody holds it: memory fetch, grant Exclusive.
+		d.stats[c].MemoryFetches++
+		l.owner = c
+		l.dirty = false
+		return Result{Kind: MemoryFetch, Latency: d.costs.DirectoryRT + d.costs.Memory}
+	}
+}
+
+// write implements GetM / upgrade.
+func (d *Directory) write(c int, l *line) Result {
+	bit := uint64(1) << uint(c)
+	switch {
+	case l.owner == c:
+		// E->M silently, M stays M.
+		l.dirty = true
+		d.stats[c].LocalHits++
+		return Result{Kind: LocalHit, Latency: d.costs.LocalHit}
+	case l.owner >= 0:
+		// Steal from the owner: invalidate its copy.
+		res := Result{Kind: DirtyTransfer, Invalidations: 1,
+			Latency: d.costs.DirectoryRT + d.costs.Transfer + d.costs.Invalidate}
+		if l.dirty {
+			res.Latency += d.costs.Writeback
+		} else {
+			res.Kind = CacheTransfer
+		}
+		d.stats[c].InvalidationsSent++
+		d.stats[l.owner].InvalidationsReceived++
+		if l.dirty {
+			d.stats[c].DirtyTransfersIn++
+		} else {
+			d.stats[c].TransfersIn++
+		}
+		l.owner = c
+		l.dirty = true
+		l.sharers = 0
+		return res
+	case l.sharers != 0:
+		// Invalidate every other sharer; upgrade if we were one.
+		inv := 0
+		for o := 0; o < d.clusters; o++ {
+			if o != c && l.sharers&(1<<uint(o)) != 0 {
+				inv++
+				d.stats[o].InvalidationsReceived++
+			}
+		}
+		d.stats[c].InvalidationsSent += uint64(inv)
+		wasSharer := l.sharers&bit != 0
+		l.owner = c
+		l.dirty = true
+		l.sharers = 0
+		lat := d.costs.DirectoryRT + d.costs.Invalidate // acks overlap
+		kind := UpgradeInvalidate
+		if !wasSharer {
+			lat += d.costs.Transfer
+			kind = CacheTransfer
+		} else {
+			d.stats[c].Upgrades++
+		}
+		return Result{Kind: kind, Invalidations: inv, Latency: lat}
+	default:
+		d.stats[c].MemoryFetches++
+		l.owner = c
+		l.dirty = true
+		return Result{Kind: MemoryFetch, Latency: d.costs.DirectoryRT + d.costs.Memory}
+	}
+}
+
+// CheckInvariants verifies the single-writer/multiple-reader property
+// over every tracked line; it returns the first violation found.
+// Property tests call this after random access sequences.
+func (d *Directory) CheckInvariants() error {
+	for key, l := range d.lines {
+		if l.owner >= 0 && l.sharers != 0 {
+			return fmt.Errorf("coherence: line %#x has owner %d and sharers %#x", key, l.owner, l.sharers)
+		}
+		if l.owner < 0 && l.dirty {
+			return fmt.Errorf("coherence: line %#x dirty without owner", key)
+		}
+		if l.owner >= d.clusters {
+			return fmt.Errorf("coherence: line %#x owned by bogus cluster %d", key, l.owner)
+		}
+	}
+	return nil
+}

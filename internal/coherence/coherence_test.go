@@ -1,0 +1,246 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func newDir(t *testing.T, clusters int) *Directory {
+	t.Helper()
+	d, err := New(clusters, 6, DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func access(t *testing.T, d *Directory, c int, addr uint64, write bool) Result {
+	t.Helper()
+	r, err := d.Access(c, addr, write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 6, DefaultCosts()); err == nil {
+		t.Error("zero clusters accepted")
+	}
+	if _, err := New(65, 6, DefaultCosts()); err == nil {
+		t.Error("65 clusters accepted")
+	}
+	if _, err := New(2, 20, DefaultCosts()); err == nil {
+		t.Error("huge line bits accepted")
+	}
+	bad := DefaultCosts()
+	bad.Memory = -1
+	if _, err := New(2, 6, bad); err == nil {
+		t.Error("negative cost accepted")
+	}
+	d := newDir(t, 2)
+	if _, err := d.Access(5, 0, false); err == nil {
+		t.Error("out-of-range cluster accepted")
+	}
+}
+
+func TestColdReadFetchesFromMemoryExclusive(t *testing.T) {
+	d := newDir(t, 2)
+	r := access(t, d, 0, 0x1000, false)
+	if r.Kind != MemoryFetch {
+		t.Errorf("cold read kind = %v", r.Kind)
+	}
+	if got := d.StateOf(0, 0x1000); got != Exclusive {
+		t.Errorf("state after cold read = %v, want E", got)
+	}
+	// Second read: local hit.
+	r = access(t, d, 0, 0x1000, false)
+	if r.Kind != LocalHit {
+		t.Errorf("re-read kind = %v", r.Kind)
+	}
+	// Same line, different byte.
+	r = access(t, d, 0, 0x103F, false)
+	if r.Kind != LocalHit {
+		t.Errorf("same-line offset kind = %v", r.Kind)
+	}
+}
+
+func TestSilentUpgradeEtoM(t *testing.T) {
+	d := newDir(t, 2)
+	access(t, d, 0, 0x1000, false) // E
+	r := access(t, d, 0, 0x1000, true)
+	if r.Kind != LocalHit || r.Invalidations != 0 {
+		t.Errorf("E->M upgrade = %+v, want silent local hit", r)
+	}
+	if got := d.StateOf(0, 0x1000); got != Modified {
+		t.Errorf("state = %v, want M", got)
+	}
+}
+
+func TestReadSharingDowngradesOwner(t *testing.T) {
+	d := newDir(t, 2)
+	access(t, d, 0, 0x1000, true) // cluster 0 in M
+	r := access(t, d, 1, 0x1000, false)
+	if r.Kind != DirtyTransfer {
+		t.Errorf("read of modified remote = %v, want dirty-transfer", r.Kind)
+	}
+	if d.StateOf(0, 0x1000) != Shared || d.StateOf(1, 0x1000) != Shared {
+		t.Errorf("states after downgrade = %v/%v, want S/S",
+			d.StateOf(0, 0x1000), d.StateOf(1, 0x1000))
+	}
+	// Clean owner supplies without writeback cost.
+	d2 := newDir(t, 2)
+	access(t, d2, 0, 0x2000, false) // E
+	r = access(t, d2, 1, 0x2000, false)
+	if r.Kind != CacheTransfer {
+		t.Errorf("read of exclusive remote = %v, want cache-transfer", r.Kind)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	d := newDir(t, 4)
+	// Three clusters share the line.
+	access(t, d, 0, 0x1000, false)
+	access(t, d, 1, 0x1000, false)
+	access(t, d, 2, 0x1000, false)
+	// Cluster 1 (a sharer) writes: 2 invalidations, upgrade.
+	r := access(t, d, 1, 0x1000, true)
+	if r.Kind != UpgradeInvalidate || r.Invalidations != 2 {
+		t.Errorf("sharer write = %+v, want upgrade with 2 invalidations", r)
+	}
+	if d.StateOf(1, 0x1000) != Modified {
+		t.Error("writer not in M")
+	}
+	if d.StateOf(0, 0x1000) != Invalid || d.StateOf(2, 0x1000) != Invalid {
+		t.Error("sharers not invalidated")
+	}
+	st := d.Stats(1)
+	if st.InvalidationsSent != 2 || st.Upgrades != 1 {
+		t.Errorf("writer stats = %+v", st)
+	}
+	if d.Stats(0).InvalidationsReceived != 1 {
+		t.Errorf("sharer stats = %+v", d.Stats(0))
+	}
+}
+
+func TestWriteStealsFromOwner(t *testing.T) {
+	d := newDir(t, 2)
+	access(t, d, 0, 0x1000, true) // M in cluster 0
+	r := access(t, d, 1, 0x1000, true)
+	if r.Kind != DirtyTransfer || r.Invalidations != 1 {
+		t.Errorf("write steal = %+v", r)
+	}
+	if d.StateOf(0, 0x1000) != Invalid || d.StateOf(1, 0x1000) != Modified {
+		t.Error("ownership transfer broken")
+	}
+}
+
+func TestNonSharerWriteToSharedLine(t *testing.T) {
+	d := newDir(t, 3)
+	access(t, d, 0, 0x1000, false)
+	access(t, d, 1, 0x1000, false) // 0 and 1 share
+	r := access(t, d, 2, 0x1000, true)
+	if r.Invalidations != 2 || r.Kind != CacheTransfer {
+		t.Errorf("non-sharer write = %+v", r)
+	}
+	if d.StateOf(2, 0x1000) != Modified {
+		t.Error("writer not M")
+	}
+}
+
+func TestPingPongCostsMoreThanPrivate(t *testing.T) {
+	// The predictability point: the same write stream costs far more
+	// when another cluster keeps touching the line.
+	private := newDir(t, 2)
+	var privateLat sim.Duration
+	for i := 0; i < 100; i++ {
+		privateLat += access(t, private, 0, 0x1000, true).Latency
+	}
+	pingpong := newDir(t, 2)
+	var sharedLat sim.Duration
+	for i := 0; i < 100; i++ {
+		sharedLat += access(t, pingpong, i%2, 0x1000, true).Latency
+	}
+	if sharedLat < 3*privateLat {
+		t.Errorf("ping-pong %v not substantially worse than private %v", sharedLat, privateLat)
+	}
+}
+
+func TestStatsLatencyAccumulates(t *testing.T) {
+	d := newDir(t, 2)
+	access(t, d, 0, 0x1000, false)
+	access(t, d, 0, 0x1000, false)
+	st := d.Stats(0)
+	if st.Reads != 2 || st.TotalLatency == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if d.Stats(-1) != (ClusterStats{}) || d.Stats(9) != (ClusterStats{}) {
+		t.Error("out-of-range stats not zero")
+	}
+}
+
+func TestStateAndKindStrings(t *testing.T) {
+	for _, s := range []State{Invalid, Shared, Exclusive, Modified, State(9)} {
+		if s.String() == "" {
+			t.Error("empty State string")
+		}
+	}
+	for _, k := range []Kind{LocalHit, MemoryFetch, CacheTransfer, DirtyTransfer, UpgradeInvalidate, Kind(9)} {
+		if k.String() == "" {
+			t.Error("empty Kind string")
+		}
+	}
+}
+
+func TestQuickSWMRInvariant(t *testing.T) {
+	// Property: after any access sequence, every line has either one
+	// owner and no sharers, or sharers and no owner (single writer /
+	// multiple readers), and dirty implies owned.
+	f := func(seed uint64, n uint8) bool {
+		d, err := New(4, 6, DefaultCosts())
+		if err != nil {
+			return false
+		}
+		rnd := sim.NewRand(seed)
+		for i := 0; i < int(n)+20; i++ {
+			c := rnd.Intn(4)
+			addr := uint64(rnd.Intn(8)) << 6
+			if _, err := d.Access(c, addr, rnd.Intn(2) == 0); err != nil {
+				return false
+			}
+		}
+		return d.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickReadYourWrites(t *testing.T) {
+	// Property: immediately after a cluster writes a line, its next
+	// read of that line is a local hit (it is the owner in M).
+	f := func(seed uint64, n uint8) bool {
+		d, err := New(3, 6, DefaultCosts())
+		if err != nil {
+			return false
+		}
+		rnd := sim.NewRand(seed)
+		for i := 0; i < int(n)+10; i++ {
+			c := rnd.Intn(3)
+			addr := uint64(rnd.Intn(6)) << 6
+			if _, err := d.Access(c, addr, true); err != nil {
+				return false
+			}
+			r, err := d.Access(c, addr, false)
+			if err != nil || r.Kind != LocalHit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/dsu"
+	"repro/internal/mpam"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// requestHeaderBytes is the size of a read-request packet on the mesh
+// (command + address); the response carries the data.
+const requestHeaderBytes = 16
+
+// AppConfig describes one application on the platform.
+type AppConfig struct {
+	Name string
+	// Node is where the app's core sits on the mesh; Cluster selects
+	// the shared L3 it allocates into.
+	Node    noc.Coord
+	Cluster int
+	// Scheme is the app's DSU scheme ID (its identification label for
+	// cache partitioning; also used as its MPAM-style owner).
+	Scheme dsu.SchemeID
+	// PARTID labels the app's memory traffic for the MPAM channel;
+	// zero defaults to the scheme ID value.
+	PARTID mpam.PARTID
+	// PMG sub-labels the app within its PARTID for monitoring.
+	PMG mpam.PMG
+	// Profile drives the access stream.
+	Profile *trace.Profile
+	// Critical marks the app for reporting.
+	Critical bool
+}
+
+// AppStats summarizes an app's observed behaviour.
+type AppStats struct {
+	Issued, L3Hits, L3Misses uint64
+	Reads, Writes            uint64
+	// Read round-trip latency (issue to data return), in virtual time.
+	MeanReadLatency sim.Duration
+	MaxReadLatency  sim.Duration
+	P95ReadLatency  sim.Duration
+	BytesMoved      uint64
+}
+
+// App is a closed-loop traffic generator bound to a platform.
+type App struct {
+	p   *Platform
+	cfg AppConfig
+
+	running bool
+	count   uint64
+
+	issued, hits, misses uint64
+	reads, writes        uint64
+	bytes                uint64
+	totalLat, maxLat     sim.Duration
+	samples              []sim.Duration
+
+	memTap func(at sim.Time, bytes int)
+}
+
+// Config returns the app's configuration.
+func (a *App) Config() AppConfig { return a.cfg }
+
+// TapMemory installs a callback invoked for every memory-bound
+// transaction the app issues (its cache-miss traffic), with the issue
+// time and transfer size — the hook the profiling tooling uses to
+// measure empirical arrival curves. Pass nil to remove.
+func (a *App) TapMemory(f func(at sim.Time, bytes int)) { a.memTap = f }
+
+// maxLatencySamples caps the percentile reservoir.
+const maxLatencySamples = 1 << 16
+
+// AddApp registers an application.
+func (p *Platform) AddApp(cfg AppConfig) (*App, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("core: app needs a name")
+	}
+	if _, dup := p.apps[cfg.Name]; dup {
+		return nil, fmt.Errorf("core: duplicate app %q", cfg.Name)
+	}
+	if cfg.Cluster < 0 || cfg.Cluster >= len(p.clusters) {
+		return nil, fmt.Errorf("core: app %s on cluster %d of %d", cfg.Name, cfg.Cluster, len(p.clusters))
+	}
+	if !cfg.Scheme.Valid() {
+		return nil, fmt.Errorf("core: app %s scheme ID %d invalid", cfg.Name, cfg.Scheme)
+	}
+	if !p.mesh.InMesh(cfg.Node) {
+		return nil, fmt.Errorf("core: app %s node %v outside mesh", cfg.Name, cfg.Node)
+	}
+	if cfg.Profile == nil || cfg.Profile.Pattern == nil || cfg.Profile.ReqBytes <= 0 {
+		return nil, fmt.Errorf("core: app %s needs a valid profile", cfg.Name)
+	}
+	if cfg.PARTID == 0 {
+		cfg.PARTID = mpam.PARTID(cfg.Scheme)
+	}
+	a := &App{p: p, cfg: cfg}
+	p.apps[cfg.Name] = a
+	p.order = append(p.order, cfg.Name)
+	return a, nil
+}
+
+// App returns a registered application.
+func (p *Platform) App(name string) (*App, error) {
+	a, ok := p.apps[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown app %q", name)
+	}
+	return a, nil
+}
+
+// Apps returns the registered app names in registration order.
+func (p *Platform) Apps() []string { return append([]string(nil), p.order...) }
+
+// Name returns the app's name.
+func (a *App) Name() string { return a.cfg.Name }
+
+// Start begins the app's closed loop at the current virtual time.
+func (a *App) Start() {
+	if a.running {
+		return
+	}
+	a.running = true
+	a.p.Eng.At(a.p.Eng.Now(), a.step)
+}
+
+// Stop halts the loop after the in-flight access completes.
+func (a *App) Stop() { a.running = false }
+
+// Stats returns a snapshot of the app's counters.
+func (a *App) Stats() AppStats {
+	st := AppStats{
+		Issued: a.issued, L3Hits: a.hits, L3Misses: a.misses,
+		Reads: a.reads, Writes: a.writes,
+		MaxReadLatency: a.maxLat, BytesMoved: a.bytes,
+	}
+	if a.reads > 0 {
+		st.MeanReadLatency = a.totalLat / sim.Duration(a.reads)
+	}
+	if len(a.samples) > 0 {
+		s := append([]sim.Duration(nil), a.samples...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		st.P95ReadLatency = s[int(0.95*float64(len(s)-1))]
+	}
+	return st
+}
+
+// step issues one access and schedules the next.
+func (a *App) step() {
+	if !a.running {
+		return
+	}
+	a.count++
+	a.issued++
+	addr := a.cfg.Profile.Next()
+	write := a.cfg.Profile.WriteEvery > 0 && a.count%uint64(a.cfg.Profile.WriteEvery) == 0
+	start := a.p.Eng.Now()
+
+	// Software page coloring, when enabled, remaps the address before
+	// it reaches the cache.
+	if col := a.p.coloring[a.cfg.Cluster]; col != nil {
+		addr = col.Translate(cache.Owner(a.cfg.Scheme), addr)
+	}
+
+	cl := a.p.clusters[a.cfg.Cluster]
+	res := cl.Access(a.cfg.Scheme, addr, write)
+	if res.Hit {
+		a.hits++
+		a.p.Eng.After(a.p.cfg.L3HitLatency, func() {
+			a.finish(start, write, false)
+		})
+		return
+	}
+	a.misses++
+
+	issue := func() { a.issueMemory(addr, write, start) }
+	if a.p.reg != nil {
+		// MemGuard meters misses (the traffic that actually reaches
+		// memory), per application.
+		if err := a.p.reg.Request(a.cfg.Name, a.cfg.Profile.ReqBytes, issue); err == nil {
+			return
+		}
+	}
+	issue()
+}
+
+// issueMemory sends the miss across the mesh to the memory controller.
+func (a *App) issueMemory(addr uint64, write bool, start sim.Time) {
+	bank, row := a.p.bankRow(addr)
+	ni, err := a.p.mesh.NI(a.cfg.Node)
+	if err != nil {
+		return
+	}
+	reqBytes := requestHeaderBytes
+	if write {
+		reqBytes = a.cfg.Profile.ReqBytes // write carries its data
+	}
+	if a.memTap != nil {
+		a.memTap(a.p.Eng.Now(), a.cfg.Profile.ReqBytes)
+	}
+	pkt := &noc.Packet{
+		Dst:   a.p.cfg.MemoryNode,
+		Bytes: reqBytes,
+		Flow:  a.cfg.Name,
+		OnDelivered: func(sim.Time) {
+			a.atMemory(bank, row, write, start)
+		},
+	}
+	if err := ni.Send(pkt); err != nil {
+		// Malformed packets cannot happen here; treat as dropped.
+		return
+	}
+	if write {
+		// Posted write: the core does not wait for the data to land.
+		a.finish(start, true, true)
+	}
+}
+
+// atMemory runs when the request packet reaches the controller node:
+// through the MPAM channel arbiter (when enabled), then the DRAM
+// controller.
+func (a *App) atMemory(bank int, row int64, write bool, start sim.Time) {
+	label := mpam.Label{PARTID: a.cfg.PARTID, PMG: a.cfg.PMG}
+	a.p.channelSubmit(label, a.cfg.Profile.ReqBytes, write, func() {
+		a.atController(bank, row, write, start)
+	})
+}
+
+// atController submits the transaction to the DRAM controller.
+func (a *App) atController(bank int, row int64, write bool, start sim.Time) {
+	op := dram.Read
+	if write {
+		op = dram.Write
+	}
+	req := &dram.Request{
+		Master: a.cfg.Name,
+		Op:     op,
+		Bank:   bank,
+		Row:    row,
+		Size:   a.cfg.Profile.ReqBytes,
+	}
+	if write {
+		a.p.submitDRAM(req, nil) // posted; already accounted
+		return
+	}
+	a.p.submitDRAM(req, func() {
+		// Data response travels back to the app's node.
+		memNI, err := a.p.mesh.NI(a.p.cfg.MemoryNode)
+		if err != nil {
+			return
+		}
+		resp := &noc.Packet{
+			Dst:   a.cfg.Node,
+			Bytes: a.cfg.Profile.ReqBytes,
+			Flow:  a.cfg.Name + ":resp",
+			OnDelivered: func(sim.Time) {
+				a.finish(start, false, true)
+			},
+		}
+		_ = memNI.Send(resp)
+	})
+}
+
+// finish records one access and schedules the next step after the
+// profile's think time.
+func (a *App) finish(start sim.Time, write, toMemory bool) {
+	now := a.p.Eng.Now()
+	if write {
+		a.writes++
+	} else {
+		a.reads++
+		lat := now - start
+		a.totalLat += lat
+		if lat > a.maxLat {
+			a.maxLat = lat
+		}
+		if len(a.samples) < maxLatencySamples {
+			a.samples = append(a.samples, lat)
+		}
+	}
+	if toMemory {
+		a.bytes += uint64(a.cfg.Profile.ReqBytes)
+	}
+	if !a.running {
+		return
+	}
+	delay := a.cfg.Profile.Think
+	if delay <= 0 {
+		delay = 1
+	}
+	a.p.Eng.After(delay, a.step)
+}

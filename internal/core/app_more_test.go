@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestPostedWritesDoNotBlockTheLoop(t *testing.T) {
+	// A write-heavy app with a cache-hostile pattern: writes are
+	// posted, so the loop advances at think-time pace rather than
+	// round-trip pace.
+	p := newPlatform(t, nil)
+	pat, err := trace.NewStrided(0, 32<<20, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.AddApp(AppConfig{
+		Name: "writer", Node: noc.Coord{X: 0, Y: 0}, Cluster: 0, Scheme: 1,
+		Profile: &trace.Profile{Pattern: pat, ReqBytes: 64, Think: sim.NS(50), WriteEvery: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	p.RunFor(100 * sim.Microsecond)
+	st := a.Stats()
+	if st.Writes == 0 || st.Reads != 0 {
+		t.Fatalf("stats = %+v, want all writes", st)
+	}
+	// ~100us / ~50ns think = ~2000 issues if posted; far fewer if the
+	// loop waited for DRAM round trips.
+	if st.Issued < 1000 {
+		t.Errorf("posted writes appear blocking: only %d issued", st.Issued)
+	}
+	// The writes did reach the DRAM controller.
+	ms := p.Memory().Stats().Master("writer")
+	if ms.Writes == 0 {
+		t.Error("no DRAM writes recorded")
+	}
+}
+
+func TestBankRowMapping(t *testing.T) {
+	p := newPlatform(t, nil)
+	// RowBytes 2048, 8 banks: address 0 -> bank 0 row 0; 2048 -> bank
+	// 1 row 0; 8*2048 -> bank 0 row 1.
+	cases := []struct {
+		addr uint64
+		bank int
+		row  int64
+	}{
+		{0, 0, 0},
+		{2048, 1, 0},
+		{2048 * 7, 7, 0},
+		{2048 * 8, 0, 1},
+		{2048*8 + 64, 0, 1},
+		{2048 * 17, 1, 2},
+	}
+	for _, c := range cases {
+		b, r := p.bankRow(c.addr)
+		if b != c.bank || r != c.row {
+			t.Errorf("bankRow(%#x) = (%d,%d), want (%d,%d)", c.addr, b, r, c.bank, c.row)
+		}
+	}
+}
+
+func TestSubmitDRAMBackpressureRetries(t *testing.T) {
+	// Saturate the controller's read queue directly, then make an app
+	// issue: its request must eventually complete via the retry path.
+	cfg := DefaultConfig()
+	cfg.Memory.ReadQueueCap = 2
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the queue from the side.
+	for i := 0; i < 8; i++ {
+		req := &dram.Request{Op: dram.Read, Bank: 0, Row: int64(i)}
+		p.submitDRAM(req, nil)
+	}
+	pat, err := trace.NewStrided(0, 32<<20, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.AddApp(AppConfig{
+		Name: "rdr", Node: noc.Coord{X: 0, Y: 0}, Cluster: 0, Scheme: 1,
+		Profile: &trace.Profile{Pattern: pat, ReqBytes: 64, Think: sim.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	p.RunFor(200 * sim.Microsecond)
+	if a.Stats().Reads == 0 {
+		t.Error("app starved permanently by controller backpressure")
+	}
+}
+
+func TestMemTapObservesMissTraffic(t *testing.T) {
+	p := newPlatform(t, nil)
+	pat, err := trace.NewStrided(0, 32<<20, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.AddApp(AppConfig{
+		Name: "x", Node: noc.Coord{X: 0, Y: 0}, Cluster: 0, Scheme: 1,
+		Profile: &trace.Profile{Pattern: pat, ReqBytes: 64, Think: sim.NS(100)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var taps int
+	var lastAt sim.Time
+	a.TapMemory(func(at sim.Time, bytes int) {
+		taps++
+		if at < lastAt {
+			t.Error("tap times not monotone")
+		}
+		lastAt = at
+		if bytes != 64 {
+			t.Errorf("tap bytes = %d", bytes)
+		}
+	})
+	a.Start()
+	p.RunFor(50 * sim.Microsecond)
+	if taps == 0 {
+		t.Fatal("tap never fired")
+	}
+	if uint64(taps) != a.Stats().L3Misses {
+		t.Errorf("taps %d != misses %d", taps, a.Stats().L3Misses)
+	}
+	a.TapMemory(nil) // removable
+	if a.Config().Name != "x" {
+		t.Error("Config accessor broken")
+	}
+}
+
+func TestSecondClusterIndependent(t *testing.T) {
+	// Apps on different clusters do not share L3 state.
+	p := newPlatform(t, nil)
+	prof0, _ := trace.NewProfile(trace.ControlLoop, 0, 1)
+	prof1, _ := trace.NewProfile(trace.ControlLoop, 0, 2) // same addresses!
+	a0, err := p.AddApp(AppConfig{Name: "c0", Node: noc.Coord{X: 0, Y: 0}, Cluster: 0, Scheme: 1, Profile: prof0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := p.AddApp(AppConfig{Name: "c1", Node: noc.Coord{X: 0, Y: 1}, Cluster: 1, Scheme: 1, Profile: prof1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0.Start()
+	a1.Start()
+	p.RunFor(sim.Millisecond)
+	cl0, _ := p.Cluster(0)
+	cl1, _ := p.Cluster(1)
+	if cl0.L3().Occupancy(1) == 0 || cl1.L3().Occupancy(1) == 0 {
+		t.Error("clusters did not each cache their app's lines")
+	}
+	// Each app's footprint is its own: both warmed the same 32KiB.
+	if got0, got1 := cl0.L3().Occupancy(1), cl1.L3().Occupancy(1); got0 != got1 {
+		t.Errorf("cluster occupancies differ: %d vs %d", got0, got1)
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mpam"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestMPAMChannelConfiguration(t *testing.T) {
+	p := newPlatform(t, nil)
+	if err := p.ConfigureMPAM(1, mpam.PartitionBW{}); err == nil {
+		t.Error("configure before enable accepted")
+	}
+	if p.MPAMMonitors() != nil {
+		t.Error("monitors exist before enable")
+	}
+	if b, r := p.MPAMServed(1); b != 0 || r != 0 {
+		t.Error("served non-zero before enable")
+	}
+	if err := p.EnableMPAMChannel(mpam.BWConfig{CapacityBytesPerNS: 12.8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EnableMPAMChannel(mpam.BWConfig{CapacityBytesPerNS: 12.8}); err == nil {
+		t.Error("double enable accepted")
+	}
+	if err := p.EnableMPAMChannel(mpam.BWConfig{}); err == nil {
+		t.Error("double enable with bad config accepted")
+	}
+	if err := p.ConfigureMPAM(1, mpam.PartitionBW{MaxBytesPerNS: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMPAMChannelLabelsAndMonitors(t *testing.T) {
+	p := newPlatform(t, nil)
+	if err := p.EnableMPAMChannel(mpam.BWConfig{CapacityBytesPerNS: 12.8}); err != nil {
+		t.Fatal(err)
+	}
+	mon, err := p.MPAMMonitors().AddBandwidth(mpam.Filter{PARTID: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := trace.NewProfile(trace.VisionPipeline, 1<<30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.AddApp(AppConfig{
+		Name: "vision", Node: noc.Coord{X: 1, Y: 1}, Cluster: 0, Scheme: 2,
+		PARTID: 5, PMG: 1, Profile: prof,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	p.RunFor(sim.Millisecond)
+	bytes, reqs := p.MPAMServed(5)
+	if bytes == 0 || reqs == 0 {
+		t.Fatalf("channel served nothing for PARTID 5: %d/%d", bytes, reqs)
+	}
+	if mon.Value() == 0 {
+		t.Error("bandwidth monitor recorded nothing")
+	}
+	if mon.Value() != bytes {
+		t.Errorf("monitor %d != served %d", mon.Value(), bytes)
+	}
+}
+
+func TestMPAMDefaultPARTIDFromScheme(t *testing.T) {
+	p := newPlatform(t, nil)
+	if err := p.EnableMPAMChannel(mpam.BWConfig{CapacityBytesPerNS: 12.8}); err != nil {
+		t.Fatal(err)
+	}
+	prof, _ := trace.NewProfile(trace.VisionPipeline, 1<<30, 3)
+	a, err := p.AddApp(AppConfig{
+		Name: "v", Node: noc.Coord{X: 1, Y: 1}, Cluster: 0, Scheme: 3, Profile: prof,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	p.RunFor(200 * sim.Microsecond)
+	if b, _ := p.MPAMServed(3); b == 0 {
+		t.Error("default PARTID (= scheme ID) saw no traffic")
+	}
+}
+
+// TestMPAMMinBandwidthProtectsCritical is the hardware counterpart of
+// the MemGuard experiment: a minimum-bandwidth guarantee on the memory
+// channel keeps the critical app's DRAM traffic flowing under load.
+func TestMPAMMinBandwidthProtectsCritical(t *testing.T) {
+	run := func(protect bool) sim.Duration {
+		cfg := DefaultConfig()
+		cfg.MemGuard = nil // isolate the MPAM effect
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Narrow channel so the arbiter is the bottleneck.
+		if err := p.EnableMPAMChannel(mpam.BWConfig{CapacityBytesPerNS: 1.0}); err != nil {
+			t.Fatal(err)
+		}
+		// Critical app misses constantly (strided, cache hostile).
+		pat, err := trace.NewStrided(0, 64<<20, 1<<14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crit, err := p.AddApp(AppConfig{
+			Name: "crit", Node: noc.Coord{X: 0, Y: 0}, Cluster: 0, Scheme: 1, PARTID: 1,
+			Profile: &trace.Profile{Pattern: pat, ReqBytes: 64, Think: sim.NS(100)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			prof, err := trace.NewProfile(trace.VisionPipeline, uint64(i+2)<<30, uint64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := p.AddApp(AppConfig{
+				Name: "hog" + string(rune('0'+i)), Node: noc.Coord{X: 1 + i%3, Y: 1},
+				Cluster: 1, Scheme: 2, PARTID: 9, Profile: prof,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.Start()
+		}
+		if protect {
+			if err := p.ConfigureMPAM(1, mpam.PartitionBW{MinBytesPerNS: 0.6, Priority: 1}); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.ConfigureMPAM(9, mpam.PartitionBW{MaxBytesPerNS: 0.3}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		crit.Start()
+		p.RunFor(2 * sim.Millisecond)
+		return crit.Stats().P95ReadLatency
+	}
+	unprotected := run(false)
+	protected := run(true)
+	if protected >= unprotected {
+		t.Errorf("MPAM min-bandwidth did not help: p95 %v (protected) vs %v (unprotected)",
+			protected, unprotected)
+	}
+}

@@ -1,0 +1,274 @@
+// Package core models a centralized automotive vehicle integration
+// platform (VIP): the heterogeneous SoC of the paper's introduction,
+// assembled from the repository's substrates. CPU clusters share a
+// DynamIQ-style L3 (internal/dsu), clusters reach a shared DRAM
+// controller (internal/dram) across a wormhole NoC (internal/noc), and
+// the predictability mechanisms of Sections II and III hang off the
+// same fabric: software cache coloring and MemGuard-style bandwidth
+// regulation, hardware way-partitioning, and token-bucket injection
+// shaping at the network interfaces.
+//
+// Applications are closed-loop traffic generators with automotive
+// profiles (internal/trace); their end-to-end memory latency is the
+// metric every experiment reports. The X1 experiment — read latency
+// inflating by a large factor under co-runner contention, restored by
+// QoS configuration — is Platform's reason to exist.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/dsu"
+	"repro/internal/memguard"
+	"repro/internal/mpam"
+	"repro/internal/netcalc"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// Config assembles a platform.
+type Config struct {
+	// Clusters describes each CPU cluster's shared L3.
+	Clusters []dsu.Config
+	// Mesh is the interconnect; Memory the DRAM controller behind it.
+	Mesh   noc.Config
+	Memory dram.Config
+	// MemoryNode is the mesh coordinate of the memory controller.
+	MemoryNode noc.Coord
+	// MemGuard, when non-nil, enables software bandwidth regulation.
+	MemGuard *memguard.Config
+	// L3HitLatency is the service time of an L3 hit.
+	L3HitLatency sim.Duration
+	// RowBytes sets the DRAM address interleaving granularity.
+	RowBytes int
+}
+
+// DefaultConfig returns a two-cluster platform on a 4x4 mesh with the
+// paper's DDR3-1600 controller at node (3,3).
+func DefaultConfig() Config {
+	mg := memguard.DefaultConfig()
+	return Config{
+		Clusters:     []dsu.Config{dsu.DefaultConfig(), dsu.DefaultConfig()},
+		Mesh:         noc.DefaultConfig(),
+		Memory:       dram.DefaultConfig(),
+		MemoryNode:   noc.Coord{X: 3, Y: 3},
+		MemGuard:     &mg,
+		L3HitLatency: sim.NS(20),
+		RowBytes:     2048,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if len(c.Clusters) == 0 {
+		return fmt.Errorf("core: platform needs at least one cluster")
+	}
+	for i, cl := range c.Clusters {
+		if err := cl.Validate(); err != nil {
+			return fmt.Errorf("core: cluster %d: %w", i, err)
+		}
+	}
+	if err := c.Mesh.Validate(); err != nil {
+		return err
+	}
+	if err := c.Memory.Validate(); err != nil {
+		return err
+	}
+	if c.L3HitLatency < 0 {
+		return fmt.Errorf("core: negative L3 hit latency")
+	}
+	if c.RowBytes <= 0 {
+		return fmt.Errorf("core: RowBytes must be positive")
+	}
+	if c.MemGuard != nil {
+		if err := c.MemGuard.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Platform is an assembled VIP SoC model.
+type Platform struct {
+	Eng *sim.Engine
+
+	cfg      Config
+	clusters []*dsu.Cluster
+	coloring []*cache.Coloring // per cluster, nil until enabled
+	mesh     *noc.NoC
+	mem      *dram.Controller
+	reg      *memguard.Regulator
+
+	apps  map[string]*App
+	order []string
+
+	mpamArb  *mpam.Arbiter
+	mpamMons *mpam.MonitorSet
+
+	dramCallbacks map[uint64]func()
+	nextReqID     uint64
+}
+
+// New assembles a platform on a fresh engine.
+func New(cfg Config) (*Platform, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Platform{
+		Eng:           sim.NewEngine(),
+		cfg:           cfg,
+		apps:          make(map[string]*App),
+		dramCallbacks: make(map[uint64]func()),
+	}
+	for _, cc := range cfg.Clusters {
+		cl, err := dsu.NewCluster(cc)
+		if err != nil {
+			return nil, err
+		}
+		p.clusters = append(p.clusters, cl)
+	}
+	p.coloring = make([]*cache.Coloring, len(p.clusters))
+	mesh, err := noc.New(p.Eng, cfg.Mesh)
+	if err != nil {
+		return nil, err
+	}
+	p.mesh = mesh
+	if !mesh.InMesh(cfg.MemoryNode) {
+		return nil, fmt.Errorf("core: memory node %v outside mesh", cfg.MemoryNode)
+	}
+	mem, err := dram.NewController(p.Eng, cfg.Memory, p.onDRAMComplete)
+	if err != nil {
+		return nil, err
+	}
+	p.mem = mem
+	if cfg.MemGuard != nil {
+		reg, err := memguard.New(p.Eng, *cfg.MemGuard)
+		if err != nil {
+			return nil, err
+		}
+		p.reg = reg
+	}
+	return p, nil
+}
+
+// Mesh exposes the interconnect (e.g. for admission-control overlays).
+func (p *Platform) Mesh() *noc.NoC { return p.mesh }
+
+// Cluster returns cluster i's DSU model.
+func (p *Platform) Cluster(i int) (*dsu.Cluster, error) {
+	if i < 0 || i >= len(p.clusters) {
+		return nil, fmt.Errorf("core: cluster %d of %d", i, len(p.clusters))
+	}
+	return p.clusters[i], nil
+}
+
+// Memory exposes the DRAM controller.
+func (p *Platform) Memory() *dram.Controller { return p.mem }
+
+// Regulator exposes the MemGuard regulator (nil when disabled).
+func (p *Platform) Regulator() *memguard.Regulator { return p.reg }
+
+// ProgramDSU writes a cluster's L3 partition control register.
+func (p *Platform) ProgramDSU(cluster int, reg dsu.ClusterPartCR) error {
+	cl, err := p.Cluster(cluster)
+	if err != nil {
+		return err
+	}
+	cl.Program(reg)
+	return nil
+}
+
+// EnableColoring switches a cluster to software page coloring with the
+// given page size (the Section II baseline to hardware partitioning).
+func (p *Platform) EnableColoring(cluster int, pageSize int) error {
+	cl, err := p.Cluster(cluster)
+	if err != nil {
+		return err
+	}
+	col, err := cache.NewColoring(cl.L3().Config(), pageSize)
+	if err != nil {
+		return err
+	}
+	p.coloring[cluster] = col
+	return nil
+}
+
+// AssignColors constrains an app's pages to the given colors.
+func (p *Platform) AssignColors(app string, colors []int) error {
+	a, ok := p.apps[app]
+	if !ok {
+		return fmt.Errorf("core: unknown app %q", app)
+	}
+	col := p.coloring[a.cfg.Cluster]
+	if col == nil {
+		return fmt.Errorf("core: coloring not enabled on cluster %d", a.cfg.Cluster)
+	}
+	return col.Assign(cache.Owner(a.cfg.Scheme), colors)
+}
+
+// SetMemBudget gives an app a MemGuard budget (bytes per regulation
+// period).
+func (p *Platform) SetMemBudget(app string, bytesPerPeriod int) error {
+	if p.reg == nil {
+		return fmt.Errorf("core: MemGuard disabled on this platform")
+	}
+	if _, ok := p.apps[app]; !ok {
+		return fmt.Errorf("core: unknown app %q", app)
+	}
+	return p.reg.SetBudget(app, bytesPerPeriod)
+}
+
+// SetNodeShaper installs a token-bucket injection shaper on a node's
+// network interface (burst bytes, rate bytes/ns).
+func (p *Platform) SetNodeShaper(node noc.Coord, burst, rate float64) error {
+	ni, err := p.mesh.NI(node)
+	if err != nil {
+		return err
+	}
+	sh, err := netcalc.NewShaper(burst, rate)
+	if err != nil {
+		return err
+	}
+	ni.SetShaper(sh)
+	return nil
+}
+
+// RunFor advances the platform by d of virtual time.
+func (p *Platform) RunFor(d sim.Duration) {
+	p.Eng.RunUntil(p.Eng.Now() + d)
+}
+
+// bankRow maps a physical address onto the DRAM geometry.
+func (p *Platform) bankRow(addr uint64) (bank int, row int64) {
+	rb := uint64(p.cfg.RowBytes)
+	banks := uint64(p.cfg.Memory.Banks)
+	bank = int((addr / rb) % banks)
+	row = int64(addr / (rb * banks))
+	return bank, row
+}
+
+// onDRAMComplete dispatches controller completions to the per-request
+// continuations.
+func (p *Platform) onDRAMComplete(r *dram.Request) {
+	if cb := p.dramCallbacks[r.ID]; cb != nil {
+		delete(p.dramCallbacks, r.ID)
+		cb()
+	}
+}
+
+// submitDRAM queues a request with a completion continuation; on a
+// full queue it retries after a backoff (modelling interconnect
+// backpressure).
+func (p *Platform) submitDRAM(req *dram.Request, done func()) {
+	p.nextReqID++
+	req.ID = p.nextReqID
+	if done != nil {
+		p.dramCallbacks[req.ID] = done
+	}
+	if err := p.mem.Submit(req); err != nil {
+		delete(p.dramCallbacks, req.ID)
+		p.Eng.After(100*sim.Nanosecond, func() { p.submitDRAM(req, done) })
+	}
+}

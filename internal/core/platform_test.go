@@ -1,0 +1,311 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dsu"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func newPlatform(t *testing.T, mod func(*Config)) *Platform {
+	t.Helper()
+	cfg := DefaultConfig()
+	if mod != nil {
+		mod(&cfg)
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func addApp(t *testing.T, p *Platform, name string, node noc.Coord, cluster int,
+	scheme dsu.SchemeID, class trace.WorkloadClass, base uint64) *App {
+	t.Helper()
+	prof, err := trace.NewProfile(class, base, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.AddApp(AppConfig{
+		Name: name, Node: node, Cluster: cluster, Scheme: scheme, Profile: prof,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestConfigValidation(t *testing.T) {
+	mods := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"no clusters", func(c *Config) { c.Clusters = nil }},
+		{"bad cluster", func(c *Config) { c.Clusters[0].Ways = 7 }},
+		{"bad mesh", func(c *Config) { c.Mesh.Width = 0 }},
+		{"bad memory", func(c *Config) { c.Memory.Banks = 0 }},
+		{"negative hit latency", func(c *Config) { c.L3HitLatency = -1 }},
+		{"zero row bytes", func(c *Config) { c.RowBytes = 0 }},
+		{"memory node off mesh", func(c *Config) { c.MemoryNode = noc.Coord{X: 9, Y: 9} }},
+	}
+	for _, m := range mods {
+		cfg := DefaultConfig()
+		m.mod(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s accepted", m.name)
+		}
+	}
+}
+
+func TestAddAppValidation(t *testing.T) {
+	p := newPlatform(t, nil)
+	prof, _ := trace.NewProfile(trace.ControlLoop, 0, 1)
+	good := AppConfig{Name: "a", Node: noc.Coord{X: 0, Y: 0}, Cluster: 0, Scheme: 1, Profile: prof}
+	if _, err := p.AddApp(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := []AppConfig{
+		{Name: "", Node: good.Node, Profile: prof},
+		{Name: "a", Node: good.Node, Profile: prof},             // duplicate
+		{Name: "b", Node: good.Node, Cluster: 9, Profile: prof}, // bad cluster
+		{Name: "c", Node: good.Node, Scheme: 99, Profile: prof}, // bad scheme
+		{Name: "d", Node: noc.Coord{X: 9, Y: 9}, Profile: prof}, // off mesh
+		{Name: "e", Node: good.Node},                            // nil profile
+	}
+	for i, cfg := range bad {
+		if _, err := p.AddApp(cfg); err == nil {
+			t.Errorf("bad app %d accepted", i)
+		}
+	}
+	if _, err := p.App("a"); err != nil {
+		t.Error("lookup failed")
+	}
+	if _, err := p.App("ghost"); err == nil {
+		t.Error("ghost lookup succeeded")
+	}
+	if got := p.Apps(); len(got) != 1 || got[0] != "a" {
+		t.Errorf("Apps = %v", got)
+	}
+}
+
+func TestSoloAppMakesProgress(t *testing.T) {
+	p := newPlatform(t, nil)
+	a := addApp(t, p, "ctrl", noc.Coord{X: 0, Y: 0}, 0, 1, trace.ControlLoop, 0)
+	a.Start()
+	p.RunFor(2 * sim.Millisecond)
+	st := a.Stats()
+	if st.Issued == 0 || st.Reads == 0 {
+		t.Fatalf("no progress: %+v", st)
+	}
+	// The 32KiB working set fits the 2MiB L3: after the first sweep
+	// everything hits.
+	if st.L3Hits == 0 {
+		t.Error("no L3 hits on a cache-resident working set")
+	}
+	if st.MeanReadLatency <= 0 || st.MaxReadLatency < st.MeanReadLatency {
+		t.Errorf("latency accounting: %+v", st)
+	}
+	if st.P95ReadLatency > st.MaxReadLatency {
+		t.Errorf("p95 %v > max %v", st.P95ReadLatency, st.MaxReadLatency)
+	}
+}
+
+func TestMissesReachDRAM(t *testing.T) {
+	p := newPlatform(t, nil)
+	a := addApp(t, p, "vision", noc.Coord{X: 1, Y: 1}, 0, 2, trace.VisionPipeline, 1<<30)
+	a.Start()
+	p.RunFor(sim.Millisecond)
+	st := a.Stats()
+	if st.L3Misses == 0 {
+		t.Fatal("4MiB stream never missed the 2MiB L3")
+	}
+	ms := p.Memory().Stats().Master("vision")
+	if ms.Reads == 0 {
+		t.Fatal("no DRAM reads recorded for the app")
+	}
+	if st.BytesMoved == 0 {
+		t.Error("no memory bytes accounted")
+	}
+}
+
+// TestContentionInflation is the X1 experiment (the paper's
+// motivation, citing [2]'s up-to-8x inflation on a Tegra X1): a
+// critical control loop's read latency inflates substantially when
+// co-located with memory-hungry best-effort apps, and the QoS
+// mechanisms (DSU way partitioning + MemGuard budgets + NI shaping)
+// pull it back down.
+func TestContentionInflation(t *testing.T) {
+	runCase := func(aggressors int, protect bool) (mean, p95 float64) {
+		p := newPlatform(t, nil)
+		crit := addApp(t, p, "crit", noc.Coord{X: 0, Y: 0}, 0, 1, trace.ControlLoop, 0)
+		for i := 0; i < aggressors; i++ {
+			name := "hog" + string(rune('0'+i))
+			node := noc.Coord{X: 1 + i%3, Y: i / 3}
+			a := addApp(t, p, name, node, 0, dsu.SchemeID(2+i%6), trace.Infotainment,
+				uint64(1+i)<<30)
+			a.Start()
+		}
+		if protect {
+			// DSU: scheme 1 gets half the L3 privately.
+			reg, err := dsu.Encode(map[dsu.SchemeID][]dsu.Group{1: {0, 1}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.ProgramDSU(0, reg); err != nil {
+				t.Fatal(err)
+			}
+			// MemGuard: cap each hog to 16KiB per ms.
+			for i := 0; i < aggressors; i++ {
+				name := "hog" + string(rune('0'+i))
+				if err := p.SetMemBudget(name, 16<<10); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		crit.Start()
+		p.RunFor(4 * sim.Millisecond)
+		st := crit.Stats()
+		return st.MeanReadLatency.Nanoseconds(), st.P95ReadLatency.Nanoseconds()
+	}
+
+	soloMean, _ := runCase(0, false)
+	contMean, _ := runCase(6, false)
+	protMean, _ := runCase(6, true)
+
+	t.Logf("crit mean read latency: solo %.1fns, contended %.1fns (%.1fx), protected %.1fns (%.1fx)",
+		soloMean, contMean, contMean/soloMean, protMean, protMean/soloMean)
+	if contMean < 1.5*soloMean {
+		t.Errorf("contention inflated latency only %.2fx; expected substantial inflation", contMean/soloMean)
+	}
+	if protMean > 0.7*contMean {
+		t.Errorf("QoS mechanisms did not restore latency: protected %.1f vs contended %.1f", protMean, contMean)
+	}
+}
+
+func TestDSUPartitioningPreservesCritWorkingSet(t *testing.T) {
+	p := newPlatform(t, nil)
+	reg, _ := dsu.Encode(map[dsu.SchemeID][]dsu.Group{1: {0, 1}})
+	if err := p.ProgramDSU(0, reg); err != nil {
+		t.Fatal(err)
+	}
+	crit := addApp(t, p, "crit", noc.Coord{X: 0, Y: 0}, 0, 1, trace.ControlLoop, 0)
+	hog := addApp(t, p, "hog", noc.Coord{X: 2, Y: 0}, 0, 2, trace.Infotainment, 1<<30)
+	crit.Start()
+	hog.Start()
+	p.RunFor(4 * sim.Millisecond)
+	cl, _ := p.Cluster(0)
+	if got := cl.L3().Stats(1).EvictedByOthers; got != 0 {
+		t.Errorf("crit lost %d lines to the hog despite way partitioning", got)
+	}
+}
+
+func TestColoringIsolatesButShrinks(t *testing.T) {
+	// Section II: coloring isolates but costs capacity. A working set
+	// larger than the colored slice starts missing, where the
+	// uncolored run fits.
+	missRate := func(colored bool) float64 {
+		p := newPlatform(t, nil)
+		prof, err := trace.NewSequential(0, 1<<20, 64) // 1MiB set in a 2MiB L3
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := p.AddApp(AppConfig{
+			Name: "w", Node: noc.Coord{X: 0, Y: 0}, Cluster: 0, Scheme: 1,
+			Profile: &trace.Profile{Pattern: prof, ReqBytes: 64, Think: sim.NS(10)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if colored {
+			if err := p.EnableColoring(0, 4096); err != nil {
+				t.Fatal(err)
+			}
+			// 2MiB/16 ways = 128KiB per way -> 32 colors; give 4 of
+			// 32 (an eighth of the sets: 256KiB effective).
+			if err := p.AssignColors("w", []int{0, 1, 2, 3}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a.Start()
+		p.RunFor(10 * sim.Millisecond)
+		st := a.Stats()
+		return float64(st.L3Misses) / float64(st.Issued)
+	}
+	free := missRate(false)
+	colored := missRate(true)
+	if colored <= free {
+		t.Errorf("coloring did not shrink effective capacity: miss rate %.3f vs %.3f", colored, free)
+	}
+}
+
+func TestQoSConfigErrors(t *testing.T) {
+	p := newPlatform(t, nil)
+	if err := p.ProgramDSU(9, 0); err == nil {
+		t.Error("bad cluster accepted")
+	}
+	if err := p.SetMemBudget("ghost", 100); err == nil {
+		t.Error("budget for unknown app accepted")
+	}
+	if err := p.AssignColors("ghost", []int{0}); err == nil {
+		t.Error("colors for unknown app accepted")
+	}
+	prof, _ := trace.NewProfile(trace.ControlLoop, 0, 1)
+	if _, err := p.AddApp(AppConfig{Name: "a", Node: noc.Coord{X: 0, Y: 0}, Profile: prof}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AssignColors("a", []int{0}); err == nil {
+		t.Error("colors without coloring enabled accepted")
+	}
+	if err := p.SetNodeShaper(noc.Coord{X: 9, Y: 9}, 1, 1); err == nil {
+		t.Error("shaper on off-mesh node accepted")
+	}
+	if err := p.SetNodeShaper(noc.Coord{X: 0, Y: 0}, -1, 1); err == nil {
+		t.Error("negative shaper accepted")
+	}
+	noMG := DefaultConfig()
+	noMG.MemGuard = nil
+	p2, err := New(noMG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.AddApp(AppConfig{Name: "a", Node: noc.Coord{X: 0, Y: 0}, Profile: prof}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.SetMemBudget("a", 100); err == nil {
+		t.Error("budget without MemGuard accepted")
+	}
+}
+
+func TestStopHaltsApp(t *testing.T) {
+	p := newPlatform(t, nil)
+	a := addApp(t, p, "x", noc.Coord{X: 0, Y: 0}, 0, 1, trace.ControlLoop, 0)
+	a.Start()
+	a.Start() // idempotent
+	p.RunFor(100 * sim.Microsecond)
+	a.Stop()
+	p.RunFor(10 * sim.Microsecond)
+	before := a.Stats().Issued
+	p.RunFor(sim.Millisecond)
+	if got := a.Stats().Issued; got != before {
+		t.Errorf("stopped app kept issuing: %d -> %d", before, got)
+	}
+}
+
+func TestDeterministicPlatformRuns(t *testing.T) {
+	run := func() AppStats {
+		p := newPlatform(t, nil)
+		crit := addApp(t, p, "crit", noc.Coord{X: 0, Y: 0}, 0, 1, trace.ControlLoop, 0)
+		hog := addApp(t, p, "hog", noc.Coord{X: 2, Y: 1}, 0, 2, trace.Infotainment, 1<<30)
+		crit.Start()
+		hog.Start()
+		p.RunFor(2 * sim.Millisecond)
+		return crit.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("nondeterministic platform: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,322 @@
+package cpa
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func ms(v float64) sim.Duration { return sim.US(1000 * v) }
+
+func TestEventModelValidation(t *testing.T) {
+	if (EventModel{P: 0}).Validate() == nil {
+		t.Error("zero period accepted")
+	}
+	if (EventModel{P: 1, J: -1}).Validate() == nil {
+		t.Error("negative jitter accepted")
+	}
+	if (EventModel{P: ms(10), J: ms(2), D: ms(1)}).Validate() != nil {
+		t.Error("valid model rejected")
+	}
+}
+
+func TestEtaPlusPeriodic(t *testing.T) {
+	m := EventModel{P: ms(10)}
+	cases := []struct {
+		dt   sim.Duration
+		want int64
+	}{
+		{0, 0}, {1, 1}, {ms(10), 1}, {ms(10) + 1, 2}, {ms(25), 3}, {ms(100), 10},
+	}
+	for _, c := range cases {
+		if got := m.EtaPlus(c.dt); got != c.want {
+			t.Errorf("EtaPlus(%v) = %d, want %d", c.dt, got, c.want)
+		}
+	}
+}
+
+func TestEtaPlusJitterAndDistance(t *testing.T) {
+	// With jitter 15ms on a 10ms period, a tiny window can hold
+	// ceil((eps+15)/10) = 2 events — unless D limits it.
+	m := EventModel{P: ms(10), J: ms(15)}
+	if got := m.EtaPlus(1); got != 2 {
+		t.Errorf("jittered EtaPlus(eps) = %d, want 2", got)
+	}
+	md := EventModel{P: ms(10), J: ms(15), D: ms(5)}
+	if got := md.EtaPlus(1); got != 1 {
+		t.Errorf("distance-limited EtaPlus(eps) = %d, want 1", got)
+	}
+	if got := md.EtaPlus(ms(11)); got != 3 {
+		// min(ceil(26/10)=3, ceil(11/5)=3)
+		t.Errorf("EtaPlus(11ms) = %d, want 3", got)
+	}
+}
+
+func TestDeltaMinus(t *testing.T) {
+	m := EventModel{P: ms(10), J: ms(4)}
+	if got := m.DeltaMinus(1); got != 0 {
+		t.Errorf("DeltaMinus(1) = %v", got)
+	}
+	if got := m.DeltaMinus(2); got != ms(6) {
+		t.Errorf("DeltaMinus(2) = %v, want 6ms", got)
+	}
+	// Huge jitter: clamped at 0, or D if present.
+	hj := EventModel{P: ms(10), J: ms(50), D: ms(2)}
+	if got := hj.DeltaMinus(2); got != ms(2) {
+		t.Errorf("DeltaMinus with D = %v, want 2ms", got)
+	}
+}
+
+func TestQuickEtaDeltaPseudoInverse(t *testing.T) {
+	// Property: eta+(delta-(n)) <= n and delta-(eta+(dt)) <= dt for
+	// consistent PJD models.
+	f := func(p8, j8, d8 uint8, n8 uint8) bool {
+		m := EventModel{
+			P: sim.Duration(p8%50+1) * sim.Microsecond,
+			J: sim.Duration(j8%30) * sim.Microsecond,
+		}
+		d := sim.Duration(d8%10) * sim.Microsecond
+		if d < m.P { // D beyond P would be inconsistent
+			m.D = d
+		}
+		n := int64(n8%20) + 1
+		if m.EtaPlus(m.DeltaMinus(n)) > n {
+			return false
+		}
+		dt := sim.Duration(n8) * sim.Microsecond
+		return m.DeltaMinus(m.EtaPlus(dt)) <= dt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTaskValidation(t *testing.T) {
+	s := NewSystem()
+	if s.AddTask(Task{Name: "", Resource: "r", WCET: 1}) == nil {
+		t.Error("unnamed task accepted")
+	}
+	if s.AddTask(Task{Name: "a", Resource: "", WCET: 1}) == nil {
+		t.Error("resource-less task accepted")
+	}
+	if s.AddTask(Task{Name: "a", Resource: "r", WCET: 0}) == nil {
+		t.Error("zero WCET accepted")
+	}
+	if s.AddTask(Task{Name: "a", Resource: "r", WCET: 5, BCET: 7}) == nil {
+		t.Error("BCET > WCET accepted")
+	}
+	ok := Task{Name: "a", Resource: "r", WCET: ms(1), Input: EventModel{P: ms(10)}}
+	if err := s.AddTask(ok); err != nil {
+		t.Fatal(err)
+	}
+	if s.AddTask(ok) == nil {
+		t.Error("duplicate task accepted")
+	}
+	if s.AddChain("", "a") == nil {
+		t.Error("unnamed chain accepted")
+	}
+	if s.AddChain("c", "ghost") == nil {
+		t.Error("chain with unknown task accepted")
+	}
+	if err := s.AddChain("c", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if s.AddChain("c", "a") == nil {
+		t.Error("duplicate chain accepted")
+	}
+}
+
+func TestSingleTaskResponse(t *testing.T) {
+	s := NewSystem()
+	if err := s.AddTask(Task{
+		Name: "a", Resource: "cpu", WCET: ms(2), Priority: 1,
+		Input: EventModel{P: ms(10)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Analyze(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res["a"].WCRT; got != ms(2) {
+		t.Errorf("WCRT = %v, want 2ms", got)
+	}
+	// Output jitter = WCRT - BCET = 0 when BCET defaults to WCET.
+	if got := res["a"].Output.J; got != 0 {
+		t.Errorf("output jitter = %v, want 0", got)
+	}
+}
+
+func TestSPPInterferenceMatchesClassicRTA(t *testing.T) {
+	// Same textbook set as the sched package: R3 = 10ms.
+	s := NewSystem()
+	add := func(name string, p, c float64, prio int) {
+		t.Helper()
+		if err := s.AddTask(Task{
+			Name: name, Resource: "cpu", WCET: ms(c), Priority: prio,
+			Input: EventModel{P: ms(p)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("t1", 4, 1, 3)
+	add("t2", 6, 2, 2)
+	add("t3", 12, 3, 1)
+	res, err := s.Analyze(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["t1"].WCRT != ms(1) || res["t2"].WCRT != ms(3) || res["t3"].WCRT != ms(10) {
+		t.Errorf("WCRTs = %v/%v/%v, want 1/3/10ms",
+			res["t1"].WCRT, res["t2"].WCRT, res["t3"].WCRT)
+	}
+}
+
+func TestOverloadDiverges(t *testing.T) {
+	s := NewSystem()
+	_ = s.AddTask(Task{Name: "a", Resource: "cpu", WCET: ms(8), Priority: 2, Input: EventModel{P: ms(10)}})
+	_ = s.AddTask(Task{Name: "b", Resource: "cpu", WCET: ms(5), Priority: 1, Input: EventModel{P: ms(10)}})
+	if _, err := s.Analyze(0); err == nil {
+		t.Error("overloaded resource analyzed successfully")
+	}
+}
+
+func TestChainJitterPropagation(t *testing.T) {
+	// Chain: sensor task on cpu0 -> processing on cpu1. The
+	// processing task inherits jitter equal to the sensor's response
+	// variation.
+	s := NewSystem()
+	_ = s.AddTask(Task{
+		Name: "sense", Resource: "cpu0", WCET: ms(2), BCET: ms(1), Priority: 1,
+		Input: EventModel{P: ms(10)},
+	})
+	_ = s.AddTask(Task{
+		Name: "proc", Resource: "cpu1", WCET: ms(3), Priority: 1,
+	})
+	if err := s.AddChain("e2e", "sense", "proc"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Analyze(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sense alone: WCRT 2ms, output jitter 2-1 = 1ms.
+	if got := res["sense"].Output.J; got != ms(1) {
+		t.Errorf("sense output jitter = %v, want 1ms", got)
+	}
+	// proc inherits P=10ms and J=1ms.
+	lat, err := s.PathLatency("e2e", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != ms(5) {
+		t.Errorf("path latency = %v, want 5ms", lat)
+	}
+}
+
+func TestChainWithInterferenceConverges(t *testing.T) {
+	// Two chains crossing two resources with cross interference: the
+	// global fixed point must converge and bound each path.
+	s := NewSystem()
+	_ = s.AddTask(Task{Name: "a1", Resource: "r1", WCET: ms(1), BCET: ms(0.5), Priority: 2, Input: EventModel{P: ms(8)}})
+	_ = s.AddTask(Task{Name: "a2", Resource: "r2", WCET: ms(2), BCET: ms(1), Priority: 1})
+	_ = s.AddTask(Task{Name: "b1", Resource: "r2", WCET: ms(1), BCET: ms(1), Priority: 2, Input: EventModel{P: ms(12)}})
+	_ = s.AddTask(Task{Name: "b2", Resource: "r1", WCET: ms(2), BCET: ms(2), Priority: 1})
+	_ = s.AddChain("A", "a1", "a2")
+	_ = s.AddChain("B", "b1", "b2")
+	res, err := s.Analyze(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	latA, _ := s.PathLatency("A", res)
+	latB, _ := s.PathLatency("B", res)
+	if latA <= 0 || latB <= 0 {
+		t.Fatal("non-positive path latencies")
+	}
+	// Sanity: each path's latency at least the sum of its WCETs.
+	if latA < ms(3) || latB < ms(3) {
+		t.Errorf("latencies below execution demand: %v/%v", latA, latB)
+	}
+	// And bounded by something sensible (converged, not runaway).
+	if latA > ms(50) || latB > ms(50) {
+		t.Errorf("latencies diverged: %v/%v", latA, latB)
+	}
+}
+
+func TestPathLatencyErrors(t *testing.T) {
+	s := NewSystem()
+	_ = s.AddTask(Task{Name: "a", Resource: "r", WCET: ms(1), Priority: 1, Input: EventModel{P: ms(10)}})
+	_ = s.AddChain("c", "a")
+	if _, err := s.PathLatency("ghost", nil); err == nil {
+		t.Error("unknown chain accepted")
+	}
+	if _, err := s.PathLatency("c", map[string]Result{}); err == nil {
+		t.Error("missing results accepted")
+	}
+}
+
+func TestTieBreakIsConservative(t *testing.T) {
+	// Equal priorities on one resource: both see each other as
+	// interference.
+	s := NewSystem()
+	_ = s.AddTask(Task{Name: "x", Resource: "r", WCET: ms(2), Priority: 1, Input: EventModel{P: ms(10)}})
+	_ = s.AddTask(Task{Name: "y", Resource: "r", WCET: ms(3), Priority: 1, Input: EventModel{P: ms(10)}})
+	res, err := s.Analyze(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["x"].WCRT < ms(5) || res["y"].WCRT < ms(5) {
+		t.Errorf("tie-break not conservative: %v/%v", res["x"].WCRT, res["y"].WCRT)
+	}
+}
+
+func TestNonPreemptiveBlockingTerm(t *testing.T) {
+	// A high-priority request on a non-preemptive resource (a DRAM
+	// command in flight) waits for the largest lower-priority service.
+	build := func(np bool) sim.Duration {
+		s := NewSystem()
+		if err := s.AddTask(Task{
+			Name: "hi", Resource: "dram", WCET: ms(1), Priority: 9,
+			NonPreemptive: np, Input: EventModel{P: ms(20)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddTask(Task{
+			Name: "lo", Resource: "dram", WCET: ms(4), Priority: 1,
+			Input: EventModel{P: ms(20)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Analyze(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res["hi"].WCRT
+	}
+	preemptive := build(false)
+	nonPreemptive := build(true)
+	if preemptive != ms(1) {
+		t.Errorf("preemptive hi WCRT = %v, want 1ms", preemptive)
+	}
+	if nonPreemptive != ms(5) {
+		t.Errorf("non-preemptive hi WCRT = %v, want 1+4 = 5ms", nonPreemptive)
+	}
+}
+
+func TestNonPreemptiveNoLowerPriorityNoBlocking(t *testing.T) {
+	s := NewSystem()
+	if err := s.AddTask(Task{
+		Name: "only", Resource: "r", WCET: ms(2), Priority: 1,
+		NonPreemptive: true, Input: EventModel{P: ms(10)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Analyze(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["only"].WCRT != ms(2) {
+		t.Errorf("WCRT = %v, want 2ms (no one to block on)", res["only"].WCRT)
+	}
+}

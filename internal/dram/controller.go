@@ -1,0 +1,441 @@
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Mode is the controller's current bus direction.
+type Mode uint8
+
+const (
+	// ModeRead serves the read queue.
+	ModeRead Mode = iota
+	// ModeWrite drains a write batch.
+	ModeWrite
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == ModeWrite {
+		return "write"
+	}
+	return "read"
+}
+
+// Config parameterizes an FR-FCFS controller. The defaults (via
+// DefaultConfig) are the paper's Table II setup: WHigh 55, NWd 16,
+// NCap 16.
+type Config struct {
+	Timing Timing
+	Banks  int
+	// LineSize is the default request size in bytes (a cache line).
+	LineSize int
+
+	// WHigh is the write-queue high watermark: in read mode, reaching
+	// it forces a switch to write mode (Fig. 5).
+	WHigh int
+	// WLow is the write-queue low watermark: with an empty read queue,
+	// this many pending writes opportunistically start a write batch.
+	WLow int
+	// NWd is the write batch length: with a non-empty read queue, the
+	// controller returns to reads after serving NWd writes.
+	NWd int
+	// NCap caps consecutive promoted row hits so misses cannot starve.
+	NCap int
+
+	// WriteTimeout bounds how long a write may sit below the WLow
+	// watermark before the controller drains it anyway. The paper's
+	// policy (Fig. 5) leaves sub-watermark writes pending forever in an
+	// otherwise idle system; real controllers add such a timeout. Zero
+	// disables it (paper-faithful behaviour).
+	WriteTimeout sim.Duration
+
+	// ReadQueueCap and WriteQueueCap bound the queues; Submit fails
+	// once a queue is full (backpressure to the interconnect).
+	ReadQueueCap  int
+	WriteQueueCap int
+}
+
+// DefaultConfig returns the paper's controller configuration on
+// DDR3-1600 with 8 banks and 64-byte lines.
+func DefaultConfig() Config {
+	return Config{
+		Timing:        DDR3_1600(),
+		Banks:         8,
+		LineSize:      64,
+		WHigh:         55,
+		WLow:          16,
+		NWd:           16,
+		NCap:          16,
+		WriteTimeout:  2 * sim.Microsecond,
+		ReadQueueCap:  128,
+		WriteQueueCap: 128,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Timing.Validate(); err != nil {
+		return err
+	}
+	if c.Banks <= 0 {
+		return fmt.Errorf("dram: Banks must be positive, got %d", c.Banks)
+	}
+	if c.LineSize <= 0 {
+		return fmt.Errorf("dram: LineSize must be positive, got %d", c.LineSize)
+	}
+	if c.NWd <= 0 {
+		return fmt.Errorf("dram: NWd must be positive, got %d", c.NWd)
+	}
+	if c.NCap < 0 {
+		return fmt.Errorf("dram: NCap must be non-negative, got %d", c.NCap)
+	}
+	if c.WLow < 0 || c.WHigh < c.WLow {
+		return fmt.Errorf("dram: need 0 <= WLow <= WHigh, got %d/%d", c.WLow, c.WHigh)
+	}
+	if c.WriteQueueCap < c.WHigh {
+		return fmt.Errorf("dram: WriteQueueCap %d below WHigh %d", c.WriteQueueCap, c.WHigh)
+	}
+	if c.ReadQueueCap <= 0 {
+		return fmt.Errorf("dram: ReadQueueCap must be positive, got %d", c.ReadQueueCap)
+	}
+	if c.WriteTimeout < 0 {
+		return fmt.Errorf("dram: WriteTimeout must be non-negative, got %v", c.WriteTimeout)
+	}
+	return nil
+}
+
+// bank tracks the row-buffer state of one DRAM bank.
+type bank struct {
+	openRow   int64 // -1 when precharged
+	lastWrite bool  // last access was a write (write recovery pending)
+}
+
+// Controller is a deterministic event-driven FR-FCFS DRAM controller
+// (Fig. 4). All methods must be called from the owning engine's
+// goroutine; the controller is not safe for concurrent use, matching
+// the single-threaded simulation kernel.
+type Controller struct {
+	eng *sim.Engine
+	cfg Config
+
+	readQ  []*Request
+	writeQ []*Request
+	banks  []bank
+
+	mode          Mode
+	busy          bool
+	consecHits    int
+	writesInBatch int
+	refreshDue    sim.Time
+
+	onComplete func(*Request)
+	stats      Stats
+	nextID     uint64
+}
+
+// NewController builds a controller on the given engine.
+func NewController(eng *sim.Engine, cfg Config, onComplete func(*Request)) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		eng:        eng,
+		cfg:        cfg,
+		banks:      make([]bank, cfg.Banks),
+		refreshDue: eng.Now() + cfg.Timing.TREFI,
+		onComplete: onComplete,
+	}
+	for i := range c.banks {
+		c.banks[i].openRow = -1
+	}
+	return c, nil
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the accumulated statistics.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// QueueDepths reports the current read and write queue occupancy.
+func (c *Controller) QueueDepths() (reads, writes int) {
+	return len(c.readQ), len(c.writeQ)
+}
+
+// Mode reports the current bus direction.
+func (c *Controller) Mode() Mode { return c.mode }
+
+// Submit enqueues a request at the current virtual time. It returns an
+// error if the target queue is full or the request is malformed.
+func (c *Controller) Submit(r *Request) error {
+	if r == nil {
+		return fmt.Errorf("dram: nil request")
+	}
+	if r.Bank < 0 || r.Bank >= c.cfg.Banks {
+		return fmt.Errorf("dram: bank %d out of range [0,%d)", r.Bank, c.cfg.Banks)
+	}
+	if r.Row < 0 {
+		return fmt.Errorf("dram: negative row %d", r.Row)
+	}
+	if r.Size == 0 {
+		r.Size = c.cfg.LineSize
+	}
+	if r.ID == 0 {
+		c.nextID++
+		r.ID = c.nextID
+	}
+	r.Arrival = c.eng.Now()
+	switch r.Op {
+	case Read:
+		if len(c.readQ) >= c.cfg.ReadQueueCap {
+			c.stats.ReadsRejected++
+			return fmt.Errorf("dram: read queue full (%d)", c.cfg.ReadQueueCap)
+		}
+		c.readQ = append(c.readQ, r)
+	case Write:
+		if len(c.writeQ) >= c.cfg.WriteQueueCap {
+			c.stats.WritesRejected++
+			return fmt.Errorf("dram: write queue full (%d)", c.cfg.WriteQueueCap)
+		}
+		c.writeQ = append(c.writeQ, r)
+	default:
+		return fmt.Errorf("dram: unknown op %d", r.Op)
+	}
+	c.kick()
+	return nil
+}
+
+// kick schedules a scheduling pass if the device is idle.
+func (c *Controller) kick() {
+	if c.busy {
+		return
+	}
+	c.busy = true
+	c.eng.At(c.eng.Now(), c.schedule)
+}
+
+// schedule issues the next command. It runs whenever the device
+// becomes idle and work may be pending.
+func (c *Controller) schedule() {
+	now := c.eng.Now()
+
+	// Refresh has absolute priority once due (Fig. 4: refresh commands
+	// scheduled periodically, after the completion of the ongoing
+	// request).
+	if now >= c.refreshDue {
+		c.startRefresh()
+		return
+	}
+
+	c.updateMode()
+
+	var req *Request
+	switch c.mode {
+	case ModeRead:
+		req = c.pickRead()
+	case ModeWrite:
+		req = c.pickWrite()
+	}
+	if req == nil {
+		// Idle. Refreshes catch up lazily on the next activity (see
+		// startRefresh), so the only deadline that must wake us is a
+		// sub-watermark write timing out; otherwise the engine is free
+		// to drain.
+		c.busy = false
+		if c.cfg.WriteTimeout > 0 && len(c.writeQ) > 0 {
+			wake := c.writeQ[0].Arrival + c.cfg.WriteTimeout
+			if wake < now {
+				wake = now
+			}
+			c.eng.At(wake, func() {
+				if !c.busy {
+					c.busy = true
+					c.schedule()
+				}
+			})
+		}
+		return
+	}
+
+	svc := c.serviceTime(req)
+	c.applyBankState(req)
+	c.eng.After(svc, func() { c.complete(req) })
+}
+
+// startRefresh issues a refresh: all banks precharge and the device is
+// unavailable for tRFC.
+func (c *Controller) startRefresh() {
+	c.stats.Refreshes++
+	for i := range c.banks {
+		c.banks[i].openRow = -1
+		c.banks[i].lastWrite = false
+	}
+	// Advance the timer; after a long idle period the backlog of missed
+	// refreshes is collapsed rather than replayed (a transaction-level
+	// stand-in for refresh pull-in).
+	if c.refreshDue+c.cfg.Timing.TREFI < c.eng.Now() {
+		c.refreshDue = c.eng.Now() + c.cfg.Timing.TREFI
+	} else {
+		c.refreshDue += c.cfg.Timing.TREFI
+	}
+	c.eng.After(c.cfg.Timing.TRFC, func() {
+		c.schedule()
+	})
+}
+
+// updateMode applies the watermark policy of Fig. 5.
+func (c *Controller) updateMode() {
+	switch c.mode {
+	case ModeRead:
+		// Switch to writes when the read queue is empty and at least
+		// WLow writes wait, or unconditionally at WHigh, or when the
+		// oldest write has waited out the drain timeout.
+		timedOut := c.cfg.WriteTimeout > 0 && len(c.writeQ) > 0 &&
+			c.eng.Now()-c.writeQ[0].Arrival >= c.cfg.WriteTimeout
+		if len(c.writeQ) >= c.cfg.WHigh ||
+			(len(c.readQ) == 0 && len(c.writeQ) >= c.cfg.WLow) ||
+			timedOut {
+			c.switchTo(ModeWrite)
+		}
+	case ModeWrite:
+		low := c.cfg.WLow - c.cfg.NWd
+		if low < 0 {
+			low = 0
+		}
+		switch {
+		case len(c.writeQ) == 0:
+			c.switchTo(ModeRead)
+		case len(c.readQ) > 0 && c.writesInBatch >= c.cfg.NWd:
+			c.switchTo(ModeRead)
+		case len(c.readQ) == 0 && len(c.writeQ) < low:
+			c.switchTo(ModeRead)
+		}
+	}
+}
+
+// switchTo changes bus direction and accounts the turnaround penalty on
+// the next command via the pendingSwitch flag in stats bookkeeping.
+func (c *Controller) switchTo(m Mode) {
+	if c.mode == m {
+		return
+	}
+	c.mode = m
+	c.writesInBatch = 0
+	c.consecHits = 0
+	c.stats.ModeSwitches++
+	c.stats.pendingTurnaround = true
+}
+
+// pickRead selects the next read per FR-FCFS: the oldest row hit if hit
+// promotion is allowed, otherwise the oldest request.
+func (c *Controller) pickRead() *Request {
+	if len(c.readQ) == 0 {
+		return nil
+	}
+	if c.consecHits < c.cfg.NCap {
+		for i, r := range c.readQ {
+			if c.banks[r.Bank].openRow == r.Row {
+				c.readQ = append(c.readQ[:i], c.readQ[i+1:]...)
+				c.consecHits++
+				if i > 0 {
+					c.stats.HitPromotions++
+				}
+				return r
+			}
+		}
+	}
+	// FCFS: oldest request; reset the promotion budget (a miss has
+	// been scheduled, so starvation is averted).
+	r := c.readQ[0]
+	c.readQ = c.readQ[1:]
+	c.consecHits = 0
+	return r
+}
+
+// pickWrite selects the next write: oldest row hit first (FR-FCFS
+// applies to the write queue too), otherwise the oldest write.
+func (c *Controller) pickWrite() *Request {
+	if len(c.writeQ) == 0 {
+		return nil
+	}
+	idx := 0
+	for i, r := range c.writeQ {
+		if c.banks[r.Bank].openRow == r.Row {
+			idx = i
+			break
+		}
+	}
+	r := c.writeQ[idx]
+	c.writeQ = append(c.writeQ[:idx], c.writeQ[idx+1:]...)
+	c.writesInBatch++
+	return r
+}
+
+// serviceTime composes the request's service interval from the bank
+// state and any pending bus turnaround.
+func (c *Controller) serviceTime(r *Request) sim.Duration {
+	t := c.cfg.Timing
+	b := c.banks[r.Bank]
+	var svc sim.Duration
+	switch {
+	case b.openRow == r.Row:
+		if r.Op == Read {
+			svc = t.ReadHit()
+		} else {
+			svc = t.WriteHit()
+		}
+		c.stats.RowHits++
+	case b.openRow < 0:
+		if r.Op == Read {
+			svc = t.ReadClosed()
+		} else {
+			svc = t.WriteClosed()
+		}
+		c.stats.RowClosed++
+	default:
+		if r.Op == Read {
+			svc = t.ReadConflict()
+		} else {
+			svc = t.WriteConflict()
+		}
+		if b.lastWrite && r.Op == Read {
+			// Write recovery must complete before the precharge.
+			svc += t.TWR
+		}
+		c.stats.RowConflicts++
+	}
+	if c.stats.pendingTurnaround {
+		if c.mode == ModeWrite {
+			svc += t.ReadToWrite()
+		} else {
+			svc += t.WriteToRead()
+		}
+		c.stats.pendingTurnaround = false
+	}
+	// Larger-than-line transfers stream additional bursts.
+	if r.Size > c.cfg.LineSize {
+		extra := (r.Size + c.cfg.LineSize - 1) / c.cfg.LineSize
+		svc += sim.Duration(extra-1) * t.TBurst
+	}
+	return svc
+}
+
+// applyBankState records the row-buffer effect of issuing the request.
+func (c *Controller) applyBankState(r *Request) {
+	c.banks[r.Bank].openRow = r.Row
+	c.banks[r.Bank].lastWrite = r.Op == Write
+}
+
+// complete stamps the request, notifies the client, and continues
+// scheduling.
+func (c *Controller) complete(r *Request) {
+	r.Completion = c.eng.Now()
+	c.stats.record(r)
+	if c.onComplete != nil {
+		c.onComplete(r)
+	}
+	c.schedule()
+}

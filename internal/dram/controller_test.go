@@ -1,0 +1,490 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// testRig wires a controller to an engine and records completions.
+type testRig struct {
+	eng  *sim.Engine
+	ctrl *Controller
+	done []*Request
+}
+
+func newRig(t *testing.T, mod func(*Config)) *testRig {
+	t.Helper()
+	r := &testRig{eng: sim.NewEngine()}
+	cfg := DefaultConfig()
+	if mod != nil {
+		mod(&cfg)
+	}
+	ctrl, err := NewController(r.eng, cfg, func(req *Request) {
+		r.done = append(r.done, req)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.ctrl = ctrl
+	return r
+}
+
+func TestConfigValidation(t *testing.T) {
+	mods := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"zero banks", func(c *Config) { c.Banks = 0 }},
+		{"zero line", func(c *Config) { c.LineSize = 0 }},
+		{"zero NWd", func(c *Config) { c.NWd = 0 }},
+		{"negative NCap", func(c *Config) { c.NCap = -1 }},
+		{"WHigh < WLow", func(c *Config) { c.WHigh = 1; c.WLow = 5 }},
+		{"write cap < WHigh", func(c *Config) { c.WriteQueueCap = 10 }},
+		{"zero read cap", func(c *Config) { c.ReadQueueCap = 0 }},
+		{"negative timeout", func(c *Config) { c.WriteTimeout = -1 }},
+	}
+	for _, m := range mods {
+		cfg := DefaultConfig()
+		m.mod(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("%s accepted", m.name)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	r := newRig(t, nil)
+	if err := r.ctrl.Submit(nil); err == nil {
+		t.Error("nil request accepted")
+	}
+	if err := r.ctrl.Submit(&Request{Bank: 99, Row: 0}); err == nil {
+		t.Error("out-of-range bank accepted")
+	}
+	if err := r.ctrl.Submit(&Request{Bank: 0, Row: -1}); err == nil {
+		t.Error("negative row accepted")
+	}
+}
+
+func TestSingleReadClosedBankLatency(t *testing.T) {
+	r := newRig(t, nil)
+	req := &Request{Master: "cpu", Op: Read, Bank: 0, Row: 1}
+	if err := r.ctrl.Submit(req); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	if len(r.done) != 1 {
+		t.Fatalf("completed %d requests, want 1", len(r.done))
+	}
+	want := DDR3_1600().ReadClosed()
+	if got := req.Latency(); got != want {
+		t.Errorf("closed-bank read latency = %v, want %v", got, want)
+	}
+}
+
+func TestRowHitFasterThanConflict(t *testing.T) {
+	r := newRig(t, nil)
+	a := &Request{Op: Read, Bank: 0, Row: 1}
+	b := &Request{Op: Read, Bank: 0, Row: 1} // hit after a
+	c := &Request{Op: Read, Bank: 0, Row: 2} // conflict after b
+	for _, q := range []*Request{a, b, c} {
+		if err := r.ctrl.Submit(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.eng.Run()
+	tm := DDR3_1600()
+	if got := b.Completion - a.Completion; got != tm.ReadHit() {
+		t.Errorf("hit service = %v, want %v", got, tm.ReadHit())
+	}
+	if got := c.Completion - b.Completion; got != tm.ReadConflict() {
+		t.Errorf("conflict service = %v, want %v", got, tm.ReadConflict())
+	}
+	st := r.ctrl.Stats()
+	if st.RowHits != 1 || st.RowClosed != 1 || st.RowConflicts != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFRFCFSHitPromotion(t *testing.T) {
+	// Queue: miss(row2), hit(row1) with row1 open -> the hit is served
+	// first despite arriving later.
+	r := newRig(t, nil)
+	warm := &Request{Op: Read, Bank: 0, Row: 1}
+	if err := r.ctrl.Submit(warm); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run() // row 1 now open
+	miss := &Request{Op: Read, Bank: 0, Row: 2}
+	hit := &Request{Op: Read, Bank: 0, Row: 1}
+	if err := r.ctrl.Submit(miss); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ctrl.Submit(hit); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	if hit.Completion >= miss.Completion {
+		t.Error("row hit was not promoted over older miss")
+	}
+	if got := r.ctrl.Stats().HitPromotions; got != 1 {
+		t.Errorf("HitPromotions = %d, want 1", got)
+	}
+}
+
+func TestNCapBoundsMissStarvation(t *testing.T) {
+	// With NCap = 2, a stream of hits may only delay a miss by two
+	// promotions before the miss is scheduled.
+	r := newRig(t, func(c *Config) { c.NCap = 2 })
+	warm := &Request{Op: Read, Bank: 0, Row: 1}
+	if err := r.ctrl.Submit(warm); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	miss := &Request{Op: Read, Bank: 0, Row: 2}
+	if err := r.ctrl.Submit(miss); err != nil {
+		t.Fatal(err)
+	}
+	hits := make([]*Request, 6)
+	for i := range hits {
+		hits[i] = &Request{Op: Read, Bank: 0, Row: 1}
+		if err := r.ctrl.Submit(hits[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.eng.Run()
+	// Exactly NCap hits before the miss.
+	served := 0
+	for _, h := range hits {
+		if h.Completion < miss.Completion {
+			served++
+		}
+	}
+	if served != 2 {
+		t.Errorf("%d hits served before the miss, want NCap=2", served)
+	}
+}
+
+func TestWatermarkWHighForcesWriteMode(t *testing.T) {
+	// Keep the read queue busy and fill writes to WHigh: the
+	// controller must switch to writes even with reads pending.
+	r := newRig(t, func(c *Config) {
+		c.WHigh = 4
+		c.WLow = 2
+		c.NWd = 2
+		c.WriteQueueCap = 64
+	})
+	var writes []*Request
+	// Seed enough reads to keep the read queue non-empty.
+	var reads []*Request
+	for i := 0; i < 6; i++ {
+		q := &Request{Op: Read, Bank: 0, Row: int64(10 + i)}
+		reads = append(reads, q)
+		if err := r.ctrl.Submit(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		w := &Request{Op: Write, Bank: 1, Row: int64(i)}
+		writes = append(writes, w)
+		if err := r.ctrl.Submit(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.eng.Run()
+	// All writes completed, in batches of NWd=2 (two mode switch
+	// pairs) despite pending reads.
+	for _, w := range writes {
+		if w.Completion == 0 {
+			t.Fatal("write never served despite WHigh")
+		}
+	}
+	if got := r.ctrl.Stats().ModeSwitches; got < 2 {
+		t.Errorf("ModeSwitches = %d, want >= 2", got)
+	}
+	// Some writes must complete before the last read: the WHigh switch
+	// preempted the read stream.
+	lastRead := reads[len(reads)-1]
+	if writes[0].Completion > lastRead.Completion {
+		t.Error("WHigh did not preempt the read stream")
+	}
+}
+
+func TestWriteBatchLengthNWd(t *testing.T) {
+	// In write mode with reads pending, exactly NWd writes are served
+	// before returning to reads.
+	r := newRig(t, func(c *Config) {
+		c.WHigh = 4
+		c.WLow = 2
+		c.NWd = 2
+		c.WriteQueueCap = 64
+	})
+	read := &Request{Op: Read, Bank: 0, Row: 100}
+	if err := r.ctrl.Submit(read); err != nil {
+		t.Fatal(err)
+	}
+	var writes []*Request
+	for i := 0; i < 4; i++ {
+		w := &Request{Op: Write, Bank: 1, Row: int64(i)}
+		writes = append(writes, w)
+		if err := r.ctrl.Submit(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.eng.Run()
+	// At t=0 the write queue is already at WHigh, so the controller
+	// enters write mode before serving the read, drains exactly
+	// NWd = 2 writes, returns to the pending read, then (read queue
+	// empty, WLow reached) drains the remaining two.
+	if !(writes[0].Completion < read.Completion && writes[1].Completion < read.Completion) {
+		t.Error("first NWd writes should precede the read (WHigh switch)")
+	}
+	if !(writes[2].Completion > read.Completion && writes[3].Completion > read.Completion) {
+		t.Error("batch longer than NWd: writes 3-4 served before returning to reads")
+	}
+}
+
+func TestSubWatermarkWriteTimeoutDrains(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.WriteTimeout = sim.Microsecond })
+	w := &Request{Op: Write, Bank: 0, Row: 1}
+	if err := r.ctrl.Submit(w); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	if w.Completion == 0 {
+		t.Fatal("lone write never drained")
+	}
+	if w.Latency() < sim.Microsecond {
+		t.Errorf("write drained at %v, before the 1us timeout", w.Latency())
+	}
+}
+
+func TestPaperFaithfulNoTimeoutLeavesWritePending(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.WriteTimeout = 0 })
+	w := &Request{Op: Write, Bank: 0, Row: 1}
+	if err := r.ctrl.Submit(w); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.RunUntil(100 * sim.Microsecond)
+	if w.Completion != 0 {
+		t.Error("sub-watermark write served without timeout or reads")
+	}
+	_, writes := r.ctrl.QueueDepths()
+	if writes != 1 {
+		t.Errorf("write queue depth = %d, want 1", writes)
+	}
+}
+
+func TestRefreshClosesRows(t *testing.T) {
+	r := newRig(t, nil)
+	a := &Request{Op: Read, Bank: 0, Row: 1}
+	if err := r.ctrl.Submit(a); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	// Wait past a refresh interval, then a read to the same row: it
+	// must pay the closed-bank cost because refresh precharged it.
+	r.eng.RunUntil(8 * sim.Microsecond)
+	b := &Request{Op: Read, Bank: 0, Row: 1}
+	if err := r.ctrl.Submit(b); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	if got := r.ctrl.Stats().Refreshes; got < 1 {
+		t.Fatalf("Refreshes = %d, want >= 1", got)
+	}
+	// The overdue refresh runs first (lazy catch-up: tRFC stall), then
+	// the read pays the closed-bank cost because refresh precharged
+	// the row it had open.
+	tm := DDR3_1600()
+	if got, want := b.Latency(), tm.TRFC+tm.ReadClosed(); got != want {
+		t.Errorf("post-refresh read latency = %v, want tRFC+closed = %v", got, want)
+	}
+}
+
+func TestRefreshDelaysInFlightTraffic(t *testing.T) {
+	// A steady read stream across the tREFI boundary observes a tRFC
+	// stall.
+	r := newRig(t, nil)
+	tm := DDR3_1600()
+	var reqs []*Request
+	var submit func(i int)
+	submit = func(i int) {
+		if sim.Duration(i)*tm.ReadConflict() > tm.TREFI+2*tm.TRFC {
+			return
+		}
+		q := &Request{Op: Read, Bank: 0, Row: int64(i % 7)}
+		reqs = append(reqs, q)
+		if err := r.ctrl.Submit(q); err != nil {
+			t.Error(err)
+		}
+		r.eng.After(tm.ReadConflict(), func() { submit(i + 1) })
+	}
+	r.eng.At(0, func() { submit(0) })
+	r.eng.Run()
+	if got := r.ctrl.Stats().Refreshes; got < 1 {
+		t.Fatalf("no refresh over %v of traffic", tm.TREFI)
+	}
+	var worst sim.Duration
+	for _, q := range reqs {
+		if q.Latency() > worst {
+			worst = q.Latency()
+		}
+	}
+	if worst < tm.TRFC {
+		t.Errorf("worst latency %v never absorbed a refresh stall (tRFC %v)", worst, tm.TRFC)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.ReadQueueCap = 2 })
+	// First read starts service immediately, so three more fill the
+	// queue past its cap of 2.
+	errs := 0
+	for i := 0; i < 4; i++ {
+		if err := r.ctrl.Submit(&Request{Op: Read, Bank: 0, Row: int64(i)}); err != nil {
+			errs++
+		}
+	}
+	if errs == 0 {
+		t.Error("read queue cap not enforced")
+	}
+	if got := r.ctrl.Stats().ReadsRejected; got == 0 {
+		t.Error("rejections not counted")
+	}
+}
+
+func TestPerMasterStats(t *testing.T) {
+	r := newRig(t, nil)
+	for i := 0; i < 3; i++ {
+		if err := r.ctrl.Submit(&Request{Master: "a", Op: Read, Bank: 0, Row: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.ctrl.Submit(&Request{Master: "b", Op: Write, Bank: 1, Row: 2}); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	st := r.ctrl.Stats()
+	ma := st.Master("a")
+	if ma.Reads != 3 || ma.Writes != 0 {
+		t.Errorf("master a stats = %+v", ma)
+	}
+	if ma.Bytes != 3*64 {
+		t.Errorf("master a bytes = %d", ma.Bytes)
+	}
+	if ma.MeanReadLatency() <= 0 || ma.MaxReadLat < ma.MeanReadLatency() {
+		t.Errorf("latency aggregation broken: %+v", ma)
+	}
+	mb := st.Master("b")
+	if mb.Writes != 1 {
+		t.Errorf("master b stats = %+v", mb)
+	}
+	if st.Master("missing").Reads != 0 {
+		t.Error("missing master should be zero")
+	}
+	if ma.ReadLatencyPercentile(1.0) != ma.MaxReadLat {
+		t.Error("p100 != max")
+	}
+}
+
+func TestLargeRequestStreamsExtraBursts(t *testing.T) {
+	r := newRig(t, nil)
+	small := &Request{Op: Read, Bank: 0, Row: 1, Size: 64}
+	if err := r.ctrl.Submit(small); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	big := &Request{Op: Read, Bank: 0, Row: 1, Size: 256} // 4 lines, row hit
+	if err := r.ctrl.Submit(big); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run()
+	tm := DDR3_1600()
+	want := tm.ReadHit() + 3*tm.TBurst
+	if got := big.Latency(); got != want {
+		t.Errorf("256B hit latency = %v, want %v", got, want)
+	}
+}
+
+func TestDeterminismIdenticalRuns(t *testing.T) {
+	run := func() []sim.Duration {
+		r := newRig(t, nil)
+		rnd := sim.NewRand(42)
+		var lat []sim.Duration
+		var reqs []*Request
+		for i := 0; i < 200; i++ {
+			op := Read
+			if rnd.Intn(3) == 0 {
+				op = Write
+			}
+			q := &Request{Op: op, Bank: rnd.Intn(8), Row: int64(rnd.Intn(4))}
+			reqs = append(reqs, q)
+			at := sim.Duration(i) * sim.NS(20)
+			r.eng.At(at, func() { _ = r.ctrl.Submit(q) })
+		}
+		r.eng.Run()
+		for _, q := range reqs {
+			lat = append(lat, q.Latency())
+		}
+		return lat
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at request %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestQuickAllSubmittedReadsComplete(t *testing.T) {
+	// Property: every accepted read completes, with latency at least
+	// the minimum service time.
+	f := func(seed uint64, n uint8) bool {
+		eng := sim.NewEngine()
+		cfg := DefaultConfig()
+		ctrl, err := NewController(eng, cfg, nil)
+		if err != nil {
+			return false
+		}
+		rnd := sim.NewRand(seed)
+		var reqs []*Request
+		for i := 0; i < int(n%64)+1; i++ {
+			q := &Request{Op: Read, Bank: rnd.Intn(8), Row: int64(rnd.Intn(8))}
+			at := rnd.Duration(sim.Microsecond)
+			eng.At(at, func() {
+				if ctrl.Submit(q) == nil {
+					reqs = append(reqs, q)
+				}
+			})
+		}
+		eng.Run()
+		min := cfg.Timing.ReadHit()
+		for _, q := range reqs {
+			if q.Completion == 0 || q.Latency() < min {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeRead.String() != "read" || ModeWrite.String() != "write" {
+		t.Error("Mode.String broken")
+	}
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Error("Op.String broken")
+	}
+	r := &Request{ID: 1, Master: "m", Op: Read, Bank: 2, Row: 3}
+	if r.String() == "" {
+		t.Error("Request.String empty")
+	}
+}

@@ -1,0 +1,50 @@
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Op distinguishes read and write requests.
+type Op uint8
+
+const (
+	// Read requests are on the requesting master's critical path.
+	Read Op = iota
+	// Write requests can be deferred and are drained in batches.
+	Write
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if o == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Request is one memory transaction as seen by the controller: a cache
+// line (or DMA beat) of Size bytes targeting (Bank, Row).
+type Request struct {
+	ID     uint64
+	Master string // identification label (cf. MPAM PARTID at the SoC level)
+	Op     Op
+	Bank   int
+	Row    int64
+	Size   int // bytes; 0 means the controller's default line size
+
+	// Arrival is stamped by Controller.Submit.
+	Arrival sim.Time
+	// Completion is stamped when the data burst finishes.
+	Completion sim.Time
+}
+
+// Latency returns the request's queueing + service delay. It is only
+// meaningful after completion.
+func (r *Request) Latency() sim.Duration { return r.Completion - r.Arrival }
+
+// String implements fmt.Stringer.
+func (r *Request) String() string {
+	return fmt.Sprintf("req %d %s %s bank %d row %d", r.ID, r.Master, r.Op, r.Bank, r.Row)
+}

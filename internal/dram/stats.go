@@ -1,0 +1,104 @@
+package dram
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// MasterStats accumulates per-master request statistics.
+type MasterStats struct {
+	Reads, Writes  uint64
+	Bytes          uint64
+	TotalReadLat   sim.Duration
+	MaxReadLat     sim.Duration
+	TotalWriteLat  sim.Duration
+	MaxWriteLat    sim.Duration
+	readLatSamples []sim.Duration
+}
+
+// MeanReadLatency returns the mean read latency, or 0 with no reads.
+func (m MasterStats) MeanReadLatency() sim.Duration {
+	if m.Reads == 0 {
+		return 0
+	}
+	return m.TotalReadLat / sim.Duration(m.Reads)
+}
+
+// ReadLatencyPercentile returns the p-quantile (0..1) of observed read
+// latencies, or 0 with no samples.
+func (m MasterStats) ReadLatencyPercentile(p float64) sim.Duration {
+	if len(m.readLatSamples) == 0 {
+		return 0
+	}
+	s := append([]sim.Duration(nil), m.readLatSamples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p * float64(len(s)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// Stats accumulates controller-wide statistics.
+type Stats struct {
+	RowHits, RowClosed, RowConflicts uint64
+	HitPromotions                    uint64
+	ModeSwitches                     uint64
+	Refreshes                        uint64
+	ReadsRejected, WritesRejected    uint64
+
+	PerMaster map[string]*MasterStats
+
+	pendingTurnaround bool
+}
+
+// RowHitRate returns the fraction of accesses that hit the open row.
+func (s Stats) RowHitRate() float64 {
+	total := s.RowHits + s.RowClosed + s.RowConflicts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}
+
+// Master returns the (possibly zero) stats for one master.
+func (s Stats) Master(name string) MasterStats {
+	if s.PerMaster == nil {
+		return MasterStats{}
+	}
+	if m := s.PerMaster[name]; m != nil {
+		return *m
+	}
+	return MasterStats{}
+}
+
+func (s *Stats) record(r *Request) {
+	if s.PerMaster == nil {
+		s.PerMaster = make(map[string]*MasterStats)
+	}
+	m := s.PerMaster[r.Master]
+	if m == nil {
+		m = &MasterStats{}
+		s.PerMaster[r.Master] = m
+	}
+	lat := r.Latency()
+	m.Bytes += uint64(r.Size)
+	if r.Op == Read {
+		m.Reads++
+		m.TotalReadLat += lat
+		if lat > m.MaxReadLat {
+			m.MaxReadLat = lat
+		}
+		m.readLatSamples = append(m.readLatSamples, lat)
+	} else {
+		m.Writes++
+		m.TotalWriteLat += lat
+		if lat > m.MaxWriteLat {
+			m.MaxWriteLat = lat
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package dram models a DRAM device and a First-Ready First-Come-First-
+// Served (FR-FCFS) memory controller at transaction granularity, after
+// Section IV-A of the paper (Figs. 4 and 5).
+//
+// The controller keeps separate read and write queues, promotes row hits
+// over row misses in the read queue (capped at NCap consecutive hits to
+// avoid miss starvation), serves writes in batches governed by a
+// watermark policy (WHigh, WLow, NWd), and schedules refreshes on a
+// tREFI timer. Service times are composed from the Table I timing
+// parameters; the model is transaction-level (one service interval per
+// request) rather than per-DDR-command, which preserves the arbitration
+// and interference behaviour the paper analyses while keeping the
+// simulator deterministic and fast.
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Timing holds the DRAM timing parameters of Table I. All values are
+// virtual-time durations (picosecond resolution).
+type Timing struct {
+	TCK    sim.Duration // clock period
+	TBurst sim.Duration // data burst duration (BL8)
+	TRCD   sim.Duration // row-to-column (activate) delay
+	TCL    sim.Duration // CAS (read) latency
+	TRP    sim.Duration // row precharge time
+	TRAS   sim.Duration // minimum row-open time
+	TRRD   sim.Duration // activate-to-activate, different banks
+	TXAW   sim.Duration // four-activate window
+	TRFC   sim.Duration // refresh cycle time
+	TWR    sim.Duration // write recovery time
+	TWTR   sim.Duration // write-to-read turnaround
+	TRTP   sim.Duration // read-to-precharge
+	TRTW   sim.Duration // read-to-write turnaround
+	TCS    sim.Duration // rank/chip-select switch penalty
+	TREFI  sim.Duration // refresh interval
+	TXP    sim.Duration // power-down exit
+	TXS    sim.Duration // self-refresh exit
+}
+
+// DDR3_1600 returns the Table I parameter set (DDR3-1600, 4 Gbit
+// datasheet), in nanoseconds: tCK 1.25, tBurst 5, tRCD/tCL/tRP 13.75,
+// tRAS 35, tRRD 6, tXAW 30, tRFC 260, tWR 15, tWTR 7.5, tRTP 7.5,
+// tRTW 2.5, tCS 2.5, tREFI 7800, tXP 6, tXS 270.
+func DDR3_1600() Timing {
+	return Timing{
+		TCK:    sim.NS(1.25),
+		TBurst: sim.NS(5),
+		TRCD:   sim.NS(13.75),
+		TCL:    sim.NS(13.75),
+		TRP:    sim.NS(13.75),
+		TRAS:   sim.NS(35),
+		TRRD:   sim.NS(6),
+		TXAW:   sim.NS(30),
+		TRFC:   sim.NS(260),
+		TWR:    sim.NS(15),
+		TWTR:   sim.NS(7.5),
+		TRTP:   sim.NS(7.5),
+		TRTW:   sim.NS(2.5),
+		TCS:    sim.NS(2.5),
+		TREFI:  sim.NS(7800),
+		TXP:    sim.NS(6),
+		TXS:    sim.NS(270),
+	}
+}
+
+// DDR4_2400 returns a representative DDR4-2400 parameter set (8 Gbit
+// class). The paper notes the WCD method applies to any technology "by
+// just changing the values of the timing parameters"; this preset
+// exercises that claim.
+func DDR4_2400() Timing {
+	return Timing{
+		TCK:    sim.NS(0.833),
+		TBurst: sim.NS(3.333),
+		TRCD:   sim.NS(13.32),
+		TCL:    sim.NS(13.32),
+		TRP:    sim.NS(13.32),
+		TRAS:   sim.NS(32),
+		TRRD:   sim.NS(4.9),
+		TXAW:   sim.NS(25),
+		TRFC:   sim.NS(350),
+		TWR:    sim.NS(15),
+		TWTR:   sim.NS(7.5),
+		TRTP:   sim.NS(7.5),
+		TRTW:   sim.NS(2.5),
+		TCS:    sim.NS(2.5),
+		TREFI:  sim.NS(7800),
+		TXP:    sim.NS(6),
+		TXS:    sim.NS(360),
+	}
+}
+
+// LPDDR4_3200 returns a representative LPDDR4-3200 parameter set.
+func LPDDR4_3200() Timing {
+	return Timing{
+		TCK:    sim.NS(0.625),
+		TBurst: sim.NS(5), // BL16 on a narrower channel
+		TRCD:   sim.NS(18),
+		TCL:    sim.NS(17.5),
+		TRP:    sim.NS(18),
+		TRAS:   sim.NS(42),
+		TRRD:   sim.NS(10),
+		TXAW:   sim.NS(40),
+		TRFC:   sim.NS(280),
+		TWR:    sim.NS(18),
+		TWTR:   sim.NS(10),
+		TRTP:   sim.NS(7.5),
+		TRTW:   sim.NS(2.5),
+		TCS:    sim.NS(2.5),
+		TREFI:  sim.NS(3904),
+		TXP:    sim.NS(7.5),
+		TXS:    sim.NS(290),
+	}
+}
+
+// Validate checks that the parameters are physically sensible.
+func (t Timing) Validate() error {
+	type field struct {
+		name string
+		v    sim.Duration
+	}
+	for _, f := range []field{
+		{"tCK", t.TCK}, {"tBurst", t.TBurst}, {"tRCD", t.TRCD},
+		{"tCL", t.TCL}, {"tRP", t.TRP}, {"tRAS", t.TRAS},
+		{"tRFC", t.TRFC}, {"tREFI", t.TREFI},
+	} {
+		if f.v <= 0 {
+			return fmt.Errorf("dram: %s must be positive, got %v", f.name, f.v)
+		}
+	}
+	for _, f := range []field{
+		{"tRRD", t.TRRD}, {"tXAW", t.TXAW}, {"tWR", t.TWR},
+		{"tWTR", t.TWTR}, {"tRTP", t.TRTP}, {"tRTW", t.TRTW},
+		{"tCS", t.TCS}, {"tXP", t.TXP}, {"tXS", t.TXS},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("dram: %s must be non-negative, got %v", f.name, f.v)
+		}
+	}
+	if t.TRFC >= t.TREFI {
+		return fmt.Errorf("dram: tRFC (%v) must be smaller than tREFI (%v)", t.TRFC, t.TREFI)
+	}
+	return nil
+}
+
+// Derived request service intervals, transaction-level. These
+// compositions are the re-derivation documented in EXPERIMENTS.md: the
+// paper uses the COMPSAC'20 [14] command model, which it does not fully
+// specify; the compositions below follow directly from the DDR state
+// machine.
+
+// ReadHit is the service interval of a read to the open row when the
+// data bus is already streaming (back-to-back hits pipeline at the
+// burst rate).
+func (t Timing) ReadHit() sim.Duration { return t.TBurst }
+
+// ReadClosed is the service interval of a read to a closed bank:
+// activate, CAS, burst.
+func (t Timing) ReadClosed() sim.Duration { return t.TRCD + t.TCL + t.TBurst }
+
+// ReadConflict is the service interval of a read that misses the open
+// row: precharge, activate, CAS, burst.
+func (t Timing) ReadConflict() sim.Duration { return t.TRP + t.TRCD + t.TCL + t.TBurst }
+
+// WriteHit is the service interval of a write to the open row.
+func (t Timing) WriteHit() sim.Duration { return t.TBurst }
+
+// WriteClosed is the service interval of a write to a closed bank.
+func (t Timing) WriteClosed() sim.Duration { return t.TRCD + t.TCL + t.TBurst }
+
+// WriteConflict is the service interval of a write that misses the open
+// row. The preceding row's write recovery (tWR) must elapse before the
+// precharge in the worst case, which the transaction-level model folds
+// into the conflicting access.
+func (t Timing) WriteConflict() sim.Duration {
+	return t.TWR + t.TRP + t.TRCD + t.TCL + t.TBurst
+}
+
+// ReadToWrite is the bus-turnaround penalty when switching from serving
+// reads to serving writes.
+func (t Timing) ReadToWrite() sim.Duration { return t.TRTW + t.TCS }
+
+// WriteToRead is the bus-turnaround penalty when switching from serving
+// writes to serving reads.
+func (t Timing) WriteToRead() sim.Duration { return t.TWTR + t.TCS }

@@ -1,0 +1,99 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDDR3TableIValues(t *testing.T) {
+	// Table I of the paper, DDR3-1600 4 Gbit, in ns.
+	tm := DDR3_1600()
+	cases := []struct {
+		name string
+		got  sim.Duration
+		ns   float64
+	}{
+		{"tCK", tm.TCK, 1.25},
+		{"tBurst", tm.TBurst, 5},
+		{"tRCD", tm.TRCD, 13.75},
+		{"tCL", tm.TCL, 13.75},
+		{"tRP", tm.TRP, 13.75},
+		{"tRAS", tm.TRAS, 35},
+		{"tRRD", tm.TRRD, 6},
+		{"tXAW", tm.TXAW, 30},
+		{"tRFC", tm.TRFC, 260},
+		{"tWR", tm.TWR, 15},
+		{"tWTR", tm.TWTR, 7.5},
+		{"tRTP", tm.TRTP, 7.5},
+		{"tRTW", tm.TRTW, 2.5},
+		{"tCS", tm.TCS, 2.5},
+		{"tREFI", tm.TREFI, 7800},
+		{"tXP", tm.TXP, 6},
+		{"tXS", tm.TXS, 270},
+	}
+	for _, c := range cases {
+		if c.got != sim.NS(c.ns) {
+			t.Errorf("%s = %v, want %vns", c.name, c.got, c.ns)
+		}
+	}
+}
+
+func TestTimingPresetsValid(t *testing.T) {
+	for _, p := range []struct {
+		name string
+		tm   Timing
+	}{
+		{"DDR3_1600", DDR3_1600()},
+		{"DDR4_2400", DDR4_2400()},
+		{"LPDDR4_3200", LPDDR4_3200()},
+	} {
+		if err := p.tm.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", p.name, err)
+		}
+	}
+}
+
+func TestTimingValidateCatchesErrors(t *testing.T) {
+	tm := DDR3_1600()
+	tm.TCK = 0
+	if tm.Validate() == nil {
+		t.Error("zero tCK accepted")
+	}
+	tm = DDR3_1600()
+	tm.TWR = -1
+	if tm.Validate() == nil {
+		t.Error("negative tWR accepted")
+	}
+	tm = DDR3_1600()
+	tm.TRFC = tm.TREFI
+	if tm.Validate() == nil {
+		t.Error("tRFC >= tREFI accepted")
+	}
+}
+
+func TestDerivedServiceIntervals(t *testing.T) {
+	tm := DDR3_1600()
+	if got, want := tm.ReadHit(), sim.NS(5); got != want {
+		t.Errorf("ReadHit = %v, want %v", got, want)
+	}
+	if got, want := tm.ReadClosed(), sim.NS(13.75+13.75+5); got != want {
+		t.Errorf("ReadClosed = %v, want %v", got, want)
+	}
+	if got, want := tm.ReadConflict(), sim.NS(13.75+13.75+13.75+5); got != want {
+		t.Errorf("ReadConflict = %v, want %v", got, want)
+	}
+	if got, want := tm.WriteConflict(), sim.NS(15+13.75+13.75+13.75+5); got != want {
+		t.Errorf("WriteConflict = %v, want %v", got, want)
+	}
+	if got, want := tm.ReadToWrite(), sim.NS(2.5+2.5); got != want {
+		t.Errorf("ReadToWrite = %v, want %v", got, want)
+	}
+	if got, want := tm.WriteToRead(), sim.NS(7.5+2.5); got != want {
+		t.Errorf("WriteToRead = %v, want %v", got, want)
+	}
+	// Ordering invariants the analysis relies on.
+	if tm.ReadHit() >= tm.ReadClosed() || tm.ReadClosed() >= tm.ReadConflict() {
+		t.Error("hit < closed < conflict ordering violated")
+	}
+}

@@ -1,0 +1,134 @@
+package wcd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dram"
+)
+
+func TestExactWhenNoHits(t *testing.T) {
+	// With NCap = 0 the upper and lower bounds share the same base, so
+	// the algorithm reports an exact WCD.
+	p := DefaultParams().WithWriteRateGbps(4)
+	p.NCap = 0
+	res, err := Compute(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Errorf("NCap=0 bounds not exact: [%v, %v]", res.Lower, res.Upper)
+	}
+	if res.Lower != res.Upper {
+		t.Errorf("exact flag inconsistent with gap %v", res.Upper-res.Lower)
+	}
+}
+
+func TestGapWidensNearSaturation(t *testing.T) {
+	// The upper/lower gap at high write load must be at least the gap
+	// at low load (the fixed point amplifies the hit-block delta).
+	gap := func(gbps float64) float64 {
+		res, err := Compute(DefaultParams().WithWriteRateGbps(gbps), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Upper - res.Lower
+	}
+	low, high := gap(4), gap(7)
+	if high < low {
+		t.Errorf("gap shrank near saturation: %v at 4Gbps vs %v at 7Gbps", low, high)
+	}
+}
+
+func TestBoundScalesLinearlyInNAtLowLoad(t *testing.T) {
+	// Without write traffic the bound grows by exactly one ReadMiss per
+	// queue position (plus constant hit/refresh terms).
+	p := DefaultParams()
+	p.WriteBurst = 0
+	cm := p.Costs()
+	prev := 0.0
+	for n := 1; n <= 8; n++ {
+		res, err := Compute(p, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n > 1 {
+			if inc := res.Upper - prev; math.Abs(inc-cm.ReadMiss) > 1e-9 {
+				t.Errorf("n=%d increment %v, want ReadMiss %v", n, inc, cm.ReadMiss)
+			}
+		}
+		prev = res.Upper
+	}
+}
+
+func TestRefreshesCountedInLongWindows(t *testing.T) {
+	// A bound spanning several tREFI periods must include several
+	// refreshes: compare n small vs large.
+	p := DefaultParams().WithWriteRateGbps(2)
+	small, err := Compute(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Compute(p, 400) // ~18.5us of misses alone
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := p.Costs()
+	// Rough lower bound on the refresh contribution.
+	expectedRefreshes := large.Upper / cm.RefreshPeriod
+	if expectedRefreshes < 2 {
+		t.Skipf("window too small for the assertion: %v", large.Upper)
+	}
+	// The large bound must exceed the pure miss+write scaling of the
+	// small one by at least one extra tRFC.
+	if large.Upper < small.Upper+cm.RefreshCost {
+		t.Errorf("refresh contribution missing: %v vs %v", large.Upper, small.Upper)
+	}
+}
+
+func TestServiceCurveMonotoneAndConservative(t *testing.T) {
+	p := DefaultParams().WithWriteRateGbps(5)
+	c, err := ServiceCurve(p, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for x := 0.0; x < 50000; x += 250 {
+		v := c.Eval(x)
+		if v < prev {
+			t.Fatalf("service curve decreasing at %v", x)
+		}
+		prev = v
+	}
+	// Conservative: at each t_n the curve promises at most n... it
+	// passes through (t_n, n), and before t_1 it promises < 1.
+	r1, err := Compute(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Eval(r1.Upper * 0.5); got >= 1 {
+		t.Errorf("curve promises %v requests before the first WCD", got)
+	}
+}
+
+func TestTableIIOtherTech(t *testing.T) {
+	p := DefaultParams()
+
+	rowsDDR3, err := TableII(p, 1, []float64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4 := DefaultParams()
+	p4.Timing = ddr4()
+	rowsDDR4, err := TableII(p4, 1, []float64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DDR4-2400 is faster per transaction: its bound at the same load
+	// must be lower.
+	if rowsDDR4[0].Upper >= rowsDDR3[0].Upper {
+		t.Errorf("DDR4 bound %v not below DDR3 %v", rowsDDR4[0].Upper, rowsDDR3[0].Upper)
+	}
+}
+
+func ddr4() dram.Timing { return dram.DDR4_2400() }

@@ -1,0 +1,243 @@
+// Package dsu models the Arm DynamIQ Shared Unit's L3 cache
+// partitioning mechanism described in Section III-A of the paper:
+// 3-bit scheme IDs as the identification mechanism, hypervisor
+// mask/override delegation, and the CLUSTERPARTCR register that maps
+// the L3's 4 partition groups (of 3 or 4 ways each, for a 12- or
+// 16-way cache) to scheme IDs (Fig. 2).
+//
+// Register layout: CLUSTERPARTCR dedicates one 4-bit field to each of
+// the 8 scheme IDs; bit (4*schemeID + group) set means the partition
+// group is private to that scheme ID. A group with no bit set in any
+// field is unassigned and open to allocation by every scheme. The
+// paper's worked example encodes as 0x80004201: group 3 private to
+// scheme ID 7 (the hypervisor), group 2 to scheme ID 3 and group 1 to
+// scheme ID 2 (the RTOS VM's two IDs), and group 0 to scheme ID 0 (the
+// GPOS VM).
+package dsu
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// NumSchemeIDs is the number of scheme ID groups (3-bit identifiers).
+const NumSchemeIDs = 8
+
+// NumGroups is the number of L3 partition groups.
+const NumGroups = 4
+
+// SchemeID is a 3-bit traffic-flow identifier set by privileged
+// software (OS or hypervisor).
+type SchemeID uint8
+
+// Valid reports whether the scheme ID fits in 3 bits.
+func (s SchemeID) Valid() bool { return s < NumSchemeIDs }
+
+// Group is an L3 partition group index (0..3).
+type Group uint8
+
+// Valid reports whether the group index is in range.
+func (g Group) Valid() bool { return g < NumGroups }
+
+// Override implements the hypervisor's scheme-ID delegation: bits
+// selected by Mask are replaced with the corresponding Value bits, so a
+// guest OS controls only the bits left open. The paper's example
+// delegates scheme IDs 2 and 3 to the RTOS with mask 0b110 and value
+// 0b010, and pins the GPOS to scheme ID 0 with mask 0b111.
+type Override struct {
+	Mask  uint8 // bit set = hypervisor-controlled
+	Value uint8 // replacement bits where Mask is set
+}
+
+// Apply computes the effective scheme ID for a guest-requested ID.
+func (o Override) Apply(guest SchemeID) SchemeID {
+	return SchemeID((uint8(guest)&^o.Mask)|(o.Value&o.Mask)) & (NumSchemeIDs - 1)
+}
+
+// Reachable returns the set of effective scheme IDs a guest can reach
+// under the override, in ascending order.
+func (o Override) Reachable() []SchemeID {
+	seen := make(map[SchemeID]bool)
+	var out []SchemeID
+	for g := SchemeID(0); g < NumSchemeIDs; g++ {
+		eff := o.Apply(g)
+		if !seen[eff] {
+			seen[eff] = true
+			out = append(out, eff)
+		}
+	}
+	return out
+}
+
+// ClusterPartCR is the 32-bit L3 Cluster Partition Control Register.
+type ClusterPartCR uint32
+
+// Bit returns the register bit index for a (scheme, group) pair.
+func Bit(s SchemeID, g Group) uint { return uint(s)*4 + uint(g) }
+
+// Set returns the register with the group marked private to scheme s.
+func (r ClusterPartCR) Set(s SchemeID, g Group) ClusterPartCR {
+	return r | 1<<Bit(s, g)
+}
+
+// Clear returns the register with the (scheme, group) bit cleared.
+func (r ClusterPartCR) Clear(s SchemeID, g Group) ClusterPartCR {
+	return r &^ (1 << Bit(s, g))
+}
+
+// IsPrivate reports whether group g is private to scheme s.
+func (r ClusterPartCR) IsPrivate(s SchemeID, g Group) bool {
+	return r&(1<<Bit(s, g)) != 0
+}
+
+// Owners returns the scheme IDs that have claimed group g.
+func (r ClusterPartCR) Owners(g Group) []SchemeID {
+	var out []SchemeID
+	for s := SchemeID(0); s < NumSchemeIDs; s++ {
+		if r.IsPrivate(s, g) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Unassigned returns the groups no scheme has claimed; these are open
+// for allocation by any scheme ID.
+func (r ClusterPartCR) Unassigned() []Group {
+	var out []Group
+	for g := Group(0); g < NumGroups; g++ {
+		if len(r.Owners(g)) == 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Encode builds a register from a scheme->groups assignment. It
+// rejects invalid IDs and groups claimed by more than one scheme
+// (which the hardware permits but which defeats isolation; use Set
+// directly to express sharing deliberately).
+func Encode(assign map[SchemeID][]Group) (ClusterPartCR, error) {
+	var r ClusterPartCR
+	owner := make(map[Group]SchemeID)
+	for s, groups := range assign {
+		if !s.Valid() {
+			return 0, fmt.Errorf("dsu: scheme ID %d out of range", s)
+		}
+		for _, g := range groups {
+			if !g.Valid() {
+				return 0, fmt.Errorf("dsu: partition group %d out of range", g)
+			}
+			if prev, taken := owner[g]; taken && prev != s {
+				return 0, fmt.Errorf("dsu: group %d claimed by scheme IDs %d and %d", g, prev, s)
+			}
+			owner[g] = s
+			r = r.Set(s, g)
+		}
+	}
+	return r, nil
+}
+
+// Config describes a DynamIQ cluster's shared L3.
+type Config struct {
+	// Ways must be 12 or 16: the L3 is split into 4 groups of Ways/4.
+	Ways     int
+	Sets     int
+	LineSize int
+}
+
+// DefaultConfig returns a 16-way 2 MiB L3 (2048 sets x 16 ways x 64 B).
+func DefaultConfig() Config {
+	return Config{Ways: 16, Sets: 2048, LineSize: 64}
+}
+
+// Validate checks the cluster geometry.
+func (c Config) Validate() error {
+	if c.Ways != 12 && c.Ways != 16 {
+		return fmt.Errorf("dsu: L3 must be 12- or 16-way set-associative, got %d", c.Ways)
+	}
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("dsu: Sets must be a positive power of two, got %d", c.Sets)
+	}
+	if c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("dsu: LineSize must be a positive power of two, got %d", c.LineSize)
+	}
+	return nil
+}
+
+// Cluster is a DynamIQ cluster's shared L3 with hardware way
+// partitioning driven by a ClusterPartCR value.
+type Cluster struct {
+	cfg    Config
+	reg    ClusterPartCR
+	l3     *cache.Cache
+	policy *cache.WayPartition
+}
+
+// NewCluster builds the cluster and its L3.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cl := &Cluster{cfg: cfg, policy: cache.NewWayPartition(nil)}
+	l3, err := cache.New(cache.Config{
+		Sets: cfg.Sets, Ways: cfg.Ways, LineSize: cfg.LineSize, Policy: cl.policy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cl.l3 = l3
+	cl.Program(0)
+	return cl, nil
+}
+
+// L3 exposes the underlying cache model.
+func (c *Cluster) L3() *cache.Cache { return c.l3 }
+
+// Register returns the current CLUSTERPARTCR value.
+func (c *Cluster) Register() ClusterPartCR { return c.reg }
+
+// groupMask returns the way bitmask covered by a partition group.
+func (c *Cluster) groupMask(g Group) uint64 {
+	waysPerGroup := c.cfg.Ways / NumGroups
+	base := uint(g) * uint(waysPerGroup)
+	var m uint64
+	for w := 0; w < waysPerGroup; w++ {
+		m |= 1 << (base + uint(w))
+	}
+	return m
+}
+
+// Program writes the partition control register and recomputes each
+// scheme ID's allowed ways: its private groups plus every unassigned
+// group.
+func (c *Cluster) Program(reg ClusterPartCR) {
+	c.reg = reg
+	var openMask uint64
+	for _, g := range reg.Unassigned() {
+		openMask |= c.groupMask(g)
+	}
+	masks := make(map[cache.Owner]uint64, NumSchemeIDs)
+	for s := SchemeID(0); s < NumSchemeIDs; s++ {
+		m := openMask
+		for g := Group(0); g < NumGroups; g++ {
+			if reg.IsPrivate(s, g) {
+				m |= c.groupMask(g)
+			}
+		}
+		masks[cache.Owner(s)] = m
+	}
+	c.policy.Masks = masks
+	c.policy.Default = openMask
+}
+
+// Access performs one L3 access attributed to the given scheme ID.
+func (c *Cluster) Access(s SchemeID, addr uint64, write bool) cache.Result {
+	return c.l3.Access(cache.Owner(s), addr, write)
+}
+
+// AllowedWays reports the way mask scheme s may allocate into.
+func (c *Cluster) AllowedWays(s SchemeID) uint64 {
+	return c.policy.AllowedWays(cache.Owner(s), 0)
+}

@@ -1,0 +1,231 @@
+package dsu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperExampleEncoding(t *testing.T) {
+	// Section III-A worked example: hypervisor scheme ID 7 gets group
+	// 3, the RTOS VM's scheme IDs 3 and 2 get groups 2 and 1, the GPOS
+	// VM's scheme ID 0 gets group 0. Register value: 0x80004201.
+	reg, err := Encode(map[SchemeID][]Group{
+		7: {3},
+		3: {2},
+		2: {1},
+		0: {0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg != 0x80004201 {
+		t.Errorf("register = %#08x, want 0x80004201", uint32(reg))
+	}
+}
+
+func TestRegisterBitLayout(t *testing.T) {
+	// One 4-bit field per scheme ID, one-hot in the group index.
+	if Bit(7, 3) != 31 {
+		t.Errorf("Bit(7,3) = %d, want 31", Bit(7, 3))
+	}
+	if Bit(0, 0) != 0 {
+		t.Errorf("Bit(0,0) = %d, want 0", Bit(0, 0))
+	}
+	if Bit(2, 1) != 9 {
+		t.Errorf("Bit(2,1) = %d, want 9", Bit(2, 1))
+	}
+	if Bit(3, 2) != 14 {
+		t.Errorf("Bit(3,2) = %d, want 14", Bit(3, 2))
+	}
+}
+
+func TestSetClearIsPrivate(t *testing.T) {
+	var r ClusterPartCR
+	r = r.Set(5, 2)
+	if !r.IsPrivate(5, 2) {
+		t.Error("Set/IsPrivate roundtrip failed")
+	}
+	if r.IsPrivate(5, 1) || r.IsPrivate(4, 2) {
+		t.Error("unrelated bits set")
+	}
+	r = r.Clear(5, 2)
+	if r != 0 {
+		t.Errorf("Clear left %#x", uint32(r))
+	}
+}
+
+func TestOwnersAndUnassigned(t *testing.T) {
+	reg, _ := Encode(map[SchemeID][]Group{7: {3}, 0: {0}})
+	if got := reg.Owners(3); len(got) != 1 || got[0] != 7 {
+		t.Errorf("Owners(3) = %v", got)
+	}
+	un := reg.Unassigned()
+	if len(un) != 2 || un[0] != 1 || un[1] != 2 {
+		t.Errorf("Unassigned = %v, want [1 2]", un)
+	}
+	// Sharing expressed via Set directly.
+	shared := reg.Set(1, 1).Set(2, 1)
+	if got := shared.Owners(1); len(got) != 2 {
+		t.Errorf("shared group owners = %v", got)
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	if _, err := Encode(map[SchemeID][]Group{9: {0}}); err == nil {
+		t.Error("scheme ID 9 accepted")
+	}
+	if _, err := Encode(map[SchemeID][]Group{1: {4}}); err == nil {
+		t.Error("group 4 accepted")
+	}
+	if _, err := Encode(map[SchemeID][]Group{1: {2}, 3: {2}}); err == nil {
+		t.Error("doubly-claimed group accepted")
+	}
+}
+
+func TestOverrideDelegation(t *testing.T) {
+	// RTOS delegation: mask 0b110, value 0b010 -> guest reaches scheme
+	// IDs 2 (0b010) and 3 (0b011) only.
+	rtos := Override{Mask: 0b110, Value: 0b010}
+	reach := rtos.Reachable()
+	if len(reach) != 2 || reach[0] != 2 || reach[1] != 3 {
+		t.Errorf("RTOS reachable = %v, want [2 3]", reach)
+	}
+	// GPOS pinned: mask 0b111, value 0 -> always scheme ID 0.
+	gpos := Override{Mask: 0b111, Value: 0}
+	for g := SchemeID(0); g < 8; g++ {
+		if got := gpos.Apply(g); got != 0 {
+			t.Errorf("GPOS Apply(%d) = %d, want 0", g, got)
+		}
+	}
+	// No delegation restrictions: identity.
+	open := Override{}
+	if got := open.Apply(5); got != 5 {
+		t.Errorf("open override Apply(5) = %d", got)
+	}
+}
+
+func TestQuickOverrideStaysInMask(t *testing.T) {
+	// Property: the effective ID agrees with Value on masked bits and
+	// with the guest ID on open bits.
+	f := func(mask, value, guest uint8) bool {
+		o := Override{Mask: mask & 7, Value: value & 7}
+		eff := uint8(o.Apply(SchemeID(guest & 7)))
+		if eff&o.Mask != o.Value&o.Mask {
+			return false
+		}
+		return eff&^o.Mask == (guest&7)&^o.Mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Ways: 8, Sets: 256, LineSize: 64},
+		{Ways: 16, Sets: 0, LineSize: 64},
+		{Ways: 16, Sets: 100, LineSize: 64},
+		{Ways: 12, Sets: 256, LineSize: 3},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if DefaultConfig().Validate() != nil {
+		t.Error("default config rejected")
+	}
+}
+
+func TestClusterGroupMasks(t *testing.T) {
+	cl, err := NewCluster(Config{Ways: 16, Sets: 64, LineSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.groupMask(0); got != 0x000F {
+		t.Errorf("group 0 mask = %#x", got)
+	}
+	if got := cl.groupMask(3); got != 0xF000 {
+		t.Errorf("group 3 mask = %#x", got)
+	}
+	cl12, err := NewCluster(Config{Ways: 12, Sets: 64, LineSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cl12.groupMask(1); got != 0b111000 {
+		t.Errorf("12-way group 1 mask = %#b", got)
+	}
+}
+
+func TestClusterUnprogrammedIsOpen(t *testing.T) {
+	cl, err := NewCluster(Config{Ways: 16, Sets: 64, LineSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := SchemeID(0); s < 8; s++ {
+		if got := cl.AllowedWays(s); got != 0xFFFF {
+			t.Errorf("scheme %d allowed ways = %#x, want all", s, got)
+		}
+	}
+}
+
+func TestClusterProgramPartitions(t *testing.T) {
+	cl, err := NewCluster(Config{Ways: 16, Sets: 64, LineSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := Encode(map[SchemeID][]Group{7: {3}, 0: {0}})
+	cl.Program(reg)
+	// Scheme 7: its group 3 plus open groups 1-2.
+	if got := cl.AllowedWays(7); got != 0xFFF0 {
+		t.Errorf("scheme 7 ways = %#x, want 0xFFF0", got)
+	}
+	// Scheme 0: group 0 plus open groups 1-2.
+	if got := cl.AllowedWays(0); got != 0x0FFF {
+		t.Errorf("scheme 0 ways = %#x, want 0x0FFF", got)
+	}
+	// Scheme 1 owns nothing: open groups only.
+	if got := cl.AllowedWays(1); got != 0x0FF0 {
+		t.Errorf("scheme 1 ways = %#x, want 0x0FF0", got)
+	}
+}
+
+func TestClusterIsolationEndToEnd(t *testing.T) {
+	// Partition the paper's example and verify the GPOS cannot thrash
+	// the hypervisor's lines.
+	cl, err := NewCluster(Config{Ways: 16, Sets: 16, LineSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := Encode(map[SchemeID][]Group{7: {3}, 3: {2}, 2: {1}, 0: {0}})
+	cl.Program(reg)
+
+	// Hypervisor (scheme 7) warms 4 lines in set 0 (its 4 private
+	// ways are 12-15; open groups removed by full assignment).
+	lineStride := uint64(16 * 64) // next line in the same set
+	for i := uint64(0); i < 4; i++ {
+		cl.Access(7, i*lineStride, false)
+	}
+	// GPOS (scheme 0) thrashes heavily.
+	for i := uint64(100); i < 200; i++ {
+		cl.Access(0, i*lineStride, false)
+	}
+	// Hypervisor lines must all still hit.
+	for i := uint64(0); i < 4; i++ {
+		if r := cl.Access(7, i*lineStride, false); !r.Hit {
+			t.Fatalf("hypervisor line %d evicted by GPOS thrash", i)
+		}
+	}
+	if got := cl.L3().Stats(0).EvictionsOfOthers; got != 0 {
+		t.Errorf("GPOS evicted %d foreign lines despite partitioning", got)
+	}
+}
+
+func TestClusterRegisterReadback(t *testing.T) {
+	cl, _ := NewCluster(DefaultConfig())
+	reg := ClusterPartCR(0x80004201)
+	cl.Program(reg)
+	if cl.Register() != reg {
+		t.Errorf("Register readback = %#x", uint32(cl.Register()))
+	}
+}

@@ -1,0 +1,147 @@
+package mpam
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+// TestPortionPlusMaxCapacityCompose reproduces the paper's composition
+// example: cache-portion partitioning combined with maximum-capacity
+// partitioning "to restrict the ability of a single partition to
+// occupy all of the capacity of cache portions that have been made
+// available to multiple partitions".
+func TestPortionPlusMaxCapacityCompose(t *testing.T) {
+	ctl, err := NewCachePortionControl(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PARTIDs 1 and 2 share portions 0-1 (half the cache).
+	if err := ctl.Grant(1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Grant(2, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	inner, err := ctl.WayPolicy(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PARTID 1 additionally capped at 1/8 of total capacity.
+	mc := NewMaxCapacityControl()
+	if err := mc.SetFraction(1, 0.125); err != nil {
+		t.Fatal(err)
+	}
+	pol := mc.Policy(inner, 16*16)
+	c, err := cache.New(cache.Config{Sets: 16, Ways: 16, LineSize: 64, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol.BindCache(c)
+
+	// PARTID 1 floods: capped at 32 lines (1/8 of 256) even though its
+	// portions cover 128.
+	for a := uint64(0); a < 512; a++ {
+		c.Access(cache.Owner(1), a*64, false)
+	}
+	if got := c.Occupancy(cache.Owner(1)); got > 32 {
+		t.Errorf("capacity cap violated inside shared portions: %d lines", got)
+	}
+	// PARTID 2 fills the remaining shared-portion space freely.
+	for a := uint64(1000); a < 1512; a++ {
+		c.Access(cache.Owner(2), a*64, false)
+	}
+	if got := c.Occupancy(cache.Owner(2)); got < 64 {
+		t.Errorf("uncapped sharer confined too far: %d lines", got)
+	}
+	// Neither ever allocates outside portions 0-1 (ways 0-7).
+	if got := c.Occupancy(cache.Owner(1)) + c.Occupancy(cache.Owner(2)); got > 128 {
+		t.Errorf("portion boundary violated: %d lines in an 8-way half", got)
+	}
+}
+
+// TestPriorityBeatsStride pins the arbitration hierarchy: priority
+// tiers dominate stride shares.
+func TestPriorityBeatsStride(t *testing.T) {
+	eng := sim.NewEngine()
+	arb, err := NewArbiter(eng, BWConfig{CapacityBytesPerNS: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PARTID 1: low priority, tiny stride (would win stride-wise).
+	if err := arb.Configure(1, PartitionBW{Priority: 0, Stride: 0.001}); err != nil {
+		t.Fatal(err)
+	}
+	if err := arb.Configure(2, PartitionBW{Priority: 5, Stride: 100}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		_ = arb.Submit(&BWRequest{Label: Label{PARTID: 1}, Bytes: 64})
+		_ = arb.Submit(&BWRequest{Label: Label{PARTID: 2}, Bytes: 64})
+	}
+	eng.RunUntil(sim.NS(64 * 200 / 8)) // time for exactly one partition's worth
+	s1, _ := arb.Served(1)
+	s2, _ := arb.Served(2)
+	if s2 < 4*s1 {
+		t.Errorf("priority did not dominate: high-prio %d vs low-prio %d bytes", s2, s1)
+	}
+}
+
+// TestMinGuaranteeBeatsPriorityStarvation: a below-minimum partition
+// is served ahead of same-priority competitors, preventing the
+// starvation pattern pure priority would create.
+func TestMinGuaranteeWithinPriorityTier(t *testing.T) {
+	eng := sim.NewEngine()
+	arb, err := NewArbiter(eng, BWConfig{CapacityBytesPerNS: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arb.Configure(1, PartitionBW{MinBytesPerNS: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := arb.Configure(2, PartitionBW{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		_ = arb.Submit(&BWRequest{Label: Label{PARTID: 1}, Bytes: 64})
+		_ = arb.Submit(&BWRequest{Label: Label{PARTID: 2}, Bytes: 64})
+	}
+	eng.RunUntil(10 * sim.Microsecond)
+	s1, _ := arb.Served(1)
+	// 2 B/ns over 10us = 20000 bytes minimum.
+	if s1 < 18000 {
+		t.Errorf("min guarantee missed: %d bytes over 10us, want >= ~20000", s1)
+	}
+}
+
+// TestQuickArbiterConservation: the arbiter never serves more than the
+// channel capacity allows over the run.
+func TestQuickArbiterConservation(t *testing.T) {
+	f := func(seed uint64, n8 uint8) bool {
+		eng := sim.NewEngine()
+		cap := 4.0
+		arb, err := NewArbiter(eng, BWConfig{CapacityBytesPerNS: cap}, nil)
+		if err != nil {
+			return false
+		}
+		rnd := sim.NewRand(seed)
+		for i := 0; i < int(n8%60)+5; i++ {
+			id := PARTID(rnd.Intn(3))
+			_ = arb.Submit(&BWRequest{Label: Label{PARTID: id}, Bytes: 32 + rnd.Intn(96)})
+		}
+		horizon := 5 * sim.Microsecond
+		eng.RunUntil(horizon)
+		var total uint64
+		for id := PARTID(0); id < 3; id++ {
+			b, _ := arb.Served(id)
+			total += b
+		}
+		// Conservation with one in-flight transfer of slack.
+		return float64(total) <= cap*horizon.Nanoseconds()+128
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

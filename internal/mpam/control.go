@@ -1,0 +1,198 @@
+package mpam
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// MaxCachePortions and MaxBandwidthPortions are the architectural
+// limits on portion counts (2^15 cache portions, 2^12 bandwidth
+// quanta).
+const (
+	MaxCachePortions     = 1 << 15
+	MaxBandwidthPortions = 1 << 12
+)
+
+// PortionBitmap is a bitmap over resource portions: bit n grants the
+// holder the ability to allocate into (or use) portion n.
+type PortionBitmap struct {
+	bits []uint64
+	n    int
+}
+
+// NewPortionBitmap returns an all-clear bitmap over n portions.
+func NewPortionBitmap(n int) (*PortionBitmap, error) {
+	if n <= 0 || n > MaxCachePortions {
+		return nil, fmt.Errorf("mpam: portion count %d outside 1..%d", n, MaxCachePortions)
+	}
+	return &PortionBitmap{bits: make([]uint64, (n+63)/64), n: n}, nil
+}
+
+// Len returns the number of portions.
+func (b *PortionBitmap) Len() int { return b.n }
+
+// Set grants portion i.
+func (b *PortionBitmap) Set(i int) error {
+	if i < 0 || i >= b.n {
+		return fmt.Errorf("mpam: portion %d outside 0..%d", i, b.n-1)
+	}
+	b.bits[i/64] |= 1 << uint(i%64)
+	return nil
+}
+
+// Clear revokes portion i.
+func (b *PortionBitmap) Clear(i int) error {
+	if i < 0 || i >= b.n {
+		return fmt.Errorf("mpam: portion %d outside 0..%d", i, b.n-1)
+	}
+	b.bits[i/64] &^= 1 << uint(i%64)
+	return nil
+}
+
+// Has reports whether portion i is granted.
+func (b *PortionBitmap) Has(i int) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return b.bits[i/64]&(1<<uint(i%64)) != 0
+}
+
+// Count returns the number of granted portions.
+func (b *PortionBitmap) Count() int {
+	c := 0
+	for i := 0; i < b.n; i++ {
+		if b.Has(i) {
+			c++
+		}
+	}
+	return c
+}
+
+// CachePortionControl is MPAM's cache-portion partitioning for one
+// cache resource: the cache is subdivided into equal fixed-size
+// portions and each PARTID holds a bitmap of portions it may allocate
+// into. Portions may be private, shared between PARTIDs, or left open
+// (Fig. 3 of the paper shows 8 portions split two-private/one-shared
+// between two PARTIDs).
+type CachePortionControl struct {
+	portions int
+	grants   map[PARTID]*PortionBitmap
+	// openToAll: PARTIDs without a bitmap may allocate anywhere
+	// (unregulated default), matching "remain open for allocation by
+	// any partition".
+}
+
+// NewCachePortionControl creates a control with the given portion
+// count.
+func NewCachePortionControl(portions int) (*CachePortionControl, error) {
+	if portions <= 0 || portions > MaxCachePortions {
+		return nil, fmt.Errorf("mpam: cache portion count %d outside 1..%d", portions, MaxCachePortions)
+	}
+	return &CachePortionControl{portions: portions, grants: make(map[PARTID]*PortionBitmap)}, nil
+}
+
+// Portions returns the portion count.
+func (c *CachePortionControl) Portions() int { return c.portions }
+
+// Grant sets the portion bitmap for a PARTID (replacing any previous
+// grant).
+func (c *CachePortionControl) Grant(id PARTID, portionIdx ...int) error {
+	bm, err := NewPortionBitmap(c.portions)
+	if err != nil {
+		return err
+	}
+	for _, p := range portionIdx {
+		if err := bm.Set(p); err != nil {
+			return err
+		}
+	}
+	c.grants[id] = bm
+	return nil
+}
+
+// Bitmap returns the PARTID's bitmap, or nil if unregulated.
+func (c *CachePortionControl) Bitmap(id PARTID) *PortionBitmap { return c.grants[id] }
+
+// Allowed reports whether the PARTID may allocate into portion p.
+func (c *CachePortionControl) Allowed(id PARTID, p int) bool {
+	bm, ok := c.grants[id]
+	if !ok {
+		return true // unregulated PARTID
+	}
+	return bm.Has(p)
+}
+
+// WayPolicy adapts the portion control to a concrete cache whose ways
+// are divided evenly among the portions (portion p covers ways
+// [p*waysPerPortion, (p+1)*waysPerPortion)). The returned policy plugs
+// into cache.Config. It requires ways to be divisible by the portion
+// count.
+func (c *CachePortionControl) WayPolicy(ways int) (cache.AllocPolicy, error) {
+	if ways <= 0 || ways%c.portions != 0 {
+		return nil, fmt.Errorf("mpam: %d ways not divisible into %d portions", ways, c.portions)
+	}
+	return &portionWayPolicy{ctrl: c, waysPerPortion: ways / c.portions, ways: ways}, nil
+}
+
+type portionWayPolicy struct {
+	ctrl           *CachePortionControl
+	waysPerPortion int
+	ways           int
+}
+
+// AllowedWays implements cache.AllocPolicy; cache owners are PARTIDs.
+func (p *portionWayPolicy) AllowedWays(owner cache.Owner, _ int) uint64 {
+	id := PARTID(owner)
+	bm := p.ctrl.grants[id]
+	if bm == nil {
+		if p.ways >= 64 {
+			return ^uint64(0)
+		}
+		return (1 << uint(p.ways)) - 1
+	}
+	var mask uint64
+	for portion := 0; portion < p.ctrl.portions; portion++ {
+		if !bm.Has(portion) {
+			continue
+		}
+		for w := 0; w < p.waysPerPortion; w++ {
+			mask |= 1 << uint(portion*p.waysPerPortion+w)
+		}
+	}
+	return mask
+}
+
+// MaxCapacityControl is MPAM's cache maximum-capacity partitioning: a
+// PARTID may not occupy more than a configured fraction of the cache.
+// It composes with portion partitioning (the paper's example: cap a
+// partition inside portions shared with others).
+type MaxCapacityControl struct {
+	fractions map[PARTID]float64
+}
+
+// NewMaxCapacityControl returns an empty control.
+func NewMaxCapacityControl() *MaxCapacityControl {
+	return &MaxCapacityControl{fractions: make(map[PARTID]float64)}
+}
+
+// SetFraction limits the PARTID to the given fraction (0..1] of cache
+// capacity.
+func (m *MaxCapacityControl) SetFraction(id PARTID, f float64) error {
+	if f <= 0 || f > 1 {
+		return fmt.Errorf("mpam: capacity fraction %g outside (0,1]", f)
+	}
+	m.fractions[id] = f
+	return nil
+}
+
+// Policy composes the capacity limits (over a cache of totalLines)
+// with an inner allocation policy; pass nil for an open inner policy.
+// BindCache must be called on the returned policy before use.
+func (m *MaxCapacityControl) Policy(inner cache.AllocPolicy, totalLines int) *cache.MaxCapacityPolicy {
+	limits := make(map[cache.Owner]int, len(m.fractions))
+	for id, f := range m.fractions {
+		limits[cache.Owner(id)] = int(f * float64(totalLines))
+	}
+	return &cache.MaxCapacityPolicy{Inner: inner, Limits: limits}
+}

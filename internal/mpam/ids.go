@@ -1,0 +1,123 @@
+// Package mpam models the Armv8.4-A Memory System Resource Partitioning
+// and Monitoring (MPAM) architecture extension as described in Section
+// III-B of the paper: PARTID/PMG identification of memory traffic, the
+// four PARTID spaces, hypervisor-controlled virtual-to-physical PARTID
+// translation, the six standard control interfaces (cache portions,
+// cache maximum capacity, bandwidth portions, bandwidth min/max,
+// proportional stride, priority), and the two standard monitor types
+// (cache-storage usage and memory-bandwidth usage) with capture
+// registers.
+//
+// A memory system component (a cache or a memory channel) attaches
+// these controls and monitors; requests carry a Label and the component
+// consults the controls when arbitrating and the monitors when
+// accounting.
+package mpam
+
+import (
+	"fmt"
+)
+
+// PARTID is a partition identifier attached to memory requests for
+// control and monitoring.
+type PARTID uint16
+
+// PMG is a performance monitoring group: a sub-label within a PARTID
+// used only by monitors, letting policy apply to a whole workload while
+// monitoring resolves individual processes or threads.
+type PMG uint8
+
+// Space is one of the four PARTID spaces. The security dimension is
+// carried by the MPAM_NS bit; the virtual dimension by whether the
+// request came from virtualised software whose PARTIDs the hypervisor
+// translates.
+type Space uint8
+
+// The four PARTID spaces (Section III-B.2).
+const (
+	PhysicalNonSecure Space = iota
+	VirtualNonSecure
+	PhysicalSecure
+	VirtualSecure
+)
+
+// String implements fmt.Stringer.
+func (s Space) String() string {
+	switch s {
+	case PhysicalNonSecure:
+		return "physical non-secure"
+	case VirtualNonSecure:
+		return "virtual non-secure"
+	case PhysicalSecure:
+		return "physical secure"
+	case VirtualSecure:
+		return "virtual secure"
+	}
+	return fmt.Sprintf("space(%d)", uint8(s))
+}
+
+// Secure reports whether the space is in the secure world (MPAM_NS=0).
+func (s Space) Secure() bool { return s == PhysicalSecure || s == VirtualSecure }
+
+// Virtual reports whether PARTIDs in this space require hypervisor
+// translation.
+func (s Space) Virtual() bool { return s == VirtualNonSecure || s == VirtualSecure }
+
+// Label identifies the origin of a memory request.
+type Label struct {
+	Space  Space
+	PARTID PARTID
+	PMG    PMG
+}
+
+// String implements fmt.Stringer.
+func (l Label) String() string {
+	return fmt.Sprintf("%s PARTID %d PMG %d", l.Space, l.PARTID, l.PMG)
+}
+
+// VirtMap is the hypervisor-controlled mapping from a guest's virtual
+// PARTIDs to physical PARTIDs (mapping system registers / translation
+// tables in the architecture). Each guest owns a contiguous vPARTID
+// space starting at zero.
+type VirtMap struct {
+	table []PARTID
+}
+
+// NewVirtMap builds a mapping: vPARTID i translates to table[i].
+func NewVirtMap(table []PARTID) *VirtMap {
+	return &VirtMap{table: append([]PARTID(nil), table...)}
+}
+
+// Size returns the number of virtual PARTIDs the guest may use.
+func (m *VirtMap) Size() int { return len(m.table) }
+
+// Translate maps a virtual PARTID to its physical PARTID. Out-of-range
+// vPARTIDs are an error (the architecture raises an exception; callers
+// typically fall back to the guest's default physical PARTID).
+func (m *VirtMap) Translate(v PARTID) (PARTID, error) {
+	if int(v) >= len(m.table) {
+		return 0, fmt.Errorf("mpam: vPARTID %d outside the delegated space of %d entries", v, len(m.table))
+	}
+	return m.table[v], nil
+}
+
+// Resolve converts a request label to the physical label the memory
+// system sees: virtual spaces translate the PARTID through the guest's
+// map and collapse onto the physical space of the same security world.
+func Resolve(l Label, m *VirtMap) (Label, error) {
+	if !l.Space.Virtual() {
+		return l, nil
+	}
+	if m == nil {
+		return Label{}, fmt.Errorf("mpam: virtual label %v without a PARTID map", l)
+	}
+	p, err := m.Translate(l.PARTID)
+	if err != nil {
+		return Label{}, err
+	}
+	out := Label{PARTID: p, PMG: l.PMG, Space: PhysicalNonSecure}
+	if l.Space.Secure() {
+		out.Space = PhysicalSecure
+	}
+	return out, nil
+}

@@ -1,0 +1,183 @@
+package mpam
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// MaxMonitors is the architectural limit per monitor type per resource
+// (2^16).
+const MaxMonitors = 1 << 16
+
+// RequestType filters monitored requests by direction.
+type RequestType uint8
+
+// Monitor request-type filters.
+const (
+	MatchAny RequestType = iota
+	MatchReads
+	MatchWrites
+)
+
+// Filter selects which requests a monitor accounts: by PARTID always,
+// by PMG optionally, and by request type.
+type Filter struct {
+	PARTID   PARTID
+	MatchPMG bool
+	PMG      PMG
+	Type     RequestType
+}
+
+// Matches reports whether a request with the given label and direction
+// passes the filter.
+func (f Filter) Matches(l Label, write bool) bool {
+	if l.PARTID != f.PARTID {
+		return false
+	}
+	if f.MatchPMG && l.PMG != f.PMG {
+		return false
+	}
+	switch f.Type {
+	case MatchReads:
+		return !write
+	case MatchWrites:
+		return write
+	}
+	return true
+}
+
+// BandwidthMonitor is a memory-bandwidth usage monitor: it counts the
+// bytes transferred by requests matching its filter. A capture
+// register optionally freezes the running value on a capture event so
+// a set of monitors can be read out coherently.
+type BandwidthMonitor struct {
+	Filter Filter
+
+	bytes    uint64
+	captured uint64
+	hasCap   bool
+}
+
+// Record accounts one transfer.
+func (m *BandwidthMonitor) Record(l Label, bytes int, write bool) {
+	if m.Filter.Matches(l, write) {
+		m.bytes += uint64(bytes)
+	}
+}
+
+// Value returns the running byte count.
+func (m *BandwidthMonitor) Value() uint64 { return m.bytes }
+
+// Reset clears the running count.
+func (m *BandwidthMonitor) Reset() { m.bytes = 0 }
+
+// Capture latches the running value into the capture register. In
+// hardware the event may be a timer interrupt or a write to a capture
+// register; callers model either by invoking this method.
+func (m *BandwidthMonitor) Capture() { m.captured, m.hasCap = m.bytes, true }
+
+// ReadCapture returns the captured value, and whether a capture has
+// occurred.
+func (m *BandwidthMonitor) ReadCapture() (uint64, bool) { return m.captured, m.hasCap }
+
+// CacheStorageMonitor is a cache-storage usage monitor: it reports the
+// cache occupancy (in bytes) of the lines whose owner matches its
+// filter. It reads the live cache model, which is exactly the
+// architectural semantic (occupancy, not a flow count).
+type CacheStorageMonitor struct {
+	Filter Filter
+
+	cache    *cache.Cache
+	lineSize int
+
+	captured uint64
+	hasCap   bool
+}
+
+// NewCacheStorageMonitor attaches a monitor to a cache whose owners
+// are encoded labels (see EncodeOwner).
+func NewCacheStorageMonitor(c *cache.Cache, f Filter) *CacheStorageMonitor {
+	return &CacheStorageMonitor{Filter: f, cache: c, lineSize: c.Config().LineSize}
+}
+
+// Value returns the matching occupancy in bytes. With MatchPMG unset
+// the monitor sums over all PMGs of the PARTID.
+func (m *CacheStorageMonitor) Value() uint64 {
+	lines := 0
+	if m.Filter.MatchPMG {
+		lines = m.cache.Occupancy(EncodeOwner(Label{PARTID: m.Filter.PARTID, PMG: m.Filter.PMG}))
+	} else {
+		for pmg := 0; pmg < 256; pmg++ {
+			lines += m.cache.Occupancy(EncodeOwner(Label{PARTID: m.Filter.PARTID, PMG: PMG(pmg)}))
+		}
+	}
+	return uint64(lines) * uint64(m.lineSize)
+}
+
+// Capture latches the current occupancy.
+func (m *CacheStorageMonitor) Capture() { m.captured, m.hasCap = m.Value(), true }
+
+// ReadCapture returns the captured value, and whether a capture has
+// occurred.
+func (m *CacheStorageMonitor) ReadCapture() (uint64, bool) { return m.captured, m.hasCap }
+
+// EncodeOwner packs a label into a cache.Owner so cache occupancy is
+// attributable per (PARTID, PMG).
+func EncodeOwner(l Label) cache.Owner {
+	return cache.Owner(int(l.PARTID)<<8 | int(l.PMG))
+}
+
+// DecodeOwner unpacks an owner produced by EncodeOwner.
+func DecodeOwner(o cache.Owner) Label {
+	return Label{PARTID: PARTID(int(o) >> 8), PMG: PMG(int(o) & 0xFF)}
+}
+
+// MonitorSet manages a resource's monitors and fans recorded traffic
+// out to them.
+type MonitorSet struct {
+	bw  []*BandwidthMonitor
+	csu []*CacheStorageMonitor
+}
+
+// NewMonitorSet returns an empty set.
+func NewMonitorSet() *MonitorSet { return &MonitorSet{} }
+
+// AddBandwidth installs a bandwidth monitor.
+func (s *MonitorSet) AddBandwidth(f Filter) (*BandwidthMonitor, error) {
+	if len(s.bw) >= MaxMonitors {
+		return nil, fmt.Errorf("mpam: bandwidth monitor limit %d reached", MaxMonitors)
+	}
+	m := &BandwidthMonitor{Filter: f}
+	s.bw = append(s.bw, m)
+	return m, nil
+}
+
+// AddCacheStorage installs a cache-storage monitor on the given cache.
+func (s *MonitorSet) AddCacheStorage(c *cache.Cache, f Filter) (*CacheStorageMonitor, error) {
+	if len(s.csu) >= MaxMonitors {
+		return nil, fmt.Errorf("mpam: cache-storage monitor limit %d reached", MaxMonitors)
+	}
+	m := NewCacheStorageMonitor(c, f)
+	s.csu = append(s.csu, m)
+	return m, nil
+}
+
+// RecordBandwidth feeds a completed transfer to every bandwidth
+// monitor.
+func (s *MonitorSet) RecordBandwidth(l Label, bytes int, write bool) {
+	for _, m := range s.bw {
+		m.Record(l, bytes, write)
+	}
+}
+
+// CaptureAll latches every monitor's capture register at once — the
+// "freeze then read out sequentially" usage the paper describes.
+func (s *MonitorSet) CaptureAll() {
+	for _, m := range s.bw {
+		m.Capture()
+	}
+	for _, m := range s.csu {
+		m.Capture()
+	}
+}

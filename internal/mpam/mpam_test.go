@@ -1,0 +1,303 @@
+package mpam
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+)
+
+func TestSpaceProperties(t *testing.T) {
+	cases := []struct {
+		s       Space
+		secure  bool
+		virtual bool
+	}{
+		{PhysicalNonSecure, false, false},
+		{VirtualNonSecure, false, true},
+		{PhysicalSecure, true, false},
+		{VirtualSecure, true, true},
+	}
+	for _, c := range cases {
+		if c.s.Secure() != c.secure || c.s.Virtual() != c.virtual {
+			t.Errorf("%v: secure=%v virtual=%v", c.s, c.s.Secure(), c.s.Virtual())
+		}
+		if c.s.String() == "" {
+			t.Errorf("%v has empty String", c.s)
+		}
+	}
+}
+
+func TestVirtMapTranslate(t *testing.T) {
+	m := NewVirtMap([]PARTID{10, 11, 12})
+	if m.Size() != 3 {
+		t.Errorf("Size = %d", m.Size())
+	}
+	p, err := m.Translate(1)
+	if err != nil || p != 11 {
+		t.Errorf("Translate(1) = %d, %v", p, err)
+	}
+	if _, err := m.Translate(3); err == nil {
+		t.Error("out-of-range vPARTID accepted")
+	}
+}
+
+func TestResolveVirtualLabels(t *testing.T) {
+	m := NewVirtMap([]PARTID{10, 11})
+	got, err := Resolve(Label{Space: VirtualNonSecure, PARTID: 1, PMG: 3}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Label{Space: PhysicalNonSecure, PARTID: 11, PMG: 3}
+	if got != want {
+		t.Errorf("Resolve = %+v, want %+v", got, want)
+	}
+	// Secure virtual resolves into the secure physical space: the
+	// security worlds stay separated (side-channel mitigation).
+	got, err = Resolve(Label{Space: VirtualSecure, PARTID: 0}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Space != PhysicalSecure || got.PARTID != 10 {
+		t.Errorf("secure Resolve = %+v", got)
+	}
+	// Physical labels pass through untouched.
+	phys := Label{Space: PhysicalNonSecure, PARTID: 5}
+	if got, _ := Resolve(phys, nil); got != phys {
+		t.Errorf("physical Resolve changed label: %+v", got)
+	}
+	if _, err := Resolve(Label{Space: VirtualNonSecure, PARTID: 0}, nil); err == nil {
+		t.Error("virtual label without map accepted")
+	}
+	if _, err := Resolve(Label{Space: VirtualNonSecure, PARTID: 9}, m); err == nil {
+		t.Error("out-of-range virtual PARTID accepted")
+	}
+}
+
+func TestPortionBitmap(t *testing.T) {
+	bm, err := NewPortionBitmap(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bm.Set(99); err != nil {
+		t.Fatal(err)
+	}
+	if !bm.Has(99) || bm.Has(98) {
+		t.Error("Set/Has broken")
+	}
+	if bm.Count() != 1 {
+		t.Errorf("Count = %d", bm.Count())
+	}
+	if err := bm.Clear(99); err != nil || bm.Has(99) {
+		t.Error("Clear broken")
+	}
+	if err := bm.Set(100); err == nil {
+		t.Error("out-of-range Set accepted")
+	}
+	if bm.Has(-1) || bm.Has(1000) {
+		t.Error("out-of-range Has true")
+	}
+	if _, err := NewPortionBitmap(0); err == nil {
+		t.Error("zero portions accepted")
+	}
+	if _, err := NewPortionBitmap(MaxCachePortions + 1); err == nil {
+		t.Error("oversized bitmap accepted")
+	}
+}
+
+func TestFig3PortionAssignment(t *testing.T) {
+	// Fig. 3: 8 portions, two PARTIDs; each has a private region and
+	// one portion is shared.
+	ctl, err := NewCachePortionControl(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Grant(1, 0, 1, 2, 3); err != nil { // private 0-2, shared 3
+		t.Fatal(err)
+	}
+	if err := ctl.Grant(2, 3, 4, 5, 6); err != nil { // shared 3, private 4-6
+		t.Fatal(err)
+	}
+	// Private portions are exclusive.
+	if ctl.Allowed(2, 0) || ctl.Allowed(1, 5) {
+		t.Error("private portion reachable by the other PARTID")
+	}
+	// The shared portion is reachable by both.
+	if !ctl.Allowed(1, 3) || !ctl.Allowed(2, 3) {
+		t.Error("shared portion not reachable")
+	}
+	// Portion 7 belongs to nobody's bitmap: unreachable for granted
+	// PARTIDs, open for unregulated ones.
+	if ctl.Allowed(1, 7) || ctl.Allowed(2, 7) {
+		t.Error("ungranted portion reachable by granted PARTID")
+	}
+	if !ctl.Allowed(99, 7) {
+		t.Error("unregulated PARTID should be open")
+	}
+}
+
+func TestCachePortionWayPolicy(t *testing.T) {
+	ctl, _ := NewCachePortionControl(8)
+	_ = ctl.Grant(1, 0, 1)
+	pol, err := ctl.WayPolicy(16) // 2 ways per portion
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pol.AllowedWays(cache.Owner(1), 0); got != 0b1111 {
+		t.Errorf("PARTID 1 ways = %#b, want 0b1111", got)
+	}
+	if got := pol.AllowedWays(cache.Owner(7), 0); got != 0xFFFF {
+		t.Errorf("unregulated ways = %#x, want 0xFFFF", got)
+	}
+	if _, err := ctl.WayPolicy(12); err == nil {
+		t.Error("non-divisible way count accepted")
+	}
+	// End to end: PARTID 1 confined to 4 of 16 ways.
+	c, err := cache.New(cache.Config{Sets: 4, Ways: 16, LineSize: 64, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tag := uint64(0); tag < 32; tag++ {
+		c.Access(cache.Owner(1), (tag*4)<<6<<2, false)
+	}
+	if got := c.Occupancy(cache.Owner(1)); got > 4*4 {
+		t.Errorf("PARTID 1 occupies %d lines, cap is 16", got)
+	}
+}
+
+func TestMaxCapacityControl(t *testing.T) {
+	mc := NewMaxCapacityControl()
+	if err := mc.SetFraction(1, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.SetFraction(1, 0); err == nil {
+		t.Error("zero fraction accepted")
+	}
+	if err := mc.SetFraction(1, 1.5); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	pol := mc.Policy(nil, 64)
+	c, err := cache.New(cache.Config{Sets: 16, Ways: 4, LineSize: 64, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol.BindCache(c)
+	for a := uint64(0); a < 64; a++ {
+		c.Access(cache.Owner(1), a*64, false)
+	}
+	if got := c.Occupancy(cache.Owner(1)); got != 16 {
+		t.Errorf("occupancy = %d, want capped at 25%% of 64 = 16", got)
+	}
+}
+
+func TestFilterMatching(t *testing.T) {
+	l := Label{PARTID: 3, PMG: 7}
+	cases := []struct {
+		f     Filter
+		write bool
+		want  bool
+	}{
+		{Filter{PARTID: 3}, false, true},
+		{Filter{PARTID: 4}, false, false},
+		{Filter{PARTID: 3, MatchPMG: true, PMG: 7}, false, true},
+		{Filter{PARTID: 3, MatchPMG: true, PMG: 6}, false, false},
+		{Filter{PARTID: 3, Type: MatchReads}, false, true},
+		{Filter{PARTID: 3, Type: MatchReads}, true, false},
+		{Filter{PARTID: 3, Type: MatchWrites}, true, true},
+		{Filter{PARTID: 3, Type: MatchWrites}, false, false},
+	}
+	for i, c := range cases {
+		if got := c.f.Matches(l, c.write); got != c.want {
+			t.Errorf("case %d: Matches = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestBandwidthMonitorAndCapture(t *testing.T) {
+	m := &BandwidthMonitor{Filter: Filter{PARTID: 1, Type: MatchReads}}
+	m.Record(Label{PARTID: 1}, 64, false)
+	m.Record(Label{PARTID: 1}, 64, true) // write: filtered out
+	m.Record(Label{PARTID: 2}, 64, false)
+	if m.Value() != 64 {
+		t.Errorf("Value = %d, want 64", m.Value())
+	}
+	if _, ok := m.ReadCapture(); ok {
+		t.Error("capture set before Capture()")
+	}
+	m.Capture()
+	m.Record(Label{PARTID: 1}, 64, false)
+	got, ok := m.ReadCapture()
+	if !ok || got != 64 {
+		t.Errorf("ReadCapture = %d,%v, want 64,true", got, ok)
+	}
+	if m.Value() != 128 {
+		t.Errorf("running value = %d, want 128", m.Value())
+	}
+	m.Reset()
+	if m.Value() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestCacheStorageMonitor(t *testing.T) {
+	c, err := cache.New(cache.Config{Sets: 16, Ways: 4, LineSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two PMGs of PARTID 1, one line each; PARTID 2 one line.
+	c.Access(EncodeOwner(Label{PARTID: 1, PMG: 0}), 0, false)
+	c.Access(EncodeOwner(Label{PARTID: 1, PMG: 1}), 1<<20, false)
+	c.Access(EncodeOwner(Label{PARTID: 2, PMG: 0}), 2<<20, false)
+
+	whole := NewCacheStorageMonitor(c, Filter{PARTID: 1})
+	if got := whole.Value(); got != 128 {
+		t.Errorf("PARTID-wide occupancy = %d, want 128", got)
+	}
+	pmg1 := NewCacheStorageMonitor(c, Filter{PARTID: 1, MatchPMG: true, PMG: 1})
+	if got := pmg1.Value(); got != 64 {
+		t.Errorf("PMG occupancy = %d, want 64", got)
+	}
+	pmg1.Capture()
+	if got, ok := pmg1.ReadCapture(); !ok || got != 64 {
+		t.Errorf("capture = %d,%v", got, ok)
+	}
+}
+
+func TestEncodeDecodeOwner(t *testing.T) {
+	l := Label{PARTID: 300, PMG: 17}
+	if got := DecodeOwner(EncodeOwner(l)); got.PARTID != 300 || got.PMG != 17 {
+		t.Errorf("roundtrip = %+v", got)
+	}
+}
+
+func TestQuickOwnerRoundtrip(t *testing.T) {
+	f := func(id uint16, pmg uint8) bool {
+		l := Label{PARTID: PARTID(id), PMG: PMG(pmg)}
+		d := DecodeOwner(EncodeOwner(l))
+		return d.PARTID == l.PARTID && d.PMG == l.PMG
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonitorSetLimitsAndCaptureAll(t *testing.T) {
+	s := NewMonitorSet()
+	m1, err := s.AddBandwidth(Filter{PARTID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := cache.New(cache.Config{Sets: 4, Ways: 2, LineSize: 64})
+	m2, err := s.AddCacheStorage(c, Filter{PARTID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RecordBandwidth(Label{PARTID: 1}, 256, false)
+	s.CaptureAll()
+	if v, ok := m1.ReadCapture(); !ok || v != 256 {
+		t.Errorf("bw capture = %d,%v", v, ok)
+	}
+	if _, ok := m2.ReadCapture(); !ok {
+		t.Error("csu capture missing")
+	}
+}

@@ -1,0 +1,142 @@
+package netcalc
+
+import (
+	"math"
+)
+
+// DelayBound returns the horizontal deviation h(alpha, beta): the
+// worst-case delay of a flow with arrival curve alpha served with
+// service curve beta (FIFO per flow). It returns +Inf when the arrival
+// rate exceeds the long-run service rate.
+func DelayBound(alpha, beta Curve) float64 {
+	if alpha.finalSlope > beta.finalSlope+eps {
+		return math.Inf(1)
+	}
+	// h = sup_t [ beta^{-1}(alpha(t)) - t ]. The supremum of this
+	// piecewise-linear expression is attained either at a breakpoint of
+	// alpha or at a t where alpha(t) crosses a breakpoint level of beta.
+	var ts []float64
+	for _, p := range alpha.normPoints() {
+		ts = append(ts, p.X)
+	}
+	for _, p := range beta.normPoints() {
+		if t := alpha.Inverse(p.Y); !math.IsInf(t, 1) {
+			ts = append(ts, t)
+		}
+	}
+	ts = sortedUnique(ts)
+	worst := 0.0
+	for _, t := range ts {
+		y := alpha.Eval(t)
+		// The sup over t may only be approached from the right of a
+		// candidate when beta has a flat segment at level y; the strict
+		// inverse captures that limit.
+		d := beta.Inverse(y) - t
+		if dr := beta.InverseStrict(y) - t; alpha.SlopeAt(t) > 0 && dr > d {
+			d = dr
+		}
+		if math.IsInf(d, 1) {
+			return math.Inf(1)
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// BacklogBound returns the vertical deviation v(alpha, beta): the
+// worst-case backlog (buffer requirement) of a flow with arrival curve
+// alpha served with service curve beta. It returns +Inf when the
+// arrival rate exceeds the long-run service rate.
+func BacklogBound(alpha, beta Curve) float64 {
+	if alpha.finalSlope > beta.finalSlope+eps {
+		return math.Inf(1)
+	}
+	xs := mergedBreakXs(alpha, beta, nil)
+	worst := 0.0
+	for _, x := range xs {
+		if d := alpha.Eval(x) - beta.Eval(x); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// OutputArrival bounds the arrival curve of a flow at the output of a
+// server: alpha (/) beta. It is a convenience wrapper over Deconvolve
+// that propagates unboundedness as +Inf burst.
+func OutputArrival(alpha, beta Curve) Curve {
+	out, err := Deconvolve(alpha, beta)
+	if err != nil {
+		return Affine(math.Inf(1), alpha.finalSlope)
+	}
+	return out
+}
+
+// TDMAService returns a lower service curve for a TDMA arbiter that
+// grants the flow a slot of length slot every cycle of length cycle on
+// a resource with the given rate. The exact staircase lower bound is
+// emitted for `periods` cycles and then continued conservatively with
+// the long-run average rate (which never overestimates service).
+// Section II of the paper contrasts this with reservation-based
+// scheduling: TDMA gives hard isolation at the price of a large
+// service latency (cycle - slot).
+func TDMAService(rate, slot, cycle float64, periods int) Curve {
+	if slot <= 0 || cycle <= 0 || slot > cycle || rate <= 0 {
+		return Zero()
+	}
+	if periods < 1 {
+		periods = 1
+	}
+	// Worst case: the flow's slot has just ended, so it waits
+	// cycle-slot before service resumes.
+	gap := cycle - slot
+	pts := []Point{{0, 0}}
+	y := 0.0
+	for k := 0; k < periods; k++ {
+		start := gap + float64(k)*cycle
+		end := start + slot
+		pts = append(pts, Point{start, y})
+		y += rate * slot
+		pts = append(pts, Point{end, y})
+	}
+	// Conservative continuation at the long-run average rate, anchored
+	// at the last full-service point.
+	avg := rate * slot / cycle
+	c, err := NewCurve(dedupeXs(pts), avg)
+	if err != nil {
+		return Zero()
+	}
+	return c
+}
+
+// dedupeXs merges points with coincident Xs (slot == cycle makes the
+// gap zero) keeping the larger Y.
+func dedupeXs(pts []Point) []Point {
+	out := pts[:0]
+	for _, p := range pts {
+		if len(out) > 0 && almostEqual(out[len(out)-1].X, p.X) {
+			if p.Y > out[len(out)-1].Y {
+				out[len(out)-1].Y = p.Y
+			}
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// CBSService returns the service curve of a Constant Bandwidth Server
+// with budget Q every period P on a resource of the given rate: the
+// classic rate-latency curve with rate Q/P*rate and latency 2*(P-Q)
+// (worst case: budget exhausted at the start of a period). This models
+// the reservation-based scheduling the paper advocates in Section II.
+func CBSService(rate, budget, period float64) Curve {
+	if budget <= 0 || period <= 0 || budget > period {
+		return Zero()
+	}
+	bw := rate * budget / period
+	latency := 2 * (period - budget)
+	return RateLatency(bw, latency)
+}

@@ -1,0 +1,281 @@
+package netcalc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestDelayBoundTokenBucketRateLatency(t *testing.T) {
+	// Classic closed form: h = T + b/R for (b,r) through (R,T), r <= R.
+	alpha := TokenBucket(8, 2)
+	beta := RateLatency(4, 5)
+	want := 5 + 8.0/4
+	if got := DelayBound(alpha, beta); !almostEqual(got, want) {
+		t.Errorf("DelayBound = %v, want %v", got, want)
+	}
+}
+
+func TestDelayBoundUnstable(t *testing.T) {
+	if got := DelayBound(TokenBucket(1, 10), RateLatency(2, 0)); !math.IsInf(got, 1) {
+		t.Errorf("unstable system DelayBound = %v, want +Inf", got)
+	}
+}
+
+func TestBacklogBoundTokenBucketRateLatency(t *testing.T) {
+	// Classic closed form: v = b + r*T.
+	alpha := TokenBucket(8, 2)
+	beta := RateLatency(4, 5)
+	want := 8 + 2*5.0
+	if got := BacklogBound(alpha, beta); !almostEqual(got, want) {
+		t.Errorf("BacklogBound = %v, want %v", got, want)
+	}
+	if got := BacklogBound(TokenBucket(1, 10), RateLatency(2, 0)); !math.IsInf(got, 1) {
+		t.Errorf("unstable backlog = %v, want +Inf", got)
+	}
+}
+
+func TestDelayBoundZeroArrival(t *testing.T) {
+	if got := DelayBound(Zero(), RateLatency(1, 7)); got != 0 {
+		t.Errorf("zero arrival delay = %v, want 0", got)
+	}
+}
+
+func TestResidualService(t *testing.T) {
+	// Leftover of RateLatency(4, 2) after a (2,1) cross flow:
+	// beta(t)-alpha(t) = 4(t-2) - (2+t); positive from t where
+	// 4t-8-2-t>0 -> t > 10/3; slope 3.
+	beta := RateLatency(4, 2)
+	cross := TokenBucket(2, 1)
+	res := Residual(beta, cross)
+	if got := res.Eval(10.0 / 3); math.Abs(got) > 1e-9 {
+		t.Errorf("residual at crossing = %v, want 0", got)
+	}
+	if got := res.Eval(10.0/3 + 3); !almostEqual(got, 9) {
+		t.Errorf("residual slope wrong: f(x0+3) = %v, want 9", got)
+	}
+	if res.Eval(1) != 0 {
+		t.Error("residual should be 0 before crossing")
+	}
+}
+
+func TestResidualDominatedFlow(t *testing.T) {
+	// Cross traffic faster than the server: residual is identically 0.
+	res := Residual(RateLatency(2, 1), TokenBucket(5, 3))
+	if !res.IsZero() {
+		t.Errorf("dominated residual = %v, want zero", res)
+	}
+}
+
+func TestResidualNonDecreasing(t *testing.T) {
+	res := Residual(RateLatency(4, 2), MustCurve([]Point{{0, 1}, {5, 30}}, 1))
+	prev := -1.0
+	for x := 0.0; x <= 40; x += 0.25 {
+		v := res.Eval(x)
+		if v < prev-1e-9 {
+			t.Fatalf("residual decreasing at %v: %v < %v (%v)", x, v, prev, res)
+		}
+		prev = v
+	}
+}
+
+func TestTDMAService(t *testing.T) {
+	// Slot 2 out of cycle 10 at rate 5: latency 8, then 10 units per
+	// slot.
+	c := TDMAService(5, 2, 10, 3)
+	if got := c.Eval(8); got != 0 {
+		t.Errorf("TDMA before first slot = %v, want 0", got)
+	}
+	if got := c.Eval(10); !almostEqual(got, 10) {
+		t.Errorf("TDMA after first slot = %v, want 10", got)
+	}
+	if got := c.Eval(18); !almostEqual(got, 10) {
+		t.Errorf("TDMA during gap = %v, want 10", got)
+	}
+	if got := c.Eval(20); !almostEqual(got, 20) {
+		t.Errorf("TDMA after second slot = %v, want 20", got)
+	}
+	// Long-run continuation never exceeds the true staircase average.
+	if got := c.FinalSlope(); !almostEqual(got, 1) {
+		t.Errorf("TDMA final slope = %v, want 1", got)
+	}
+	if !TDMAService(5, 0, 10, 3).IsZero() {
+		t.Error("degenerate TDMA should be zero")
+	}
+	// Full allocation: slot == cycle behaves like a plain rate.
+	full := TDMAService(5, 10, 10, 2)
+	if got := full.Eval(4); !almostEqual(got, 20) {
+		t.Errorf("full TDMA Eval(4) = %v, want 20", got)
+	}
+}
+
+func TestCBSService(t *testing.T) {
+	c := CBSService(4, 2, 10)
+	// Bandwidth 4*2/10 = 0.8, latency 2*(10-2) = 16.
+	if got := c.Eval(16); got != 0 {
+		t.Errorf("CBS at latency = %v, want 0", got)
+	}
+	if got := c.Eval(26); !almostEqual(got, 8) {
+		t.Errorf("CBS Eval(26) = %v, want 8", got)
+	}
+	if !CBSService(4, 0, 10).IsZero() {
+		t.Error("degenerate CBS should be zero")
+	}
+}
+
+func TestOpsAddMinMax(t *testing.T) {
+	a := TokenBucket(4, 1)
+	b := RateLatency(2, 3)
+	sum := Add(a, b)
+	if got := sum.Eval(5); !almostEqual(got, (4+5)+(2*2)) {
+		t.Errorf("Add Eval(5) = %v", got)
+	}
+	mn := Min(a, b)
+	mx := Max(a, b)
+	for x := 0.0; x <= 20; x += 0.5 {
+		if got, want := mn.Eval(x), math.Min(a.Eval(x), b.Eval(x)); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("Min(%v) = %v, want %v", x, got, want)
+		}
+		if got, want := mx.Eval(x), math.Max(a.Eval(x), b.Eval(x)); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("Max(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestOpsScaleShift(t *testing.T) {
+	a := TokenBucket(4, 1)
+	if got := Scale(a, 2.5).Eval(2); !almostEqual(got, 15) {
+		t.Errorf("Scale Eval = %v, want 15", got)
+	}
+	sh := ShiftRight(RateLatency(2, 3), 4)
+	if !sh.Equal(RateLatency(2, 7)) {
+		t.Errorf("ShiftRight = %v, want RateLatency(2,7)", sh)
+	}
+	if got := ShiftRight(a, 0); !got.Equal(a) {
+		t.Error("ShiftRight by 0 changed curve")
+	}
+}
+
+func TestQuickDelayBoundIsSufficient(t *testing.T) {
+	// Property: the computed delay bound d satisfies
+	// alpha(t) <= beta(t+d) for all t (it is a genuine bound).
+	f := func(b, r, rate, lat uint8) bool {
+		alpha := TokenBucket(float64(b%40), float64(r%5))
+		beta := RateLatency(float64(rate%6)+float64(r%5)+0.5, float64(lat%15))
+		d := DelayBound(alpha, beta)
+		if math.IsInf(d, 1) {
+			return true
+		}
+		for x := 0.0; x <= 200; x += 1.0 {
+			if alpha.Eval(x) > beta.Eval(x+d)+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShaperBasics(t *testing.T) {
+	s, err := NewShaper(8, 0.5) // 8 units burst, 0.5 units/ns
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := sim.Time(0)
+	if !s.Take(now, 8) {
+		t.Fatal("full bucket should admit burst-sized request")
+	}
+	if s.Take(now, 1) {
+		t.Fatal("empty bucket admitted request")
+	}
+	// After 10ns, 5 tokens accrued.
+	now = sim.NS(10)
+	if !s.Conforms(now, 5) {
+		t.Error("expected 5 tokens after 10ns at 0.5/ns")
+	}
+	if s.Conforms(now, 5.1) {
+		t.Error("over-conformance")
+	}
+}
+
+func TestShaperEarliestConforming(t *testing.T) {
+	s, _ := NewShaper(4, 1) // 1 unit per ns
+	now := sim.Time(0)
+	s.Take(now, 4)
+	if got := s.EarliestConforming(now, 2); got != sim.NS(2) {
+		t.Errorf("EarliestConforming = %v, want 2ns", got)
+	}
+	if got := s.EarliestConforming(now, 5); got != sim.Forever {
+		t.Errorf("oversized request = %v, want Forever", got)
+	}
+	z, _ := NewShaper(1, 0)
+	z.Take(0, 1)
+	if got := z.EarliestConforming(0, 1); got != sim.Forever {
+		t.Errorf("zero-rate refill = %v, want Forever", got)
+	}
+}
+
+func TestShaperSetRate(t *testing.T) {
+	s, _ := NewShaper(10, 1)
+	s.Take(0, 10)
+	s.SetRate(sim.NS(4), 2) // 4 tokens accrued at old rate first
+	if !s.Conforms(sim.NS(4), 4) {
+		t.Error("tokens at old rate not accrued before rate change")
+	}
+	if got := s.EarliestConforming(sim.NS(4), 8); got != sim.NS(6) {
+		t.Errorf("refill at new rate: got %v, want 6ns", got)
+	}
+	if s.Rate() != 2 {
+		t.Errorf("Rate = %v", s.Rate())
+	}
+}
+
+func TestShaperCapsAtBurst(t *testing.T) {
+	s, _ := NewShaper(3, 100)
+	if s.Conforms(sim.NS(1000), 3.5) {
+		t.Error("bucket exceeded capacity")
+	}
+	if !s.Conforms(sim.NS(1000), 3) {
+		t.Error("bucket should be full")
+	}
+}
+
+func TestShaperEnforcesCurveProperty(t *testing.T) {
+	// Property: total admitted traffic over any run never exceeds the
+	// shaping curve b + r*t.
+	f := func(seed uint64, burst8, rate8 uint8) bool {
+		burst := float64(burst8%20) + 1
+		rate := float64(rate8%4)*0.25 + 0.25
+		s, _ := NewShaper(burst, rate)
+		rnd := sim.NewRand(seed)
+		now := sim.Time(0)
+		admitted := 0.0
+		for i := 0; i < 200; i++ {
+			now += rnd.Duration(sim.NS(10))
+			size := 1 + float64(rnd.Intn(3))
+			if s.Take(now, size) {
+				admitted += size
+			}
+			if admitted > burst+rate*now.Nanoseconds()+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewShaperRejectsNegative(t *testing.T) {
+	if _, err := NewShaper(-1, 1); err == nil {
+		t.Error("negative burst accepted")
+	}
+	if _, err := NewShaper(1, -1); err == nil {
+		t.Error("negative rate accepted")
+	}
+}

@@ -1,0 +1,302 @@
+package netcalc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Convolve returns the min-plus convolution
+//
+//	(f (*) g)(t) = inf_{0<=u<=t} [ f(u) + g(t-u) ]
+//
+// which is the composition operator for service curves: a flow crossing
+// two servers with service curves f and g receives the end-to-end
+// service curve f (*) g. The implementation is exact for arbitrary
+// piecewise-linear wide-sense-increasing curves: each pair of segments
+// is convolved (segments concatenate in ascending slope order) and the
+// result is the lower envelope of all partial convolutions.
+func Convolve(f, g Curve) Curve {
+	// (f (*) g)(t) >= f(0)+g(0); factor the offsets out so that the
+	// segment machinery can assume both operands start at 0.
+	f0, g0 := f.Eval(0), g.Eval(0)
+	fs, gs := segmentsOf(f), segmentsOf(g)
+
+	var partials []partial
+	for _, a := range fs {
+		for _, b := range gs {
+			partials = append(partials, convSegments(a, b))
+		}
+	}
+	env := lowerEnvelope(partials)
+	// Re-apply the offsets.
+	pts := env.Points()
+	for i := range pts {
+		pts[i].Y += f0 + g0
+	}
+	return MustCurve(pts, env.finalSlope)
+}
+
+// ConvolveAll composes a chain of service curves.
+func ConvolveAll(curves ...Curve) Curve {
+	if len(curves) == 0 {
+		return Zero()
+	}
+	out := curves[0]
+	for _, c := range curves[1:] {
+		out = Convolve(out, c)
+	}
+	return out
+}
+
+// Deconvolve returns the min-plus deconvolution
+//
+//	(f (/) g)(t) = sup_{u>=0} [ f(t+u) - g(u) ]
+//
+// used to bound the arrival curve of a flow at the output of a server:
+// if f is the input arrival curve and g the service curve, f (/) g
+// constrains the output. It returns an error if the result is unbounded,
+// i.e. f grows strictly faster than g at infinity.
+func Deconvolve(f, g Curve) (Curve, error) {
+	if f.finalSlope > g.finalSlope+eps {
+		return Curve{}, fmt.Errorf("netcalc: deconvolution unbounded: arrival final slope %g exceeds service final slope %g",
+			f.finalSlope, g.finalSlope)
+	}
+	// For fixed t, u -> f(t+u) - g(u) is piecewise linear; its supremum
+	// is attained at u = 0 or where the slope changes sign, which can
+	// only happen at breakpoints of g or at breakpoints of f shifted by
+	// t. As a function of t the result is piecewise linear with
+	// breakpoints among {xf_i - xg_j} and {xf_i}; evaluating exactly at
+	// those candidates reconstructs the curve.
+	fp, gp := f.normPoints(), g.normPoints()
+	var ts []float64
+	for _, pf := range fp {
+		ts = append(ts, pf.X)
+		for _, pg := range gp {
+			if d := pf.X - pg.X; d >= 0 {
+				ts = append(ts, d)
+			}
+		}
+	}
+	ts = sortedUnique(ts)
+
+	evalAt := func(t float64) float64 {
+		best := math.Inf(-1)
+		consider := func(u float64) {
+			if u < 0 {
+				return
+			}
+			if v := f.Eval(t+u) - g.Eval(u); v > best {
+				best = v
+			}
+		}
+		consider(0)
+		for _, pg := range gp {
+			consider(pg.X)
+		}
+		for _, pf := range fp {
+			consider(pf.X - t)
+		}
+		// If f outruns g on the final pieces the sup is at u -> inf;
+		// slopes were checked above so the limit is finite only when
+		// slopes are equal, in which case the limsup equals the value
+		// at the last breakpoint direction. Sample one far point to
+		// cover the equal-slope case.
+		uFar := lastX(fp) + lastX(gp) + t + 1
+		consider(uFar)
+		if best < 0 {
+			best = 0
+		}
+		return best
+	}
+	return buildFrom(ts, evalAt, f.finalSlope), nil
+}
+
+func lastX(pts []Point) float64 { return pts[len(pts)-1].X }
+
+// segment is one affine piece of a curve. length is +Inf for the final
+// piece.
+type segment struct {
+	x0, y0 float64
+	slope  float64
+	length float64
+}
+
+// segmentsOf decomposes a curve (minus its value at zero) into segments.
+func segmentsOf(c Curve) []segment {
+	pts := c.normPoints()
+	y0 := pts[0].Y
+	var segs []segment
+	for i := 0; i < len(pts); i++ {
+		p := pts[i]
+		if i+1 < len(pts) {
+			q := pts[i+1]
+			segs = append(segs, segment{p.X, p.Y - y0, slope(p, q), q.X - p.X})
+		} else {
+			segs = append(segs, segment{p.X, p.Y - y0, c.finalSlope, math.Inf(1)})
+		}
+	}
+	return segs
+}
+
+// partial is a piecewise-linear function defined on [start, end)
+// (+Inf outside), used as an intermediate in convolution envelopes.
+type partial struct {
+	start  float64
+	pieces []piece // contiguous from start
+}
+
+type piece struct {
+	y0     float64 // value at the piece's start
+	slope  float64
+	length float64 // +Inf allowed only on the last piece
+}
+
+func (p partial) end() float64 {
+	e := p.start
+	for _, pc := range p.pieces {
+		e += pc.length
+	}
+	return e
+}
+
+// eval evaluates the partial at x; outside its domain it returns +Inf.
+func (p partial) eval(x float64) float64 {
+	if x < p.start-eps {
+		return math.Inf(1)
+	}
+	off := x - p.start
+	for _, pc := range p.pieces {
+		if off <= pc.length || math.IsInf(pc.length, 1) {
+			return pc.y0 + pc.slope*math.Min(off, pc.length)
+		}
+		off -= pc.length
+	}
+	return math.Inf(1)
+}
+
+// slopeAt returns the slope of the partial's piece containing x
+// (right-continuous), or 0 outside the domain.
+func (p partial) slopeAt(x float64) float64 {
+	if x < p.start-eps {
+		return 0
+	}
+	off := x - p.start
+	for _, pc := range p.pieces {
+		if off < pc.length {
+			return pc.slope
+		}
+		off -= pc.length
+	}
+	return 0
+}
+
+// breakXs returns the absolute Xs of the partial's piece boundaries.
+func (p partial) breakXs() []float64 {
+	xs := []float64{p.start}
+	x := p.start
+	for _, pc := range p.pieces {
+		if math.IsInf(pc.length, 1) {
+			break
+		}
+		x += pc.length
+		xs = append(xs, x)
+	}
+	return xs
+}
+
+// convSegments convolves two single segments: the result starts at the
+// sum of their start coordinates and concatenates the two segments in
+// ascending slope order (serving the cheaper rate first minimizes the
+// min-plus sum).
+func convSegments(a, b segment) partial {
+	lo, hi := a, b
+	if b.slope < a.slope {
+		lo, hi = b, a
+	}
+	pcs := make([]piece, 0, 2)
+	y := a.y0 + b.y0
+	pcs = append(pcs, piece{y, lo.slope, lo.length})
+	if !math.IsInf(lo.length, 1) {
+		y += lo.slope * lo.length
+		pcs = append(pcs, piece{y, hi.slope, hi.length})
+	}
+	return partial{start: a.x0 + b.x0, pieces: pcs}
+}
+
+// lowerEnvelope computes the pointwise minimum of the partials as a
+// Curve. Candidate breakpoints are all piece boundaries plus all
+// pairwise intersections of pieces; between consecutive candidates the
+// envelope is a single affine piece.
+func lowerEnvelope(partials []partial) Curve {
+	if len(partials) == 0 {
+		return Zero()
+	}
+	var xs []float64
+	for _, p := range partials {
+		xs = append(xs, p.breakXs()...)
+		if e := p.end(); !math.IsInf(e, 1) {
+			xs = append(xs, e)
+		}
+	}
+	// Pairwise intersections.
+	base := sortedUnique(xs)
+	for i := 0; i < len(partials); i++ {
+		for j := i + 1; j < len(partials); j++ {
+			xs = append(xs, partialCrossings(partials[i], partials[j], base)...)
+		}
+	}
+	xs = sortedUnique(xs)
+
+	evalMin := func(x float64) float64 {
+		best := math.Inf(1)
+		for _, p := range partials {
+			if v := p.eval(x); v < best {
+				best = v
+			}
+		}
+		return best
+	}
+	// Determine the final slope: beyond the last candidate exactly one
+	// affine behaviour is minimal (all crossings are candidates), so
+	// probe the argmin just after the last candidate.
+	lastX := xs[len(xs)-1]
+	probe := lastX + 1
+	bestVal, bestSlope := math.Inf(1), 0.0
+	for _, p := range partials {
+		v := p.eval(probe)
+		if math.IsInf(v, 1) {
+			continue
+		}
+		s := p.slopeAt(probe)
+		if v < bestVal-eps || (almostEqual(v, bestVal) && s < bestSlope) {
+			bestVal, bestSlope = v, s
+		}
+	}
+	return buildFrom(xs, evalMin, bestSlope)
+}
+
+// partialCrossings finds intersections of two partials' affine pieces
+// inside the intervals delimited by the base candidate Xs.
+func partialCrossings(a, b partial, base []float64) []float64 {
+	var out []float64
+	for i := 0; i < len(base); i++ {
+		x0 := base[i]
+		x1 := math.Inf(1)
+		if i+1 < len(base) {
+			x1 = base[i+1]
+		}
+		va, vb := a.eval(x0), b.eval(x0)
+		if math.IsInf(va, 1) || math.IsInf(vb, 1) {
+			continue
+		}
+		sa, sb := a.slopeAt(x0), b.slopeAt(x0)
+		if sa == sb {
+			continue
+		}
+		cross := x0 + (vb-va)/(sa-sb)
+		if cross > x0+eps && cross < x1-eps {
+			out = append(out, cross)
+		}
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package netcalc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// belowWithSlack checks an exact infimum against its one-sided grid
+// approximation: the exact value can never exceed the grid value, and
+// must be within the grid's resolution slack below it.
+func belowWithSlack(exact, grid, slack float64) bool {
+	return exact <= grid+1e-9 && grid-exact <= slack
+}
+
+// bruteConv numerically approximates (f (*) g)(t) on a grid.
+func bruteConv(f, g Curve, t float64, steps int) float64 {
+	best := math.Inf(1)
+	for i := 0; i <= steps; i++ {
+		u := t * float64(i) / float64(steps)
+		if v := f.Eval(u) + g.Eval(t-u); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// bruteDeconv numerically approximates (f (/) g)(t).
+func bruteDeconv(f, g Curve, t, horizon float64, steps int) float64 {
+	best := math.Inf(-1)
+	for i := 0; i <= steps; i++ {
+		u := horizon * float64(i) / float64(steps)
+		if v := f.Eval(t+u) - g.Eval(u); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestConvolveRateLatencies(t *testing.T) {
+	// Classic composition: two rate-latency servers concatenate into
+	// RateLatency(min rate, sum of latencies).
+	a := RateLatency(4, 3)
+	b := RateLatency(2, 5)
+	got := Convolve(a, b)
+	want := RateLatency(2, 8)
+	if !got.Equal(want) {
+		t.Errorf("conv = %v, want %v", got, want)
+	}
+}
+
+func TestConvolveTokenBuckets(t *testing.T) {
+	// Concave curves through the origin-offset convention:
+	// conv of two token buckets is the pointwise min shifted by the
+	// smaller burst... verified against brute force.
+	a := TokenBucket(10, 1)
+	b := TokenBucket(4, 3)
+	got := Convolve(a, b)
+	for _, tt := range []float64{0, 0.5, 1, 2, 5, 10, 50} {
+		want := bruteConv(a, b, tt, 4000)
+		if g := got.Eval(tt); !belowWithSlack(g, want, 0.05) {
+			t.Errorf("conv(%v) = %v, brute %v", tt, g, want)
+		}
+	}
+}
+
+func TestConvolveWithZero(t *testing.T) {
+	// (f (*) 0)(t) = inf_u f(u) + 0 = f(0); with the right-continuous
+	// token-bucket convention the result is the constant burst.
+	a := TokenBucket(10, 1)
+	got := Convolve(a, Zero())
+	if !got.Equal(Constant(10)) {
+		t.Errorf("conv with zero = %v, want Constant(10)", got)
+	}
+	if !Convolve(Zero(), Zero()).IsZero() {
+		t.Error("conv of zeros should be zero")
+	}
+}
+
+func TestConvolveIdentityDelta(t *testing.T) {
+	// A huge-rate zero-latency server is a near-identity for conv.
+	a := RateLatency(2, 5)
+	id := RateLatency(1e12, 0)
+	got := Convolve(a, id)
+	for _, tt := range []float64{0, 5, 6, 10, 100} {
+		if g, w := got.Eval(tt), a.Eval(tt); math.Abs(g-w) > 1e-3 {
+			t.Errorf("conv-with-identity(%v) = %v, want %v", tt, g, w)
+		}
+	}
+}
+
+func TestConvolveGeneralPiecewise(t *testing.T) {
+	// Non-convex, non-concave staircase-ish curves: validate the
+	// envelope algorithm against brute force.
+	f := MustCurve([]Point{{0, 0}, {2, 0}, {3, 5}, {6, 5}}, 2)
+	g := MustCurve([]Point{{0, 1}, {1, 1}, {2, 6}}, 0.5)
+	got := Convolve(f, g)
+	for tt := 0.0; tt <= 20; tt += 0.25 {
+		want := bruteConv(f, g, tt, 8000)
+		if gv := got.Eval(tt); !belowWithSlack(gv, want, 0.02) {
+			t.Fatalf("conv(%v) = %v, brute %v (curve %v)", tt, gv, want, got)
+		}
+	}
+}
+
+func TestConvolveCommutative(t *testing.T) {
+	f := MustCurve([]Point{{0, 0}, {2, 0}, {3, 5}}, 1)
+	g := TokenBucket(3, 0.5)
+	ab, ba := Convolve(f, g), Convolve(g, f)
+	for tt := 0.0; tt <= 15; tt += 0.5 {
+		if math.Abs(ab.Eval(tt)-ba.Eval(tt)) > 1e-9 {
+			t.Fatalf("conv not commutative at %v: %v vs %v", tt, ab.Eval(tt), ba.Eval(tt))
+		}
+	}
+}
+
+func TestConvolveAllChain(t *testing.T) {
+	e2e := ConvolveAll(RateLatency(10, 1), RateLatency(5, 2), RateLatency(8, 0.5))
+	want := RateLatency(5, 3.5)
+	if !e2e.Equal(want) {
+		t.Errorf("chain = %v, want %v", e2e, want)
+	}
+	if !ConvolveAll().IsZero() {
+		t.Error("empty chain should be zero")
+	}
+}
+
+func TestDeconvolveTokenBucketThroughRateLatency(t *testing.T) {
+	// Standard result: (b,r) through RateLatency(R,T) with r <= R gives
+	// output arrival curve (b + r*T, r).
+	alpha := TokenBucket(8, 2)
+	beta := RateLatency(5, 3)
+	got, err := Deconvolve(alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := TokenBucket(8+2*3, 2)
+	if !got.Equal(want) {
+		t.Errorf("deconv = %v, want %v", got, want)
+	}
+}
+
+func TestDeconvolveUnbounded(t *testing.T) {
+	_, err := Deconvolve(TokenBucket(1, 5), RateLatency(2, 0))
+	if err == nil {
+		t.Fatal("expected unbounded deconvolution error")
+	}
+	out := OutputArrival(TokenBucket(1, 5), RateLatency(2, 0))
+	if !math.IsInf(out.Eval(0), 1) {
+		t.Error("OutputArrival of unbounded case should have infinite burst")
+	}
+}
+
+func TestDeconvolveGeneral(t *testing.T) {
+	f := MustCurve([]Point{{0, 2}, {3, 4}}, 0.5)
+	g := MustCurve([]Point{{0, 0}, {1, 0}, {4, 6}}, 3)
+	got, err := Deconvolve(f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := 100.0
+	for tt := 0.0; tt <= 12; tt += 0.2 {
+		want := bruteDeconv(f, g, tt, horizon, 20000)
+		if want < 0 {
+			want = 0
+		}
+		// The grid sup under-approximates: exact >= grid, within slack.
+		gv := got.Eval(tt)
+		if gv < want-1e-9 || gv-want > 0.05 {
+			t.Fatalf("deconv(%v) = %v, brute %v (curve %v)", tt, gv, want, got)
+		}
+	}
+}
+
+func TestQuickConvolveMatchesBrute(t *testing.T) {
+	// Property: for random token-bucket/rate-latency pairs the exact
+	// convolution matches a brute-force grid search.
+	f := func(b1, r1, lat, rate uint8) bool {
+		alpha := TokenBucket(float64(b1%50), float64(r1%10)+0.5)
+		beta := RateLatency(float64(rate%10)+1, float64(lat%20))
+		got := Convolve(alpha, beta)
+		for _, tt := range []float64{0, 1, 3.7, 10, 42} {
+			want := bruteConv(alpha, beta, tt, 2000)
+			// Grid slack: max slope ~11, step tt/2000.
+			if !belowWithSlack(got.Eval(tt), want, 11*tt/2000+1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickConvolveMonotone(t *testing.T) {
+	f := func(pts [4]uint8, slope1, slope2 uint8) bool {
+		a := MustCurve([]Point{{0, float64(pts[0] % 20)}, {1 + float64(pts[1]%9), float64(pts[0]%20) + float64(pts[2]%30)}}, float64(slope1%7))
+		b := TokenBucket(float64(pts[3]%15), float64(slope2%5))
+		c := Convolve(a, b)
+		prev := -1.0
+		for tt := 0.0; tt <= 30; tt += 0.5 {
+			v := c.Eval(tt)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

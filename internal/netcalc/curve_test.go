@@ -1,0 +1,181 @@
+package netcalc
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewCurveValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		pts   []Point
+		slope float64
+		ok    bool
+	}{
+		{"empty", nil, 0, false},
+		{"not at zero", []Point{{1, 0}}, 0, false},
+		{"negative slope", []Point{{0, 0}}, -1, false},
+		{"decreasing Y", []Point{{0, 5}, {1, 3}}, 0, false},
+		{"duplicate X", []Point{{0, 0}, {0, 1}}, 0, false},
+		{"negative coord", []Point{{0, -1}}, 0, false},
+		{"valid token bucket", []Point{{0, 8}}, 0.5, true},
+		{"valid rate latency", []Point{{0, 0}, {10, 0}}, 2, true},
+	}
+	for _, c := range cases {
+		_, err := NewCurve(c.pts, c.slope)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: err=%v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestMustCurvePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCurve on invalid input did not panic")
+		}
+	}()
+	MustCurve(nil, 0)
+}
+
+func TestEvalTokenBucket(t *testing.T) {
+	tb := TokenBucket(8, 0.5)
+	for _, c := range []struct{ t, want float64 }{
+		{0, 8}, {1, 8.5}, {10, 13}, {100, 58},
+	} {
+		if got := tb.Eval(c.t); !almostEqual(got, c.want) {
+			t.Errorf("tb(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestEvalRateLatency(t *testing.T) {
+	rl := RateLatency(2, 10)
+	for _, c := range []struct{ t, want float64 }{
+		{0, 0}, {5, 0}, {10, 0}, {11, 2}, {20, 20},
+	} {
+		if got := rl.Eval(c.t); !almostEqual(got, c.want) {
+			t.Errorf("rl(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	// Zero latency collapses to a pure rate.
+	rl0 := RateLatency(3, 0)
+	if got := rl0.Eval(7); !almostEqual(got, 21) {
+		t.Errorf("rl0(7) = %v, want 21", got)
+	}
+}
+
+func TestEvalNegativeTime(t *testing.T) {
+	tb := TokenBucket(5, 1)
+	if got := tb.Eval(-3); got != 5 {
+		t.Errorf("Eval(-3) = %v, want f(0)=5", got)
+	}
+}
+
+func TestSlopeAt(t *testing.T) {
+	rl := RateLatency(2, 10)
+	if s := rl.SlopeAt(5); s != 0 {
+		t.Errorf("slope before latency = %v, want 0", s)
+	}
+	if s := rl.SlopeAt(15); s != 2 {
+		t.Errorf("slope after latency = %v, want 2", s)
+	}
+	// Right-continuity at a breakpoint.
+	if s := rl.SlopeAt(10); s != 2 {
+		t.Errorf("slope at breakpoint = %v, want right slope 2", s)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rl := RateLatency(2, 10)
+	if got := rl.Inverse(0); got != 0 {
+		t.Errorf("Inverse(0) = %v, want 0", got)
+	}
+	if got := rl.Inverse(4); !almostEqual(got, 12) {
+		t.Errorf("Inverse(4) = %v, want 12", got)
+	}
+	flat := Constant(5)
+	if got := flat.Inverse(6); !math.IsInf(got, 1) {
+		t.Errorf("Inverse beyond reach = %v, want +Inf", got)
+	}
+	if got := flat.Inverse(5); got != 0 {
+		t.Errorf("Inverse(5) of constant 5 = %v, want 0", got)
+	}
+	// Inverse across a flat segment jumps to its end.
+	c := MustCurve([]Point{{0, 0}, {1, 3}, {5, 3}}, 1)
+	if got := c.Inverse(3.5); !almostEqual(got, 5.5) {
+		t.Errorf("Inverse(3.5) = %v, want 5.5", got)
+	}
+}
+
+func TestSimplifyCollinear(t *testing.T) {
+	c := MustCurve([]Point{{0, 0}, {1, 2}, {2, 4}, {3, 6}}, 2)
+	if n := len(c.Points()); n != 1 {
+		t.Errorf("collinear curve kept %d points, want 1", n)
+	}
+	if got := c.Eval(3); !almostEqual(got, 6) {
+		t.Errorf("simplified curve Eval(3) = %v", got)
+	}
+}
+
+func TestFromSamples(t *testing.T) {
+	c, err := FromSamples([]Point{{5, 10}, {2, 4}, {5, 12}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Eval(0); got != 0 {
+		t.Errorf("Eval(0) = %v, want prepended 0", got)
+	}
+	if got := c.Eval(5); !almostEqual(got, 12) {
+		t.Errorf("Eval(5) = %v, want max of duplicate samples 12", got)
+	}
+	if got := c.Eval(7); !almostEqual(got, 14) {
+		t.Errorf("Eval(7) = %v, want 14", got)
+	}
+}
+
+func TestEqualAndString(t *testing.T) {
+	a := TokenBucket(8, 0.5)
+	b := TokenBucket(8, 0.5)
+	c := TokenBucket(8, 0.6)
+	if !a.Equal(b) {
+		t.Error("identical curves not Equal")
+	}
+	if a.Equal(c) {
+		t.Error("different curves Equal")
+	}
+	if s := a.String(); !strings.Contains(s, "(0,8)") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestZeroValueCurve(t *testing.T) {
+	var c Curve
+	if !c.IsZero() {
+		t.Error("zero value not IsZero")
+	}
+	if c.Eval(100) != 0 {
+		t.Error("zero value Eval != 0")
+	}
+	if c.SlopeAt(5) != 0 {
+		t.Error("zero value slope != 0")
+	}
+	if got := c.Inverse(1); !math.IsInf(got, 1) {
+		t.Error("zero value Inverse(1) should be +Inf")
+	}
+	if got := c.Inverse(0); got != 0 {
+		t.Error("zero value Inverse(0) should be 0")
+	}
+}
+
+func TestAffineAndConstant(t *testing.T) {
+	a := Affine(3, 2)
+	if got := a.Eval(4); !almostEqual(got, 11) {
+		t.Errorf("Affine Eval = %v", got)
+	}
+	c := Constant(7)
+	if got := c.Eval(1e9); got != 7 {
+		t.Errorf("Constant Eval = %v", got)
+	}
+}

@@ -1,0 +1,164 @@
+package netcalc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// ArrivalRecorder measures an empirical arrival curve from an observed
+// event stream — the "automated profiling" Section II of the paper
+// calls for before any QoS configuration can be derived. Record each
+// arrival (with its size); Curve then returns a conservative
+// piecewise-linear upper envelope of traffic over every window length,
+// suitable as the alpha in DelayBound/BacklogBound or as token-bucket
+// parameters for a shaper.
+type ArrivalRecorder struct {
+	times []sim.Time
+	sizes []float64
+	total float64
+}
+
+// NewArrivalRecorder returns an empty recorder.
+func NewArrivalRecorder() *ArrivalRecorder { return &ArrivalRecorder{} }
+
+// Record notes one arrival of the given size at time t. Times must be
+// non-decreasing (they come from a simulation run).
+func (r *ArrivalRecorder) Record(t sim.Time, size float64) error {
+	if size < 0 {
+		return fmt.Errorf("netcalc: negative arrival size %g", size)
+	}
+	if n := len(r.times); n > 0 && t < r.times[n-1] {
+		return fmt.Errorf("netcalc: arrival at %v before previous %v", t, r.times[n-1])
+	}
+	r.times = append(r.times, t)
+	r.sizes = append(r.sizes, size)
+	r.total += size
+	return nil
+}
+
+// Count returns the number of recorded arrivals.
+func (r *ArrivalRecorder) Count() int { return len(r.times) }
+
+// Total returns the sum of recorded sizes.
+func (r *ArrivalRecorder) Total() float64 { return r.total }
+
+// MaxOverWindow returns the maximum traffic observed in any window of
+// the given length (ns), sliding over the recorded trace.
+func (r *ArrivalRecorder) MaxOverWindow(windowNS float64) float64 {
+	if len(r.times) == 0 || windowNS < 0 {
+		return 0
+	}
+	w := sim.NS(windowNS)
+	best := 0.0
+	sum := 0.0
+	lo := 0
+	for hi := range r.times {
+		sum += r.sizes[hi]
+		for r.times[hi]-r.times[lo] > w {
+			sum -= r.sizes[lo]
+			lo++
+		}
+		if sum > best {
+			best = sum
+		}
+	}
+	return best
+}
+
+// Curve returns an empirical arrival curve from the sampled window
+// lengths (ns, sorted internally). Between samples the envelope is the
+// left-shifted staircase — the point at window w_i carries the value
+// MaxOverWindow(w_{i+1}) — so the curve upper-bounds the observed
+// traffic over EVERY window up to the largest sample, not just at the
+// sampled points. Past the largest sample it extends at
+// max(long-run rate, MaxOverWindow(w_max)/w_max), which is an estimate:
+// callers should include sample windows up to their analysis horizon.
+func (r *ArrivalRecorder) Curve(windowsNS []float64) (Curve, error) {
+	if len(r.times) == 0 {
+		return Zero(), nil
+	}
+	ws := sortedUnique(append([]float64(nil), windowsNS...)) // includes 0
+	maxes := make([]float64, len(ws))
+	for i, w := range ws {
+		maxes[i] = r.MaxOverWindow(w)
+	}
+	// Monotone repair (larger windows can only hold more).
+	for i := 1; i < len(maxes); i++ {
+		if maxes[i] < maxes[i-1] {
+			maxes[i] = maxes[i-1]
+		}
+	}
+	// Left-shifted staircase: value at ws[i] is the max over the NEXT
+	// sampled window, so the linear pieces dominate the true envelope
+	// on every intermediate window.
+	pts := make([]Point, len(ws))
+	for i := range ws {
+		j := i + 1
+		if j >= len(maxes) {
+			j = len(maxes) - 1
+		}
+		pts[i] = Point{ws[i], maxes[j]}
+	}
+	span := (r.times[len(r.times)-1] - r.times[0]).Nanoseconds()
+	rate := 0.0
+	if span > 0 {
+		rate = r.total / span
+	}
+	last := ws[len(ws)-1]
+	if last > 0 {
+		if m := maxes[len(maxes)-1] / last; m > rate {
+			rate = m
+		}
+	}
+	return NewCurve(dedupeXs(pts), rate)
+}
+
+// TokenBucketFit returns the tightest token bucket (burst, rate) that
+// upper-bounds the recorded trace for the given sustained rate
+// candidates; it picks the candidate minimizing burst + rate*horizon
+// over the observation horizon (a standard single-knee fit). The
+// returned parameters configure a Shaper that would have passed the
+// entire trace unmodified.
+func (r *ArrivalRecorder) TokenBucketFit(rateCandidates []float64) (burst, rate float64, err error) {
+	if len(r.times) == 0 {
+		return 0, 0, fmt.Errorf("netcalc: no arrivals recorded")
+	}
+	if len(rateCandidates) == 0 {
+		return 0, 0, fmt.Errorf("netcalc: no rate candidates")
+	}
+	horizon := (r.times[len(r.times)-1] - r.times[0]).Nanoseconds()
+	bestCost := -1.0
+	for _, rc := range rateCandidates {
+		if rc < 0 {
+			return 0, 0, fmt.Errorf("netcalc: negative rate candidate %g", rc)
+		}
+		// Required burst: the maximum over all windows [t_i, t_j] of
+		// traffic minus rc*(t_j - t_i). Computed in one pass as
+		// max_j (cum_j - rc*t_j) - min_{i<=j} (cumBefore_i - rc*t_i):
+		// a quiet start must not hide a later dense burst.
+		need := 0.0
+		cum := 0.0
+		minSlack := math.Inf(1)
+		for i := range r.times {
+			tNS := r.times[i].Nanoseconds()
+			if s := cum - rc*tNS; s < minSlack {
+				minSlack = s
+			}
+			cum += r.sizes[i]
+			if b := cum - rc*tNS - minSlack; b > need {
+				need = b
+			}
+		}
+		cost := need + rc*horizon
+		// Prefer the smaller burst on (near-)ties: periodic traffic
+		// makes burst+rate*horizon exactly degenerate across rates.
+		better := bestCost < 0 || cost < bestCost*(1-1e-12)-1e-12 ||
+			(math.Abs(cost-bestCost) <= 1e-9*(1+bestCost) && need < burst)
+		if better {
+			bestCost, burst, rate = cost, need, rc
+		}
+	}
+	return burst, rate, nil
+}

@@ -1,0 +1,200 @@
+package netcalc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestArrivalRecorderBasics(t *testing.T) {
+	r := NewArrivalRecorder()
+	if err := r.Record(sim.NS(10), 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Record(sim.NS(5), 64); err == nil {
+		t.Error("out-of-order arrival accepted")
+	}
+	if err := r.Record(sim.NS(20), -1); err == nil {
+		t.Error("negative size accepted")
+	}
+	if r.Count() != 1 || r.Total() != 64 {
+		t.Errorf("count/total = %d/%g", r.Count(), r.Total())
+	}
+}
+
+func TestMaxOverWindow(t *testing.T) {
+	r := NewArrivalRecorder()
+	// Bursty: 3 arrivals at t=0..2ns, then one at 100ns.
+	for i := 0; i < 3; i++ {
+		_ = r.Record(sim.NS(float64(i)), 10)
+	}
+	_ = r.Record(sim.NS(100), 10)
+	if got := r.MaxOverWindow(0); got != 10 {
+		t.Errorf("window 0: %g, want 10 (single instant)", got)
+	}
+	if got := r.MaxOverWindow(2); got != 30 {
+		t.Errorf("window 2ns: %g, want 30", got)
+	}
+	if got := r.MaxOverWindow(1000); got != 40 {
+		t.Errorf("window 1000ns: %g, want 40", got)
+	}
+	empty := NewArrivalRecorder()
+	if empty.MaxOverWindow(10) != 0 {
+		t.Error("empty recorder window > 0")
+	}
+}
+
+func TestMaxOverWindowCoincidentArrivals(t *testing.T) {
+	r := NewArrivalRecorder()
+	_ = r.Record(0, 5)
+	_ = r.Record(0, 7)
+	if got := r.MaxOverWindow(0); got != 12 {
+		t.Errorf("coincident arrivals window 0 = %g, want 12", got)
+	}
+}
+
+func TestEmpiricalCurveBoundsTrace(t *testing.T) {
+	// The empirical curve must upper-bound the trace's traffic over
+	// every window.
+	rnd := sim.NewRand(5)
+	r := NewArrivalRecorder()
+	now := sim.Time(0)
+	for i := 0; i < 500; i++ {
+		now += rnd.Duration(sim.NS(50))
+		if err := r.Record(now, float64(16+rnd.Intn(64))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	curve, err := r.Curve([]float64{1, 10, 100, 1000, 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []float64{0, 0.5, 1, 5, 10, 50, 100, 500, 1000, 5000, 20000} {
+		got := curve.Eval(w)
+		want := r.MaxOverWindow(w)
+		if got < want-1e-6 {
+			t.Errorf("curve(%g) = %g below observed max %g", w, got, want)
+		}
+	}
+}
+
+func TestEmpiricalCurveEmpty(t *testing.T) {
+	c, err := NewArrivalRecorder().Curve([]float64{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsZero() {
+		t.Error("empty trace curve not zero")
+	}
+}
+
+func TestTokenBucketFit(t *testing.T) {
+	// A perfectly periodic source: one 64B arrival every 100ns. The
+	// fitted bucket at rate 0.64 needs burst ~64.
+	r := NewArrivalRecorder()
+	for i := 0; i < 100; i++ {
+		_ = r.Record(sim.Duration(i)*sim.NS(100), 64)
+	}
+	burst, rate, err := r.TokenBucketFit([]float64{0.32, 0.64, 1.28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 0.64 {
+		t.Errorf("fit rate = %g, want 0.64", rate)
+	}
+	if burst < 64 || burst > 128 {
+		t.Errorf("fit burst = %g, want ~64", burst)
+	}
+	// A shaper with the fitted parameters passes the whole trace.
+	sh, err := NewShaper(burst, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if !sh.Take(sim.Duration(i)*sim.NS(100), 64) {
+			t.Fatalf("fitted shaper rejected arrival %d", i)
+		}
+	}
+}
+
+func TestTokenBucketFitErrors(t *testing.T) {
+	r := NewArrivalRecorder()
+	if _, _, err := r.TokenBucketFit([]float64{1}); err == nil {
+		t.Error("empty trace fit accepted")
+	}
+	_ = r.Record(0, 1)
+	if _, _, err := r.TokenBucketFit(nil); err == nil {
+		t.Error("no candidates accepted")
+	}
+	if _, _, err := r.TokenBucketFit([]float64{-1}); err == nil {
+		t.Error("negative candidate accepted")
+	}
+}
+
+func TestQuickFittedBucketPassesTrace(t *testing.T) {
+	// Property: for any random trace, a shaper with the fitted (burst,
+	// rate) admits every recorded arrival at its recorded time.
+	f := func(seed uint64, n8 uint8) bool {
+		rnd := sim.NewRand(seed)
+		r := NewArrivalRecorder()
+		now := sim.Time(0)
+		var times []sim.Time
+		var sizes []float64
+		for i := 0; i < int(n8%50)+2; i++ {
+			now += rnd.Duration(sim.NS(200))
+			size := float64(1 + rnd.Intn(100))
+			if r.Record(now, size) != nil {
+				return false
+			}
+			times = append(times, now)
+			sizes = append(sizes, size)
+		}
+		burst, rate, err := r.TokenBucketFit([]float64{0.01, 0.1, 1, 10})
+		if err != nil {
+			return false
+		}
+		sh, err := NewShaper(burst+1e-6, rate)
+		if err != nil {
+			return false
+		}
+		for i := range times {
+			if !sh.Take(times[i], sizes[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEmpiricalCurveMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		rnd := sim.NewRand(seed)
+		r := NewArrivalRecorder()
+		now := sim.Time(0)
+		for i := 0; i < 60; i++ {
+			now += rnd.Duration(sim.NS(100))
+			_ = r.Record(now, float64(rnd.Intn(50)))
+		}
+		c, err := r.Curve([]float64{5, 50, 500})
+		if err != nil {
+			return false
+		}
+		prev := -1.0
+		for w := 0.0; w < 2000; w += 25 {
+			v := c.Eval(w)
+			if v < prev-1e-9 || math.IsNaN(v) {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

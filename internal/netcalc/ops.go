@@ -1,0 +1,233 @@
+package netcalc
+
+import (
+	"math"
+	"sort"
+)
+
+// Add returns the pointwise sum f + g.
+func Add(f, g Curve) Curve {
+	xs := mergedBreakXs(f, g, nil)
+	return buildFrom(xs, func(x float64) float64 {
+		return f.Eval(x) + g.Eval(x)
+	}, f.finalSlope+g.finalSlope)
+}
+
+// Min returns the pointwise minimum of f and g.
+func Min(f, g Curve) Curve {
+	xs := mergedBreakXs(f, g, crossings(f, g))
+	final := math.Min(f.finalSlope, g.finalSlope)
+	return buildFrom(xs, func(x float64) float64 {
+		return math.Min(f.Eval(x), g.Eval(x))
+	}, final)
+}
+
+// Max returns the pointwise maximum of f and g.
+func Max(f, g Curve) Curve {
+	xs := mergedBreakXs(f, g, crossings(f, g))
+	final := math.Max(f.finalSlope, g.finalSlope)
+	return buildFrom(xs, func(x float64) float64 {
+		return math.Max(f.Eval(x), g.Eval(x))
+	}, final)
+}
+
+// Scale returns the curve t -> k * f(t). k must be >= 0.
+func Scale(f Curve, k float64) Curve {
+	if k < 0 {
+		panic("netcalc: Scale with negative factor")
+	}
+	pts := f.Points()
+	for i := range pts {
+		pts[i].Y *= k
+	}
+	return MustCurve(pts, f.finalSlope*k)
+}
+
+// ShiftRight returns the curve t -> f(max(0, t-d)): the service curve of
+// f preceded by a pure delay element of d. d must be >= 0.
+func ShiftRight(f Curve, d float64) Curve {
+	if d < 0 {
+		panic("netcalc: ShiftRight with negative delay")
+	}
+	if d == 0 {
+		return f
+	}
+	src := f.normPoints()
+	pts := make([]Point, 0, len(src)+1)
+	pts = append(pts, Point{0, src[0].Y})
+	for _, p := range src {
+		pts = append(pts, Point{p.X + d, p.Y})
+	}
+	return MustCurve(pts, f.finalSlope)
+}
+
+// Residual returns the residual (leftover) service curve for a flow
+// competing under blind (arbitrary) multiplexing: the non-decreasing
+// closure of max(0, beta - alphaCross). This is the standard leftover
+// service theorem used to analyse per-flow guarantees behind a shared
+// resource (Section IV of the paper).
+func Residual(beta, alphaCross Curve) Curve {
+	xs := mergedBreakXs(beta, alphaCross, crossings(beta, alphaCross))
+	finalSlope := beta.finalSlope - alphaCross.finalSlope
+	if finalSlope < 0 {
+		finalSlope = 0
+	}
+	// Raw clipped difference, which may be non-monotone; the closure
+	// below restores monotonicity by taking the running supremum.
+	pts := make([]Point, 0, len(xs))
+	for _, x := range xs {
+		pts = append(pts, Point{x, math.Max(0, beta.Eval(x)-alphaCross.Eval(x))})
+	}
+	return nonDecreasingClosure(pts, finalSlope, beta, alphaCross)
+}
+
+// nonDecreasingClosure computes sup_{s<=t} raw(s) over the sampled
+// region, then extends to infinity. When the true difference
+// beta - alphaCross eventually grows (finalSlope > 0), the closure must
+// re-join the raw difference once it exceeds the running maximum.
+func nonDecreasingClosure(pts []Point, finalSlope float64, beta, alphaCross Curve) Curve {
+	out := make([]Point, 0, len(pts)+2)
+	maxY := 0.0
+	for i, p := range pts {
+		var segEndY float64
+		var segEndX float64
+		if i+1 < len(pts) {
+			segEndX, segEndY = pts[i+1].X, pts[i+1].Y
+		} else {
+			segEndX, segEndY = p.X, p.Y
+		}
+		switch {
+		case p.Y >= maxY:
+			out = append(out, p)
+			maxY = p.Y
+		default:
+			// Below the running max: stay flat, and if the segment
+			// climbs back above maxY before its end, insert the
+			// re-crossing point.
+			out = append(out, Point{p.X, maxY})
+			if segEndY > maxY && segEndX > p.X {
+				s := (segEndY - p.Y) / (segEndX - p.X)
+				cross := p.X + (maxY-p.Y)/s
+				if cross > p.X && cross < segEndX {
+					out = append(out, Point{cross, maxY})
+				}
+			}
+		}
+		if segEndY > maxY {
+			maxY = segEndY
+		}
+	}
+	// Extension to infinity: beyond the last breakpoint both beta and
+	// alphaCross are affine. If the difference grows, it re-crosses the
+	// running max at a computable point; otherwise the closure is flat.
+	last := pts[len(pts)-1]
+	trueDiff := beta.Eval(last.X) - alphaCross.Eval(last.X)
+	if finalSlope > 0 {
+		if trueDiff >= maxY {
+			return rebuild(out, finalSlope)
+		}
+		cross := last.X + (maxY-trueDiff)/finalSlope
+		out = append(out, Point{cross, maxY})
+		return rebuild(out, finalSlope)
+	}
+	return rebuild(out, 0)
+}
+
+// rebuild assembles points (possibly with duplicate Xs from closure
+// bookkeeping) into a valid curve.
+func rebuild(pts []Point, finalSlope float64) Curve {
+	out := make([]Point, 0, len(pts))
+	for _, p := range pts {
+		if len(out) > 0 && p.X <= out[len(out)-1].X+eps {
+			if p.Y > out[len(out)-1].Y {
+				out[len(out)-1].Y = p.Y
+			}
+			continue
+		}
+		out = append(out, p)
+	}
+	return MustCurve(out, finalSlope)
+}
+
+// mergedBreakXs returns the sorted union of both curves' breakpoint Xs
+// plus any extra candidate Xs.
+func mergedBreakXs(f, g Curve, extra []float64) []float64 {
+	var xs []float64
+	for _, p := range f.normPoints() {
+		xs = append(xs, p.X)
+	}
+	for _, p := range g.normPoints() {
+		xs = append(xs, p.X)
+	}
+	xs = append(xs, extra...)
+	return sortedUnique(xs)
+}
+
+func sortedUnique(xs []float64) []float64 {
+	sort.Float64s(xs)
+	out := xs[:0]
+	for _, x := range xs {
+		if x < 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+			continue
+		}
+		if len(out) > 0 && almostEqual(out[len(out)-1], x) {
+			continue
+		}
+		out = append(out, x)
+	}
+	if len(out) == 0 || out[0] != 0 {
+		out = append([]float64{0}, out...)
+	}
+	return out
+}
+
+// crossings returns the Xs where f and g intersect, including on their
+// final (infinite) pieces; needed so Min/Max breakpoints are exact.
+func crossings(f, g Curve) []float64 {
+	xs := mergedBreakXs(f, g, nil)
+	var out []float64
+	for i := 0; i < len(xs); i++ {
+		x0 := xs[i]
+		var x1 float64
+		if i+1 < len(xs) {
+			x1 = xs[i+1]
+		} else {
+			x1 = math.Inf(1)
+		}
+		// On (x0, x1) both curves are affine.
+		d0 := f.Eval(x0) - g.Eval(x0)
+		sd := f.SlopeAt(x0) - g.SlopeAt(x0)
+		if sd == 0 {
+			continue
+		}
+		cross := x0 - d0/sd
+		if cross > x0+eps && cross < x1-eps {
+			out = append(out, cross)
+		}
+	}
+	return out
+}
+
+// buildFrom reconstructs a curve from its exact values at the candidate
+// Xs (which must include every breakpoint of the result) plus the final
+// slope after the last candidate.
+func buildFrom(xs []float64, eval func(float64) float64, finalSlope float64) Curve {
+	pts := make([]Point, 0, len(xs))
+	for _, x := range xs {
+		y := eval(x)
+		if y < 0 && y > -1e-6 {
+			y = 0 // clamp tiny negative rounding
+		}
+		pts = append(pts, Point{x, y})
+	}
+	// Monotonicity repair for rounding-level dips only.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y {
+			pts[i].Y = pts[i-1].Y
+		}
+	}
+	if finalSlope < 0 {
+		finalSlope = 0
+	}
+	return MustCurve(pts, finalSlope)
+}

@@ -1,0 +1,83 @@
+package netcalc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// bruteResidual computes the non-decreasing closure of
+// max(0, beta - alpha) numerically.
+func bruteResidual(beta, alpha Curve, t float64, steps int) float64 {
+	best := 0.0
+	for i := 0; i <= steps; i++ {
+		s := t * float64(i) / float64(steps)
+		if v := beta.Eval(s) - alpha.Eval(s); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestQuickResidualMatchesBrute(t *testing.T) {
+	f := func(rate8, lat8, b8, r8 uint8) bool {
+		beta := RateLatency(float64(rate8%8)+1, float64(lat8%20))
+		alpha := TokenBucket(float64(b8%30), float64(r8%6))
+		res := Residual(beta, alpha)
+		for _, tt := range []float64{0, 1, 5, 17.3, 40, 100} {
+			want := bruteResidual(beta, alpha, tt, 4000)
+			got := res.Eval(tt)
+			// Exact vs grid: the grid under-approximates the sup by
+			// at most maxslope*step.
+			slack := 9 * tt / 4000
+			if got < want-1e-9 || got-want > slack+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResidualChainComposition(t *testing.T) {
+	// Two servers in tandem, each with cross traffic: the end-to-end
+	// residual (conv of per-node residuals) yields a finite delay
+	// bound for the tagged flow — the Section IV composition story.
+	beta1 := RateLatency(8, 10)
+	beta2 := RateLatency(6, 5)
+	cross1 := TokenBucket(16, 2)
+	cross2 := TokenBucket(8, 1)
+	res1 := Residual(beta1, cross1)
+	res2 := Residual(beta2, cross2)
+	e2e := Convolve(res1, res2)
+	tagged := TokenBucket(4, 0.5)
+	d := DelayBound(tagged, e2e)
+	if math.IsInf(d, 1) || d <= 0 {
+		t.Fatalf("tandem residual delay bound = %v", d)
+	}
+	// Sanity: at least the sum of latencies.
+	if d < 15 {
+		t.Errorf("bound %v below pure latency 15", d)
+	}
+	// And monotone in cross-traffic: heavier interference, larger
+	// bound.
+	heavier := Convolve(Residual(beta1, TokenBucket(32, 4)), res2)
+	d2 := DelayBound(tagged, heavier)
+	if d2 < d {
+		t.Errorf("heavier cross traffic reduced the bound: %v < %v", d2, d)
+	}
+}
+
+func TestTDMACurveNeverExceedsLinearShare(t *testing.T) {
+	// The TDMA curve must never promise more than slot/cycle of the
+	// link over long windows (it is a lower service bound).
+	c := TDMAService(8, 2, 10, 6)
+	for x := 0.0; x <= 200; x += 2.5 {
+		if got, lim := c.Eval(x), 8*0.2*x+1e-9; got > lim+16 {
+			// +16 = one slot's worth of quantization headroom.
+			t.Fatalf("TDMA curve %v at %v exceeds linear share %v", got, x, lim)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package netcalc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Shaper is a runtime token-bucket traffic shaper operating in virtual
+// time. It enforces the arrival curve TokenBucket(Burst, Rate): over any
+// window tau the shaper admits at most Burst + Rate*tau units.
+//
+// The paper (Section IV-A) relies on exactly this element: "a token
+// bucket shaper ... can be practically implemented in hardware (all it
+// takes is a buffer and a timer)". Network interfaces in internal/noc
+// and the admission-control clients in internal/admission embed it.
+type Shaper struct {
+	burst float64 // bucket capacity in units
+	rate  float64 // units per nanosecond of virtual time
+
+	tokens float64
+	last   sim.Time
+}
+
+// NewShaper returns a shaper with the given bucket capacity (units) and
+// sustained rate (units per nanosecond). The bucket starts full.
+func NewShaper(burst, rate float64) (*Shaper, error) {
+	if burst < 0 || rate < 0 {
+		return nil, fmt.Errorf("netcalc: shaper burst/rate must be non-negative, got %g/%g", burst, rate)
+	}
+	return &Shaper{burst: burst, rate: rate, tokens: burst}, nil
+}
+
+// Burst returns the configured bucket capacity.
+func (s *Shaper) Burst() float64 { return s.burst }
+
+// Rate returns the configured sustained rate in units per nanosecond.
+func (s *Shaper) Rate() float64 { return s.rate }
+
+// SetRate changes the sustained rate at virtual time now, first
+// accruing tokens at the old rate. The admission-control Resource
+// Manager reconfigures client shapers through this on mode changes.
+func (s *Shaper) SetRate(now sim.Time, rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	s.refill(now)
+	s.rate = rate
+}
+
+// refill accrues tokens up to the bucket capacity.
+func (s *Shaper) refill(now sim.Time) {
+	if now < s.last {
+		return // stale caller; tokens already accrued past this point
+	}
+	dt := (now - s.last).Nanoseconds()
+	s.tokens += dt * s.rate
+	if s.tokens > s.burst {
+		s.tokens = s.burst
+	}
+	s.last = now
+}
+
+// Conforms reports whether a request of the given size can be admitted
+// at time now without violating the shaping curve.
+func (s *Shaper) Conforms(now sim.Time, size float64) bool {
+	s.refill(now)
+	return s.tokens >= size-1e-9
+}
+
+// Take admits a request of the given size at time now, removing its
+// tokens. It reports false (and removes nothing) if the request does
+// not conform.
+func (s *Shaper) Take(now sim.Time, size float64) bool {
+	if !s.Conforms(now, size) {
+		return false
+	}
+	s.tokens -= size
+	return true
+}
+
+// EarliestConforming returns the earliest virtual time >= now at which
+// a request of the given size would conform. If size exceeds the bucket
+// capacity and the rate is zero, it returns sim.Forever.
+func (s *Shaper) EarliestConforming(now sim.Time, size float64) sim.Time {
+	s.refill(now)
+	if s.tokens >= size-1e-9 {
+		return now
+	}
+	if s.rate <= 0 || size > s.burst+1e-9 {
+		// The bucket caps at its capacity, so an oversized request
+		// never conforms no matter how long it waits.
+		return sim.Forever
+	}
+	need := size - s.tokens
+	waitNS := need / s.rate
+	// Round up to a whole picosecond (and wait at least one): rounding
+	// down would return a time at which the request still does not
+	// conform, and a caller that re-arms an event at that time would
+	// spin forever at the same virtual instant.
+	wait := sim.Duration(waitNS * 1000)
+	if float64(wait) < waitNS*1000 || wait < 1 {
+		wait++
+	}
+	t := now + wait
+	if t < now { // overflow guard
+		return sim.Forever
+	}
+	return t
+}
+
+// Curve returns the arrival curve this shaper enforces.
+func (s *Shaper) Curve() Curve { return TokenBucket(s.burst, s.rate) }

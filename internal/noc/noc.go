@@ -1,0 +1,264 @@
+// Package noc implements a flit-level 2D-mesh network-on-chip with
+// wormhole switching, dimension-ordered (XY) routing, credit-based
+// flow control, and per-output round-robin arbitration (a
+// single-iteration iSLIP, the multi-stage arbitration Section V of the
+// paper names). Network interfaces carry token-bucket injection
+// shapers so the admission-control layer (internal/admission) can
+// regulate source rates, and the paper's observation that "the
+// interconnection network has a finite capacity, hence acts as an
+// implicit rate limiter" falls out of the model.
+//
+// The simulation is deterministic: routers and ports are events on the
+// shared virtual-time engine, ties are broken by fixed port order and
+// round-robin pointers.
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/netcalc"
+	"repro/internal/sim"
+)
+
+// Coord addresses a mesh node.
+type Coord struct{ X, Y int }
+
+// String implements fmt.Stringer.
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Port is a router port direction.
+type Port int
+
+// Router ports. Local connects the node's network interface.
+const (
+	Local Port = iota
+	North
+	East
+	South
+	West
+	numPorts
+)
+
+// String implements fmt.Stringer.
+func (p Port) String() string {
+	switch p {
+	case Local:
+		return "local"
+	case North:
+		return "north"
+	case East:
+		return "east"
+	case South:
+		return "south"
+	case West:
+		return "west"
+	}
+	return fmt.Sprintf("port(%d)", int(p))
+}
+
+// Config sizes the mesh.
+type Config struct {
+	Width, Height int
+	// FlitBytes is the payload carried per flit.
+	FlitBytes int
+	// FlitTime is the time to move one flit across one hop (switch
+	// traversal + link).
+	FlitTime sim.Duration
+	// BufferFlits is the per-input-port buffer capacity.
+	BufferFlits int
+}
+
+// DefaultConfig returns a 4x4 mesh with 16-byte flits at 1 flit/ns and
+// 8-flit buffers.
+func DefaultConfig() Config {
+	return Config{Width: 4, Height: 4, FlitBytes: 16, FlitTime: sim.NS(1), BufferFlits: 8}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("noc: mesh must be at least 1x1, got %dx%d", c.Width, c.Height)
+	}
+	if c.FlitBytes <= 0 {
+		return fmt.Errorf("noc: FlitBytes must be positive, got %d", c.FlitBytes)
+	}
+	if c.FlitTime <= 0 {
+		return fmt.Errorf("noc: FlitTime must be positive, got %v", c.FlitTime)
+	}
+	if c.BufferFlits < 1 {
+		return fmt.Errorf("noc: BufferFlits must be >= 1, got %d", c.BufferFlits)
+	}
+	return nil
+}
+
+// Packet is one network transaction (a cache line transfer or DMA
+// beat). It is segmented into flits at injection.
+type Packet struct {
+	ID    uint64
+	Flow  string // flow label, e.g. an application name (cf. PARTID)
+	Src   Coord
+	Dst   Coord
+	Bytes int
+
+	OnDelivered func(at sim.Time)
+
+	Injected  sim.Time // first flit entered the network
+	Delivered sim.Time // tail flit consumed at the destination
+	Submitted sim.Time // handed to the NI (may precede Injected: shaping)
+}
+
+// Latency returns submission-to-delivery latency (includes shaping
+// delay).
+func (p *Packet) Latency() sim.Duration { return p.Delivered - p.Submitted }
+
+// NetworkLatency returns injection-to-delivery latency.
+func (p *Packet) NetworkLatency() sim.Duration { return p.Delivered - p.Injected }
+
+// flit is the unit of switching.
+type flit struct {
+	pkt  *Packet
+	head bool
+	tail bool
+}
+
+// NoC is the mesh fabric.
+type NoC struct {
+	eng     *sim.Engine
+	cfg     Config
+	routers []*router
+	nis     []*NI
+
+	delivered uint64
+	flitHops  uint64
+}
+
+// New builds the mesh and its network interfaces.
+func New(eng *sim.Engine, cfg Config) (*NoC, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &NoC{eng: eng, cfg: cfg}
+	n.routers = make([]*router, cfg.Width*cfg.Height)
+	for y := 0; y < cfg.Height; y++ {
+		for x := 0; x < cfg.Width; x++ {
+			n.routers[n.idx(Coord{x, y})] = newRouter(n, Coord{x, y})
+		}
+	}
+	n.nis = make([]*NI, cfg.Width*cfg.Height)
+	for y := 0; y < cfg.Height; y++ {
+		for x := 0; x < cfg.Width; x++ {
+			c := Coord{x, y}
+			n.nis[n.idx(c)] = newNI(n, c)
+		}
+	}
+	return n, nil
+}
+
+func (n *NoC) idx(c Coord) int { return c.Y*n.cfg.Width + c.X }
+
+// InMesh reports whether the coordinate is on the mesh.
+func (n *NoC) InMesh(c Coord) bool {
+	return c.X >= 0 && c.X < n.cfg.Width && c.Y >= 0 && c.Y < n.cfg.Height
+}
+
+// Router returns the router at c.
+func (n *NoC) router(c Coord) *router { return n.routers[n.idx(c)] }
+
+// NI returns the network interface at c.
+func (n *NoC) NI(c Coord) (*NI, error) {
+	if !n.InMesh(c) {
+		return nil, fmt.Errorf("noc: %v outside the %dx%d mesh", c, n.cfg.Width, n.cfg.Height)
+	}
+	return n.nis[n.idx(c)], nil
+}
+
+// Config returns the mesh configuration.
+func (n *NoC) Config() Config { return n.cfg }
+
+// Delivered returns the total packets delivered.
+func (n *NoC) Delivered() uint64 { return n.delivered }
+
+// FlitHops returns the total flit-hop count (a utilization proxy).
+func (n *NoC) FlitHops() uint64 { return n.flitHops }
+
+// FlitsFor returns the number of flits a payload needs.
+func (n *NoC) FlitsFor(bytes int) int {
+	f := (bytes + n.cfg.FlitBytes - 1) / n.cfg.FlitBytes
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// neighbor returns the adjacent coordinate through the given port.
+func neighbor(c Coord, p Port) Coord {
+	switch p {
+	case North:
+		return Coord{c.X, c.Y - 1}
+	case South:
+		return Coord{c.X, c.Y + 1}
+	case East:
+		return Coord{c.X + 1, c.Y}
+	case West:
+		return Coord{c.X - 1, c.Y}
+	}
+	return c
+}
+
+// opposite returns the port on the far side of a link.
+func opposite(p Port) Port {
+	switch p {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	}
+	return Local
+}
+
+// routeXY is dimension-ordered routing: correct X, then Y.
+func routeXY(at, dst Coord) Port {
+	switch {
+	case dst.X > at.X:
+		return East
+	case dst.X < at.X:
+		return West
+	case dst.Y > at.Y:
+		return South
+	case dst.Y < at.Y:
+		return North
+	}
+	return Local
+}
+
+// HopCount returns the XY route length in hops between two nodes.
+func HopCount(a, b Coord) int {
+	dx, dy := b.X-a.X, b.Y-a.Y
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// ServiceCurve returns a rate-latency lower service curve for a flow
+// crossing the mesh between two nodes, assuming it competes with at
+// most `contenders` equal flows per link: rate = linkRate/(contenders)
+// in bytes/ns, latency = hops * flit time + serialization. Used by the
+// admission layer and Section IV-style end-to-end composition.
+func (n *NoC) ServiceCurve(src, dst Coord, contenders int) netcalc.Curve {
+	if contenders < 1 {
+		contenders = 1
+	}
+	hops := HopCount(src, dst) + 1 // +1 for ejection
+	linkRate := float64(n.cfg.FlitBytes) / n.cfg.FlitTime.Nanoseconds()
+	rate := linkRate / float64(contenders)
+	latency := float64(hops) * n.cfg.FlitTime.Nanoseconds()
+	return netcalc.RateLatency(rate, latency)
+}

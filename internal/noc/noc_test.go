@@ -1,0 +1,361 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netcalc"
+	"repro/internal/sim"
+)
+
+type nocRig struct {
+	eng *sim.Engine
+	n   *NoC
+}
+
+func newNoC(t *testing.T, mod func(*Config)) *nocRig {
+	t.Helper()
+	cfg := DefaultConfig()
+	if mod != nil {
+		mod(&cfg)
+	}
+	eng := sim.NewEngine()
+	n, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &nocRig{eng: eng, n: n}
+}
+
+func (r *nocRig) send(t *testing.T, src, dst Coord, bytes int, flow string) *Packet {
+	t.Helper()
+	ni, err := r.n.NI(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Packet{Dst: dst, Bytes: bytes, Flow: flow}
+	if err := ni.Send(p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Width: 0, Height: 4, FlitBytes: 16, FlitTime: 1, BufferFlits: 4},
+		{Width: 4, Height: 4, FlitBytes: 0, FlitTime: 1, BufferFlits: 4},
+		{Width: 4, Height: 4, FlitBytes: 16, FlitTime: 0, BufferFlits: 4},
+		{Width: 4, Height: 4, FlitBytes: 16, FlitTime: 1, BufferFlits: 0},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestRoutingHelpers(t *testing.T) {
+	if routeXY(Coord{0, 0}, Coord{2, 0}) != East {
+		t.Error("routeXY east")
+	}
+	if routeXY(Coord{2, 0}, Coord{0, 0}) != West {
+		t.Error("routeXY west")
+	}
+	if routeXY(Coord{1, 1}, Coord{1, 3}) != South {
+		t.Error("routeXY south")
+	}
+	if routeXY(Coord{1, 3}, Coord{1, 1}) != North {
+		t.Error("routeXY north")
+	}
+	// X corrected before Y.
+	if routeXY(Coord{0, 0}, Coord{2, 2}) != East {
+		t.Error("XY order violated")
+	}
+	if routeXY(Coord{1, 1}, Coord{1, 1}) != Local {
+		t.Error("routeXY local")
+	}
+	if HopCount(Coord{0, 0}, Coord{3, 2}) != 5 {
+		t.Error("HopCount")
+	}
+	for _, p := range []Port{North, East, South, West} {
+		if opposite(opposite(p)) != p {
+			t.Errorf("opposite not involutive for %v", p)
+		}
+		n := neighbor(Coord{5, 5}, p)
+		if neighbor(n, opposite(p)) != (Coord{5, 5}) {
+			t.Errorf("neighbor/opposite mismatch for %v", p)
+		}
+	}
+}
+
+func TestSinglePacketLatency(t *testing.T) {
+	r := newNoC(t, nil)
+	// 64B = 4 flits of 16B, 2 hops East + ejection.
+	p := r.send(t, Coord{0, 0}, Coord{2, 0}, 64, "a")
+	r.eng.Run()
+	if p.Delivered == 0 {
+		t.Fatal("packet not delivered")
+	}
+	// Wormhole pipeline: head needs (hops+1)*FlitTime to eject, tail
+	// follows 3 flits later: (2+1+3) * 1ns = 6ns.
+	want := sim.NS(6)
+	if p.Latency() != want {
+		t.Errorf("latency = %v, want %v", p.Latency(), want)
+	}
+	if r.n.Delivered() != 1 {
+		t.Errorf("Delivered = %d", r.n.Delivered())
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	r := newNoC(t, nil)
+	p := r.send(t, Coord{1, 1}, Coord{1, 1}, 16, "self")
+	r.eng.Run()
+	if p.Delivered == 0 {
+		t.Fatal("self-addressed packet not delivered")
+	}
+	if p.Latency() != r.n.Config().FlitTime {
+		t.Errorf("self latency = %v", p.Latency())
+	}
+}
+
+func TestManyPacketsAllDelivered(t *testing.T) {
+	r := newNoC(t, nil)
+	var pkts []*Packet
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			src := Coord{x, y}
+			dst := Coord{3 - x, 3 - y}
+			if src == dst {
+				continue
+			}
+			for k := 0; k < 5; k++ {
+				pkts = append(pkts, r.send(t, src, dst, 64, "x"))
+			}
+		}
+	}
+	r.eng.Run()
+	for i, p := range pkts {
+		if p.Delivered == 0 {
+			t.Fatalf("packet %d (%v->%v) undelivered", i, p.Src, p.Dst)
+		}
+	}
+	if got := r.n.Delivered(); got != uint64(len(pkts)) {
+		t.Errorf("Delivered = %d, want %d", got, len(pkts))
+	}
+}
+
+func TestWormholeNoInterleavingOnLink(t *testing.T) {
+	// Two packets fight for the same output link; flits must not
+	// interleave, so both must still arrive intact and ordered
+	// per-packet. We detect corruption via delivery: tail-before-head
+	// would panic the delivery accounting (Delivered stamped only on
+	// tails that followed their heads through FIFO order).
+	r := newNoC(t, nil)
+	a := r.send(t, Coord{0, 0}, Coord{3, 0}, 128, "a")
+	b := r.send(t, Coord{0, 1}, Coord{3, 0}, 128, "b")
+	r.eng.Run()
+	if a.Delivered == 0 || b.Delivered == 0 {
+		t.Fatal("contended packets undelivered")
+	}
+}
+
+func TestContentionInflatesLatency(t *testing.T) {
+	// A victim flow shares a link with an aggressor: its latency must
+	// exceed its isolated latency.
+	isolated := func() sim.Duration {
+		r := newNoC(t, nil)
+		p := r.send(t, Coord{0, 0}, Coord{3, 0}, 64, "v")
+		r.eng.Run()
+		return p.Latency()
+	}()
+
+	r := newNoC(t, nil)
+	// Aggressor floods the same path first.
+	for k := 0; k < 20; k++ {
+		r.send(t, Coord{0, 0}, Coord{3, 0}, 256, "agg")
+	}
+	victim := r.send(t, Coord{0, 0}, Coord{3, 0}, 64, "v")
+	r.eng.Run()
+	if victim.Latency() <= isolated {
+		t.Errorf("no contention inflation: %v <= %v", victim.Latency(), isolated)
+	}
+}
+
+func TestShaperLimitsInjectionRate(t *testing.T) {
+	r := newNoC(t, nil)
+	ni, _ := r.n.NI(Coord{0, 0})
+	// 64 bytes burst, 0.064 B/ns -> one 64B packet per 1000ns.
+	sh, err := netcalc.NewShaper(64, 0.064)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ni.SetShaper(sh)
+	var pkts []*Packet
+	for k := 0; k < 5; k++ {
+		pkts = append(pkts, r.send(t, Coord{0, 0}, Coord{1, 0}, 64, "shaped"))
+	}
+	r.eng.Run()
+	for i := 1; i < len(pkts); i++ {
+		gap := pkts[i].Injected - pkts[i-1].Injected
+		if gap < sim.NS(999) {
+			t.Errorf("injection gap %d = %v, want >= ~1000ns", i, gap)
+		}
+	}
+}
+
+func TestBlockUnblock(t *testing.T) {
+	r := newNoC(t, nil)
+	ni, _ := r.n.NI(Coord{0, 0})
+	ni.Block()
+	p := r.send(t, Coord{0, 0}, Coord{1, 0}, 32, "b")
+	r.eng.RunUntil(sim.Microsecond)
+	if p.Delivered != 0 {
+		t.Fatal("blocked NI injected")
+	}
+	if !ni.Blocked() || ni.QueueLen() != 1 {
+		t.Error("blocked state wrong")
+	}
+	ni.Unblock()
+	r.eng.Run()
+	if p.Delivered == 0 {
+		t.Fatal("unblocked NI never drained")
+	}
+}
+
+func TestSetRateTakesEffect(t *testing.T) {
+	r := newNoC(t, nil)
+	ni, _ := r.n.NI(Coord{0, 0})
+	sh, _ := netcalc.NewShaper(64, 0.001)
+	ni.SetShaper(sh)
+	p1 := r.send(t, Coord{0, 0}, Coord{1, 0}, 64, "s")
+	p2 := r.send(t, Coord{0, 0}, Coord{1, 0}, 64, "s")
+	// After 100ns, raise the rate sharply.
+	r.eng.At(sim.NS(100), func() { ni.SetRate(6.4) })
+	r.eng.Run()
+	if p1.Delivered == 0 || p2.Delivered == 0 {
+		t.Fatal("packets undelivered")
+	}
+	// At 0.001 B/ns p2 would wait 64000ns; at 6.4 B/ns it waits ~10ns
+	// after the rate change.
+	if p2.Injected > sim.NS(300) {
+		t.Errorf("rate change ignored: p2 injected at %v", p2.Injected)
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	r := newNoC(t, nil)
+	ni, _ := r.n.NI(Coord{0, 0})
+	if ni.Send(nil) == nil {
+		t.Error("nil packet accepted")
+	}
+	if ni.Send(&Packet{Dst: Coord{9, 9}, Bytes: 16}) == nil {
+		t.Error("off-mesh destination accepted")
+	}
+	if ni.Send(&Packet{Dst: Coord{1, 1}, Bytes: 0}) == nil {
+		t.Error("zero-size packet accepted")
+	}
+	if _, err := r.n.NI(Coord{-1, 0}); err == nil {
+		t.Error("off-mesh NI lookup succeeded")
+	}
+}
+
+func TestFlitsFor(t *testing.T) {
+	r := newNoC(t, nil)
+	if r.n.FlitsFor(1) != 1 || r.n.FlitsFor(16) != 1 || r.n.FlitsFor(17) != 2 || r.n.FlitsFor(64) != 4 {
+		t.Error("FlitsFor arithmetic broken")
+	}
+}
+
+func TestServiceCurve(t *testing.T) {
+	r := newNoC(t, nil)
+	c := r.n.ServiceCurve(Coord{0, 0}, Coord{3, 0}, 2)
+	// 16B/ns link shared 2 ways = 8 B/ns; latency 4 hops * 1ns.
+	if got := c.Eval(4); got != 0 {
+		t.Errorf("service before latency = %v", got)
+	}
+	if got := c.Eval(5); got != 8 {
+		t.Errorf("service at latency+1 = %v, want 8", got)
+	}
+	// Delay bound for a shaped flow across the mesh is finite.
+	alpha := netcalc.TokenBucket(64, 1)
+	if d := netcalc.DelayBound(alpha, c); d <= 0 || d > 1e6 {
+		t.Errorf("delay bound = %v", d)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []sim.Duration {
+		r := newNoC(t, nil)
+		rnd := sim.NewRand(99)
+		var pkts []*Packet
+		for k := 0; k < 100; k++ {
+			src := Coord{rnd.Intn(4), rnd.Intn(4)}
+			dst := Coord{rnd.Intn(4), rnd.Intn(4)}
+			at := rnd.Duration(sim.Microsecond)
+			p := &Packet{Dst: dst, Bytes: 16 + rnd.Intn(112), Flow: "r"}
+			pkts = append(pkts, p)
+			r.eng.At(at, func() {
+				ni, _ := r.n.NI(src)
+				_ = ni.Send(p)
+			})
+		}
+		r.eng.Run()
+		var lat []sim.Duration
+		for _, p := range pkts {
+			lat = append(lat, p.Latency())
+		}
+		return lat
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic latency at packet %d", i)
+		}
+	}
+}
+
+func TestQuickAllPacketsDelivered(t *testing.T) {
+	// Property: any batch of random packets is eventually delivered
+	// (no deadlock under XY wormhole routing).
+	f := func(seed uint64, n uint8) bool {
+		eng := sim.NewEngine()
+		mesh, err := New(eng, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		rnd := sim.NewRand(seed)
+		var pkts []*Packet
+		for k := 0; k < int(n%40)+1; k++ {
+			src := Coord{rnd.Intn(4), rnd.Intn(4)}
+			p := &Packet{Dst: Coord{rnd.Intn(4), rnd.Intn(4)}, Bytes: 1 + rnd.Intn(200)}
+			ni, _ := mesh.NI(src)
+			if ni.Send(p) != nil {
+				return false
+			}
+			pkts = append(pkts, p)
+		}
+		eng.Run()
+		for _, p := range pkts {
+			if p.Delivered == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPortAndCoordStrings(t *testing.T) {
+	if Local.String() != "local" || North.String() != "north" || Port(9).String() == "" {
+		t.Error("Port.String broken")
+	}
+	if (Coord{1, 2}).String() != "(1,2)" {
+		t.Error("Coord.String broken")
+	}
+}

@@ -1,0 +1,142 @@
+package noc
+
+// router is one mesh router: five input FIFOs, five output ports with
+// wormhole locking and round-robin (iSLIP-style) arbitration, and
+// credit-based flow control toward downstream input buffers.
+type router struct {
+	noc *NoC
+	at  Coord
+
+	// in[p] is the input FIFO fed by the neighbor (or NI) on port p.
+	in [numPorts][]flit
+	// out[p] is the state of output port p.
+	out [numPorts]outPort
+	// credits[p] counts free downstream buffer slots through output p.
+	credits [numPorts]int
+}
+
+// outPort tracks one output port's wormhole and arbitration state.
+type outPort struct {
+	busy bool
+	// locked is true while a packet's worm occupies the port; input
+	// identifies which input FIFO it drains.
+	locked bool
+	input  Port
+	// rr is the round-robin pointer for the next head-flit grant.
+	rr Port
+}
+
+func newRouter(n *NoC, at Coord) *router {
+	r := &router{noc: n, at: at}
+	for p := Port(0); p < numPorts; p++ {
+		if p == Local {
+			// Ejection consumes flits immediately; effectively infinite.
+			r.credits[p] = 1 << 30
+			continue
+		}
+		if n.InMesh(neighbor(at, p)) {
+			r.credits[p] = n.cfg.BufferFlits
+		}
+	}
+	return r
+}
+
+// kick schedules arbitration for every output port that may now make
+// progress. Scheduling is idempotent per port via the busy flag.
+func (r *router) kick() {
+	for p := Port(0); p < numPorts; p++ {
+		r.tryOutput(p)
+	}
+}
+
+// tryOutput attempts to forward one flit through output port p.
+func (r *router) tryOutput(p Port) {
+	o := &r.out[p]
+	if o.busy {
+		return
+	}
+	var inPort Port = -1
+	if o.locked {
+		// Wormhole: only the locked input may proceed, and only with
+		// the locked packet's next flit at its head.
+		if len(r.in[o.input]) > 0 {
+			inPort = o.input
+		}
+	} else {
+		// Round-robin among inputs whose head flit is a packet head
+		// routed to this output.
+		for i := 0; i < int(numPorts); i++ {
+			cand := Port((int(o.rr) + i) % int(numPorts))
+			q := r.in[cand]
+			if len(q) == 0 || !q[0].head {
+				continue
+			}
+			if routeXY(r.at, q[0].pkt.Dst) != p {
+				continue
+			}
+			inPort = cand
+			o.rr = Port((int(cand) + 1) % int(numPorts))
+			break
+		}
+	}
+	if inPort < 0 {
+		return
+	}
+	// Credit check toward downstream (Local always has credit).
+	if r.credits[p] <= 0 {
+		return
+	}
+
+	f := r.in[inPort][0]
+	r.in[inPort] = r.in[inPort][1:]
+	r.credits[p]--
+	if f.head {
+		o.locked, o.input = true, inPort
+	}
+	if f.tail {
+		o.locked = false
+	}
+	o.busy = true
+
+	// Free the consumed input slot: return a credit upstream (the NI
+	// or the neighboring router feeding this input).
+	r.returnCredit(inPort)
+
+	r.noc.flitHops++
+	r.noc.eng.After(r.noc.cfg.FlitTime, func() {
+		o.busy = false
+		if p == Local {
+			r.eject(f)
+		} else {
+			next := r.noc.router(neighbor(r.at, p))
+			next.in[opposite(p)] = append(next.in[opposite(p)], f)
+			next.kick()
+		}
+		r.kick()
+	})
+}
+
+// returnCredit tells whoever feeds input port p that a buffer slot
+// freed up.
+func (r *router) returnCredit(p Port) {
+	if p == Local {
+		// The NI feeds this port; let it inject more.
+		r.noc.nis[r.noc.idx(r.at)].creditReturn()
+		return
+	}
+	up := r.noc.router(neighbor(r.at, p))
+	up.credits[opposite(p)]++
+	up.kick()
+}
+
+// eject consumes a flit at the destination.
+func (r *router) eject(f flit) {
+	if f.tail {
+		pkt := f.pkt
+		pkt.Delivered = r.noc.eng.Now()
+		r.noc.delivered++
+		if pkt.OnDelivered != nil {
+			pkt.OnDelivered(pkt.Delivered)
+		}
+	}
+}

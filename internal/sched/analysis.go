@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netcalc"
+	"repro/internal/sim"
+)
+
+// ResponseTimeFP computes the classic worst-case response time of each
+// task under partitioned preemptive fixed-priority scheduling, using
+// the iterative busy-window recurrence
+//
+//	R = C + sum_{j in hp} ceil((R + J_j) / T_j) * C_j
+//
+// per core. It returns an error when the recurrence diverges past the
+// deadline for some task (the task set is unschedulable, ex ante — the
+// paper's Section IV point about design-time guarantees).
+func ResponseTimeFP(cores int, tasks []Task) (map[string]sim.Duration, error) {
+	perCore := make(map[int][]Task)
+	for _, t := range tasks {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		if t.Core >= cores {
+			return nil, fmt.Errorf("sched: task %s on core %d of %d", t.Name, t.Core, cores)
+		}
+		perCore[t.Core] = append(perCore[t.Core], t)
+	}
+	out := make(map[string]sim.Duration, len(tasks))
+	for _, set := range perCore {
+		sort.Slice(set, func(i, j int) bool { return set[i].Priority > set[j].Priority })
+		for i, t := range set {
+			hp := set[:i]
+			r := t.WCET
+			for iter := 0; iter < 10000; iter++ {
+				interference := sim.Duration(0)
+				for _, h := range hp {
+					n := ceilDiv(r+h.Jitter, h.Period)
+					interference += n * h.WCET
+				}
+				next := t.WCET + interference
+				if next == r {
+					break
+				}
+				r = next
+				if r > t.EffectiveDeadline() {
+					return nil, fmt.Errorf("sched: task %s unschedulable: response %v exceeds deadline %v",
+						t.Name, r, t.EffectiveDeadline())
+				}
+			}
+			out[t.Name] = r
+		}
+	}
+	return out, nil
+}
+
+func ceilDiv(a, b sim.Duration) sim.Duration {
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// UtilizationPerCore sums task utilization per core (partitioned).
+func UtilizationPerCore(cores int, tasks []Task) []float64 {
+	u := make([]float64, cores)
+	for _, t := range tasks {
+		if t.Core < cores {
+			u[t.Core] += t.Utilization()
+		}
+	}
+	return u
+}
+
+// ServerServiceCurve returns the Network Calculus service curve of a
+// reservation server on a unit-speed core: reservation-based
+// scheduling composes (Section II), which is exactly this curve
+// feeding DelayBound.
+func ServerServiceCurve(s Server) netcalc.Curve {
+	return netcalc.CBSService(1, s.Budget.Nanoseconds(), s.Period.Nanoseconds())
+}
+
+// TDMAServiceCurve returns the service curve of a TDMA partition on a
+// unit-speed core.
+func TDMAServiceCurve(t TDMATable, partition string, periods int) netcalc.Curve {
+	for _, p := range t.Partitions {
+		if p.Name == partition {
+			return netcalc.TDMAService(1, p.Slot.Nanoseconds(), t.Cycle.Nanoseconds(), periods)
+		}
+	}
+	return netcalc.Zero()
+}
+
+// ReservationDelayBound bounds the response time of a workload with
+// arrival curve alpha (in ns of work) served by a reservation server:
+// the composable guarantee reservation-based scheduling offers that
+// priority-based scheduling does not.
+func ReservationDelayBound(s Server, alpha netcalc.Curve) float64 {
+	return netcalc.DelayBound(alpha, ServerServiceCurve(s))
+}

@@ -1,0 +1,139 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AssignRateMonotonic sets task priorities by period (shorter period =
+// higher priority), the optimal fixed-priority assignment for
+// implicit-deadline periodic tasks. It returns a new slice; the input
+// is not modified. Ties break by name for determinism.
+func AssignRateMonotonic(tasks []Task) []Task {
+	out := append([]Task(nil), tasks...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Period != out[j].Period {
+			return out[i].Period < out[j].Period
+		}
+		return out[i].Name < out[j].Name
+	})
+	for i := range out {
+		out[i].Priority = len(out) - i
+	}
+	return out
+}
+
+// AssignDeadlineMonotonic sets priorities by constrained deadline
+// (shorter deadline = higher priority), optimal for constrained-
+// deadline task sets under fixed priorities.
+func AssignDeadlineMonotonic(tasks []Task) []Task {
+	out := append([]Task(nil), tasks...)
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := out[i].EffectiveDeadline(), out[j].EffectiveDeadline()
+		if di != dj {
+			return di < dj
+		}
+		return out[i].Name < out[j].Name
+	})
+	for i := range out {
+		out[i].Priority = len(out) - i
+	}
+	return out
+}
+
+// LiuLaylandBound returns the classic utilization bound
+// n*(2^(1/n) - 1) under which any n implicit-deadline periodic tasks
+// are RM-schedulable on one core.
+func LiuLaylandBound(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) * (math.Pow(2, 1/float64(n)) - 1)
+}
+
+// SchedulabilityVerdict summarizes a sufficient-test outcome.
+type SchedulabilityVerdict struct {
+	Utilization float64
+	Bound       float64
+	// ByUtilization: passed the Liu-Layland sufficient test.
+	ByUtilization bool
+	// ByResponseTime: passed the exact RTA (only evaluated when the
+	// utilization test is inconclusive; RTA is necessary and
+	// sufficient for this model).
+	ByResponseTime bool
+	Schedulable    bool
+}
+
+// CheckRateMonotonic runs the two-stage schedulability test the
+// paper's design-time story needs: the cheap Liu-Layland sufficient
+// condition first, the exact response-time analysis if inconclusive.
+// Tasks are assumed to share one core (partitioned analysis applies it
+// per core).
+func CheckRateMonotonic(tasks []Task) (SchedulabilityVerdict, error) {
+	if len(tasks) == 0 {
+		return SchedulabilityVerdict{Schedulable: true}, nil
+	}
+	v := SchedulabilityVerdict{Bound: LiuLaylandBound(len(tasks))}
+	rm := AssignRateMonotonic(tasks)
+	for i := range rm {
+		if err := rm[i].Validate(); err != nil {
+			return SchedulabilityVerdict{}, err
+		}
+		rm[i].Core = 0
+		v.Utilization += rm[i].Utilization()
+	}
+	if v.Utilization <= v.Bound {
+		v.ByUtilization = true
+		v.Schedulable = true
+		return v, nil
+	}
+	if v.Utilization > 1 {
+		return v, nil // trivially infeasible
+	}
+	if _, err := ResponseTimeFP(1, rm); err == nil {
+		v.ByResponseTime = true
+		v.Schedulable = true
+	}
+	return v, nil
+}
+
+// PartitionTasksWorstFit assigns unpinned tasks to cores by worst-fit
+// decreasing utilization — the bin-packing step of partitioned
+// scheduling the paper prefers for interference localization. It
+// errors when some task fits on no core under the given per-core
+// utilization cap.
+func PartitionTasksWorstFit(tasks []Task, cores int, capacity float64) ([]Task, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("sched: need at least one core")
+	}
+	if capacity <= 0 || capacity > 1 {
+		return nil, fmt.Errorf("sched: per-core capacity must be in (0,1], got %g", capacity)
+	}
+	out := append([]Task(nil), tasks...)
+	sort.Slice(out, func(i, j int) bool {
+		ui, uj := out[i].Utilization(), out[j].Utilization()
+		if ui != uj {
+			return ui > uj
+		}
+		return out[i].Name < out[j].Name
+	})
+	load := make([]float64, cores)
+	for i := range out {
+		// Worst fit: the least-loaded core.
+		best := 0
+		for c := 1; c < cores; c++ {
+			if load[c] < load[best] {
+				best = c
+			}
+		}
+		u := out[i].Utilization()
+		if load[best]+u > capacity {
+			return nil, fmt.Errorf("sched: task %s (u=%.3f) fits on no core (least-loaded at %.3f, cap %.3f)",
+				out[i].Name, u, load[best], capacity)
+		}
+		out[i].Core = best
+		load[best] += u
+	}
+	return out, nil
+}

@@ -1,0 +1,178 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestAssignRateMonotonic(t *testing.T) {
+	tasks := []Task{
+		{Name: "slow", Period: ms(100), WCET: ms(1)},
+		{Name: "fast", Period: ms(5), WCET: ms(1)},
+		{Name: "mid", Period: ms(20), WCET: ms(1)},
+	}
+	rm := AssignRateMonotonic(tasks)
+	if rm[0].Name != "fast" || rm[2].Name != "slow" {
+		t.Fatalf("RM order = %v %v %v", rm[0].Name, rm[1].Name, rm[2].Name)
+	}
+	if !(rm[0].Priority > rm[1].Priority && rm[1].Priority > rm[2].Priority) {
+		t.Error("priorities not strictly decreasing with period")
+	}
+	// Input untouched.
+	if tasks[0].Priority != 0 {
+		t.Error("input mutated")
+	}
+}
+
+func TestAssignDeadlineMonotonic(t *testing.T) {
+	tasks := []Task{
+		{Name: "a", Period: ms(10), WCET: ms(1), Deadline: ms(9)},
+		{Name: "b", Period: ms(10), WCET: ms(1), Deadline: ms(3)},
+	}
+	dm := AssignDeadlineMonotonic(tasks)
+	if dm[0].Name != "b" {
+		t.Error("shorter deadline not prioritized")
+	}
+}
+
+func TestLiuLaylandBound(t *testing.T) {
+	if got := LiuLaylandBound(1); got != 1 {
+		t.Errorf("bound(1) = %v, want 1", got)
+	}
+	if got := LiuLaylandBound(2); math.Abs(got-0.8284) > 1e-3 {
+		t.Errorf("bound(2) = %v, want ~0.828", got)
+	}
+	// Monotone decreasing toward ln 2.
+	if LiuLaylandBound(100) > LiuLaylandBound(2) {
+		t.Error("bound not decreasing")
+	}
+	if got := LiuLaylandBound(1000); math.Abs(got-math.Ln2) > 1e-3 {
+		t.Errorf("bound(1000) = %v, want ~ln2", got)
+	}
+	if LiuLaylandBound(0) != 0 {
+		t.Error("bound(0)")
+	}
+}
+
+func TestCheckRateMonotonicStages(t *testing.T) {
+	// Stage 1: low utilization passes by the bound alone.
+	easy := []Task{
+		{Name: "a", Period: ms(10), WCET: ms(1)},
+		{Name: "b", Period: ms(20), WCET: ms(2)},
+	}
+	v, err := CheckRateMonotonic(easy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Schedulable || !v.ByUtilization || v.ByResponseTime {
+		t.Errorf("easy verdict = %+v", v)
+	}
+	// Stage 2: harmonic set above the LL bound but RTA-schedulable
+	// (harmonic periods reach utilization 1).
+	harmonic := []Task{
+		{Name: "a", Period: ms(10), WCET: ms(5)},
+		{Name: "b", Period: ms(20), WCET: ms(10)},
+	}
+	v, err = CheckRateMonotonic(harmonic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Schedulable || v.ByUtilization || !v.ByResponseTime {
+		t.Errorf("harmonic verdict = %+v (U=%.3f bound=%.3f)", v, v.Utilization, v.Bound)
+	}
+	// Infeasible: U > 1.
+	over := []Task{
+		{Name: "a", Period: ms(10), WCET: ms(8)},
+		{Name: "b", Period: ms(10), WCET: ms(5)},
+	}
+	v, err = CheckRateMonotonic(over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Schedulable {
+		t.Errorf("overload declared schedulable: %+v", v)
+	}
+	// Empty set is trivially schedulable; invalid tasks error.
+	if v, _ := CheckRateMonotonic(nil); !v.Schedulable {
+		t.Error("empty set unschedulable")
+	}
+	if _, err := CheckRateMonotonic([]Task{{Name: "x", Period: 0, WCET: 1}}); err == nil {
+		t.Error("invalid task accepted")
+	}
+}
+
+func TestPartitionTasksWorstFit(t *testing.T) {
+	tasks := []Task{
+		{Name: "a", Period: ms(10), WCET: ms(4)}, // 0.4
+		{Name: "b", Period: ms(10), WCET: ms(4)}, // 0.4
+		{Name: "c", Period: ms(10), WCET: ms(3)}, // 0.3
+		{Name: "d", Period: ms(10), WCET: ms(3)}, // 0.3
+	}
+	placed, err := PartitionTasksWorstFit(tasks, 2, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := map[int]float64{}
+	for _, tk := range placed {
+		load[tk.Core] += tk.Utilization()
+	}
+	for c, u := range load {
+		if u > 0.75 {
+			t.Errorf("core %d overloaded: %.2f", c, u)
+		}
+	}
+	// Infeasible packing.
+	if _, err := PartitionTasksWorstFit(tasks, 1, 0.75); err == nil {
+		t.Error("overloaded single core accepted")
+	}
+	if _, err := PartitionTasksWorstFit(tasks, 0, 0.75); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := PartitionTasksWorstFit(tasks, 2, 1.5); err == nil {
+		t.Error("capacity > 1 accepted")
+	}
+}
+
+func TestQuickVerdictConsistentWithSimulation(t *testing.T) {
+	// Property: whenever CheckRateMonotonic declares a random set
+	// schedulable, simulation observes zero deadline misses.
+	f := func(seed uint64, n8 uint8) bool {
+		rnd := sim.NewRand(seed)
+		n := int(n8%4) + 1
+		var tasks []Task
+		for i := 0; i < n; i++ {
+			period := ms(float64(5 * (1 + rnd.Intn(8))))
+			wcet := sim.Duration(1 + rnd.Int63n(int64(period/3))) // U <= 1/3 each
+			tasks = append(tasks, Task{
+				Name:   "t" + string(rune('0'+i)),
+				Period: period,
+				WCET:   wcet,
+			})
+		}
+		v, err := CheckRateMonotonic(tasks)
+		if err != nil {
+			return false
+		}
+		if !v.Schedulable {
+			return true // only the positive direction is claimed
+		}
+		eng := sim.NewEngine()
+		s, err := NewSimulator(eng, Config{Cores: 1}, AssignRateMonotonic(tasks))
+		if err != nil {
+			return false
+		}
+		res := s.Run(ms(400))
+		for _, st := range res {
+			if st.DeadlineMisses > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,383 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Policy selects the multicore scheduling policy.
+type Policy int
+
+// Scheduling policies (Section II): partitioned pins tasks to cores
+// and localizes interference; global lets the P highest-priority ready
+// jobs run on any core.
+const (
+	Partitioned Policy = iota
+	Global
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	if p == Global {
+		return "global"
+	}
+	return "partitioned"
+}
+
+// Config parameterizes a scheduling simulation.
+type Config struct {
+	Cores  int
+	Policy Policy
+	// Servers defines reservation servers tasks may be assigned to.
+	Servers []Server
+	// TDMA optionally installs a TDMA table per core (partitioned
+	// scheduling only).
+	TDMA map[int]TDMATable
+	// Seed drives release jitter.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("sched: need at least one core")
+	}
+	for _, s := range c.Servers {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+	}
+	for core, tbl := range c.TDMA {
+		if core < 0 || core >= c.Cores {
+			return fmt.Errorf("sched: TDMA table for core %d outside 0..%d", core, c.Cores-1)
+		}
+		if err := tbl.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// job is one released instance of a task.
+type job struct {
+	task        *Task
+	release     sim.Time
+	absDeadline sim.Time
+	remaining   sim.Duration
+	finished    bool
+	missed      bool
+	core        int // running core, -1 if not running
+	dispatched  sim.Time
+}
+
+// serverState tracks a reservation server's remaining budget.
+type serverState struct {
+	cfg    Server
+	budget sim.Duration
+}
+
+// TaskStats aggregates per-task results.
+type TaskStats struct {
+	Released, Finished, DeadlineMisses uint64
+	MaxResponse                        sim.Duration
+	TotalResponse                      sim.Duration
+}
+
+// MeanResponse returns the mean response time of finished jobs.
+func (s TaskStats) MeanResponse() sim.Duration {
+	if s.Finished == 0 {
+		return 0
+	}
+	return s.TotalResponse / sim.Duration(s.Finished)
+}
+
+// Simulator is a deterministic preemptive multicore fixed-priority
+// scheduler in virtual time.
+type Simulator struct {
+	eng   *sim.Engine
+	cfg   Config
+	tasks []*Task
+	rnd   *sim.Rand
+
+	jobs    []*job
+	servers map[string]*serverState
+	running []*job // per core; nil = idle
+	events  []sim.Handle
+
+	stats    map[string]*TaskStats
+	busy     []sim.Duration // per-core busy time
+	lastSync sim.Time
+	horizon  sim.Time
+}
+
+// NewSimulator builds a simulator for the task set.
+func NewSimulator(eng *sim.Engine, cfg Config, tasks []Task) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		eng:     eng,
+		cfg:     cfg,
+		rnd:     sim.NewRand(cfg.Seed),
+		servers: make(map[string]*serverState),
+		running: make([]*job, cfg.Cores),
+		stats:   make(map[string]*TaskStats),
+		busy:    make([]sim.Duration, cfg.Cores),
+	}
+	for _, srv := range cfg.Servers {
+		s.servers[srv.Name] = &serverState{cfg: srv, budget: srv.Budget}
+	}
+	seen := make(map[string]bool)
+	for i := range tasks {
+		t := tasks[i]
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[t.Name] {
+			return nil, fmt.Errorf("sched: duplicate task %q", t.Name)
+		}
+		seen[t.Name] = true
+		if cfg.Policy == Partitioned && t.Core >= cfg.Cores {
+			return nil, fmt.Errorf("sched: task %s pinned to core %d of %d", t.Name, t.Core, cfg.Cores)
+		}
+		if t.Server != "" {
+			if _, ok := s.servers[t.Server]; !ok {
+				return nil, fmt.Errorf("sched: task %s references unknown server %q", t.Name, t.Server)
+			}
+		}
+		s.tasks = append(s.tasks, &t)
+		s.stats[t.Name] = &TaskStats{}
+	}
+	return s, nil
+}
+
+// Run simulates the task set up to the horizon and returns per-task
+// statistics.
+func (s *Simulator) Run(horizon sim.Duration) map[string]TaskStats {
+	s.horizon = s.eng.Now() + horizon
+	for _, t := range s.tasks {
+		s.scheduleRelease(t, s.eng.Now())
+	}
+	for name, srv := range s.servers {
+		name := name
+		s.scheduleReplenish(name, s.eng.Now()+srv.cfg.Period)
+	}
+	s.eng.RunUntil(s.horizon)
+	s.sync()
+
+	out := make(map[string]TaskStats, len(s.stats))
+	for k, v := range s.stats {
+		out[k] = *v
+	}
+	return out
+}
+
+// CoreBusy returns the accumulated busy time of a core.
+func (s *Simulator) CoreBusy(core int) sim.Duration { return s.busy[core] }
+
+func (s *Simulator) scheduleRelease(t *Task, at sim.Time) {
+	if at >= s.horizon {
+		return
+	}
+	release := at
+	if t.Jitter > 0 {
+		release += s.rnd.Duration(t.Jitter + 1)
+	}
+	s.eng.At(release, func() {
+		j := &job{
+			task:        t,
+			release:     s.eng.Now(),
+			absDeadline: s.eng.Now() + t.EffectiveDeadline(),
+			remaining:   t.WCET,
+			core:        -1,
+		}
+		s.jobs = append(s.jobs, j)
+		s.stats[t.Name].Released++
+		// Deadline-miss watchdog.
+		s.eng.At(j.absDeadline, func() {
+			if !j.finished && !j.missed {
+				j.missed = true
+				s.stats[t.Name].DeadlineMisses++
+			}
+		})
+		s.reschedule()
+	})
+	s.eng.At(at+t.Period, func() { s.scheduleRelease(t, s.eng.Now()) })
+}
+
+func (s *Simulator) scheduleReplenish(name string, at sim.Time) {
+	if at >= s.horizon+s.servers[name].cfg.Period {
+		return
+	}
+	s.eng.At(at, func() {
+		srv := s.servers[name]
+		srv.budget = srv.cfg.Budget
+		s.scheduleReplenish(name, s.eng.Now()+srv.cfg.Period)
+		s.reschedule()
+	})
+}
+
+// sync charges elapsed execution to the running jobs and their
+// servers.
+func (s *Simulator) sync() {
+	now := s.eng.Now()
+	for core, j := range s.running {
+		if j == nil {
+			continue
+		}
+		delta := now - j.dispatched
+		if delta <= 0 {
+			continue
+		}
+		if delta > j.remaining {
+			delta = j.remaining
+		}
+		j.remaining -= delta
+		s.busy[core] += delta
+		if j.task.Server != "" {
+			srv := s.servers[j.task.Server]
+			srv.budget -= delta
+			if srv.budget < 0 {
+				srv.budget = 0
+			}
+		}
+		j.dispatched = now
+		if j.remaining == 0 {
+			s.finish(j)
+		}
+	}
+	s.lastSync = now
+}
+
+func (s *Simulator) finish(j *job) {
+	j.finished = true
+	st := s.stats[j.task.Name]
+	st.Finished++
+	resp := s.eng.Now() - j.release
+	st.TotalResponse += resp
+	if resp > st.MaxResponse {
+		st.MaxResponse = resp
+	}
+	if s.eng.Now() > j.absDeadline && !j.missed {
+		j.missed = true
+		st.DeadlineMisses++
+	}
+}
+
+// eligible reports whether a job may execute now on the given core,
+// and the earliest boundary at which its eligibility may change (slot
+// end or budget exhaustion).
+func (s *Simulator) eligible(j *job, core int, now sim.Time) (ok bool, boundary sim.Time) {
+	boundary = sim.Forever
+	if j.task.Server != "" {
+		srv := s.servers[j.task.Server]
+		if srv.budget <= 0 {
+			return false, sim.Forever // replenish event will reschedule
+		}
+		boundary = now + srv.budget
+	}
+	if tbl, has := s.cfg.TDMA[core]; has && j.task.Partition != "" {
+		active, b := tbl.activeWindow(j.task.Partition, now)
+		if !active {
+			if b < boundary {
+				boundary = b
+			}
+			return false, boundary
+		}
+		if b < boundary {
+			boundary = b
+		}
+	}
+	return true, boundary
+}
+
+// reschedule is the core dispatcher: charge time, pick the highest
+// priority eligible jobs, and arm the next decision events.
+func (s *Simulator) reschedule() {
+	s.sync()
+	now := s.eng.Now()
+
+	for _, h := range s.events {
+		h.Cancel()
+	}
+	s.events = s.events[:0]
+
+	// Compact finished jobs occasionally.
+	live := s.jobs[:0]
+	for _, j := range s.jobs {
+		if !j.finished {
+			live = append(live, j)
+		}
+	}
+	s.jobs = live
+
+	ready := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		if j.release <= now && j.remaining > 0 {
+			ready = append(ready, j)
+		}
+		j.core = -1
+	}
+	sort.Slice(ready, func(a, b int) bool {
+		x, y := ready[a], ready[b]
+		if x.task.Priority != y.task.Priority {
+			return x.task.Priority > y.task.Priority
+		}
+		if x.release != y.release {
+			return x.release < y.release
+		}
+		return x.task.Name < y.task.Name
+	})
+
+	for core := range s.running {
+		s.running[core] = nil
+	}
+	var wakeups []sim.Time
+
+	assign := func(j *job, core int) {
+		ok, boundary := s.eligible(j, core, now)
+		if !ok {
+			if boundary != sim.Forever {
+				wakeups = append(wakeups, boundary)
+			}
+			return
+		}
+		j.core = core
+		j.dispatched = now
+		s.running[core] = j
+		end := now + j.remaining
+		if boundary < end {
+			end = boundary
+		}
+		s.events = append(s.events, s.eng.At(end, s.reschedule))
+	}
+
+	switch s.cfg.Policy {
+	case Partitioned:
+		for _, j := range ready {
+			core := j.task.Core
+			if s.running[core] == nil {
+				assign(j, core)
+			}
+		}
+	case Global:
+		core := 0
+		for _, j := range ready {
+			for core < s.cfg.Cores && s.running[core] != nil {
+				core++
+			}
+			if core >= s.cfg.Cores {
+				break
+			}
+			assign(j, core)
+		}
+	}
+
+	for _, w := range wakeups {
+		if w > now && w < s.horizon+sim.Second {
+			s.events = append(s.events, s.eng.At(w, s.reschedule))
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package sched models the CPU-scheduling side of Section II of the
+// paper: partitioned versus global fixed-priority scheduling,
+// TDMA-based time partitioning, and reservation-based servers
+// (budget/period throttling in the style of a constant-bandwidth /
+// deferrable server). It provides both a deterministic preemptive
+// multicore simulator and classical worst-case response-time analysis,
+// so the same task set can be studied ex-ante (analysis) and ex-post
+// (simulation) — the distinction Section IV draws.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Criticality mirrors the automotive ASIL idea at the granularity this
+// model needs.
+type Criticality int
+
+// Criticality levels.
+const (
+	QM Criticality = iota // quality managed (best effort)
+	ASILB
+	ASILD
+)
+
+// String implements fmt.Stringer.
+func (c Criticality) String() string {
+	switch c {
+	case ASILB:
+		return "ASIL-B"
+	case ASILD:
+		return "ASIL-D"
+	}
+	return "QM"
+}
+
+// Task is a periodic task.
+type Task struct {
+	Name     string
+	Period   sim.Duration
+	WCET     sim.Duration
+	Deadline sim.Duration // 0 = implicit (== Period)
+	// Priority: higher value = more important (fixed-priority
+	// scheduling).
+	Priority int
+	Crit     Criticality
+	// Core pins the task under partitioned scheduling; ignored under
+	// global scheduling.
+	Core int
+	// Server optionally names the reservation server the task runs in.
+	Server string
+	// Partition optionally names the TDMA partition the task belongs
+	// to.
+	Partition string
+	// Jitter models release jitter (uniform in [0, Jitter], seeded).
+	Jitter sim.Duration
+}
+
+// EffectiveDeadline returns the deadline, defaulting to the period.
+func (t Task) EffectiveDeadline() sim.Duration {
+	if t.Deadline > 0 {
+		return t.Deadline
+	}
+	return t.Period
+}
+
+// Validate checks the task parameters.
+func (t Task) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("sched: task needs a name")
+	}
+	if t.Period <= 0 {
+		return fmt.Errorf("sched: task %s needs a positive period", t.Name)
+	}
+	if t.WCET <= 0 || t.WCET > t.Period {
+		return fmt.Errorf("sched: task %s WCET %v outside (0, period %v]", t.Name, t.WCET, t.Period)
+	}
+	if t.Deadline < 0 || (t.Deadline > 0 && t.Deadline > t.Period) {
+		return fmt.Errorf("sched: task %s constrained deadline %v outside (0, period]", t.Name, t.Deadline)
+	}
+	if t.Jitter < 0 {
+		return fmt.Errorf("sched: task %s negative jitter", t.Name)
+	}
+	if t.Core < 0 {
+		return fmt.Errorf("sched: task %s negative core", t.Name)
+	}
+	return nil
+}
+
+// Utilization returns WCET/Period.
+func (t Task) Utilization() float64 {
+	return float64(t.WCET) / float64(t.Period)
+}
+
+// Server is a reservation server: tasks assigned to it may consume at
+// most Budget of CPU time per Period (replenished at period
+// boundaries). This is the reservation-based scheduling Section II
+// recommends for composable QoS.
+type Server struct {
+	Name   string
+	Budget sim.Duration
+	Period sim.Duration
+	// Core pins the server under partitioned scheduling.
+	Core int
+}
+
+// Validate checks the server parameters.
+func (s Server) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("sched: server needs a name")
+	}
+	if s.Period <= 0 || s.Budget <= 0 || s.Budget > s.Period {
+		return fmt.Errorf("sched: server %s needs 0 < budget <= period", s.Name)
+	}
+	return nil
+}
+
+// TDMAPartition is one slot owner in a TDMA schedule: its tasks may
+// run only while the slot is active. Slots repeat every table cycle.
+type TDMAPartition struct {
+	Name  string
+	Start sim.Duration // offset of the slot within the cycle
+	Slot  sim.Duration // slot length
+}
+
+// TDMATable is a complete TDMA schedule for one core.
+type TDMATable struct {
+	Cycle      sim.Duration
+	Partitions []TDMAPartition
+}
+
+// Validate checks slot layout: inside the cycle and non-overlapping.
+func (t TDMATable) Validate() error {
+	if t.Cycle <= 0 {
+		return fmt.Errorf("sched: TDMA cycle must be positive")
+	}
+	for i, p := range t.Partitions {
+		if p.Name == "" {
+			return fmt.Errorf("sched: TDMA partition %d needs a name", i)
+		}
+		if p.Start < 0 || p.Slot <= 0 || p.Start+p.Slot > t.Cycle {
+			return fmt.Errorf("sched: TDMA partition %s slot [%v,%v) outside cycle %v",
+				p.Name, p.Start, p.Start+p.Slot, t.Cycle)
+		}
+		for _, q := range t.Partitions[:i] {
+			if p.Start < q.Start+q.Slot && q.Start < p.Start+p.Slot {
+				return fmt.Errorf("sched: TDMA partitions %s and %s overlap", p.Name, q.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// activeWindow returns, for a partition, whether it is active at time
+// t, and the time of the next boundary (end of the current slot if
+// active, start of the next slot if not).
+func (t TDMATable) activeWindow(name string, at sim.Time) (active bool, boundary sim.Time) {
+	var p *TDMAPartition
+	for i := range t.Partitions {
+		if t.Partitions[i].Name == name {
+			p = &t.Partitions[i]
+			break
+		}
+	}
+	if p == nil {
+		return true, sim.Forever // unknown partition: unrestricted
+	}
+	cycleStart := at - at%t.Cycle
+	off := at - cycleStart
+	start, end := p.Start, p.Start+p.Slot
+	switch {
+	case off < start:
+		return false, cycleStart + start
+	case off < end:
+		return true, cycleStart + end
+	default:
+		return false, cycleStart + t.Cycle + start
+	}
+}

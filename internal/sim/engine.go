@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a callback scheduled to run at a point in virtual time.
+type Event func()
+
+// scheduled is one entry in the event queue. seq breaks ties between
+// events scheduled for the same instant: earlier-scheduled events run
+// first, making the kernel fully deterministic.
+type scheduled struct {
+	at  Time
+	seq uint64
+	fn  Event
+	// canceled events stay in the heap but are skipped when popped;
+	// this keeps cancellation O(1).
+	canceled bool
+}
+
+type eventHeap []*scheduled
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*scheduled)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// Handle identifies a scheduled event so it can be canceled.
+type Handle struct{ ev *scheduled }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (h Handle) Cancel() {
+	if h.ev != nil {
+		h.ev.canceled = true
+	}
+}
+
+// Engine is a single-threaded discrete-event simulation kernel.
+// The zero value is ready to use.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are queued (including canceled ones
+// not yet discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at the absolute virtual time t.
+// Scheduling in the past panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn Event) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &scheduled{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return Handle{ev}
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Duration, fn Event) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Halt stops the current Run/RunUntil after the executing event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step executes the single earliest pending event, advancing virtual
+// time to its timestamp. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*scheduled)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Halt is called.
+func (e *Engine) Run() {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances
+// the clock to the deadline. Events scheduled beyond the deadline stay
+// queued for a later call.
+func (e *Engine) RunUntil(deadline Time) {
+	e.halted = false
+	for !e.halted {
+		next, ok := e.peek()
+		if !ok || next > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// peek reports the timestamp of the earliest live event.
+func (e *Engine) peek() (Time, bool) {
+	for len(e.queue) > 0 {
+		if e.queue[0].canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0].at, true
+	}
+	return 0, false
+}
+
+// NextEventAt reports the timestamp of the earliest pending event,
+// or Forever if the queue is empty.
+func (e *Engine) NextEventAt() Time {
+	if t, ok := e.peek(); ok {
+		return t
+	}
+	return Forever
+}

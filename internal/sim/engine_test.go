@@ -1,0 +1,282 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	cases := []struct {
+		ns   float64
+		want Duration
+	}{
+		{0, 0},
+		{1, 1000},
+		{1.25, 1250},    // DDR3-1600 tCK
+		{13.75, 13750},  // tRCD/tCL/tRP
+		{7800, 7800000}, // tREFI
+		{0.001, 1},
+	}
+	for _, c := range cases {
+		if got := NS(c.ns); got != c.want {
+			t.Errorf("NS(%v) = %v, want %v", c.ns, got, c.want)
+		}
+	}
+	if got := NS(5).Nanoseconds(); got != 5 {
+		t.Errorf("Nanoseconds roundtrip = %v, want 5", got)
+	}
+	if US(7.8) != NS(7800) {
+		t.Errorf("US(7.8) != NS(7800)")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if s := NS(13.75).String(); s != "13.750ns" {
+		t.Errorf("String = %q", s)
+	}
+	if s := Forever.String(); s != "forever" {
+		t.Errorf("Forever.String = %q", s)
+	}
+}
+
+func TestEngineOrdersByTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now = %v, want 30", e.Now())
+	}
+	if e.Fired() != 3 {
+		t.Errorf("Fired = %d, want 3", e.Fired())
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break order %v not FIFO", order)
+		}
+	}
+}
+
+func TestEngineCascade(t *testing.T) {
+	// Events scheduled from inside events run at the right times.
+	e := NewEngine()
+	var ticks []Time
+	var tick func()
+	tick = func() {
+		ticks = append(ticks, e.Now())
+		if e.Now() < 50 {
+			e.After(10, tick)
+		}
+	}
+	e.At(0, tick)
+	e.Run()
+	want := []Time{0, 10, 20, 30, 40, 50}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	h := e.At(10, func() { ran = true })
+	h.Cancel()
+	e.Run()
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+	// Double-cancel is a no-op.
+	h.Cancel()
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var ran []Time
+	for _, at := range []Time{5, 15, 25} {
+		at := at
+		e.At(at, func() { ran = append(ran, at) })
+	}
+	e.RunUntil(20)
+	if len(ran) != 2 {
+		t.Fatalf("ran = %v, want events at 5 and 15", ran)
+	}
+	if e.Now() != 20 {
+		t.Errorf("Now = %v, want 20 (advanced to deadline)", e.Now())
+	}
+	e.RunUntil(30)
+	if len(ran) != 3 {
+		t.Fatalf("second RunUntil did not pick up deferred event; ran = %v", ran)
+	}
+}
+
+func TestEngineHalt(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		e.At(i, func() {
+			count++
+			if count == 4 {
+				e.Halt()
+			}
+		})
+	}
+	e.Run()
+	if count != 4 {
+		t.Fatalf("count = %d, want 4 (halted)", count)
+	}
+	if e.Pending() == 0 {
+		t.Fatal("expected events still pending after Halt")
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineNextEventAt(t *testing.T) {
+	e := NewEngine()
+	if e.NextEventAt() != Forever {
+		t.Fatal("empty engine should report Forever")
+	}
+	h := e.At(42, func() {})
+	if e.NextEventAt() != 42 {
+		t.Fatalf("NextEventAt = %v, want 42", e.NextEventAt())
+	}
+	h.Cancel()
+	if e.NextEventAt() != Forever {
+		t.Fatal("canceled event should not be reported")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(8)
+	same := 0
+	a2 := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if a2.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d collisions in 1000 draws", same)
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(17); v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		if v := r.Duration(100); v < 0 || v >= 100 {
+			t.Fatalf("Duration out of range: %v", v)
+		}
+	}
+	if r.Duration(0) != 0 {
+		t.Fatal("Duration(0) should be 0")
+	}
+}
+
+func TestRandExpMean(t *testing.T) {
+	r := NewRand(3)
+	const n = 200000
+	var sum float64
+	mean := NS(100)
+	for i := 0; i < n; i++ {
+		sum += float64(r.Exp(mean))
+	}
+	got := sum / n
+	if got < 0.9*float64(mean) || got > 1.1*float64(mean) {
+		t.Fatalf("Exp mean = %v ps, want ~%v ps", got, mean)
+	}
+}
+
+func TestLnMatchesMath(t *testing.T) {
+	for _, x := range []float64{0.001, 0.1, 0.5, 0.9999, 1, 1.5, 2, 10, 12345.678} {
+		got, want := ln(x), math.Log(x)
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Errorf("ln(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestQuickEngineMonotonicTime(t *testing.T) {
+	// Property: executing any batch of scheduled events yields
+	// non-decreasing Now() observations.
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var last Time = -1
+		ok := true
+		for _, d := range delays {
+			e.At(Time(d), func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRandIntnInRange(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		if n == 0 {
+			return true
+		}
+		r := NewRand(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(int(n))
+			if v < 0 || v >= int(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,61 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All simulators in this repository run in virtual time: a 64-bit integer
+// count of picoseconds. Picosecond resolution represents every DDR timing
+// parameter in the paper exactly (e.g. tCK = 1.25 ns = 1250 ps), so no
+// floating-point rounding can perturb command schedules between runs.
+//
+// The kernel never reads the wall clock and contains no unseeded
+// randomness; identical inputs yield identical event orders, which is the
+// repository-wide substitute for the paper's hardware measurements.
+package sim
+
+import "fmt"
+
+// Time is a point in virtual time, measured in picoseconds since the
+// start of the simulation.
+type Time int64
+
+// Duration is a span of virtual time in picoseconds.
+type Duration = Time
+
+// Common durations.
+const (
+	Picosecond  Duration = 1
+	Nanosecond  Duration = 1000
+	Microsecond Duration = 1000 * Nanosecond
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// Forever is a sentinel time later than any reachable simulation instant.
+const Forever Time = 1<<63 - 1
+
+// NS converts a duration expressed in nanoseconds to a Duration.
+// Fractional nanoseconds (such as the DDR3 tCK of 1.25 ns) are preserved
+// exactly down to picosecond resolution.
+func NS(ns float64) Duration {
+	// Round to the nearest picosecond; all paper parameters are exact
+	// multiples of 0.25 ns so this never actually rounds.
+	if ns >= 0 {
+		return Duration(ns*1000 + 0.5)
+	}
+	return Duration(ns*1000 - 0.5)
+}
+
+// US converts a duration expressed in microseconds to a Duration.
+func US(us float64) Duration { return NS(us * 1000) }
+
+// Nanoseconds reports t as a floating-point number of nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / 1000 }
+
+// Microseconds reports t as a floating-point number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / 1e6 }
+
+// String formats the time as nanoseconds with picosecond precision.
+func (t Time) String() string {
+	if t == Forever {
+		return "forever"
+	}
+	return fmt.Sprintf("%.3fns", t.Nanoseconds())
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialWrapsAndResets(t *testing.T) {
+	s, err := NewSequential(1000, 256, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1000, 1064, 1128, 1192, 1000}
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Errorf("step %d: %d, want %d", i, got, w)
+		}
+	}
+	s.Reset()
+	if got := s.Next(); got != 1000 {
+		t.Errorf("after Reset: %d", got)
+	}
+	if _, err := NewSequential(0, 0, 64); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := NewSequential(0, 64, 128); err == nil {
+		t.Error("stride > size accepted")
+	}
+}
+
+func TestStrided(t *testing.T) {
+	s, err := NewStrided(0, 1<<20, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := s.Next(), s.Next()
+	if b-a != 4096 {
+		t.Errorf("stride = %d", b-a)
+	}
+	if _, err := NewStrided(0, 0, 64); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestRandomDeterministicAligned(t *testing.T) {
+	r1, err := NewRandom(0, 1<<20, 64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := NewRandom(0, 1<<20, 64, 42)
+	for i := 0; i < 1000; i++ {
+		a, b := r1.Next(), r2.Next()
+		if a != b {
+			t.Fatal("same seed diverged")
+		}
+		if a%64 != 0 || a >= 1<<20 {
+			t.Fatalf("unaligned or out-of-range address %d", a)
+		}
+	}
+	r1.Reset()
+	r3, _ := NewRandom(0, 1<<20, 64, 42)
+	if r1.Next() != r3.Next() {
+		t.Error("Reset did not restart the stream")
+	}
+	if _, err := NewRandom(0, 64, 128, 1); err == nil {
+		t.Error("align > size accepted")
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	for _, class := range []WorkloadClass{ControlLoop, VisionPipeline, Infotainment} {
+		p, err := NewProfile(class, 1<<30, 7)
+		if err != nil {
+			t.Fatalf("%v: %v", class, err)
+		}
+		if p.ReqBytes <= 0 || p.Pattern == nil {
+			t.Errorf("%v: malformed profile %+v", class, p)
+		}
+		if a := p.Next(); a < 1<<30 {
+			t.Errorf("%v: address %d below base", class, a)
+		}
+		if class.String() == "" {
+			t.Errorf("empty class name")
+		}
+	}
+	if _, err := NewProfile(WorkloadClass(99), 0, 0); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestQuickPatternsStayInRange(t *testing.T) {
+	f := func(seed uint64, kind uint8, steps uint8) bool {
+		base, size := uint64(1<<20), uint64(1<<16)
+		var p Pattern
+		var err error
+		switch kind % 3 {
+		case 0:
+			p, err = NewSequential(base, size, 64)
+		case 1:
+			p, err = NewStrided(base, size, 4096)
+		default:
+			p, err = NewRandom(base, size, 64, seed)
+		}
+		if err != nil {
+			return false
+		}
+		for i := 0; i < int(steps)+10; i++ {
+			a := p.Next()
+			if a < base || a >= base+size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
