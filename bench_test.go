@@ -27,6 +27,7 @@ import (
 	"repro/internal/noc"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -887,4 +888,43 @@ func BenchmarkAblationAdmission(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		run(true, 20*sim.Microsecond)
 	}
+}
+
+// BenchmarkReadLatencyPercentile compares the telemetry histogram's
+// O(buckets) quantile (what dram.MasterStats now uses) against the
+// copy-and-sort it replaced, on the same 64Ki-sample latency stream.
+func BenchmarkReadLatencyPercentile(b *testing.B) {
+	const samples = 1 << 16
+	const p95idx = (samples - 1) * 95 / 100
+	rnd := sim.NewRand(11)
+	lats := make([]sim.Duration, samples)
+	h := telemetry.NewHistogram()
+	for i := range lats {
+		lats[i] = sim.NS(float64(20 + rnd.Intn(2000)))
+		h.Record(int64(lats[i]))
+	}
+	printOnce("BP", func() {
+		sorted := append([]sim.Duration(nil), lats...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		exact := sorted[p95idx]
+		fmt.Printf("\n[bench] p95 of %d read latencies: histogram %v vs exact %v "+
+			"(relative error bound %.3f)\n",
+			samples, sim.Duration(h.Quantile(0.95)), exact, telemetry.MaxQuantileRelativeError)
+	})
+	b.Run("histogram", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if h.Quantile(0.95) == 0 {
+				b.Fatal("empty quantile")
+			}
+		}
+	})
+	b.Run("copy+sort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := append([]sim.Duration(nil), lats...)
+			sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+			if s[p95idx] == 0 {
+				b.Fatal("empty quantile")
+			}
+		}
+	})
 }

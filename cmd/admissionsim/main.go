@@ -8,6 +8,14 @@
 // Usage:
 //
 //	admissionsim [-apps 8] [-total 1.6] [-crit 2] [-critrate 0.4] [-us 200]
+//	             [-metrics file.json] [-trace file.json]
+//
+// -metrics and -trace instrument the non-symmetric (second) policy
+// run with the unified telemetry layer: the metrics file carries
+// protocol counters and per-flow PMU monitor readings, the trace file
+// is a Chrome trace_event timeline with admission mode-change spans,
+// rejection instants, and per-flow NoC delivery spans. "-" writes to
+// stdout.
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/noc"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -26,10 +35,12 @@ func main() {
 	critN := flag.Int("crit", 2, "number of critical applications (non-symmetric policy)")
 	critRate := flag.Float64("critrate", 0.4, "guaranteed critical rate (bytes/ns)")
 	usec := flag.Int("us", 200, "microseconds between activations")
+	metricsPath := flag.String("metrics", "", "write telemetry metrics JSON for the non-symmetric run (\"-\" for stdout)")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline for the non-symmetric run (\"-\" for stdout)")
 	flag.Parse()
 
 	fmt.Println("== symmetric policy (Fig. 7: uniform degradation) ==")
-	runPolicy(admission.Symmetric{TotalBytesPerNS: *total}, *apps, 0, *usec)
+	runPolicy(admission.Symmetric{TotalBytesPerNS: *total}, *apps, 0, *usec, "", "")
 
 	fmt.Println()
 	fmt.Println("== non-symmetric policy (critical guarantees preserved) ==")
@@ -37,10 +48,10 @@ func main() {
 		TotalBytesPerNS:    *total,
 		CriticalBytesPerNS: *critRate,
 		FloorBytesPerNS:    0.01,
-	}, *apps, *critN, *usec)
+	}, *apps, *critN, *usec, *metricsPath, *tracePath)
 }
 
-func runPolicy(policy admission.RatePolicy, apps, critN, usec int) {
+func runPolicy(policy admission.RatePolicy, apps, critN, usec int, metricsPath, tracePath string) {
 	eng := sim.NewEngine()
 	mesh, err := noc.New(eng, noc.DefaultConfig())
 	if err != nil {
@@ -49,6 +60,13 @@ func runPolicy(policy admission.RatePolicy, apps, critN, usec int) {
 	sys, err := admission.NewSystem(eng, mesh, noc.Coord{X: 0, Y: 0}, policy)
 	if err != nil {
 		fatal(err)
+	}
+	var suite *telemetry.Suite
+	if metricsPath != "" || tracePath != "" {
+		suite = telemetry.NewSuite(tracePath != "", sim.Millisecond)
+		eng.SetObserver(telemetry.NewEngineObserver(suite.Registry, suite.Tracer, 0))
+		mesh.SetTelemetry(suite.Registry, suite.Tracer, suite.Monitors)
+		sys.SetTelemetry(suite.Registry, suite.Tracer)
 	}
 
 	// Print the policy's rate-vs-mode series (the Fig. 7 staircase).
@@ -100,6 +118,20 @@ func runPolicy(policy admission.RatePolicy, apps, critN, usec int) {
 	fmt.Printf("mode-change latency: mean %.1f ns, max %.1f ns\n",
 		st.MeanModeChangeLatencyNS(), st.MaxModeLat)
 	fmt.Printf("final mode: %d\n", sys.RM().Mode())
+
+	if suite != nil {
+		suite.Monitors.Snapshot(suite.Registry, eng.Now())
+		if metricsPath != "" {
+			if err := suite.WriteMetricsFile(metricsPath); err != nil {
+				fatal(err)
+			}
+		}
+		if tracePath != "" {
+			if err := suite.WriteTraceFile(tracePath); err != nil {
+				fatal(err)
+			}
+		}
+	}
 }
 
 func appName(i int) string { return fmt.Sprintf("app%d", i) }

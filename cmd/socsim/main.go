@@ -8,6 +8,14 @@
 // Usage:
 //
 //	socsim [-hogs 6] [-ms 4] [-dsu] [-memguard] [-shape] [-all]
+//	       [-metrics file.json] [-trace file.json]
+//
+// -metrics dumps the unified telemetry registry (counters, gauges,
+// latency histograms) as JSON; -trace records a Chrome trace_event
+// timeline (load it in Perfetto or chrome://tracing) with per-bank
+// DRAM service spans, per-flow NoC delivery spans, and MemGuard
+// stall/depletion events. "-" writes either to stdout. Both are
+// deterministic: identical invocations produce byte-identical files.
 package main
 
 import (
@@ -31,7 +39,13 @@ func main() {
 	useShape := flag.Bool("shape", false, "install NI token-bucket shapers on hog nodes")
 	useMPAM := flag.Bool("mpam", false, "regulate the memory channel with MPAM min/max bandwidth")
 	all := flag.Bool("all", false, "run the full scenario matrix")
+	metricsPath := flag.String("metrics", "", "write telemetry metrics JSON to this file (\"-\" for stdout)")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (\"-\" for stdout)")
 	flag.Parse()
+
+	if *all && (*metricsPath != "" || *tracePath != "") {
+		fatal(fmt.Errorf("-metrics/-trace apply to a single scenario; drop -all"))
+	}
 
 	if *all {
 		fmt.Println("scenario                         mean(ns)   p95(ns)    max(ns)   DRAM row-hit")
@@ -51,7 +65,7 @@ func main() {
 			if sc.name == "solo (0 hogs)" {
 				n = 0
 			}
-			st, hit := run(n, *msec, sc.dsu, sc.mg, sc.shaped, sc.mpam)
+			st, hit := run(n, *msec, sc.dsu, sc.mg, sc.shaped, sc.mpam, "", "")
 			fmt.Printf("%-32s %-10.1f %-10.1f %-9.1f %.2f\n", sc.name,
 				st.MeanReadLatency.Nanoseconds(), st.P95ReadLatency.Nanoseconds(),
 				st.MaxReadLatency.Nanoseconds(), hit)
@@ -59,7 +73,7 @@ func main() {
 		return
 	}
 
-	st, hit := run(*hogs, *msec, *useDSU, *useMG, *useShape, *useMPAM)
+	st, hit := run(*hogs, *msec, *useDSU, *useMG, *useShape, *useMPAM, *metricsPath, *tracePath)
 	fmt.Printf("critical app read latency over %dms with %d hogs (dsu=%v memguard=%v shape=%v mpam=%v):\n",
 		*msec, *hogs, *useDSU, *useMG, *useShape, *useMPAM)
 	fmt.Printf("  accesses  %d (hits %d, misses %d)\n", st.Issued, st.L3Hits, st.L3Misses)
@@ -69,10 +83,15 @@ func main() {
 	fmt.Printf("  DRAM row-hit rate %.2f\n", hit)
 }
 
-func run(hogs, msec int, useDSU, useMG, useShape, useMPAM bool) (core.AppStats, float64) {
+func run(hogs, msec int, useDSU, useMG, useShape, useMPAM bool, metricsPath, tracePath string) (core.AppStats, float64) {
 	p, err := core.New(core.DefaultConfig())
 	if err != nil {
 		fatal(err)
+	}
+	if metricsPath != "" || tracePath != "" {
+		if _, err := p.EnableTelemetry(tracePath != ""); err != nil {
+			fatal(err)
+		}
 	}
 	if useMPAM {
 		if err := p.EnableMPAMChannel(mpam.BWConfig{CapacityBytesPerNS: 2.0}); err != nil {
@@ -136,6 +155,19 @@ func run(hogs, msec int, useDSU, useMG, useShape, useMPAM bool) (core.AppStats, 
 	}
 	crit.Start()
 	p.RunFor(sim.Duration(msec) * sim.Millisecond)
+	if suite := p.Telemetry(); suite != nil {
+		p.SnapshotMetrics()
+		if metricsPath != "" {
+			if err := suite.WriteMetricsFile(metricsPath); err != nil {
+				fatal(err)
+			}
+		}
+		if tracePath != "" {
+			if err := suite.WriteTraceFile(tracePath); err != nil {
+				fatal(err)
+			}
+		}
+	}
 	return crit.Stats(), p.Memory().Stats().RowHitRate()
 }
 

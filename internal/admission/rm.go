@@ -71,6 +71,9 @@ func (rm *RM) next() {
 	case ActMsg:
 		if _, dup := rm.active[ev.app.Name]; dup {
 			rm.sys.stats.Rejected++
+			if rm.sys.tel != nil {
+				rm.sys.traceReject(ev.app.Name, rm.sys.eng.Now())
+			}
 			rm.next()
 			return
 		}
@@ -82,6 +85,9 @@ func (rm *RM) next() {
 			if err := rm.sys.check(rm.Active(), rates, ev.app); err != nil {
 				delete(rm.active, ev.app.Name)
 				rm.sys.stats.Rejected++
+				if rm.sys.tel != nil {
+					rm.sys.traceReject(ev.app.Name, rm.sys.eng.Now())
+				}
 				node := ev.app.Node
 				name := ev.app.Name
 				rm.sys.sendCtrl(rm.node, node, ConfMsg, func() {
@@ -94,6 +100,9 @@ func (rm *RM) next() {
 	case TerMsg:
 		if _, ok := rm.active[ev.app.Name]; !ok {
 			rm.sys.stats.Rejected++
+			if rm.sys.tel != nil {
+				rm.sys.traceReject(ev.app.Name, rm.sys.eng.Now())
+			}
 			rm.next()
 			return
 		}
@@ -193,6 +202,10 @@ func (rm *RM) finish() {
 	case TerMsg:
 		st.Terminated++
 	}
+	if rm.sys.tel != nil {
+		rm.sys.traceModeChange(rm.current.typ, rm.current.app.Name,
+			rm.reconfStart, rm.sys.eng.Now(), rm.Mode())
+	}
 	rm.reconfiguring = false
 	rm.next()
 }
@@ -206,6 +219,7 @@ type System struct {
 	check   CheckFunc
 	clients map[noc.Coord]*Client
 	stats   Stats
+	tel     *telemetryState
 }
 
 // NewSystem builds the admission overlay on an existing mesh. The RM

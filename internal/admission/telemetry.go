@@ -1,0 +1,67 @@
+package admission
+
+import (
+	"strconv"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// telemetryState is the admission overlay's optional instrumentation;
+// nil disables it.
+type telemetryState struct {
+	reg *telemetry.Registry
+	tr  *telemetry.Tracer
+
+	cAdmitted   *telemetry.Counter
+	cRejected   *telemetry.Counter
+	cTerminated *telemetry.Counter
+}
+
+// SetTelemetry attaches a metrics registry and/or tracer to the
+// admission system. Either may be nil; both nil disables
+// instrumentation.
+func (s *System) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	if reg == nil && tr == nil {
+		s.tel = nil
+		return
+	}
+	ts := &telemetryState{reg: reg, tr: tr}
+	if reg != nil {
+		ts.cAdmitted = reg.Counter("admission.admitted")
+		ts.cRejected = reg.Counter("admission.rejected")
+		ts.cTerminated = reg.Counter("admission.terminated")
+	}
+	s.tel = ts
+}
+
+// traceReject marks a rejected (or duplicate/unknown) request.
+func (s *System) traceReject(name string, at sim.Time) {
+	ts := s.tel
+	if ts == nil {
+		return
+	}
+	ts.cRejected.Inc()
+	if ts.tr != nil {
+		ts.tr.Instant("admission", "reject "+name, at)
+	}
+}
+
+// traceModeChange emits the whole stop/configure reconfiguration as
+// one span on the admission track, labelled with the triggering event
+// and the resulting mode.
+func (s *System) traceModeChange(typ MsgType, app string, start, end sim.Time, mode int) {
+	ts := s.tel
+	if ts == nil {
+		return
+	}
+	if typ == ActMsg {
+		ts.cAdmitted.Inc()
+	} else {
+		ts.cTerminated.Inc()
+	}
+	if ts.tr != nil {
+		ts.tr.Span("admission", typ.String()+" "+app, start, end,
+			"mode", strconv.Itoa(mode))
+	}
+}

@@ -111,6 +111,8 @@ type Cache struct {
 
 	setShift uint
 	setMask  uint64
+
+	tel *telemetryState
 }
 
 // New builds a cache.
@@ -172,6 +174,9 @@ func (c *Cache) Access(owner Owner, addr uint64, write bool) Result {
 	for i := range lines {
 		if lines[i].valid && lines[i].tag == tag {
 			st.Hits++
+			if c.tel != nil {
+				c.tel.cHits.Inc()
+			}
 			lines[i].lastUse = c.clock
 			if write {
 				lines[i].dirty = true
@@ -180,6 +185,9 @@ func (c *Cache) Access(owner Owner, addr uint64, write bool) Result {
 		}
 	}
 	st.Misses++
+	if c.tel != nil {
+		c.tel.cMisses.Inc()
+	}
 
 	allowed := c.cfg.Policy.AllowedWays(owner, set)
 	victim := -1
@@ -214,6 +222,9 @@ func (c *Cache) Access(owner Owner, addr uint64, write bool) Result {
 		if v.owner != owner {
 			st.EvictionsOfOthers++
 			c.ownerStats(v.owner).EvictedByOthers++
+			if c.tel != nil {
+				c.tel.cCrossEvic.Inc()
+			}
 		}
 	}
 	*v = line{valid: true, tag: tag, owner: owner, dirty: write, lastUse: c.clock}

@@ -1,0 +1,31 @@
+package cache
+
+import "repro/internal/telemetry"
+
+// telemetryState holds the cache's optional shared-registry counters;
+// nil disables them.
+type telemetryState struct {
+	cHits      *telemetry.Counter
+	cMisses    *telemetry.Counter
+	cCrossEvic *telemetry.Counter
+}
+
+// SetTelemetry mirrors aggregate access outcomes into a metrics
+// registry under "<name>.hits", "<name>.misses" and
+// "<name>.cross_evictions" (lines one owner evicted from another —
+// the inter-partition interference signal). A nil registry disables
+// mirroring; per-owner Stats are unaffected either way.
+func (c *Cache) SetTelemetry(reg *telemetry.Registry, name string) {
+	if reg == nil {
+		c.tel = nil
+		return
+	}
+	if name == "" {
+		name = "cache"
+	}
+	c.tel = &telemetryState{
+		cHits:      reg.Counter(name + ".hits"),
+		cMisses:    reg.Counter(name + ".misses"),
+		cCrossEvic: reg.Counter(name + ".cross_evictions"),
+	}
+}

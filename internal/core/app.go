@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/cache"
 	"repro/internal/dram"
@@ -10,6 +9,7 @@ import (
 	"repro/internal/mpam"
 	"repro/internal/noc"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -61,7 +61,7 @@ type App struct {
 	reads, writes        uint64
 	bytes                uint64
 	totalLat, maxLat     sim.Duration
-	samples              []sim.Duration
+	latHist              *telemetry.Histogram
 
 	memTap func(at sim.Time, bytes int)
 }
@@ -75,8 +75,10 @@ func (a *App) Config() AppConfig { return a.cfg }
 // measure empirical arrival curves. Pass nil to remove.
 func (a *App) TapMemory(f func(at sim.Time, bytes int)) { a.memTap = f }
 
-// maxLatencySamples caps the percentile reservoir.
-const maxLatencySamples = 1 << 16
+// ReadLatencyHistogram exposes the app's read-latency histogram (nil
+// until the first read completes) so telemetry registries can adopt
+// it without re-recording samples.
+func (a *App) ReadLatencyHistogram() *telemetry.Histogram { return a.latHist }
 
 // AddApp registers an application.
 func (p *Platform) AddApp(cfg AppConfig) (*App, error) {
@@ -144,11 +146,7 @@ func (a *App) Stats() AppStats {
 	if a.reads > 0 {
 		st.MeanReadLatency = a.totalLat / sim.Duration(a.reads)
 	}
-	if len(a.samples) > 0 {
-		s := append([]sim.Duration(nil), a.samples...)
-		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-		st.P95ReadLatency = s[int(0.95*float64(len(s)-1))]
-	}
+	st.P95ReadLatency = sim.Duration(a.latHist.Quantile(0.95))
 	return st
 }
 
@@ -281,9 +279,10 @@ func (a *App) finish(start sim.Time, write, toMemory bool) {
 		if lat > a.maxLat {
 			a.maxLat = lat
 		}
-		if len(a.samples) < maxLatencySamples {
-			a.samples = append(a.samples, lat)
+		if a.latHist == nil {
+			a.latHist = telemetry.NewHistogram()
 		}
+		a.latHist.Record(int64(lat))
 	}
 	if toMemory {
 		a.bytes += uint64(a.cfg.Profile.ReqBytes)

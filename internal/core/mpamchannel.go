@@ -26,6 +26,9 @@ func (p *Platform) EnableMPAMChannel(cfg mpam.BWConfig) error {
 		return err
 	}
 	p.mpamArb = arb
+	if p.tel != nil {
+		arb.SetTelemetry(p.tel.Registry, p.tel.Tracer, p.tel.Monitors)
+	}
 	return nil
 }
 

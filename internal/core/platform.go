@@ -26,6 +26,7 @@ import (
 	"repro/internal/netcalc"
 	"repro/internal/noc"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Config assembles a platform.
@@ -109,6 +110,8 @@ type Platform struct {
 
 	dramCallbacks map[uint64]func()
 	nextReqID     uint64
+
+	tel *telemetry.Suite
 }
 
 // New assembles a platform on a fresh engine.

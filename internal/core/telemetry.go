@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// EnableTelemetry builds a telemetry suite and threads it through
+// every assembled subsystem: the simulation kernel (event counters and
+// dispatch-rate samples), the DRAM controller (per-bank service spans,
+// refresh, mode switches), the mesh (per-flow delivery spans and
+// PMU-style monitors), MemGuard (stall spans, depletion events,
+// per-entity monitors), the per-cluster L3s, and — if already enabled
+// — the MPAM channel arbiter. withTrace additionally records a
+// Chrome trace_event timeline; metrics and monitors are always on.
+//
+// Call once, before traffic starts. Returns the suite for dumping.
+func (p *Platform) EnableTelemetry(withTrace bool) (*telemetry.Suite, error) {
+	if p.tel != nil {
+		return nil, fmt.Errorf("core: telemetry already enabled")
+	}
+	window := sim.Millisecond
+	if p.cfg.MemGuard != nil {
+		window = p.cfg.MemGuard.Period
+	}
+	s := telemetry.NewSuite(withTrace, window)
+	p.tel = s
+
+	p.Eng.SetObserver(telemetry.NewEngineObserver(s.Registry, s.Tracer, 0))
+	p.mem.SetTelemetry(s.Registry, s.Tracer)
+	p.mesh.SetTelemetry(s.Registry, s.Tracer, s.Monitors)
+	if p.reg != nil {
+		p.reg.SetTelemetry(s.Registry, s.Tracer, s.Monitors)
+	}
+	for i, cl := range p.clusters {
+		cl.L3().SetTelemetry(s.Registry, fmt.Sprintf("l3.cluster%d", i))
+	}
+	if p.mpamArb != nil {
+		p.mpamArb.SetTelemetry(s.Registry, s.Tracer, s.Monitors)
+	}
+	return s, nil
+}
+
+// Telemetry returns the platform's suite (nil when disabled).
+func (p *Platform) Telemetry() *telemetry.Suite { return p.tel }
+
+// SnapshotMetrics folds snapshot-style state into the registry: live
+// latency histograms (adopted, not copied), per-app counters, DRAM
+// aggregate ratios, MemGuard regulation outcomes, and the PMU
+// monitors' window readings. Call it at dump time; it is idempotent.
+func (p *Platform) SnapshotMetrics() {
+	s := p.tel
+	if s == nil || s.Registry == nil {
+		return
+	}
+	reg := s.Registry
+	now := p.Eng.Now()
+
+	for _, name := range p.order {
+		a := p.apps[name]
+		st := a.Stats()
+		prefix := "app." + name + "."
+		reg.Gauge(prefix + "issued").Set(float64(st.Issued))
+		reg.Gauge(prefix + "l3_hits").Set(float64(st.L3Hits))
+		reg.Gauge(prefix + "l3_misses").Set(float64(st.L3Misses))
+		reg.Gauge(prefix + "bytes_moved").Set(float64(st.BytesMoved))
+		if h := a.ReadLatencyHistogram(); h != nil {
+			reg.RegisterHistogram(prefix+"read_latency_ps", h)
+		}
+		if p.reg != nil {
+			mst := p.reg.Stats(name)
+			if mst.Requests > 0 {
+				reg.Gauge(prefix + "memguard_throttled_ns").Set(mst.ThrottledTime.Nanoseconds())
+				reg.Gauge(prefix + "memguard_throttle_events").Set(float64(mst.ThrottleEvents))
+			}
+		}
+	}
+
+	dst := p.mem.Stats()
+	reg.Gauge("dram.row_hit_rate").Set(dst.RowHitRate())
+	p.mem.RegisterLatencyHistograms(reg)
+
+	reg.Gauge("noc.delivered_total").Set(float64(p.mesh.Delivered()))
+	reg.Gauge("noc.flit_hops_total").Set(float64(p.mesh.FlitHops()))
+
+	if p.reg != nil {
+		reg.Gauge("memguard.overhead_ns").Set(p.reg.Overhead().Nanoseconds())
+	}
+	if p.mpamArb != nil {
+		reg.Gauge("mpam.utilization").Set(p.mpamArb.Utilization())
+	}
+	s.Monitors.Snapshot(reg, now)
+}

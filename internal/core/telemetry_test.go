@@ -1,0 +1,138 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// runInstrumented builds a fresh platform with two apps and a MemGuard
+// budget, runs it for 2ms with full telemetry, and returns the metrics
+// and trace dumps.
+func runInstrumented(t *testing.T) (metrics, traceJSON []byte) {
+	t.Helper()
+	p := newPlatform(t, nil)
+	suite, err := p.EnableTelemetry(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := addApp(t, p, "crit", noc.Coord{X: 0, Y: 0}, 0, 1, trace.ControlLoop, 0)
+	hog := addApp(t, p, "hog", noc.Coord{X: 1, Y: 0}, 1, 2, trace.VisionPipeline, 1<<30)
+	if err := p.SetMemBudget("hog", 16*1024); err != nil {
+		t.Fatal(err)
+	}
+	crit.Start()
+	hog.Start()
+	p.RunFor(2 * sim.Millisecond)
+	crit.Stop()
+	hog.Stop()
+	p.SnapshotMetrics()
+
+	var mbuf, tbuf bytes.Buffer
+	if err := suite.Registry.WriteJSON(&mbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := suite.Tracer.WriteJSON(&tbuf); err != nil {
+		t.Fatal(err)
+	}
+	return mbuf.Bytes(), tbuf.Bytes()
+}
+
+func TestPlatformTelemetryDeterministic(t *testing.T) {
+	m1, t1 := runInstrumented(t)
+	m2, t2 := runInstrumented(t)
+	if !bytes.Equal(m1, m2) {
+		t.Error("two identical runs produced different metrics dumps")
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Error("two identical runs produced different trace dumps")
+	}
+}
+
+func TestPlatformTraceCoversSubsystems(t *testing.T) {
+	_, tj := runInstrumented(t)
+	var out struct {
+		TraceEvents []struct {
+			Name string                 `json:"name"`
+			Ph   string                 `json:"ph"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tj, &out); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	// Collect track names from thread_name metadata.
+	tracks := map[string]bool{}
+	for _, ev := range out.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			if n, ok := ev.Args["name"].(string); ok {
+				tracks[n] = true
+			}
+		}
+	}
+	for _, want := range []string{"noc", "memguard", "sim"} {
+		if !tracks[want] {
+			t.Errorf("trace missing track %q (have %v)", want, tracks)
+		}
+	}
+	// DRAM spans live on per-bank tracks.
+	foundBank := false
+	for n := range tracks {
+		if len(n) > 9 && n[:9] == "dram.bank" {
+			foundBank = true
+		}
+	}
+	if !foundBank {
+		t.Errorf("trace missing dram bank tracks (have %v)", tracks)
+	}
+}
+
+func TestPlatformMetricsContent(t *testing.T) {
+	mj, _ := runInstrumented(t)
+	var out struct {
+		Counters   map[string]uint64             `json:"counters"`
+		Gauges     map[string]float64            `json:"gauges"`
+		Histograms map[string]map[string]float64 `json:"histograms"`
+	}
+	if err := json.Unmarshal(mj, &out); err != nil {
+		t.Fatalf("metrics dump is not valid JSON: %v", err)
+	}
+	if out.Counters["sim.events"] == 0 {
+		t.Error("sim.events counter missing or zero")
+	}
+	if out.Counters["dram.reads"] == 0 {
+		t.Error("dram.reads counter missing or zero")
+	}
+	if out.Counters["noc.delivered"] == 0 {
+		t.Error("noc.delivered counter missing or zero")
+	}
+	if out.Counters["memguard.requests"] == 0 {
+		t.Error("memguard.requests counter missing or zero")
+	}
+	if _, ok := out.Histograms["app.crit.read_latency_ps"]; !ok {
+		t.Error("app latency histogram not adopted into registry")
+	}
+	if _, ok := out.Gauges["monitor.mem:hog.total_bytes"]; !ok {
+		t.Error("memguard PMU monitor snapshot missing")
+	}
+	if _, ok := out.Gauges["monitor.noc:crit.total_bytes"]; !ok {
+		t.Error("noc PMU monitor snapshot missing")
+	}
+}
+
+func TestEnableTelemetryTwiceFails(t *testing.T) {
+	p := newPlatform(t, nil)
+	if _, err := p.EnableTelemetry(false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.EnableTelemetry(false); err == nil {
+		t.Error("second EnableTelemetry accepted")
+	}
+	if p.Telemetry() == nil {
+		t.Error("Telemetry() returned nil after enable")
+	}
+}

@@ -134,6 +134,7 @@ type Controller struct {
 	onComplete func(*Request)
 	stats      Stats
 	nextID     uint64
+	tel        *telemetryState
 }
 
 // NewController builds a controller on the given engine.
@@ -261,6 +262,9 @@ func (c *Controller) schedule() {
 	}
 
 	svc := c.serviceTime(req)
+	if c.tel != nil {
+		c.traceService(req, svc)
+	}
 	c.applyBankState(req)
 	c.eng.After(svc, func() { c.complete(req) })
 }
@@ -269,6 +273,9 @@ func (c *Controller) schedule() {
 // unavailable for tRFC.
 func (c *Controller) startRefresh() {
 	c.stats.Refreshes++
+	if c.tel != nil {
+		c.traceRefresh(c.cfg.Timing.TRFC)
+	}
 	for i := range c.banks {
 		c.banks[i].openRow = -1
 		c.banks[i].lastWrite = false
@@ -327,6 +334,9 @@ func (c *Controller) switchTo(m Mode) {
 	c.consecHits = 0
 	c.stats.ModeSwitches++
 	c.stats.pendingTurnaround = true
+	if c.tel != nil {
+		c.traceModeSwitch(m)
+	}
 }
 
 // pickRead selects the next read per FR-FCFS: the oldest row hit if hit

@@ -1,20 +1,21 @@
 package dram
 
 import (
-	"sort"
-
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
-// MasterStats accumulates per-master request statistics.
+// MasterStats accumulates per-master request statistics. Read-latency
+// quantiles are kept in a fixed-bucket log-scale histogram (O(1) per
+// sample, constant memory) instead of an unbounded sample slice.
 type MasterStats struct {
-	Reads, Writes  uint64
-	Bytes          uint64
-	TotalReadLat   sim.Duration
-	MaxReadLat     sim.Duration
-	TotalWriteLat  sim.Duration
-	MaxWriteLat    sim.Duration
-	readLatSamples []sim.Duration
+	Reads, Writes uint64
+	Bytes         uint64
+	TotalReadLat  sim.Duration
+	MaxReadLat    sim.Duration
+	TotalWriteLat sim.Duration
+	MaxWriteLat   sim.Duration
+	readLat       *telemetry.Histogram
 }
 
 // MeanReadLatency returns the mean read latency, or 0 with no reads.
@@ -26,21 +27,24 @@ func (m MasterStats) MeanReadLatency() sim.Duration {
 }
 
 // ReadLatencyPercentile returns the p-quantile (0..1) of observed read
-// latencies, or 0 with no samples.
+// latencies, or 0 with no samples. The value comes from the log-scale
+// histogram: it never under-estimates the exact order statistic and
+// over-estimates by at most telemetry.MaxQuantileRelativeError;
+// p >= 1 returns the exact maximum.
 func (m MasterStats) ReadLatencyPercentile(p float64) sim.Duration {
-	if len(m.readLatSamples) == 0 {
-		return 0
-	}
-	s := append([]sim.Duration(nil), m.readLatSamples...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	idx := int(p * float64(len(s)-1))
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(s) {
-		idx = len(s) - 1
-	}
-	return s[idx]
+	return sim.Duration(m.readLat.Quantile(p))
+}
+
+// ReadLatencyHistogram exposes the underlying histogram (nil until
+// the first read completes) so telemetry registries can adopt it.
+func (m MasterStats) ReadLatencyHistogram() *telemetry.Histogram { return m.readLat }
+
+// Reset clears all accumulated statistics, including the latency
+// histogram, so one MasterStats can meter consecutive runs.
+func (m *MasterStats) Reset() {
+	h := m.readLat
+	h.Reset()
+	*m = MasterStats{readLat: h}
 }
 
 // Stats accumulates controller-wide statistics.
@@ -76,6 +80,13 @@ func (s Stats) Master(name string) MasterStats {
 	return MasterStats{}
 }
 
+// Reset clears every accumulated statistic — controller-wide counters
+// and all per-master records — so one controller can meter
+// consecutive measurement intervals without tear-down.
+func (s *Stats) Reset() {
+	*s = Stats{}
+}
+
 func (s *Stats) record(r *Request) {
 	if s.PerMaster == nil {
 		s.PerMaster = make(map[string]*MasterStats)
@@ -93,7 +104,10 @@ func (s *Stats) record(r *Request) {
 		if lat > m.MaxReadLat {
 			m.MaxReadLat = lat
 		}
-		m.readLatSamples = append(m.readLatSamples, lat)
+		if m.readLat == nil {
+			m.readLat = telemetry.NewHistogram()
+		}
+		m.readLat.Record(int64(lat))
 	} else {
 		m.Writes++
 		m.TotalWriteLat += lat

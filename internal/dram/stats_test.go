@@ -1,0 +1,80 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+func recordRead(s *Stats, master string, lat sim.Duration) {
+	r := &Request{Op: Read, Master: master, Size: 64, Arrival: 0, Completion: lat}
+	s.record(r)
+}
+
+func TestMasterStatsHistogramPercentiles(t *testing.T) {
+	var s Stats
+	for i := 1; i <= 100; i++ {
+		recordRead(&s, "m", sim.Duration(i)*sim.NS(10))
+	}
+	m := s.Master("m")
+	if got := m.ReadLatencyPercentile(1.0); got != m.MaxReadLat {
+		t.Errorf("p100 = %v, want exact max %v", got, m.MaxReadLat)
+	}
+	if got := m.ReadLatencyPercentile(0); got != sim.NS(10) {
+		t.Errorf("p0 = %v, want exact min 10ns", got)
+	}
+	p50 := m.ReadLatencyPercentile(0.5)
+	exact := sim.NS(10) * 50
+	maxErr := sim.Duration(float64(exact)*telemetry.MaxQuantileRelativeError) + 1
+	if p50 < exact || p50 > exact+maxErr {
+		t.Errorf("p50 = %v, want within [%v, %v]", p50, exact, exact+maxErr)
+	}
+	if h := m.ReadLatencyHistogram(); h == nil || h.Count() != 100 {
+		t.Errorf("histogram not exposed or wrong count")
+	}
+}
+
+func TestMasterStatsPercentileNoSamples(t *testing.T) {
+	var m MasterStats
+	if got := m.ReadLatencyPercentile(0.95); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+}
+
+func TestStatsReset(t *testing.T) {
+	var s Stats
+	s.RowHits, s.RowConflicts, s.Refreshes, s.ModeSwitches = 5, 3, 2, 1
+	s.pendingTurnaround = true
+	recordRead(&s, "a", sim.NS(100))
+	s.Reset()
+	if s.RowHits != 0 || s.RowConflicts != 0 || s.Refreshes != 0 ||
+		s.ModeSwitches != 0 || s.pendingTurnaround || s.PerMaster != nil {
+		t.Errorf("Stats.Reset left state behind: %+v", s)
+	}
+	if s.RowHitRate() != 0 {
+		t.Errorf("hit rate after reset = %g", s.RowHitRate())
+	}
+}
+
+func TestMasterStatsReset(t *testing.T) {
+	var s Stats
+	recordRead(&s, "a", sim.NS(100))
+	recordRead(&s, "a", sim.NS(200))
+	m := s.PerMaster["a"]
+	if m.Reads != 2 || m.MaxReadLat != sim.NS(200) {
+		t.Fatalf("precondition failed: %+v", m)
+	}
+	m.Reset()
+	if m.Reads != 0 || m.Bytes != 0 || m.MaxReadLat != 0 || m.TotalReadLat != 0 {
+		t.Errorf("MasterStats.Reset left counters: %+v", m)
+	}
+	if got := m.ReadLatencyPercentile(0.5); got != 0 {
+		t.Errorf("percentile after reset = %v, want 0", got)
+	}
+	// The histogram is retained (not leaked/reallocated) and records again.
+	recordRead(&s, "a", sim.NS(50))
+	if got := m.ReadLatencyPercentile(1.0); got != sim.NS(50) {
+		t.Errorf("percentile after re-record = %v, want 50ns", got)
+	}
+}

@@ -1,0 +1,133 @@
+package dram
+
+import (
+	"strconv"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// telemetryState holds the controller's optional instrumentation. All
+// fields are nil when telemetry is disabled; every hot-path touch is
+// guarded by a single pointer test.
+type telemetryState struct {
+	reg *telemetry.Registry
+	tr  *telemetry.Tracer
+
+	// bankTracks precomputes per-bank trace track names so span
+	// emission does not allocate.
+	bankTracks []string
+
+	cReads      *telemetry.Counter
+	cWrites     *telemetry.Counter
+	cRefreshes  *telemetry.Counter
+	cSwitches   *telemetry.Counter
+	cRowHits    *telemetry.Counter
+	cRowMisses  *telemetry.Counter
+	gReadQ      *telemetry.Gauge
+	gWriteQ     *telemetry.Gauge
+}
+
+// SetTelemetry attaches a metrics registry and/or tracer to the
+// controller. Either may be nil. Call before the simulation starts;
+// with both nil the controller behaves exactly as if never called.
+func (c *Controller) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	if reg == nil && tr == nil {
+		c.tel = nil
+		return
+	}
+	ts := &telemetryState{reg: reg, tr: tr}
+	ts.bankTracks = make([]string, c.cfg.Banks)
+	for i := range ts.bankTracks {
+		ts.bankTracks[i] = "dram.bank" + strconv.Itoa(i)
+	}
+	if reg != nil {
+		ts.cReads = reg.Counter("dram.reads")
+		ts.cWrites = reg.Counter("dram.writes")
+		ts.cRefreshes = reg.Counter("dram.refreshes")
+		ts.cSwitches = reg.Counter("dram.mode_switches")
+		ts.cRowHits = reg.Counter("dram.row_hits")
+		ts.cRowMisses = reg.Counter("dram.row_misses")
+		ts.gReadQ = reg.Gauge("dram.read_queue_hwm")
+		ts.gWriteQ = reg.Gauge("dram.write_queue_hwm")
+	}
+	c.tel = ts
+}
+
+// traceService emits the service span for one issued request on its
+// bank's track, classifying it against the pre-issue bank state.
+func (c *Controller) traceService(r *Request, svc sim.Duration) {
+	ts := c.tel
+	if ts == nil {
+		return
+	}
+	b := c.banks[r.Bank]
+	var class string
+	switch {
+	case b.openRow == r.Row:
+		class = " hit"
+	case b.openRow < 0:
+		class = " closed"
+	default:
+		class = " conflict"
+	}
+	if ts.reg != nil {
+		if b.openRow == r.Row {
+			ts.cRowHits.Inc()
+		} else {
+			ts.cRowMisses.Inc()
+		}
+		if r.Op == Read {
+			ts.cReads.Inc()
+		} else {
+			ts.cWrites.Inc()
+		}
+		ts.gReadQ.SetMax(float64(len(c.readQ)))
+		ts.gWriteQ.SetMax(float64(len(c.writeQ)))
+	}
+	if ts.tr != nil {
+		now := c.eng.Now()
+		ts.tr.Span(ts.bankTracks[r.Bank], r.Op.String()+class, now, now+svc,
+			"master", r.Master)
+	}
+}
+
+// traceRefresh emits the all-bank refresh span on the controller track.
+func (c *Controller) traceRefresh(dur sim.Duration) {
+	ts := c.tel
+	if ts == nil {
+		return
+	}
+	ts.cRefreshes.Inc()
+	if ts.tr != nil {
+		now := c.eng.Now()
+		ts.tr.Span("dram", "refresh", now, now+dur)
+	}
+}
+
+// traceModeSwitch marks a bus-direction turnaround.
+func (c *Controller) traceModeSwitch(m Mode) {
+	ts := c.tel
+	if ts == nil {
+		return
+	}
+	ts.cSwitches.Inc()
+	if ts.tr != nil {
+		ts.tr.Instant("dram", "switch to "+m.String(), c.eng.Now(),
+			"reads", strconv.Itoa(len(c.readQ)), "writes", strconv.Itoa(len(c.writeQ)))
+	}
+}
+
+// RegisterLatencyHistograms adopts every per-master read-latency
+// histogram into reg under "dram.read_latency.<master>" so quantiles
+// appear in metrics dumps without re-recording samples.
+func (c *Controller) RegisterLatencyHistograms(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	for name, m := range c.stats.PerMaster {
+		if h := m.readLat; h != nil {
+			reg.RegisterHistogram("dram.read_latency."+name, h)
+		}
+	}
+}

@@ -72,6 +72,7 @@ type entity struct {
 
 type waiter struct {
 	bytes int
+	at    sim.Time // submission time, for stall-span telemetry
 	then  func()
 }
 
@@ -82,6 +83,7 @@ type Regulator struct {
 	entities map[string]*entity
 
 	overhead sim.Duration
+	tel      *telemetryState
 }
 
 // New builds a regulator.
@@ -153,19 +155,28 @@ func (r *Regulator) Request(name string, bytes int, then func()) error {
 	if bytes <= 0 {
 		return fmt.Errorf("memguard: request needs positive size, got %d", bytes)
 	}
+	now := r.eng.Now()
+	if r.tel != nil {
+		r.traceSubmit(name)
+	}
 	e := r.entities[name]
 	if e == nil {
+		if r.tel != nil {
+			r.traceGrant(name, bytes, now, now)
+		}
 		if then != nil {
 			then()
 		}
 		return nil
 	}
-	now := r.eng.Now()
 	r.catchUp(e, now)
 	e.stats.Requests++
 	if !e.throttled && e.left >= bytes {
 		e.left -= bytes
 		e.stats.BytesServed += uint64(bytes)
+		if r.tel != nil {
+			r.traceGrant(name, bytes, now, now)
+		}
 		if then != nil {
 			then()
 		}
@@ -178,8 +189,11 @@ func (r *Regulator) Request(name string, bytes int, then func()) error {
 		e.throttledAt = now
 		e.stats.ThrottleEvents++
 		r.overhead += r.cfg.InterruptOverhead
+		if r.tel != nil {
+			r.traceThrottle(name, now)
+		}
 	}
-	e.waiters = append(e.waiters, waiter{bytes: bytes, then: then})
+	e.waiters = append(e.waiters, waiter{bytes: bytes, at: now, then: then})
 	r.armDrain(e)
 	return nil
 }
@@ -203,6 +217,9 @@ func (r *Regulator) drain(e *entity) {
 	if e.throttled {
 		e.stats.ThrottledTime += now - e.throttledAt
 		e.throttled = false
+		if r.tel != nil {
+			r.traceReplenish(e.name, now)
+		}
 	}
 	for len(e.waiters) > 0 {
 		w := e.waiters[0]
@@ -214,6 +231,9 @@ func (r *Regulator) drain(e *entity) {
 			e.waiters = e.waiters[1:]
 			e.left = 0
 			e.stats.BytesServed += uint64(w.bytes)
+			if r.tel != nil {
+				r.traceGrant(e.name, w.bytes, w.at, now)
+			}
 			if w.then != nil {
 				w.then()
 			}
@@ -226,12 +246,18 @@ func (r *Regulator) drain(e *entity) {
 			e.throttledAt = now
 			e.stats.ThrottleEvents++
 			r.overhead += r.cfg.InterruptOverhead
+			if r.tel != nil {
+				r.traceThrottle(e.name, now)
+			}
 			r.armDrain(e)
 			return
 		}
 		e.waiters = e.waiters[1:]
 		e.left -= w.bytes
 		e.stats.BytesServed += uint64(w.bytes)
+		if r.tel != nil {
+			r.traceGrant(e.name, w.bytes, w.at, now)
+		}
 		if w.then != nil {
 			w.then()
 		}

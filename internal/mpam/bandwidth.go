@@ -111,6 +111,7 @@ type Arbiter struct {
 
 	parts map[PARTID]*partitionState
 	busy  bool
+	tel   *telemetryState
 }
 
 // NewArbiter builds a bandwidth arbiter. A MonitorSet may be attached
@@ -162,6 +163,9 @@ func (a *Arbiter) Submit(r *BWRequest) error {
 		return fmt.Errorf("mpam: bad bandwidth request")
 	}
 	r.submitted = a.eng.Now()
+	if a.tel != nil {
+		a.traceSubmit(r)
+	}
 	st := a.state(r.Label.PARTID)
 	st.queue = append(st.queue, r)
 	a.kick()
@@ -325,6 +329,9 @@ func (a *Arbiter) dispatch() {
 	a.eng.After(svc, func() {
 		if a.mons != nil {
 			a.mons.RecordBandwidth(req.Label, req.Bytes, req.Write)
+		}
+		if a.tel != nil {
+			a.traceServe(req, a.eng.Now())
 		}
 		if req.OnDone != nil {
 			req.OnDone(a.eng.Now())

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/telemetry"
 )
 
 // MaxMonitors is the architectural limit per monitor type per resource
@@ -57,12 +58,20 @@ type BandwidthMonitor struct {
 	bytes    uint64
 	captured uint64
 	hasCap   bool
+	counter  *telemetry.Counter
 }
+
+// BindCounter mirrors every matched byte into a shared telemetry
+// counter, so the platform-wide metrics registry sees MSMON traffic
+// without a separate read-out pass. The counter is cumulative: monitor
+// Reset does not rewind it. A nil counter unbinds.
+func (m *BandwidthMonitor) BindCounter(c *telemetry.Counter) { m.counter = c }
 
 // Record accounts one transfer.
 func (m *BandwidthMonitor) Record(l Label, bytes int, write bool) {
 	if m.Filter.Matches(l, write) {
 		m.bytes += uint64(bytes)
+		m.counter.Add(uint64(bytes))
 	}
 }
 

@@ -1,0 +1,71 @@
+package mpam
+
+import (
+	"strconv"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// telemetryState is the arbiter's optional instrumentation; nil
+// disables it.
+type telemetryState struct {
+	reg *telemetry.Registry
+	tr  *telemetry.Tracer
+	mon *telemetry.MonitorSet
+
+	cDispatches *telemetry.Counter
+	// partKeys caches "partid:N" strings so the dispatch path does not
+	// format per transfer.
+	partKeys map[PARTID]string
+}
+
+func (ts *telemetryState) partKey(id PARTID) string {
+	k, ok := ts.partKeys[id]
+	if !ok {
+		k = "partid:" + strconv.Itoa(int(id))
+		ts.partKeys[id] = k
+	}
+	return k
+}
+
+// SetTelemetry attaches a metrics registry, tracer, and PMU-style
+// monitor set to the arbiter. Any argument may be nil; all nil
+// disables instrumentation.
+func (a *Arbiter) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer, mon *telemetry.MonitorSet) {
+	if reg == nil && tr == nil && mon == nil {
+		a.tel = nil
+		return
+	}
+	ts := &telemetryState{reg: reg, tr: tr, mon: mon, partKeys: make(map[PARTID]string)}
+	if reg != nil {
+		ts.cDispatches = reg.Counter("mpam.dispatches")
+	}
+	a.tel = ts
+}
+
+// traceSubmit records a transfer entering a partition queue.
+func (a *Arbiter) traceSubmit(r *BWRequest) {
+	ts := a.tel
+	if ts == nil {
+		return
+	}
+	ts.mon.Monitor(ts.partKey(r.Label.PARTID)).TxnStart()
+}
+
+// traceServe records a completed transfer: a span from submission to
+// completion on the "mpam" track plus window-bandwidth accounting.
+func (a *Arbiter) traceServe(r *BWRequest, done sim.Time) {
+	ts := a.tel
+	if ts == nil {
+		return
+	}
+	ts.cDispatches.Inc()
+	key := ts.partKey(r.Label.PARTID)
+	m := ts.mon.Monitor(key)
+	m.AddBytes(done, r.Bytes)
+	m.TxnEnd()
+	if ts.tr != nil {
+		ts.tr.Span("mpam", key, r.submitted, done, "bytes", strconv.Itoa(r.Bytes))
+	}
+}

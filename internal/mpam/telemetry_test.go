@@ -1,0 +1,74 @@
+package mpam
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+func TestArbiterTelemetry(t *testing.T) {
+	eng := sim.NewEngine()
+	a, err := NewArbiter(eng, BWConfig{CapacityBytesPerNS: 16}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer()
+	mon := telemetry.NewMonitorSet(sim.Microsecond)
+	a.SetTelemetry(reg, tr, mon)
+
+	done := 0
+	for i := 0; i < 4; i++ {
+		id := PARTID(i % 2)
+		if err := a.Submit(&BWRequest{Label: Label{PARTID: id}, Bytes: 64,
+			OnDone: func(sim.Time) { done++ }}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if done != 4 {
+		t.Fatalf("completed %d, want 4", done)
+	}
+	if got := reg.Counter("mpam.dispatches").Value(); got != 4 {
+		t.Errorf("dispatch counter = %d, want 4", got)
+	}
+	for _, key := range []string{"partid:0", "partid:1"} {
+		m := mon.Monitor(key)
+		if m.TotalBytes() != 128 || m.Outstanding() != 0 {
+			t.Errorf("%s monitor: total=%d outstanding=%d", key, m.TotalBytes(), m.Outstanding())
+		}
+	}
+	if tr.Events() != 4 {
+		t.Errorf("tracer events = %d, want 4 spans", tr.Events())
+	}
+}
+
+func TestBandwidthMonitorBindCounter(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := &BandwidthMonitor{Filter: Filter{PARTID: 7}}
+	m.BindCounter(reg.Counter("mpam.msmon.partid7"))
+	m.Record(Label{PARTID: 7}, 100, false)
+	m.Record(Label{PARTID: 3}, 50, false) // filtered out
+	if m.Value() != 100 {
+		t.Errorf("monitor value = %d, want 100", m.Value())
+	}
+	if got := reg.Counter("mpam.msmon.partid7").Value(); got != 100 {
+		t.Errorf("bound counter = %d, want 100", got)
+	}
+	// Reset rewinds the monitor but not the cumulative shared counter.
+	m.Reset()
+	m.Record(Label{PARTID: 7}, 25, true)
+	if m.Value() != 25 {
+		t.Errorf("post-reset value = %d, want 25", m.Value())
+	}
+	if got := reg.Counter("mpam.msmon.partid7").Value(); got != 125 {
+		t.Errorf("bound counter = %d, want cumulative 125", got)
+	}
+	// Unbound monitors keep working.
+	m.BindCounter(nil)
+	m.Record(Label{PARTID: 7}, 5, false)
+	if m.Value() != 30 {
+		t.Errorf("unbound value = %d, want 30", m.Value())
+	}
+}

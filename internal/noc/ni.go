@@ -93,6 +93,9 @@ func (ni *NI) Send(p *Packet) error {
 	}
 	p.Submitted = ni.noc.eng.Now()
 	ni.submitted++
+	if ni.noc.tel != nil {
+		ni.noc.traceSubmit(p)
+	}
 	ni.queue = append(ni.queue, p)
 	ni.pump()
 	return nil

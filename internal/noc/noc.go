@@ -130,6 +130,8 @@ type NoC struct {
 
 	delivered uint64
 	flitHops  uint64
+
+	tel *telemetryState
 }
 
 // New builds the mesh and its network interfaces.

@@ -103,6 +103,9 @@ func (r *router) tryOutput(p Port) {
 	r.returnCredit(inPort)
 
 	r.noc.flitHops++
+	if ts := r.noc.tel; ts != nil {
+		ts.cFlitHops.Inc()
+	}
 	r.noc.eng.After(r.noc.cfg.FlitTime, func() {
 		o.busy = false
 		if p == Local {
@@ -135,6 +138,9 @@ func (r *router) eject(f flit) {
 		pkt := f.pkt
 		pkt.Delivered = r.noc.eng.Now()
 		r.noc.delivered++
+		if r.noc.tel != nil {
+			r.noc.traceDeliver(pkt, pkt.Delivered)
+		}
 		if pkt.OnDelivered != nil {
 			pkt.OnDelivered(pkt.Delivered)
 		}

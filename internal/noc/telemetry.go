@@ -1,0 +1,84 @@
+package noc
+
+import (
+	"strconv"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// telemetryState carries the fabric's optional instrumentation; nil
+// disables everything at the cost of one pointer test per event.
+type telemetryState struct {
+	reg *telemetry.Registry
+	tr  *telemetry.Tracer
+	mon *telemetry.MonitorSet
+
+	cDelivered *telemetry.Counter
+	cFlitHops  *telemetry.Counter
+}
+
+// SetTelemetry attaches a metrics registry, tracer, and PMU-style
+// monitor set to the fabric. Any argument may be nil; with all nil the
+// fabric runs uninstrumented.
+func (n *NoC) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer, mon *telemetry.MonitorSet) {
+	if reg == nil && tr == nil && mon == nil {
+		n.tel = nil
+		return
+	}
+	ts := &telemetryState{reg: reg, tr: tr, mon: mon}
+	if reg != nil {
+		ts.cDelivered = reg.Counter("noc.delivered")
+		ts.cFlitHops = reg.Counter("noc.flit_hops")
+	}
+	n.tel = ts
+}
+
+// traceSubmit records a packet entering an NI queue.
+func (n *NoC) traceSubmit(p *Packet) {
+	ts := n.tel
+	if ts == nil {
+		return
+	}
+	ts.mon.Monitor("noc:" + flowLabel(p)).TxnStart()
+}
+
+// traceDeliver records a tail-flit ejection: a per-flow span covering
+// submission to delivery, window bandwidth, and outstanding count.
+func (n *NoC) traceDeliver(p *Packet, at sim.Time) {
+	ts := n.tel
+	if ts == nil {
+		return
+	}
+	ts.cDelivered.Inc()
+	flow := flowLabel(p)
+	m := ts.mon.Monitor("noc:" + flow)
+	m.AddBytes(at, p.Bytes)
+	m.TxnEnd()
+	if ts.tr != nil {
+		ts.tr.Span("noc", flow, p.Submitted, at,
+			"src", p.Src.String(), "dst", p.Dst.String(),
+			"bytes", strconv.Itoa(p.Bytes))
+	}
+}
+
+// flowLabel names a packet's flow for monitor and trace keys.
+func flowLabel(p *Packet) string {
+	if p.Flow != "" {
+		return p.Flow
+	}
+	return "anon"
+}
+
+// ResetCounters zeroes the fabric's accumulated counters — delivered
+// packets, flit hops, and every NI's submitted/injected counts — so a
+// warm network can meter a fresh measurement interval. In-flight
+// packets and buffer occupancy are untouched.
+func (n *NoC) ResetCounters() {
+	n.delivered = 0
+	n.flitHops = 0
+	for _, ni := range n.nis {
+		ni.submitted = 0
+		ni.injected = 0
+	}
+}

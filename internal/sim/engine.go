@@ -40,6 +40,18 @@ func (h *eventHeap) Pop() interface{} {
 	return x
 }
 
+// Observer receives kernel dispatch callbacks. Observers must not
+// mutate the engine re-entrantly from BeforeEvent/AfterEvent (they
+// run inside Step); they exist for telemetry — counting dispatches
+// and stamping them onto trace tracks.
+type Observer interface {
+	// BeforeEvent runs immediately before an event fires, after the
+	// clock has advanced to its timestamp.
+	BeforeEvent(at Time)
+	// AfterEvent runs immediately after the event's callback returns.
+	AfterEvent(at Time)
+}
+
 // Handle identifies a scheduled event so it can be canceled.
 type Handle struct{ ev *scheduled }
 
@@ -59,6 +71,7 @@ type Engine struct {
 	seq    uint64
 	fired  uint64
 	halted bool
+	obs    Observer
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -66,6 +79,10 @@ func NewEngine() *Engine { return &Engine{} }
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// SetObserver installs (or, with nil, removes) the dispatch observer.
+// A nil observer costs one pointer test per event.
+func (e *Engine) SetObserver(o Observer) { e.obs = o }
 
 // Fired reports how many events have executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
@@ -107,7 +124,13 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.at
 		e.fired++
+		if e.obs != nil {
+			e.obs.BeforeEvent(ev.at)
+		}
 		ev.fn()
+		if e.obs != nil {
+			e.obs.AfterEvent(ev.at)
+		}
 		return true
 	}
 	return false

@@ -280,3 +280,55 @@ func TestQuickRandIntnInRange(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// countingObserver records dispatch callbacks for TestObserverHooks.
+type countingObserver struct {
+	before, after int
+	times         []Time
+	outOfOrder    bool
+}
+
+func (o *countingObserver) BeforeEvent(at Time) {
+	o.before++
+	o.times = append(o.times, at)
+	if o.before != o.after+1 {
+		o.outOfOrder = true
+	}
+}
+
+func (o *countingObserver) AfterEvent(at Time) {
+	o.after++
+	if o.after != o.before {
+		o.outOfOrder = true
+	}
+}
+
+func TestObserverHooks(t *testing.T) {
+	e := NewEngine()
+	obs := &countingObserver{}
+	e.SetObserver(obs)
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(Time(i)*NS(10), func() {})
+		_ = i
+	}
+	e.Run()
+	if obs.before != 5 || obs.after != 5 {
+		t.Errorf("observer saw %d/%d events, want 5/5", obs.before, obs.after)
+	}
+	if obs.outOfOrder {
+		t.Error("Before/After callbacks interleaved out of order")
+	}
+	for i, at := range obs.times {
+		if at != Time(i)*NS(10) {
+			t.Errorf("event %d observed at %v", i, at)
+		}
+	}
+	// Removing the observer stops callbacks.
+	e.SetObserver(nil)
+	e.At(e.Now(), func() {})
+	e.Run()
+	if obs.before != 5 {
+		t.Error("callbacks after SetObserver(nil)")
+	}
+}

@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Histogram bucket geometry: values below subBuckets land in exact
+// unit-wide buckets; above that, each power-of-two range is divided
+// into subBuckets linear sub-buckets (the HdrHistogram layout). The
+// quantile a bucket reports is its upper bound, so a reported
+// quantile never under-estimates the true order statistic and
+// over-estimates it by at most a factor of 1 + 1/subBuckets.
+const (
+	log2SubBuckets = 5
+	subBuckets     = 1 << log2SubBuckets // 32
+
+	// numBuckets covers the full non-negative int64 range:
+	// 32 exact buckets + 59 power-of-two blocks of 32 sub-buckets.
+	numBuckets = (63-log2SubBuckets)*subBuckets + subBuckets
+
+	// MaxQuantileRelativeError bounds how far above the true order
+	// statistic a reported quantile can be: value * (1 + 1/32).
+	MaxQuantileRelativeError = 1.0 / subBuckets
+)
+
+// Histogram is a fixed-bucket log-scale histogram with O(1) Record and
+// O(numBuckets) quantile queries. Negative values are clamped to zero.
+// The zero value is NOT ready to use; call NewHistogram. All methods
+// are safe for concurrent use and no-ops on a nil receiver.
+type Histogram struct {
+	mu     sync.Mutex
+	counts [numBuckets]uint64
+	count  uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketOf maps a non-negative value to its bucket index.
+func bucketOf(v uint64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	e := bits.Len64(v) - 1 // exponent, >= log2SubBuckets
+	shift := e - log2SubBuckets
+	return (e-log2SubBuckets+1)*subBuckets + int(v>>uint(shift)) - subBuckets
+}
+
+// bucketUpper returns the largest value mapping to bucket idx.
+func bucketUpper(idx int) int64 {
+	if idx < subBuckets {
+		return int64(idx)
+	}
+	block := idx / subBuckets // >= 1
+	off := idx % subBuckets
+	shift := uint(block - 1)
+	lower := (uint64(off) + subBuckets) << shift
+	return int64(lower + (uint64(1) << shift) - 1)
+}
+
+// Record adds one observation in O(1).
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.mu.Lock()
+	h.counts[bucketOf(uint64(v))]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of recorded observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Min returns the smallest recorded observation (exact), or 0 when
+// empty.
+func (h *Histogram) Min() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest recorded observation (exact), or 0 when
+// empty.
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns the p-quantile (0..1) of the recorded
+// observations: the upper bound of the bucket holding the
+// floor(p*(count-1))-th order statistic, clamped to [Min, Max]. It
+// matches the nearest-rank convention of sorting the samples and
+// indexing at int(p*(len-1)), to within MaxQuantileRelativeError.
+// p <= 0 returns Min exactly; p >= 1 returns Max exactly.
+func (h *Histogram) Quantile(p float64) int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 1 {
+		return h.max
+	}
+	target := uint64(p * float64(h.count-1))
+	var cum uint64
+	for i := 0; i < numBuckets; i++ {
+		cum += h.counts[i]
+		if cum > target {
+			v := bucketUpper(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Reset clears all recorded observations.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.counts = [numBuckets]uint64{}
+	h.count, h.sum, h.min, h.max = 0, 0, 0, 0
+	h.mu.Unlock()
+}
+
+// Summary is a point-in-time digest of a histogram, the shape the
+// registry serializes.
+type Summary struct {
+	Count uint64  `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+}
+
+// Summarize digests the histogram.
+func (h *Histogram) Summarize() Summary {
+	if h == nil {
+		return Summary{}
+	}
+	return Summary{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}

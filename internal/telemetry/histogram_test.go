@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Errorf("empty histogram not zero: count=%d q50=%d mean=%g",
+			h.Count(), h.Quantile(0.5), h.Mean())
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Record(42) // must not panic
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.9) != 0 || h.Max() != 0 {
+		t.Error("nil histogram should read as zero")
+	}
+	if (h.Summarize() != Summary{}) {
+		t.Error("nil histogram summary not zero")
+	}
+}
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(0); v < 32; v++ {
+		h.Record(v)
+	}
+	// Values below subBuckets land in unit buckets: quantiles exact.
+	for _, tc := range []struct {
+		p    float64
+		want int64
+	}{{0, 0}, {0.5, 15}, {1, 31}} {
+		if got := h.Quantile(tc.p); got != tc.want {
+			t.Errorf("Quantile(%g) = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5) // clamps to 0
+	h.Record(1 << 62)
+	if h.Min() != 0 {
+		t.Errorf("Min = %d, want 0 (negative clamped)", h.Min())
+	}
+	if h.Max() != 1<<62 {
+		t.Errorf("Max = %d", h.Max())
+	}
+	if h.Quantile(1) != 1<<62 || h.Quantile(0) != 0 {
+		t.Errorf("extreme quantiles: q0=%d q1=%d", h.Quantile(0), h.Quantile(1))
+	}
+}
+
+// TestHistogramQuantileErrorBound checks the log-bucket relative-error
+// guarantee against an exact sorted-sample oracle: for every p the
+// histogram quantile is >= the exact nearest-rank order statistic and
+// <= (1 + MaxQuantileRelativeError) times it.
+func TestHistogramQuantileErrorBound(t *testing.T) {
+	rnd := sim.NewRand(7)
+	h := NewHistogram()
+	samples := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Mix magnitudes across the log range, like latency samples.
+		v := int64(rnd.Intn(1 << uint(5+rnd.Intn(30))))
+		h.Record(v)
+		samples = append(samples, v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999} {
+		exact := samples[int(p*float64(len(samples)-1))]
+		got := h.Quantile(p)
+		if got < exact {
+			t.Errorf("Quantile(%g) = %d under-estimates exact %d", p, got, exact)
+		}
+		bound := float64(exact)*(1+MaxQuantileRelativeError) + 1
+		if float64(got) > bound {
+			t.Errorf("Quantile(%g) = %d exceeds error bound %.1f (exact %d)", p, got, bound, exact)
+		}
+	}
+	if h.Quantile(1) != samples[len(samples)-1] {
+		t.Errorf("Quantile(1) = %d, want exact max %d", h.Quantile(1), samples[len(samples)-1])
+	}
+	if h.Quantile(0) != samples[0] {
+		t.Errorf("Quantile(0) = %d, want exact min %d", h.Quantile(0), samples[0])
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	rnd := sim.NewRand(3)
+	h := NewHistogram()
+	for i := 0; i < 5000; i++ {
+		h.Record(int64(rnd.Intn(1_000_000)))
+	}
+	prev := int64(-1)
+	for p := 0.0; p <= 1.0; p += 0.05 {
+		q := h.Quantile(p)
+		if q < prev {
+			t.Fatalf("quantiles not monotone: q(%.2f)=%d < %d", p, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Record(int64(i) * 100)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Errorf("Reset left state: %+v", h.Summarize())
+	}
+	h.Record(7)
+	if h.Count() != 1 || h.Max() != 7 || h.Min() != 7 {
+		t.Error("histogram unusable after Reset")
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Record(int64(g*1000 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("Count = %d, want 8000", h.Count())
+	}
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	// Every bucket's upper bound must map back into that bucket, and
+	// bucket indices must be monotone in the value.
+	for idx := 0; idx < numBuckets; idx++ {
+		up := bucketUpper(idx)
+		if got := bucketOf(uint64(up)); got != idx {
+			t.Fatalf("bucketOf(bucketUpper(%d)=%d) = %d", idx, up, got)
+		}
+	}
+	prev := -1
+	for _, v := range []uint64{0, 1, 31, 32, 33, 63, 64, 100, 1 << 20, 1<<62 + 12345} {
+		idx := bucketOf(v)
+		if idx < prev {
+			t.Fatalf("bucketOf(%d)=%d not monotone (prev %d)", v, idx, prev)
+		}
+		prev = idx
+	}
+}

@@ -1,0 +1,247 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// monitorSlots is the ring resolution of the sliding bandwidth
+// window: the window is divided into this many slots and expired
+// slots are discarded whole, so the measured window is accurate to
+// one slot.
+const monitorSlots = 16
+
+// Monitor is a PMU-style per-master resource monitor: a sliding-window
+// bandwidth meter plus an outstanding-transaction high-water mark —
+// the software analogue of an MPAM memory-bandwidth usage monitor
+// (MSMON_MBWU) or a MemGuard per-core performance counter. All state
+// advances in virtual time only. Nil-safe and safe for concurrent use.
+type Monitor struct {
+	mu      sync.Mutex
+	window  sim.Duration
+	slotDur sim.Duration
+	slots   [monitorSlots]uint64
+	slotIdx int64 // absolute slot index the ring head corresponds to
+
+	total       uint64
+	events      uint64
+	outstanding int
+	highWater   int
+}
+
+// NewMonitor builds a monitor with the given sliding-window length
+// (<= 0 defaults to 1ms).
+func NewMonitor(window sim.Duration) *Monitor {
+	if window <= 0 {
+		window = sim.Millisecond
+	}
+	slot := window / monitorSlots
+	if slot <= 0 {
+		slot = 1
+	}
+	return &Monitor{window: window, slotDur: slot, slotIdx: -1}
+}
+
+// advance expires slots older than the window. Caller holds m.mu.
+func (m *Monitor) advance(at sim.Time) {
+	idx := int64(at) / int64(m.slotDur)
+	if idx <= m.slotIdx {
+		return
+	}
+	steps := idx - m.slotIdx
+	if steps > monitorSlots {
+		steps = monitorSlots
+	}
+	for i := int64(1); i <= steps; i++ {
+		m.slots[(m.slotIdx+i)%monitorSlots] = 0
+	}
+	m.slotIdx = idx
+}
+
+// AddBytes accounts one transfer at the given virtual time.
+func (m *Monitor) AddBytes(at sim.Time, bytes int) {
+	if m == nil || bytes <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.advance(at)
+	m.slots[m.slotIdx%monitorSlots] += uint64(bytes)
+	m.total += uint64(bytes)
+	m.events++
+	m.mu.Unlock()
+}
+
+// WindowBytes returns the bytes observed over the sliding window
+// ending at now.
+func (m *Monitor) WindowBytes(now sim.Time) uint64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.advance(now)
+	var sum uint64
+	for _, s := range m.slots {
+		sum += s
+	}
+	return sum
+}
+
+// BandwidthBytesPerNS returns the sliding-window bandwidth ending at
+// now.
+func (m *Monitor) BandwidthBytesPerNS(now sim.Time) float64 {
+	if m == nil {
+		return 0
+	}
+	w := m.window
+	if now < w {
+		w = now // the window has not filled yet
+	}
+	if w <= 0 {
+		return 0
+	}
+	return float64(m.WindowBytes(now)) / w.Nanoseconds()
+}
+
+// TotalBytes returns the lifetime byte count.
+func (m *Monitor) TotalBytes() uint64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
+
+// Events returns the lifetime transfer count.
+func (m *Monitor) Events() uint64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.events
+}
+
+// TxnStart accounts one outstanding transaction beginning, tracking
+// the high-water mark.
+func (m *Monitor) TxnStart() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.outstanding++
+	if m.outstanding > m.highWater {
+		m.highWater = m.outstanding
+	}
+	m.mu.Unlock()
+}
+
+// TxnEnd accounts one outstanding transaction completing.
+func (m *Monitor) TxnEnd() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if m.outstanding > 0 {
+		m.outstanding--
+	}
+	m.mu.Unlock()
+}
+
+// Outstanding returns the current in-flight transaction count.
+func (m *Monitor) Outstanding() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.outstanding
+}
+
+// OutstandingHighWater returns the peak in-flight transaction count.
+func (m *Monitor) OutstandingHighWater() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.highWater
+}
+
+// Reset clears all monitor state.
+func (m *Monitor) Reset() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.slots = [monitorSlots]uint64{}
+	m.slotIdx = -1
+	m.total, m.events = 0, 0
+	m.outstanding, m.highWater = 0, 0
+	m.mu.Unlock()
+}
+
+// MonitorSet is a named collection of monitors sharing one window
+// length, created on first use. Nil-safe: a nil set returns nil
+// monitors.
+type MonitorSet struct {
+	mu     sync.Mutex
+	window sim.Duration
+	mons   map[string]*Monitor
+}
+
+// NewMonitorSet builds a set whose monitors use the given window
+// (<= 0 defaults to 1ms).
+func NewMonitorSet(window sim.Duration) *MonitorSet {
+	return &MonitorSet{window: window, mons: make(map[string]*Monitor)}
+}
+
+// Monitor returns (creating if needed) the named monitor.
+func (s *MonitorSet) Monitor(name string) *Monitor {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.mons[name]
+	if m == nil {
+		m = NewMonitor(s.window)
+		s.mons[name] = m
+	}
+	return m
+}
+
+// Names returns the monitor names in sorted order.
+func (s *MonitorSet) Names() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.mons))
+	for k := range s.mons {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot exports every monitor's totals into registry gauges under
+// "monitor.<name>.{total_bytes,events,outstanding_hwm,bw_bytes_per_ns}",
+// evaluating sliding windows at now.
+func (s *MonitorSet) Snapshot(reg *Registry, now sim.Time) {
+	if s == nil || reg == nil {
+		return
+	}
+	for _, name := range s.Names() {
+		m := s.Monitor(name)
+		prefix := "monitor." + name + "."
+		reg.Gauge(prefix + "total_bytes").Set(float64(m.TotalBytes()))
+		reg.Gauge(prefix + "events").Set(float64(m.Events()))
+		reg.Gauge(prefix + "outstanding_hwm").Set(float64(m.OutstandingHighWater()))
+		reg.Gauge(prefix + "bw_bytes_per_ns").Set(m.BandwidthBytesPerNS(now))
+	}
+}

@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestMonitorSlidingWindow(t *testing.T) {
+	m := NewMonitor(sim.Microsecond)
+	m.AddBytes(sim.NS(100), 64)
+	m.AddBytes(sim.NS(200), 64)
+	if got := m.WindowBytes(sim.NS(500)); got != 128 {
+		t.Errorf("window bytes = %d, want 128", got)
+	}
+	// Two windows later everything has expired, but totals persist.
+	if got := m.WindowBytes(sim.US(3)); got != 0 {
+		t.Errorf("expired window bytes = %d, want 0", got)
+	}
+	if m.TotalBytes() != 128 || m.Events() != 2 {
+		t.Errorf("totals = %d bytes / %d events", m.TotalBytes(), m.Events())
+	}
+}
+
+func TestMonitorBandwidth(t *testing.T) {
+	m := NewMonitor(sim.Microsecond)
+	// 1000 bytes over a 1us window = 1 byte/ns.
+	for i := 0; i < 10; i++ {
+		m.AddBytes(sim.Time(i)*sim.NS(100), 100)
+	}
+	bw := m.BandwidthBytesPerNS(sim.US(1))
+	if bw < 0.9 || bw > 1.1 {
+		t.Errorf("bandwidth = %g bytes/ns, want ~1", bw)
+	}
+	// Before the window fills, the divisor is the elapsed time.
+	m2 := NewMonitor(sim.Millisecond)
+	m2.AddBytes(sim.NS(50), 100)
+	bw2 := m2.BandwidthBytesPerNS(sim.NS(100))
+	if bw2 != 1.0 {
+		t.Errorf("partial-window bandwidth = %g, want 1.0", bw2)
+	}
+}
+
+func TestMonitorHighWater(t *testing.T) {
+	m := NewMonitor(0)
+	m.TxnStart()
+	m.TxnStart()
+	m.TxnStart()
+	m.TxnEnd()
+	if m.Outstanding() != 2 || m.OutstandingHighWater() != 3 {
+		t.Errorf("outstanding = %d hwm = %d, want 2 / 3", m.Outstanding(), m.OutstandingHighWater())
+	}
+	m.TxnEnd()
+	m.TxnEnd()
+	m.TxnEnd() // underflow clamps at zero
+	if m.Outstanding() != 0 || m.OutstandingHighWater() != 3 {
+		t.Errorf("after drain: outstanding = %d hwm = %d", m.Outstanding(), m.OutstandingHighWater())
+	}
+}
+
+func TestMonitorReset(t *testing.T) {
+	m := NewMonitor(sim.Microsecond)
+	m.AddBytes(sim.NS(10), 1000)
+	m.TxnStart()
+	m.Reset()
+	if m.TotalBytes() != 0 || m.Outstanding() != 0 || m.OutstandingHighWater() != 0 ||
+		m.WindowBytes(sim.NS(20)) != 0 {
+		t.Error("Reset left state behind")
+	}
+}
+
+func TestMonitorNilSafe(t *testing.T) {
+	var m *Monitor
+	m.AddBytes(0, 1)
+	m.TxnStart()
+	m.TxnEnd()
+	m.Reset()
+	if m.WindowBytes(0) != 0 || m.BandwidthBytesPerNS(1) != 0 || m.OutstandingHighWater() != 0 {
+		t.Error("nil monitor should read as zero")
+	}
+	var s *MonitorSet
+	if s.Monitor("x") != nil {
+		t.Error("nil set should return nil monitor")
+	}
+	if s.Names() != nil {
+		t.Error("nil set names")
+	}
+	s.Snapshot(NewRegistry(), 0)
+}
+
+func TestMonitorSetSnapshot(t *testing.T) {
+	s := NewMonitorSet(sim.Microsecond)
+	s.Monitor("mem:crit").AddBytes(sim.NS(100), 4096)
+	s.Monitor("mem:crit").TxnStart()
+	s.Monitor("noc:hog").AddBytes(sim.NS(200), 64)
+	reg := NewRegistry()
+	s.Snapshot(reg, sim.US(1))
+	if got := reg.Gauge("monitor.mem:crit.total_bytes").Value(); got != 4096 {
+		t.Errorf("snapshot total = %g", got)
+	}
+	if got := reg.Gauge("monitor.mem:crit.outstanding_hwm").Value(); got != 1 {
+		t.Errorf("snapshot hwm = %g", got)
+	}
+	if names := s.Names(); len(names) != 2 || names[0] != "mem:crit" || names[1] != "noc:hog" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestMonitorConcurrent(t *testing.T) {
+	s := NewMonitorSet(sim.Microsecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				m := s.Monitor("shared")
+				m.AddBytes(sim.Time(i)*sim.NS(1), 8)
+				m.TxnStart()
+				m.TxnEnd()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Monitor("shared").TotalBytes(); got != 8*500*8 {
+		t.Errorf("total = %d, want %d", got, 8*500*8)
+	}
+}

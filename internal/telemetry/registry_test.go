@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestRegistryInstruments(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Counter("a").Inc()
+	if got := r.Counter("a").Value(); got != 4 {
+		t.Errorf("counter = %d, want 4", got)
+	}
+	r.Gauge("g").Set(1.5)
+	r.Gauge("g").SetMax(0.5) // lower: ignored
+	r.Gauge("g").SetMax(2.5)
+	if got := r.Gauge("g").Value(); got != 2.5 {
+		t.Errorf("gauge = %g, want 2.5", got)
+	}
+	r.Histogram("h").Record(10)
+	if got := r.Histogram("h").Count(); got != 1 {
+		t.Errorf("histogram count = %d, want 1", got)
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(1)
+	r.Gauge("x").Set(1)
+	r.Histogram("x").Record(1)
+	r.RegisterHistogram("x", NewHistogram())
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("nil registry dump invalid JSON: %v", err)
+	}
+}
+
+func TestRegistryJSONDeterministicAndValid(t *testing.T) {
+	build := func() []byte {
+		r := NewRegistry()
+		// Insertion order deliberately unsorted.
+		r.Counter("z.last").Add(1)
+		r.Counter("a.first").Add(2)
+		r.Gauge("m.middle").Set(3.25)
+		h := r.Histogram("lat")
+		for i := int64(1); i <= 100; i++ {
+			h.Record(i * 1000)
+		}
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	b1, b2 := build(), build()
+	if !bytes.Equal(b1, b2) {
+		t.Error("identical registries serialize differently")
+	}
+	var out struct {
+		Counters   map[string]uint64  `json:"counters"`
+		Gauges     map[string]float64 `json:"gauges"`
+		Histograms map[string]Summary `json:"histograms"`
+	}
+	if err := json.Unmarshal(b1, &out); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, b1)
+	}
+	if out.Counters["a.first"] != 2 || out.Counters["z.last"] != 1 {
+		t.Errorf("counters = %v", out.Counters)
+	}
+	if out.Gauges["m.middle"] != 3.25 {
+		t.Errorf("gauges = %v", out.Gauges)
+	}
+	h := out.Histograms["lat"]
+	if h.Count != 100 || h.Max != 100_000 || h.Min != 1000 {
+		t.Errorf("histogram summary = %+v", h)
+	}
+	if h.P50 < h.Min || h.P95 > h.Max || h.P50 > h.P95 {
+		t.Errorf("summary quantiles out of order: %+v", h)
+	}
+}
+
+func TestRegistryRegisterHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := NewHistogram()
+	h.Record(5)
+	r.RegisterHistogram("ext", h)
+	if r.Histogram("ext") != h {
+		t.Error("registered histogram not adopted")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("shared").Inc()
+				r.Gauge("g").SetMax(float64(i))
+				r.Histogram("h").Record(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 4000 {
+		t.Errorf("counter = %d, want 4000", got)
+	}
+	if got := r.Histogram("h").Count(); got != 4000 {
+		t.Errorf("histogram count = %d, want 4000", got)
+	}
+}

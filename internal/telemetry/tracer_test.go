@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// chromeEvent mirrors the trace_event JSON schema for round-trip
+// checking.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	TS   float64                `json:"ts"`
+	Dur  float64                `json:"dur"`
+	S    string                 `json:"s"`
+	Args map[string]interface{} `json:"args"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func parseTrace(t *testing.T, tr *Tracer) chromeTrace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var out chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	return out
+}
+
+func TestTracerRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	tr.Span("dram", "read", sim.NS(100), sim.NS(150), "master", "crit")
+	tr.Instant("memguard", "depleted", sim.NS(200))
+	tr.Begin("noc", "pkt", sim.NS(10))
+	tr.End("noc", "pkt", sim.NS(20))
+	tr.Sample("sim", "events", sim.NS(300), 42)
+
+	out := parseTrace(t, tr)
+	if out.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+	// 3 thread_name metadata records (dram, memguard, noc, sim = 4) + 5 events.
+	byPhase := map[string][]chromeEvent{}
+	for _, ev := range out.TraceEvents {
+		byPhase[ev.Ph] = append(byPhase[ev.Ph], ev)
+	}
+	if len(byPhase["M"]) != 4 {
+		t.Errorf("want 4 track metadata events, got %d", len(byPhase["M"]))
+	}
+	x := byPhase["X"]
+	if len(x) != 1 || x[0].Name != "read" {
+		t.Fatalf("complete events: %+v", x)
+	}
+	// 100ns = 0.1us in trace time; duration 50ns = 0.05us.
+	if x[0].TS != 0.1 || x[0].Dur != 0.05 {
+		t.Errorf("span ts/dur = %g/%g us, want 0.1/0.05", x[0].TS, x[0].Dur)
+	}
+	if x[0].Args["master"] != "crit" {
+		t.Errorf("span args = %v", x[0].Args)
+	}
+	if len(byPhase["i"]) != 1 || byPhase["i"][0].S != "t" {
+		t.Errorf("instant events: %+v", byPhase["i"])
+	}
+	if len(byPhase["B"]) != 1 || len(byPhase["E"]) != 1 {
+		t.Errorf("begin/end events: B=%d E=%d", len(byPhase["B"]), len(byPhase["E"]))
+	}
+	c := byPhase["C"]
+	if len(c) != 1 || c[0].Args["value"].(float64) != 42 {
+		t.Errorf("counter events: %+v", c)
+	}
+	// The span and the metadata for its track must share a tid.
+	var dramTid int
+	for _, ev := range byPhase["M"] {
+		if ev.Args["name"] == "dram" {
+			dramTid = ev.Tid
+		}
+	}
+	if dramTid == 0 || x[0].Tid != dramTid {
+		t.Errorf("span tid %d does not match dram track tid %d", x[0].Tid, dramTid)
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Span("a", "b", 0, 1)
+	tr.Instant("a", "b", 0)
+	tr.Begin("a", "b", 0)
+	tr.End("a", "b", 0)
+	tr.Sample("a", "b", 0, 1)
+	if tr.Events() != 0 {
+		t.Error("nil tracer recorded events")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("nil tracer output invalid: %v", err)
+	}
+	if len(out.TraceEvents) != 0 {
+		t.Error("nil tracer emitted events")
+	}
+}
+
+func TestTracerDeterministicBytes(t *testing.T) {
+	build := func() []byte {
+		tr := NewTracer()
+		for i := 0; i < 50; i++ {
+			tr.Span("trk", "ev", sim.Time(i)*sim.NS(3), sim.Time(i)*sim.NS(3)+sim.NS(2))
+		}
+		tr.Instant("other", "mark", sim.US(1))
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Error("identical traces serialize differently")
+	}
+}
+
+func TestTracerNegativeSpanClamped(t *testing.T) {
+	tr := NewTracer()
+	tr.Span("t", "backwards", sim.NS(100), sim.NS(50))
+	out := parseTrace(t, tr)
+	for _, ev := range out.TraceEvents {
+		if ev.Ph == "X" && ev.Dur != 0 {
+			t.Errorf("backwards span dur = %g, want 0", ev.Dur)
+		}
+	}
+}
+
+func TestTracerPicosecondPrecision(t *testing.T) {
+	tr := NewTracer()
+	tr.Instant("t", "p", sim.Time(1)) // 1 ps = 1e-6 us
+	out := parseTrace(t, tr)
+	for _, ev := range out.TraceEvents {
+		if ev.Ph == "i" && ev.TS != 1e-6 {
+			t.Errorf("1ps serialized as %g us, want 1e-6", ev.TS)
+		}
+	}
+}
