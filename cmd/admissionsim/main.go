@@ -121,15 +121,8 @@ func runPolicy(policy admission.RatePolicy, apps, critN, usec int, metricsPath, 
 
 	if suite != nil {
 		suite.Monitors.Snapshot(suite.Registry, eng.Now())
-		if metricsPath != "" {
-			if err := suite.WriteMetricsFile(metricsPath); err != nil {
-				fatal(err)
-			}
-		}
-		if tracePath != "" {
-			if err := suite.WriteTraceFile(tracePath); err != nil {
-				fatal(err)
-			}
+		if err := suite.DumpFiles(metricsPath, tracePath); err != nil {
+			fatal(err)
 		}
 	}
 }

@@ -7,8 +7,15 @@
 //
 // Usage:
 //
-//	socsim [-hogs 6] [-ms 4] [-dsu] [-memguard] [-shape] [-all]
+//	socsim [-hogs 6] [-ms 4] [-seed 100] [-dsu] [-memguard] [-shape]
+//	       [-mpam] [-all] [-workers N]
 //	       [-metrics file.json] [-trace file.json]
+//
+// -all runs the full scenario matrix through the internal/sweep
+// harness, sharded over -workers parallel workers (default
+// GOMAXPROCS); the printed table is byte-identical for any worker
+// count. For bigger matrices — more axes, seed lists, JSON/CSV
+// aggregates — use cmd/sweep directly.
 //
 // -metrics dumps the unified telemetry registry (counters, gauges,
 // latency histograms) as JSON; -trace records a Chrome trace_event
@@ -24,21 +31,21 @@ import (
 	"os"
 
 	"repro/internal/core"
-	"repro/internal/dsu"
-	"repro/internal/mpam"
-	"repro/internal/noc"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
 func main() {
 	hogs := flag.Int("hogs", 6, "number of best-effort aggressor apps")
 	msec := flag.Int("ms", 4, "simulated milliseconds per scenario")
+	seed := flag.Uint64("seed", 100, "seed for the hogs' random address streams")
 	useDSU := flag.Bool("dsu", false, "partition the L3 with a DSU CLUSTERPARTCR")
 	useMG := flag.Bool("memguard", false, "give each hog a MemGuard budget")
 	useShape := flag.Bool("shape", false, "install NI token-bucket shapers on hog nodes")
 	useMPAM := flag.Bool("mpam", false, "regulate the memory channel with MPAM min/max bandwidth")
 	all := flag.Bool("all", false, "run the full scenario matrix")
+	workers := flag.Int("workers", 0, "parallel workers for -all (0 = GOMAXPROCS)")
 	metricsPath := flag.String("metrics", "", "write telemetry metrics JSON to this file (\"-\" for stdout)")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (\"-\" for stdout)")
 	flag.Parse()
@@ -47,128 +54,49 @@ func main() {
 		fatal(fmt.Errorf("-metrics/-trace apply to a single scenario; drop -all"))
 	}
 
+	horizon := sim.Duration(*msec) * sim.Millisecond
 	if *all {
+		specs := sweep.ScenarioMatrix(*hogs, horizon, []uint64{*seed})
+		results := sweep.Run(specs, *workers, nil)
 		fmt.Println("scenario                         mean(ns)   p95(ns)    max(ns)   DRAM row-hit")
-		for _, sc := range []struct {
-			name                  string
-			dsu, mg, shaped, mpam bool
-		}{
-			{"solo (0 hogs)", false, false, false, false},
-			{"contended", false, false, false, false},
-			{"contended + DSU", true, false, false, false},
-			{"contended + MemGuard", false, true, false, false},
-			{"contended + shaping", false, false, true, false},
-			{"contended + MPAM channel", false, false, false, true},
-			{"contended + all mechanisms", true, true, true, true},
-		} {
-			n := *hogs
-			if sc.name == "solo (0 hogs)" {
-				n = 0
+		for _, r := range results {
+			if r.Failed() {
+				fmt.Printf("%-32s FAILED: %s\n", r.Spec.Label, r.Err)
+				continue
 			}
-			st, hit := run(n, *msec, sc.dsu, sc.mg, sc.shaped, sc.mpam, "", "")
-			fmt.Printf("%-32s %-10.1f %-10.1f %-9.1f %.2f\n", sc.name,
-				st.MeanReadLatency.Nanoseconds(), st.P95ReadLatency.Nanoseconds(),
-				st.MaxReadLatency.Nanoseconds(), hit)
+			fmt.Printf("%-32s %-10.1f %-10.1f %-9.1f %.2f\n", r.Spec.Label,
+				r.Crit.MeanReadLatency.Nanoseconds(), r.Crit.P95ReadLatency.Nanoseconds(),
+				r.Crit.MaxReadLatency.Nanoseconds(), r.RowHitRate)
 		}
 		return
 	}
 
-	st, hit := run(*hogs, *msec, *useDSU, *useMG, *useShape, *useMPAM, *metricsPath, *tracePath)
+	spec := core.RunSpec{
+		Hogs: *hogs, DSU: *useDSU, MemGuard: *useMG, Shape: *useShape, MPAM: *useMPAM,
+		HogClass: trace.Infotainment, Duration: horizon, Seed: *seed,
+		Telemetry: *metricsPath != "" || *tracePath != "",
+		Trace:     *tracePath != "",
+	}
+	p, crit, err := core.BuildPlatform(spec)
+	if err != nil {
+		fatal(err)
+	}
+	p.StartApps()
+	p.RunFor(spec.Duration)
+	if suite := p.Telemetry(); suite != nil {
+		p.SnapshotMetrics()
+		if err := suite.DumpFiles(*metricsPath, *tracePath); err != nil {
+			fatal(err)
+		}
+	}
+	st := crit.Stats()
 	fmt.Printf("critical app read latency over %dms with %d hogs (dsu=%v memguard=%v shape=%v mpam=%v):\n",
 		*msec, *hogs, *useDSU, *useMG, *useShape, *useMPAM)
 	fmt.Printf("  accesses  %d (hits %d, misses %d)\n", st.Issued, st.L3Hits, st.L3Misses)
 	fmt.Printf("  mean      %.1f ns\n", st.MeanReadLatency.Nanoseconds())
 	fmt.Printf("  p95       %.1f ns\n", st.P95ReadLatency.Nanoseconds())
 	fmt.Printf("  max       %.1f ns\n", st.MaxReadLatency.Nanoseconds())
-	fmt.Printf("  DRAM row-hit rate %.2f\n", hit)
-}
-
-func run(hogs, msec int, useDSU, useMG, useShape, useMPAM bool, metricsPath, tracePath string) (core.AppStats, float64) {
-	p, err := core.New(core.DefaultConfig())
-	if err != nil {
-		fatal(err)
-	}
-	if metricsPath != "" || tracePath != "" {
-		if _, err := p.EnableTelemetry(tracePath != ""); err != nil {
-			fatal(err)
-		}
-	}
-	if useMPAM {
-		if err := p.EnableMPAMChannel(mpam.BWConfig{CapacityBytesPerNS: 2.0}); err != nil {
-			fatal(err)
-		}
-		// Critical traffic (PARTID 1) gets a minimum guarantee and top
-		// priority; hog PARTIDs are capped.
-		if err := p.ConfigureMPAM(1, mpam.PartitionBW{MinBytesPerNS: 0.8, Priority: 1}); err != nil {
-			fatal(err)
-		}
-	}
-	critProf, err := trace.NewProfile(trace.ControlLoop, 0, 1)
-	if err != nil {
-		fatal(err)
-	}
-	crit, err := p.AddApp(core.AppConfig{
-		Name: "crit", Node: noc.Coord{X: 0, Y: 0}, Cluster: 0, Scheme: 1,
-		Profile: critProf, Critical: true,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	for i := 0; i < hogs; i++ {
-		name := fmt.Sprintf("hog%d", i)
-		prof, err := trace.NewProfile(trace.Infotainment, uint64(1+i)<<30, uint64(100+i))
-		if err != nil {
-			fatal(err)
-		}
-		node := noc.Coord{X: 1 + i%3, Y: i / 3 % 4}
-		hog, err := p.AddApp(core.AppConfig{
-			Name: name, Node: node, Cluster: 0, Scheme: dsu.SchemeID(2 + i%6), Profile: prof,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		if useMG {
-			if err := p.SetMemBudget(name, 16<<10); err != nil {
-				fatal(err)
-			}
-		}
-		if useShape {
-			if err := p.SetNodeShaper(node, 256, 0.2); err != nil {
-				fatal(err)
-			}
-		}
-		if useMPAM {
-			if err := p.ConfigureMPAM(mpam.PARTID(hog.Config().Scheme), mpam.PartitionBW{MaxBytesPerNS: 0.15}); err != nil {
-				fatal(err)
-			}
-		}
-		hog.Start()
-	}
-	if useDSU {
-		reg, err := dsu.Encode(map[dsu.SchemeID][]dsu.Group{1: {0, 1}})
-		if err != nil {
-			fatal(err)
-		}
-		if err := p.ProgramDSU(0, reg); err != nil {
-			fatal(err)
-		}
-	}
-	crit.Start()
-	p.RunFor(sim.Duration(msec) * sim.Millisecond)
-	if suite := p.Telemetry(); suite != nil {
-		p.SnapshotMetrics()
-		if metricsPath != "" {
-			if err := suite.WriteMetricsFile(metricsPath); err != nil {
-				fatal(err)
-			}
-		}
-		if tracePath != "" {
-			if err := suite.WriteTraceFile(tracePath); err != nil {
-				fatal(err)
-			}
-		}
-	}
-	return crit.Stats(), p.Memory().Stats().RowHitRate()
+	fmt.Printf("  DRAM row-hit rate %.2f\n", p.Memory().Stats().RowHitRate())
 }
 
 func fatal(err error) {

@@ -1,0 +1,199 @@
+// Command sweep is the deterministic parallel experiment runner: it
+// expands a configuration matrix (QoS mechanisms × hog counts ×
+// workload classes × horizons × seeds, plus optional admission-overlay
+// runs) into independent run specs, executes them across a bounded
+// worker pool — each run on its own fresh platform and simulation
+// engine — and emits per-configuration aggregates (latency
+// percentiles across seeds, slowdown vs. the isolated baseline,
+// admission rejection rates) as a table, JSON, and CSV.
+//
+// Usage:
+//
+//	sweep [-workers N] [-mechs none,dsu,memguard,shape,mpam,all]
+//	      [-hogs 0,6] [-workloads infotainment] [-ms 4] [-seeds 100]
+//	      [-admission-apps 8,12] [-admission-crit 2]
+//	      [-json file.json] [-csv file.csv]
+//
+// "-" writes JSON/CSV to stdout. Output is byte-identical for any
+// -workers value: runs are hermetic and aggregation follows the spec
+// order, so parallelism never changes the result, only the wall
+// clock. A run that panics becomes a failure record in the aggregates
+// instead of killing the sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+func main() {
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	mechs := flag.String("mechs", "none,all", "comma-separated mechanism sets (none, dsu, memguard, shape, mpam, all, or +-joined combos)")
+	hogs := flag.String("hogs", "0,6", "comma-separated aggressor counts (0 adds the isolated baseline)")
+	workloads := flag.String("workloads", "infotainment", "comma-separated hog workload classes (control-loop, vision-pipeline, infotainment)")
+	ms := flag.String("ms", "4", "comma-separated simulated horizons in milliseconds")
+	seeds := flag.String("seeds", "100", "comma-separated seeds; each configuration runs once per seed")
+	admApps := flag.String("admission-apps", "", "comma-separated app counts for admission-overlay runs (empty = none)")
+	admCrit := flag.Int("admission-crit", 2, "critical apps per admission-overlay run")
+	jsonPath := flag.String("json", "", "write aggregate JSON to this file (\"-\" for stdout)")
+	csvPath := flag.String("csv", "", "write aggregate CSV to this file (\"-\" for stdout)")
+	flag.Parse()
+
+	mx, err := buildMatrix(*mechs, *hogs, *workloads, *ms, *seeds, *admApps, *admCrit)
+	if err != nil {
+		fatal(err)
+	}
+	specs := mx.Expand()
+	if len(specs) == 0 {
+		fatal(fmt.Errorf("empty configuration matrix"))
+	}
+	fmt.Printf("sweep: %d runs (%d workers)\n", len(specs), effectiveWorkers(*workers, len(specs)))
+	results := sweep.Run(specs, *workers, nil)
+	summaries := sweep.Summarize(results)
+
+	printTable(os.Stdout, summaries)
+	if *jsonPath != "" {
+		if err := telemetry.WriteOutput(*jsonPath, func(w io.Writer) error {
+			return sweep.WriteJSON(w, summaries)
+		}); err != nil {
+			fatal(fmt.Errorf("json %s: %w", *jsonPath, err))
+		}
+	}
+	if *csvPath != "" {
+		if err := telemetry.WriteOutput(*csvPath, func(w io.Writer) error {
+			return sweep.WriteCSV(w, summaries)
+		}); err != nil {
+			fatal(fmt.Errorf("csv %s: %w", *csvPath, err))
+		}
+	}
+	for _, s := range summaries {
+		if s.Failures > 0 {
+			fmt.Fprintf(os.Stderr, "sweep: %d/%d runs failed in %q: %s\n", s.Failures, s.Runs, s.Label, s.Failure)
+		}
+	}
+}
+
+// buildMatrix parses the axis flags.
+func buildMatrix(mechs, hogs, workloads, ms, seeds, admApps string, admCrit int) (sweep.Matrix, error) {
+	var mx sweep.Matrix
+	for _, m := range splitList(mechs) {
+		set, err := sweep.ParseMechanismSet(m)
+		if err != nil {
+			return mx, err
+		}
+		mx.Mechanisms = append(mx.Mechanisms, set)
+	}
+	var err error
+	if mx.Hogs, err = parseInts(hogs); err != nil {
+		return mx, fmt.Errorf("-hogs: %w", err)
+	}
+	for _, w := range splitList(workloads) {
+		cls, err := parseWorkload(w)
+		if err != nil {
+			return mx, err
+		}
+		mx.Workloads = append(mx.Workloads, cls)
+	}
+	msList, err := parseInts(ms)
+	if err != nil {
+		return mx, fmt.Errorf("-ms: %w", err)
+	}
+	for _, v := range msList {
+		if v <= 0 {
+			return mx, fmt.Errorf("-ms: horizon %d must be positive", v)
+		}
+		mx.Durations = append(mx.Durations, sim.Duration(v)*sim.Millisecond)
+	}
+	for _, s := range splitList(seeds) {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return mx, fmt.Errorf("-seeds: %w", err)
+		}
+		mx.Seeds = append(mx.Seeds, v)
+	}
+	if mx.AdmissionApps, err = parseInts(admApps); err != nil {
+		return mx, fmt.Errorf("-admission-apps: %w", err)
+	}
+	mx.AdmissionCrit = admCrit
+	return mx, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseWorkload(s string) (trace.WorkloadClass, error) {
+	for _, cls := range []trace.WorkloadClass{trace.ControlLoop, trace.VisionPipeline, trace.Infotainment} {
+		if cls.String() == s {
+			return cls, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown workload class %q (want control-loop, vision-pipeline, infotainment)", s)
+}
+
+func effectiveWorkers(workers, specs int) int {
+	if workers <= 0 {
+		workers = maxProcs()
+	}
+	if workers > specs {
+		workers = specs
+	}
+	return workers
+}
+
+func maxProcs() int {
+	// Mirrors sweep.Run's default without importing runtime twice in
+	// messages vs behaviour.
+	return sweep.DefaultWorkers()
+}
+
+// printTable renders the aggregate table.
+func printTable(w io.Writer, summaries []sweep.ConfigSummary) {
+	fmt.Fprintf(w, "%-40s %5s %5s %10s %10s %10s %9s %7s %9s\n",
+		"configuration", "runs", "fail", "mean(ns)", "p95(ns)", "max(ns)", "slowdown", "row-hit", "reject")
+	for _, s := range summaries {
+		if s.Kind == "admission" {
+			fmt.Fprintf(w, "%-40s %5d %5d %10s %10s %10s %9s %7s %8.1f%%\n",
+				s.Label, s.Runs, s.Failures, "-", "-", "-", "-", "-", 100*s.RejectionRate)
+			continue
+		}
+		slow := "-"
+		if s.SlowdownP95 > 0 {
+			slow = fmt.Sprintf("%.2fx", s.SlowdownP95)
+		}
+		fmt.Fprintf(w, "%-40s %5d %5d %10.1f %10.1f %10.1f %9s %7.2f %9s\n",
+			s.Label, s.Runs, s.Failures, s.MeanNS, s.P95NS, s.MaxNS, slow, s.RowHitRate, "-")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dsu"
+	"repro/internal/mpam"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// RunSpec is a plain, serializable description of one contention
+// experiment on the default platform: a critical control loop at
+// mesh node (0,0) contended by Hogs best-effort aggressors, with each
+// of the paper's QoS mechanisms individually armed. It exists so a
+// whole platform is constructible from a value — the sweep harness
+// expands a configuration matrix into RunSpecs and builds a fresh,
+// fully independent Platform (own sim.Engine, own telemetry) per run.
+type RunSpec struct {
+	// Hogs is the number of best-effort aggressor apps.
+	Hogs int
+	// DSU partitions the L3 with a CLUSTERPARTCR reserving groups 0-1
+	// for the critical app's scheme.
+	DSU bool
+	// MemGuard gives each hog a bandwidth budget.
+	MemGuard bool
+	// Shape installs NI token-bucket shapers on hog nodes.
+	Shape bool
+	// MPAM regulates the memory channel with min/max bandwidth
+	// partitions (critical guaranteed, hogs capped).
+	MPAM bool
+	// HogClass is the hogs' workload class (default Infotainment).
+	HogClass trace.WorkloadClass
+	// Duration is the simulated horizon.
+	Duration sim.Duration
+	// Seed offsets the hogs' random address streams; hog i draws from
+	// seed Seed+i. Runs differing only in Seed are independent
+	// samples of the same configuration.
+	Seed uint64
+	// Telemetry enables the metrics registry (and monitors); Trace
+	// additionally records a Chrome trace_event timeline.
+	Telemetry bool
+	Trace     bool
+}
+
+// Validate checks the spec.
+func (s RunSpec) Validate() error {
+	if s.Hogs < 0 {
+		return fmt.Errorf("core: RunSpec.Hogs = %d, must be >= 0", s.Hogs)
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("core: RunSpec.Duration = %v, must be positive", s.Duration)
+	}
+	return nil
+}
+
+// RunResult is the measured outcome of a RunSpec.
+type RunResult struct {
+	// Crit is the critical app's latency profile.
+	Crit AppStats
+	// RowHitRate is the DRAM controller's aggregate row-hit rate.
+	RowHitRate float64
+	// HogStats holds each hog's stats, in registration order.
+	HogStats []AppStats
+}
+
+// BuildPlatform assembles a fresh Platform per the spec: the critical
+// control loop plus spec.Hogs aggressors, with every armed mechanism
+// configured. Nothing is started — the returned critical app and the
+// hogs are registered but idle; StartApps (or RunSpec.Run, which does
+// all of it) sets the traffic going.
+func BuildPlatform(spec RunSpec) (*Platform, *App, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, nil, err
+	}
+	p, err := New(DefaultConfig())
+	if err != nil {
+		return nil, nil, err
+	}
+	if spec.Telemetry || spec.Trace {
+		if _, err := p.EnableTelemetry(spec.Trace); err != nil {
+			return nil, nil, err
+		}
+	}
+	if spec.MPAM {
+		if err := p.EnableMPAMChannel(mpam.BWConfig{CapacityBytesPerNS: 2.0}); err != nil {
+			return nil, nil, err
+		}
+		// Critical traffic (PARTID 1) gets a minimum guarantee and
+		// top priority; hog PARTIDs are capped below.
+		if err := p.ConfigureMPAM(1, mpam.PartitionBW{MinBytesPerNS: 0.8, Priority: 1}); err != nil {
+			return nil, nil, err
+		}
+	}
+	critProf, err := trace.NewProfile(trace.ControlLoop, 0, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	crit, err := p.AddApp(AppConfig{
+		Name: "crit", Node: noc.Coord{X: 0, Y: 0}, Cluster: 0, Scheme: 1,
+		Profile: critProf, Critical: true,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < spec.Hogs; i++ {
+		name := fmt.Sprintf("hog%d", i)
+		prof, err := trace.NewProfile(spec.HogClass, uint64(1+i)<<30, spec.Seed+uint64(i))
+		if err != nil {
+			return nil, nil, err
+		}
+		node := noc.Coord{X: 1 + i%3, Y: i / 3 % 4}
+		hog, err := p.AddApp(AppConfig{
+			Name: name, Node: node, Cluster: 0, Scheme: dsu.SchemeID(2 + i%6), Profile: prof,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if spec.MemGuard {
+			if err := p.SetMemBudget(name, 16<<10); err != nil {
+				return nil, nil, err
+			}
+		}
+		if spec.Shape {
+			if err := p.SetNodeShaper(node, 256, 0.2); err != nil {
+				return nil, nil, err
+			}
+		}
+		if spec.MPAM {
+			if err := p.ConfigureMPAM(mpam.PARTID(hog.Config().Scheme), mpam.PartitionBW{MaxBytesPerNS: 0.15}); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if spec.DSU {
+		reg, err := dsu.Encode(map[dsu.SchemeID][]dsu.Group{1: {0, 1}})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := p.ProgramDSU(0, reg); err != nil {
+			return nil, nil, err
+		}
+	}
+	return p, crit, nil
+}
+
+// StartApps starts every registered app at the current virtual time,
+// in registration order.
+func (p *Platform) StartApps() {
+	for _, name := range p.order {
+		p.apps[name].Start()
+	}
+}
+
+// Run builds the platform, runs every app for spec.Duration, and
+// collects the result. Each call is fully independent — fresh engine,
+// fresh platform, fresh telemetry — so concurrent Runs of different
+// specs never share state, and the same spec always reproduces the
+// same result.
+func (spec RunSpec) Run() (RunResult, error) {
+	p, crit, err := BuildPlatform(spec)
+	if err != nil {
+		return RunResult{}, err
+	}
+	p.StartApps()
+	p.RunFor(spec.Duration)
+	if p.Telemetry() != nil {
+		p.SnapshotMetrics()
+	}
+	res := RunResult{
+		Crit:       crit.Stats(),
+		RowHitRate: p.Memory().Stats().RowHitRate(),
+	}
+	for i := 0; i < spec.Hogs; i++ {
+		h, err := p.App(fmt.Sprintf("hog%d", i))
+		if err != nil {
+			return RunResult{}, err
+		}
+		res.HogStats = append(res.HogStats, h.Stats())
+	}
+	return res, nil
+}

@@ -111,8 +111,20 @@ func (e *Engine) After(d Duration, fn Event) Handle {
 	return e.At(e.now+d, fn)
 }
 
-// Halt stops the current Run/RunUntil after the executing event returns.
+// Halt stops the current Run/RunUntil after the executing event
+// returns.
+//
+// Halt is one-shot and only meaningful while a run is in progress:
+// Run and RunUntil re-arm on entry, so a Halt issued while no run is
+// active (e.g. between two RunUntil calls) is discarded rather than
+// carried into the next run. Callers that need to stop a future run
+// must issue the Halt from inside an event executing within it.
 func (e *Engine) Halt() { e.halted = true }
+
+// Halted reports whether the most recent Run/RunUntil stopped via
+// Halt (as opposed to draining the queue or reaching its deadline).
+// It is cleared when the next Run/RunUntil starts.
+func (e *Engine) Halted() bool { return e.halted }
 
 // Step executes the single earliest pending event, advancing virtual
 // time to its timestamp. It reports whether an event was executed.
@@ -137,15 +149,22 @@ func (e *Engine) Step() bool {
 }
 
 // Run executes events until the queue is empty or Halt is called.
+// Any Halt issued before entry is discarded (see Halt).
 func (e *Engine) Run() {
 	e.halted = false
 	for !e.halted && e.Step() {
 	}
 }
 
-// RunUntil executes events with timestamps <= deadline, then advances
-// the clock to the deadline. Events scheduled beyond the deadline stay
-// queued for a later call.
+// RunUntil executes events with timestamps <= deadline. When the loop
+// drains naturally (no live event at or before the deadline remains)
+// the clock fast-forwards to the deadline, so a later call resumes
+// from there. When the loop stops early via Halt, the clock stays at
+// the last executed event's timestamp: pending events at or before
+// the deadline keep timestamps >= Now(), and a subsequent
+// Step/Run/RunUntil resumes without warping virtual time backwards.
+// Events scheduled beyond the deadline stay queued for a later call.
+// Any Halt issued before entry is discarded (see Halt).
 func (e *Engine) RunUntil(deadline Time) {
 	e.halted = false
 	for !e.halted {
@@ -155,7 +174,7 @@ func (e *Engine) RunUntil(deadline Time) {
 		}
 		e.Step()
 	}
-	if e.now < deadline {
+	if !e.halted && e.now < deadline {
 		e.now = deadline
 	}
 }

@@ -150,6 +150,77 @@ func TestEngineHalt(t *testing.T) {
 	}
 }
 
+func TestEngineRunUntilHaltKeepsClock(t *testing.T) {
+	// Regression: Halt() mid-RunUntil used to leave now == deadline
+	// even though events with earlier timestamps were still pending,
+	// so the next Step() moved the clock backwards.
+	e := NewEngine()
+	var ran []Time
+	for _, at := range []Time{5, 10, 15} {
+		at := at
+		e.At(at, func() {
+			ran = append(ran, e.Now())
+			if at == 10 {
+				e.Halt()
+			}
+		})
+	}
+	e.RunUntil(20)
+	if !e.Halted() {
+		t.Fatal("Halted() = false after a halted RunUntil")
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %v after Halt at 10, want 10 (clock must not fast-forward past pending events)", e.Now())
+	}
+	if e.Pending() == 0 {
+		t.Fatal("expected the event at 15 still pending")
+	}
+	// Resuming must execute the deferred event at its own timestamp,
+	// never earlier than the observed clock.
+	e.RunUntil(20)
+	if len(ran) != 3 || ran[2] != 15 {
+		t.Fatalf("ran = %v, want [5 10 15]", ran)
+	}
+	for i := 1; i < len(ran); i++ {
+		if ran[i] < ran[i-1] {
+			t.Fatalf("virtual time moved backwards: %v", ran)
+		}
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now = %v after resumed RunUntil, want 20", e.Now())
+	}
+	if e.Halted() {
+		t.Fatal("Halted() = true after a drained RunUntil")
+	}
+}
+
+func TestEngineHaltBetweenRunsDiscarded(t *testing.T) {
+	// Pins the one-shot Halt semantics sweep's per-run loop relies
+	// on: a Halt issued while no run is in progress does not stop the
+	// next Run/RunUntil.
+	e := NewEngine()
+	count := 0
+	for i := Time(1); i <= 3; i++ {
+		e.At(i, func() { count++ })
+	}
+	e.Halt()
+	e.Run()
+	if count != 3 {
+		t.Fatalf("Run executed %d events, want 3 (stale Halt must be discarded)", count)
+	}
+	for i := Time(11); i <= 13; i++ {
+		e.At(i, func() { count++ })
+	}
+	e.Halt()
+	e.RunUntil(20)
+	if count != 6 {
+		t.Fatalf("RunUntil executed %d events, want 6 (stale Halt must be discarded)", count)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now = %v, want 20", e.Now())
+	}
+}
+
 func TestEnginePastSchedulingPanics(t *testing.T) {
 	e := NewEngine()
 	e.At(10, func() {

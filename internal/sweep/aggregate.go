@@ -1,0 +1,128 @@
+package sweep
+
+import (
+	"strings"
+)
+
+// ConfigSummary aggregates every run of one configuration (one Label)
+// across its seeds.
+type ConfigSummary struct {
+	Label      string `json:"label"`
+	Kind       string `json:"kind"`
+	Mechanisms string `json:"mechanisms,omitempty"`
+	Hogs       int    `json:"hogs,omitempty"`
+	Workload   string `json:"workload,omitempty"`
+	DurationNS int64  `json:"duration_ns,omitempty"`
+
+	Runs     int    `json:"runs"`
+	Failures int    `json:"failures"`
+	Failure  string `json:"failure,omitempty"`
+
+	// Contention aggregates, over successful runs: mean of per-run
+	// means, mean of per-run p95s, max of per-run maxima (all ns),
+	// mean row-hit rate, and the p95 slowdown against the isolated
+	// baseline (same workload and horizon, no hogs, no mechanisms);
+	// 0 when the matrix carries no baseline.
+	MeanNS      float64 `json:"mean_ns,omitempty"`
+	P95NS       float64 `json:"p95_ns,omitempty"`
+	MaxNS       float64 `json:"max_ns,omitempty"`
+	RowHitRate  float64 `json:"row_hit_rate,omitempty"`
+	SlowdownP95 float64 `json:"slowdown_p95,omitempty"`
+
+	// Admission aggregates: total admitted/rejected activations, the
+	// rejection rate rejected/(admitted+rejected), and mean mode
+	// changes per run.
+	Admitted      uint64  `json:"admitted,omitempty"`
+	Rejected      uint64  `json:"rejected,omitempty"`
+	RejectionRate float64 `json:"rejection_rate,omitempty"`
+	ModeChanges   float64 `json:"mode_changes,omitempty"`
+}
+
+// Summarize groups results by Label — in first-appearance order, so
+// the output order is the spec order and therefore independent of the
+// worker count — and folds each group's seeds into one summary.
+func Summarize(results []Result) []ConfigSummary {
+	order := make([]string, 0, len(results))
+	groups := make(map[string][]Result)
+	for _, r := range results {
+		if _, seen := groups[r.Spec.Label]; !seen {
+			order = append(order, r.Spec.Label)
+		}
+		groups[r.Spec.Label] = append(groups[r.Spec.Label], r)
+	}
+
+	summaries := make([]ConfigSummary, 0, len(order))
+	for _, label := range order {
+		summaries = append(summaries, summarizeGroup(label, groups[label]))
+	}
+
+	// Second pass: slowdown against the isolated baseline of the same
+	// workload and horizon.
+	for i := range summaries {
+		s := &summaries[i]
+		if s.Kind != Contention.String() || s.P95NS == 0 {
+			continue
+		}
+		for j := range summaries {
+			b := &summaries[j]
+			if b.Kind == Contention.String() && b.Hogs == 0 && b.Mechanisms == "none" &&
+				b.Workload == s.Workload && b.DurationNS == s.DurationNS && b.P95NS > 0 {
+				s.SlowdownP95 = s.P95NS / b.P95NS
+				break
+			}
+		}
+	}
+	return summaries
+}
+
+// summarizeGroup folds one configuration's runs.
+func summarizeGroup(label string, runs []Result) ConfigSummary {
+	first := runs[0].Spec
+	s := ConfigSummary{
+		Label: label,
+		Kind:  first.Kind.String(),
+	}
+	if first.Kind == Contention {
+		s.Mechanisms = mechanismsOf(first.Platform).String()
+		s.Hogs = first.Platform.Hogs
+		s.Workload = first.Platform.HogClass.String()
+		s.DurationNS = int64(first.Platform.Duration.Nanoseconds())
+	}
+
+	var fails []string
+	ok := 0
+	for _, r := range runs {
+		s.Runs++
+		if r.Failed() {
+			s.Failures++
+			fails = append(fails, r.Err)
+			continue
+		}
+		ok++
+		switch r.Spec.Kind {
+		case Contention:
+			s.MeanNS += r.Crit.MeanReadLatency.Nanoseconds()
+			s.P95NS += r.Crit.P95ReadLatency.Nanoseconds()
+			if m := r.Crit.MaxReadLatency.Nanoseconds(); m > s.MaxNS {
+				s.MaxNS = m
+			}
+			s.RowHitRate += r.RowHitRate
+		case Admission:
+			s.Admitted += r.Admitted
+			s.Rejected += r.Rejected
+			s.ModeChanges += float64(r.ModeChanges)
+		}
+	}
+	s.Failure = strings.Join(fails, "; ")
+	if ok > 0 {
+		n := float64(ok)
+		s.MeanNS /= n
+		s.P95NS /= n
+		s.RowHitRate /= n
+		s.ModeChanges /= n
+	}
+	if total := s.Admitted + s.Rejected; total > 0 {
+		s.RejectionRate = float64(s.Rejected) / float64(total)
+	}
+	return s
+}

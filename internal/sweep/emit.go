@@ -1,0 +1,51 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// WriteJSON emits the summaries as indented JSON. Field order is the
+// struct's, group order is the spec order: the bytes are a pure
+// function of the results, never of the worker count.
+func WriteJSON(w io.Writer, summaries []ConfigSummary) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(summaries)
+}
+
+// csvHeader is the fixed CSV column set.
+var csvHeader = []string{
+	"label", "kind", "mechanisms", "hogs", "workload", "duration_ns",
+	"runs", "failures",
+	"mean_ns", "p95_ns", "max_ns", "row_hit_rate", "slowdown_p95",
+	"admitted", "rejected", "rejection_rate", "mode_changes",
+	"failure",
+}
+
+// WriteCSV emits the summaries as CSV with a fixed header.
+func WriteCSV(w io.Writer, summaries []ConfigSummary) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, s := range summaries {
+		rec := []string{
+			s.Label, s.Kind, s.Mechanisms,
+			strconv.Itoa(s.Hogs), s.Workload, strconv.FormatInt(s.DurationNS, 10),
+			strconv.Itoa(s.Runs), strconv.Itoa(s.Failures),
+			f(s.MeanNS), f(s.P95NS), f(s.MaxNS), f(s.RowHitRate), f(s.SlowdownP95),
+			strconv.FormatUint(s.Admitted, 10), strconv.FormatUint(s.Rejected, 10),
+			f(s.RejectionRate), f(s.ModeChanges),
+			s.Failure,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,112 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Result is the outcome of one run spec. Exactly one of the
+// measurement fields or Err is meaningful: a failed run (error or
+// recovered panic) carries only its failure record.
+type Result struct {
+	Spec Spec
+
+	// Contention measurements.
+	Crit       core.AppStats
+	RowHitRate float64
+
+	// Admission measurements.
+	Admitted    uint64
+	Rejected    uint64
+	ModeChanges uint64
+
+	// Err is the structured failure record: empty on success, the
+	// error text or "panic: ..." otherwise.
+	Err string
+}
+
+// Failed reports whether the run produced a failure record.
+func (r Result) Failed() bool { return r.Err != "" }
+
+// Executor runs one spec and fills its measurements. Execute is the
+// real thing; tests substitute fakes (including panicking ones).
+type Executor func(Spec) (Result, error)
+
+// Execute runs a spec on a fresh platform (or admission overlay).
+func Execute(s Spec) (Result, error) {
+	switch s.Kind {
+	case Contention:
+		rr, err := s.Platform.Run()
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Crit: rr.Crit, RowHitRate: rr.RowHitRate}, nil
+	case Admission:
+		return runAdmission(s.Admission)
+	}
+	return Result{}, fmt.Errorf("sweep: unknown spec kind %v", s.Kind)
+}
+
+// DefaultWorkers is the worker count Run uses when given workers <= 0.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Run executes every spec, sharding across a bounded worker pool.
+// workers <= 0 defaults to GOMAXPROCS. The returned slice is indexed
+// like specs, whatever the worker count or scheduling order — each
+// run is hermetic and lands in its own slot, so downstream
+// aggregation is byte-identical for 1 worker and N.
+//
+// A panic inside one run is recovered into that run's failure record;
+// the remaining specs still execute.
+func Run(specs []Spec, workers int, exec Executor) []Result {
+	if exec == nil {
+		exec = Execute
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	results := make([]Result, len(specs))
+	if len(specs) == 0 {
+		return results
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runOne(specs[i], exec)
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// runOne executes a single spec with panic isolation.
+func runOne(s Spec, exec Executor) (r Result) {
+	defer func() {
+		if p := recover(); p != nil {
+			// Record the panic value, not the stack: goroutine IDs
+			// and addresses would break byte-identical aggregates.
+			r = Result{Spec: s, Err: fmt.Sprintf("panic: %v", p)}
+		}
+	}()
+	res, err := exec(s)
+	res.Spec = s
+	if err != nil {
+		res.Err = err.Error()
+	}
+	return res
+}

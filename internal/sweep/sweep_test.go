@@ -1,0 +1,275 @@
+package sweep
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestMechanismSetRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want MechanismSet
+	}{
+		{"none", MechanismSet{}},
+		{"all", AllMechanisms()},
+		{"dsu", MechanismSet{DSU: true}},
+		{"dsu+memguard", MechanismSet{DSU: true, MemGuard: true}},
+		{"mg+shape+mpam", MechanismSet{MemGuard: true, Shape: true, MPAM: true}},
+	}
+	for _, c := range cases {
+		got, err := ParseMechanismSet(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		back, err := ParseMechanismSet(got.String())
+		if err != nil || back != got {
+			t.Errorf("round trip of %q via %q failed", c.in, got)
+		}
+	}
+	if _, err := ParseMechanismSet("dsu+warp"); err == nil {
+		t.Error("unknown mechanism accepted")
+	}
+}
+
+func TestMatrixExpandOrderAndBaseline(t *testing.T) {
+	mx := Matrix{
+		Mechanisms: []MechanismSet{{}, {DSU: true}},
+		Hogs:       []int{0, 2},
+		Seeds:      []uint64{1, 2},
+		Durations:  []sim.Duration{sim.Millisecond},
+	}
+	specs := mx.Expand()
+	// Baseline once (2 seeds), then 2 mechs × 1 nonzero hog count × 2
+	// seeds.
+	if len(specs) != 6 {
+		t.Fatalf("expanded %d specs, want 6", len(specs))
+	}
+	if specs[0].Platform.Hogs != 0 || specs[0].Platform.DSU {
+		t.Fatalf("first spec %+v is not the isolated baseline", specs[0].Platform)
+	}
+	if specs[0].Label != specs[1].Label || specs[0].Platform.Seed == specs[1].Platform.Seed {
+		t.Fatal("seed runs must share a label and differ in seed")
+	}
+	// Expansion is deterministic.
+	again := mx.Expand()
+	for i := range specs {
+		if specs[i] != again[i] {
+			t.Fatalf("expansion not deterministic at %d: %+v vs %+v", i, specs[i], again[i])
+		}
+	}
+	// Admission axis appends to the end.
+	mx.AdmissionApps = []int{8}
+	specs = mx.Expand()
+	if last := specs[len(specs)-1]; last.Kind != Admission || last.Admission.Apps != 8 {
+		t.Fatalf("last spec = %+v, want admission run", last)
+	}
+}
+
+func TestScenarioMatrixMatchesSocsim(t *testing.T) {
+	specs := ScenarioMatrix(6, 4*sim.Millisecond, nil)
+	if len(specs) != 7 {
+		t.Fatalf("got %d scenarios, want 7", len(specs))
+	}
+	if specs[0].Label != "solo (0 hogs)" || specs[0].Platform.Hogs != 0 {
+		t.Fatalf("first scenario = %+v", specs[0])
+	}
+	all := specs[6].Platform
+	if !(all.DSU && all.MemGuard && all.Shape && all.MPAM) || all.Hogs != 6 {
+		t.Fatalf("last scenario not all-mechanisms: %+v", all)
+	}
+}
+
+// fakeExec returns synthetic results derived only from the spec, fast
+// enough to sweep widely in tests.
+func fakeExec(s Spec) (Result, error) {
+	switch s.Kind {
+	case Admission:
+		return Result{Admitted: uint64(s.Admission.Apps - 1), Rejected: 1, ModeChanges: uint64(s.Admission.Apps)}, nil
+	default:
+		base := sim.Duration(100+10*s.Platform.Hogs) * sim.Nanosecond
+		seed := sim.Duration(s.Platform.Seed) * sim.Nanosecond / 10
+		return Result{
+			Crit: core.AppStats{
+				MeanReadLatency: base + seed,
+				P95ReadLatency:  2*base + seed,
+				MaxReadLatency:  4*base + seed,
+			},
+			RowHitRate: 0.5,
+		}, nil
+	}
+}
+
+func TestRunWorkerCountInvariant(t *testing.T) {
+	mx := Matrix{
+		Mechanisms:    []MechanismSet{{}, {DSU: true}, AllMechanisms()},
+		Hogs:          []int{0, 2, 4},
+		Seeds:         []uint64{1, 2, 3},
+		Durations:     []sim.Duration{sim.Millisecond},
+		AdmissionApps: []int{4, 8},
+	}
+	specs := mx.Expand()
+	emit := func(workers int) (string, string) {
+		res := Run(specs, workers, fakeExec)
+		sums := Summarize(res)
+		var j, c bytes.Buffer
+		if err := WriteJSON(&j, sums); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteCSV(&c, sums); err != nil {
+			t.Fatal(err)
+		}
+		return j.String(), c.String()
+	}
+	j1, c1 := emit(1)
+	j8, c8 := emit(8)
+	if j1 != j8 {
+		t.Fatalf("JSON differs between -workers=1 and -workers=8:\n%s\nvs\n%s", j1, j8)
+	}
+	if c1 != c8 {
+		t.Fatalf("CSV differs between -workers=1 and -workers=8:\n%s\nvs\n%s", c1, c8)
+	}
+}
+
+func TestRunRealExecutorWorkerCountInvariant(t *testing.T) {
+	// Short real-platform runs through the actual executor: the full
+	// stack must stay byte-identical across worker counts.
+	mx := Matrix{
+		Mechanisms: []MechanismSet{{}, {MemGuard: true}},
+		Hogs:       []int{0, 2},
+		Seeds:      []uint64{100, 101},
+		Durations:  []sim.Duration{50 * sim.Microsecond},
+	}
+	specs := mx.Expand()
+	emit := func(workers int) string {
+		sums := Summarize(Run(specs, workers, nil))
+		var j bytes.Buffer
+		if err := WriteJSON(&j, sums); err != nil {
+			t.Fatal(err)
+		}
+		return j.String()
+	}
+	j1 := emit(1)
+	j8 := emit(8)
+	if j1 != j8 {
+		t.Fatalf("real-executor JSON differs between worker counts:\n%s\nvs\n%s", j1, j8)
+	}
+	if !strings.Contains(j1, `"runs": 2`) {
+		t.Fatalf("expected 2 runs per config in:\n%s", j1)
+	}
+}
+
+func TestRunPanicIsolation(t *testing.T) {
+	specs := ScenarioMatrix(2, sim.Millisecond, nil)
+	exec := func(s Spec) (Result, error) {
+		if s.Label == "contended + DSU" {
+			panic("injected fault")
+		}
+		if s.Label == "contended + shaping" {
+			return Result{}, fmt.Errorf("injected error")
+		}
+		return fakeExec(s)
+	}
+	res := Run(specs, 4, exec)
+	if len(res) != len(specs) {
+		t.Fatalf("got %d results for %d specs", len(res), len(specs))
+	}
+	var panicked, errored, ok int
+	for _, r := range res {
+		switch {
+		case r.Err == "panic: injected fault":
+			panicked++
+		case r.Err == "injected error":
+			errored++
+		case !r.Failed():
+			ok++
+		default:
+			t.Fatalf("unexpected failure record %q", r.Err)
+		}
+	}
+	if panicked != 1 || errored != 1 || ok != len(specs)-2 {
+		t.Fatalf("panicked=%d errored=%d ok=%d", panicked, errored, ok)
+	}
+	sums := Summarize(res)
+	for _, s := range sums {
+		if s.Label == "contended + DSU" {
+			if s.Failures != 1 || s.Failure != "panic: injected fault" {
+				t.Fatalf("summary did not carry the failure record: %+v", s)
+			}
+		}
+	}
+}
+
+func TestSummarizeSlowdownAndSeeds(t *testing.T) {
+	mx := Matrix{
+		Mechanisms: []MechanismSet{{}},
+		Hogs:       []int{0, 4},
+		Seeds:      []uint64{10, 20},
+		Durations:  []sim.Duration{sim.Millisecond},
+		Workloads:  []trace.WorkloadClass{trace.Infotainment},
+	}
+	res := Run(mx.Expand(), 2, fakeExec)
+	sums := Summarize(res)
+	if len(sums) != 2 {
+		t.Fatalf("got %d summaries, want 2", len(sums))
+	}
+	base, contended := sums[0], sums[1]
+	if base.Hogs != 0 || contended.Hogs != 4 {
+		t.Fatalf("unexpected group order: %+v", sums)
+	}
+	if base.Runs != 2 || contended.Runs != 2 {
+		t.Fatalf("runs per group = %d/%d, want 2/2", base.Runs, contended.Runs)
+	}
+	// fakeExec: p95 = 2*(100+10*hogs) + seed/10 ns; seeds 10,20 →
+	// mean seed term 1.5.
+	wantBase := 200 + 1.5
+	wantCont := 280 + 1.5
+	if base.P95NS != wantBase || contended.P95NS != wantCont {
+		t.Fatalf("p95 = %v/%v, want %v/%v", base.P95NS, contended.P95NS, wantBase, wantCont)
+	}
+	wantSlow := wantCont / wantBase
+	if contended.SlowdownP95 != wantSlow {
+		t.Fatalf("slowdown = %v, want %v", contended.SlowdownP95, wantSlow)
+	}
+	if base.SlowdownP95 != 1 {
+		t.Fatalf("baseline slowdown = %v, want 1", base.SlowdownP95)
+	}
+}
+
+func TestAdmissionRunReportsRejections(t *testing.T) {
+	// Enough best-effort apps against the delay-bound contract must
+	// produce rejections once the per-app rate can no longer meet the
+	// deadline.
+	as := DefaultAdmissionSpec()
+	as.Apps = 12
+	as.CritApps = 2
+	r, err := runAdmission(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Admitted == 0 {
+		t.Fatal("no activations admitted")
+	}
+	if r.Rejected == 0 {
+		t.Fatal("delay-bound check rejected nothing across 10 best-effort activations")
+	}
+	if r.Admitted+r.Rejected > uint64(as.Apps) {
+		t.Fatalf("admitted %d + rejected %d > %d apps", r.Admitted, r.Rejected, as.Apps)
+	}
+	// Deterministic: same spec, same protocol outcome.
+	r2, err := runAdmission(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Admitted != r.Admitted || r2.Rejected != r.Rejected || r2.ModeChanges != r.ModeChanges {
+		t.Fatalf("admission run not deterministic: %+v vs %+v", r, r2)
+	}
+}

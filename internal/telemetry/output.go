@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteOutput writes a dump to path, with "-" meaning stdout — the
+// one shared implementation of the CLI tools' `-metrics`/`-trace`/
+// `-json`/`-csv` output convention. Unlike a bare os.Create +
+// deferred Close, it reports the error from Close: on a full disk the
+// final flush is where truncation surfaces, and swallowing it would
+// leave a silently short file.
+func WriteOutput(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// DumpFiles writes the suite's metrics and/or trace to the given
+// paths ("-" for stdout, "" to skip), the shape every command-line
+// tool needs after a run. Errors identify which dump failed.
+func (s *Suite) DumpFiles(metricsPath, tracePath string) error {
+	if metricsPath != "" {
+		if err := s.WriteMetricsFile(metricsPath); err != nil {
+			return fmt.Errorf("metrics %s: %w", metricsPath, err)
+		}
+	}
+	if tracePath != "" {
+		if err := s.WriteTraceFile(tracePath); err != nil {
+			return fmt.Errorf("trace %s: %w", tracePath, err)
+		}
+	}
+	return nil
+}

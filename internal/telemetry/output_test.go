@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteOutput(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "payload")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "payload" {
+		t.Fatalf("file contents = %q", b)
+	}
+}
+
+func TestWriteOutputPropagatesWriteError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	boom := errors.New("boom")
+	if err := WriteOutput(path, func(io.Writer) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestWriteOutputCreateError(t *testing.T) {
+	// A directory path cannot be created as a file.
+	if err := WriteOutput(t.TempDir(), func(io.Writer) error { return nil }); err == nil {
+		t.Fatal("expected create error")
+	}
+}
+
+func TestDumpFilesNilAndEmpty(t *testing.T) {
+	s := NewSuite(true, 0)
+	dir := t.TempDir()
+	if err := s.DumpFiles("", ""); err != nil {
+		t.Fatalf("empty paths: %v", err)
+	}
+	m := filepath.Join(dir, "m.json")
+	tr := filepath.Join(dir, "t.json")
+	if err := s.DumpFiles(m, tr); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{m, tr} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Fatalf("dump %s missing or empty (err=%v)", p, err)
+		}
+	}
+}

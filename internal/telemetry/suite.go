@@ -1,8 +1,6 @@
 package telemetry
 
 import (
-	"os"
-
 	"repro/internal/sim"
 )
 
@@ -56,33 +54,11 @@ func (s *Suite) monitors() *MonitorSet {
 // WriteMetricsFile dumps the registry as JSON to path ("-" writes to
 // stdout).
 func (s *Suite) WriteMetricsFile(path string) error {
-	if path == "-" {
-		return s.registry().WriteJSON(os.Stdout)
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := s.registry().WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return WriteOutput(path, s.registry().WriteJSON)
 }
 
 // WriteTraceFile dumps the trace as Chrome trace_event JSON to path
 // ("-" writes to stdout).
 func (s *Suite) WriteTraceFile(path string) error {
-	if path == "-" {
-		return s.tracer().WriteJSON(os.Stdout)
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := s.tracer().WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return WriteOutput(path, s.tracer().WriteJSON)
 }
