@@ -941,6 +941,65 @@ func BenchmarkSweepScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelHotPath measures the event kernel through the full
+// platform stack: one critical app plus two hogs driving L3, MemGuard,
+// mesh, MPAM-less channel, and DRAM for a fixed virtual horizon. With
+// the pooled kernel records and pooled per-access transactions the
+// steady-state allocation count per simulated event is ~0 — run with
+// -benchmem to see it. The pure kernel microbenchmark (and the
+// comparison against the retired container/heap engine) lives in
+// internal/sim; this one exists so regressions in the model hot paths
+// (dram.Request, NoC packets, per-access closures) show up too.
+func BenchmarkKernelHotPath(b *testing.B) {
+	run := func(horizon sim.Duration) uint64 {
+		p, err := core.New(core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		critProf, err := trace.NewProfile(trace.ControlLoop, 0, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		crit, err := p.AddApp(core.AppConfig{
+			Name: "crit", Node: noc.Coord{X: 0, Y: 0}, Cluster: 0, Scheme: 1, Profile: critProf,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			prof, err := trace.NewProfile(trace.Infotainment, uint64(i+1)<<30, uint64(i)+5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h, err := p.AddApp(core.AppConfig{
+				Name: fmt.Sprintf("hog%d", i), Node: noc.Coord{X: 1 + i, Y: 0}, Cluster: 0,
+				Scheme: dsu.SchemeID(2 + i), Profile: prof,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			h.Start()
+		}
+		crit.Start()
+		p.RunFor(horizon)
+		return p.Eng.Fired()
+	}
+	printOnce("KH", func() {
+		start := time.Now()
+		fired := run(2 * sim.Millisecond)
+		wall := time.Since(start)
+		fmt.Printf("\n[bench] platform hot path: %d events in %v wall (%.0f events/sec)\n",
+			fired, wall.Round(time.Millisecond), float64(fired)/wall.Seconds())
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	var fired uint64
+	for i := 0; i < b.N; i++ {
+		fired = run(sim.Millisecond)
+	}
+	b.ReportMetric(float64(fired), "events/op")
+}
+
 // BenchmarkReadLatencyPercentile compares the telemetry histogram's
 // O(buckets) quantile (what dram.MasterStats now uses) against the
 // copy-and-sort it replaced, on the same 64Ki-sample latency stream.

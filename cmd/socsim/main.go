@@ -10,6 +10,7 @@
 //	socsim [-hogs 6] [-ms 4] [-seed 100] [-dsu] [-memguard] [-shape]
 //	       [-mpam] [-all] [-workers N]
 //	       [-metrics file.json] [-trace file.json]
+//	       [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // -all runs the full scenario matrix through the internal/sweep
 // harness, sharded over -workers parallel workers (default
@@ -23,18 +24,57 @@
 // DRAM service spans, per-flow NoC delivery spans, and MemGuard
 // stall/depletion events. "-" writes either to stdout. Both are
 // deterministic: identical invocations produce byte-identical files.
+//
+// -cpuprofile and -memprofile record pprof profiles of the simulation
+// process (inspect with go tool pprof); see docs/PERFORMANCE.md.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/trace"
 )
+
+// startProfiles begins CPU profiling and arms the heap-profile dump;
+// the returned stop must run before exit (deferred in main).
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "socsim: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "socsim: -memprofile: %v\n", err)
+			}
+		}
+	}, nil
+}
 
 func main() {
 	hogs := flag.Int("hogs", 6, "number of best-effort aggressor apps")
@@ -48,7 +88,15 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers for -all (0 = GOMAXPROCS)")
 	metricsPath := flag.String("metrics", "", "write telemetry metrics JSON to this file (\"-\" for stdout)")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (\"-\" for stdout)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	if *all && (*metricsPath != "" || *tracePath != "") {
 		fatal(fmt.Errorf("-metrics/-trace apply to a single scenario; drop -all"))

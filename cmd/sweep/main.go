@@ -13,6 +13,7 @@
 //	      [-hogs 0,6] [-workloads infotainment] [-ms 4] [-seeds 100]
 //	      [-admission-apps 8,12] [-admission-crit 2]
 //	      [-json file.json] [-csv file.csv]
+//	      [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // "-" writes JSON/CSV to stdout. Output is byte-identical for any
 // -workers value: runs are hermetic and aggregation follows the spec
@@ -26,6 +27,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -34,6 +37,40 @@ import (
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
+
+// startProfiles begins CPU profiling and arms the heap-profile dump;
+// the returned stop must run before exit (deferred in main).
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: -memprofile: %v\n", err)
+			}
+		}
+	}, nil
+}
 
 func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
@@ -46,7 +83,15 @@ func main() {
 	admCrit := flag.Int("admission-crit", 2, "critical apps per admission-overlay run")
 	jsonPath := flag.String("json", "", "write aggregate JSON to this file (\"-\" for stdout)")
 	csvPath := flag.String("csv", "", "write aggregate CSV to this file (\"-\" for stdout)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	mx, err := buildMatrix(*mechs, *hogs, *workloads, *ms, *seeds, *admApps, *admCrit)
 	if err != nil {

@@ -64,7 +64,71 @@ type App struct {
 	latHist              *telemetry.Histogram
 
 	memTap func(at sim.Time, bytes int)
+
+	// Hot-path caches: the app's NI and the memory node's NI (both
+	// fixed after AddApp), the response flow label, the step callback
+	// bound once, and the free list of recycled transactions — in
+	// steady state an access allocates nothing.
+	ni       *noc.NI
+	memNI    *noc.NI
+	respFlow string
+	stepFn   sim.Event
+	txnFree  []*txn
 }
+
+// txn carries one access through the platform: L3 → (MemGuard) → mesh
+// → (MPAM channel) → DRAM → response. The request, both packets, and
+// the MPAM channel request are embedded by value, and every
+// continuation along the chain is bound once when the txn is first
+// built, so the per-access hot path performs zero heap allocations
+// after the pool warms up. A txn is recycled when its last leg
+// completes (hit latency served, read response delivered, or posted
+// write retired by the controller).
+type txn struct {
+	a     *App
+	bank  int
+	row   int64
+	write bool
+	start sim.Time
+
+	req     dram.Request
+	reqPkt  noc.Packet
+	respPkt noc.Packet
+	bwReq   mpam.BWRequest
+
+	hitFn       sim.Event
+	issueFn     func()
+	onReqDeliv  func(sim.Time)
+	onBWDone    func(sim.Time)
+	ctrlFn      func()
+	onDRAMDone  func()
+	onRespDeliv func(sim.Time)
+	releaseFn   func()
+}
+
+// acquireTxn takes a transaction from the free list, building (and
+// binding the continuations of) a fresh one only when the pool is
+// empty.
+func (a *App) acquireTxn() *txn {
+	if n := len(a.txnFree); n > 0 {
+		t := a.txnFree[n-1]
+		a.txnFree = a.txnFree[:n-1]
+		return t
+	}
+	t := &txn{a: a}
+	t.hitFn = t.hit
+	t.issueFn = t.issue
+	t.onReqDeliv = func(sim.Time) { t.atMemory() }
+	t.onBWDone = func(sim.Time) { t.atController() }
+	t.ctrlFn = t.atController
+	t.onDRAMDone = t.sendResponse
+	t.onRespDeliv = func(sim.Time) { t.finishRead() }
+	t.releaseFn = func() { t.a.releaseTxn(t) }
+	return t
+}
+
+// releaseTxn recycles a finished transaction.
+func (a *App) releaseTxn(t *txn) { a.txnFree = append(a.txnFree, t) }
 
 // Config returns the app's configuration.
 func (a *App) Config() AppConfig { return a.cfg }
@@ -104,6 +168,10 @@ func (p *Platform) AddApp(cfg AppConfig) (*App, error) {
 		cfg.PARTID = mpam.PARTID(cfg.Scheme)
 	}
 	a := &App{p: p, cfg: cfg}
+	a.stepFn = a.step
+	a.respFlow = cfg.Name + ":resp"
+	a.ni, _ = p.mesh.NI(cfg.Node)
+	a.memNI, _ = p.mesh.NI(p.cfg.MemoryNode)
 	p.apps[cfg.Name] = a
 	p.order = append(p.order, cfg.Name)
 	return a, nil
@@ -130,7 +198,7 @@ func (a *App) Start() {
 		return
 	}
 	a.running = true
-	a.p.Eng.At(a.p.Eng.Now(), a.step)
+	a.p.Eng.At(a.p.Eng.Now(), a.stepFn)
 }
 
 // Stop halts the loop after the in-flight access completes.
@@ -169,101 +237,127 @@ func (a *App) step() {
 
 	cl := a.p.clusters[a.cfg.Cluster]
 	res := cl.Access(a.cfg.Scheme, addr, write)
+	t := a.acquireTxn()
+	t.write = write
+	t.start = start
 	if res.Hit {
 		a.hits++
-		a.p.Eng.After(a.p.cfg.L3HitLatency, func() {
-			a.finish(start, write, false)
-		})
+		a.p.Eng.After(a.p.cfg.L3HitLatency, t.hitFn)
 		return
 	}
 	a.misses++
+	t.bank, t.row = a.p.bankRow(addr)
 
-	issue := func() { a.issueMemory(addr, write, start) }
 	if a.p.reg != nil {
 		// MemGuard meters misses (the traffic that actually reaches
 		// memory), per application.
-		if err := a.p.reg.Request(a.cfg.Name, a.cfg.Profile.ReqBytes, issue); err == nil {
+		if err := a.p.reg.Request(a.cfg.Name, a.cfg.Profile.ReqBytes, t.issueFn); err == nil {
 			return
 		}
 	}
-	issue()
+	t.issue()
 }
 
-// issueMemory sends the miss across the mesh to the memory controller.
-func (a *App) issueMemory(addr uint64, write bool, start sim.Time) {
-	bank, row := a.p.bankRow(addr)
-	ni, err := a.p.mesh.NI(a.cfg.Node)
-	if err != nil {
+// hit completes an L3-hit access after the hit latency.
+func (t *txn) hit() {
+	a := t.a
+	a.finish(t.start, t.write, false)
+	a.releaseTxn(t)
+}
+
+// issue sends the miss across the mesh to the memory controller.
+func (t *txn) issue() {
+	a := t.a
+	if a.ni == nil {
+		a.releaseTxn(t)
 		return
 	}
 	reqBytes := requestHeaderBytes
-	if write {
+	if t.write {
 		reqBytes = a.cfg.Profile.ReqBytes // write carries its data
 	}
 	if a.memTap != nil {
 		a.memTap(a.p.Eng.Now(), a.cfg.Profile.ReqBytes)
 	}
-	pkt := &noc.Packet{
-		Dst:   a.p.cfg.MemoryNode,
-		Bytes: reqBytes,
-		Flow:  a.cfg.Name,
-		OnDelivered: func(sim.Time) {
-			a.atMemory(bank, row, write, start)
-		},
+	t.reqPkt = noc.Packet{
+		Dst:         a.p.cfg.MemoryNode,
+		Bytes:       reqBytes,
+		Flow:        a.cfg.Name,
+		OnDelivered: t.onReqDeliv,
 	}
-	if err := ni.Send(pkt); err != nil {
+	if err := a.ni.Send(&t.reqPkt); err != nil {
 		// Malformed packets cannot happen here; treat as dropped.
+		a.releaseTxn(t)
 		return
 	}
-	if write {
+	if t.write {
 		// Posted write: the core does not wait for the data to land.
-		a.finish(start, true, true)
+		a.finish(t.start, true, true)
 	}
 }
 
 // atMemory runs when the request packet reaches the controller node:
 // through the MPAM channel arbiter (when enabled), then the DRAM
 // controller.
-func (a *App) atMemory(bank int, row int64, write bool, start sim.Time) {
-	label := mpam.Label{PARTID: a.cfg.PARTID, PMG: a.cfg.PMG}
-	a.p.channelSubmit(label, a.cfg.Profile.ReqBytes, write, func() {
-		a.atController(bank, row, write, start)
-	})
+func (t *txn) atMemory() {
+	a := t.a
+	t.bwReq = mpam.BWRequest{
+		Label:  mpam.Label{PARTID: a.cfg.PARTID, PMG: a.cfg.PMG},
+		Bytes:  a.cfg.Profile.ReqBytes,
+		Write:  t.write,
+		OnDone: t.onBWDone,
+	}
+	a.p.channelSubmit(&t.bwReq, t.ctrlFn)
 }
 
 // atController submits the transaction to the DRAM controller.
-func (a *App) atController(bank int, row int64, write bool, start sim.Time) {
+func (t *txn) atController() {
+	a := t.a
 	op := dram.Read
-	if write {
+	if t.write {
 		op = dram.Write
 	}
-	req := &dram.Request{
+	t.req = dram.Request{
 		Master: a.cfg.Name,
 		Op:     op,
-		Bank:   bank,
-		Row:    row,
+		Bank:   t.bank,
+		Row:    t.row,
 		Size:   a.cfg.Profile.ReqBytes,
 	}
-	if write {
-		a.p.submitDRAM(req, nil) // posted; already accounted
+	if t.write {
+		// Posted; already accounted — completion just recycles the txn.
+		t.req.OnComplete = t.releaseFn
+		a.p.submitDRAM(&t.req)
 		return
 	}
-	a.p.submitDRAM(req, func() {
-		// Data response travels back to the app's node.
-		memNI, err := a.p.mesh.NI(a.p.cfg.MemoryNode)
-		if err != nil {
-			return
-		}
-		resp := &noc.Packet{
-			Dst:   a.cfg.Node,
-			Bytes: a.cfg.Profile.ReqBytes,
-			Flow:  a.cfg.Name + ":resp",
-			OnDelivered: func(sim.Time) {
-				a.finish(start, false, true)
-			},
-		}
-		_ = memNI.Send(resp)
-	})
+	t.req.OnComplete = t.onDRAMDone
+	a.p.submitDRAM(&t.req)
+}
+
+// sendResponse runs at read completion: the data travels back to the
+// app's node.
+func (t *txn) sendResponse() {
+	a := t.a
+	if a.memNI == nil {
+		a.releaseTxn(t)
+		return
+	}
+	t.respPkt = noc.Packet{
+		Dst:         a.cfg.Node,
+		Bytes:       a.cfg.Profile.ReqBytes,
+		Flow:        a.respFlow,
+		OnDelivered: t.onRespDeliv,
+	}
+	if a.memNI.Send(&t.respPkt) != nil {
+		a.releaseTxn(t)
+	}
+}
+
+// finishRead completes the round trip when the response lands.
+func (t *txn) finishRead() {
+	a := t.a
+	a.finish(t.start, false, true)
+	a.releaseTxn(t)
 }
 
 // finish records one access and schedules the next step after the
@@ -294,5 +388,5 @@ func (a *App) finish(start sim.Time, write, toMemory bool) {
 	if delay <= 0 {
 		delay = 1
 	}
-	a.p.Eng.After(delay, a.step)
+	a.p.Eng.After(delay, a.stepFn)
 }

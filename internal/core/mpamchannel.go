@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/mpam"
-	"repro/internal/sim"
 )
 
 // EnableMPAMChannel inserts an MPAM-regulated bandwidth arbiter in
@@ -56,21 +55,16 @@ func (p *Platform) MPAMServed(id mpam.PARTID) (bytes, requests uint64) {
 }
 
 // channelSubmit routes a memory-node transaction through the MPAM
-// arbiter when enabled, then to the DRAM controller.
-func (p *Platform) channelSubmit(label mpam.Label, bytes int, write bool, then func()) {
+// arbiter when enabled, then to the DRAM controller. The caller owns
+// req (typically embedded in a pooled txn, with OnDone pre-bound);
+// bypass runs instead of the arbiter path when the channel is disabled
+// or rejects the request, so the transaction never vanishes.
+func (p *Platform) channelSubmit(req *mpam.BWRequest, bypass func()) {
 	if p.mpamArb == nil {
-		then()
+		bypass()
 		return
 	}
-	req := &mpam.BWRequest{
-		Label: label,
-		Bytes: bytes,
-		Write: write,
-		OnDone: func(sim.Time) {
-			then()
-		},
-	}
 	if err := p.mpamArb.Submit(req); err != nil {
-		then() // malformed requests bypass rather than vanish
+		bypass() // malformed requests bypass rather than vanish
 	}
 }

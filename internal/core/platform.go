@@ -108,8 +108,7 @@ type Platform struct {
 	mpamArb  *mpam.Arbiter
 	mpamMons *mpam.MonitorSet
 
-	dramCallbacks map[uint64]func()
-	nextReqID     uint64
+	nextReqID uint64
 
 	tel *telemetry.Suite
 }
@@ -120,10 +119,9 @@ func New(cfg Config) (*Platform, error) {
 		return nil, err
 	}
 	p := &Platform{
-		Eng:           sim.NewEngine(),
-		cfg:           cfg,
-		apps:          make(map[string]*App),
-		dramCallbacks: make(map[uint64]func()),
+		Eng:  sim.NewEngine(),
+		cfg:  cfg,
+		apps: make(map[string]*App),
 	}
 	for _, cc := range cfg.Clusters {
 		cl, err := dsu.NewCluster(cc)
@@ -141,7 +139,7 @@ func New(cfg Config) (*Platform, error) {
 	if !mesh.InMesh(cfg.MemoryNode) {
 		return nil, fmt.Errorf("core: memory node %v outside mesh", cfg.MemoryNode)
 	}
-	mem, err := dram.NewController(p.Eng, cfg.Memory, p.onDRAMComplete)
+	mem, err := dram.NewController(p.Eng, cfg.Memory, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -252,26 +250,13 @@ func (p *Platform) bankRow(addr uint64) (bank int, row int64) {
 	return bank, row
 }
 
-// onDRAMComplete dispatches controller completions to the per-request
-// continuations.
-func (p *Platform) onDRAMComplete(r *dram.Request) {
-	if cb := p.dramCallbacks[r.ID]; cb != nil {
-		delete(p.dramCallbacks, r.ID)
-		cb()
-	}
-}
-
-// submitDRAM queues a request with a completion continuation; on a
-// full queue it retries after a backoff (modelling interconnect
-// backpressure).
-func (p *Platform) submitDRAM(req *dram.Request, done func()) {
+// submitDRAM queues a request (its completion continuation, if any,
+// rides in req.OnComplete); on a full queue it retries after a backoff
+// (modelling interconnect backpressure).
+func (p *Platform) submitDRAM(req *dram.Request) {
 	p.nextReqID++
 	req.ID = p.nextReqID
-	if done != nil {
-		p.dramCallbacks[req.ID] = done
-	}
 	if err := p.mem.Submit(req); err != nil {
-		delete(p.dramCallbacks, req.ID)
-		p.Eng.After(100*sim.Nanosecond, func() { p.submitDRAM(req, done) })
+		p.Eng.After(100*sim.Nanosecond, func() { p.submitDRAM(req) })
 	}
 }

@@ -58,6 +58,10 @@ func (p *Platform) SnapshotMetrics() {
 	reg := s.Registry
 	now := p.Eng.Now()
 
+	// Live events only: Pending() also counts lazily-reclaimed canceled
+	// records, which would make the gauge drift with kernel internals.
+	reg.Gauge("sim.events_pending").Set(float64(p.Eng.PendingLive()))
+
 	for _, name := range p.order {
 		a := p.apps[name]
 		st := a.Stats()

@@ -131,6 +131,14 @@ type Controller struct {
 	writesInBatch int
 	refreshDue    sim.Time
 
+	// inService is the single request occupying the device (the busy
+	// flag serializes service), so the completion event can be a
+	// pre-bound callback instead of a fresh closure per request.
+	inService  *Request
+	scheduleFn sim.Event // c.schedule, bound once
+	completeFn sim.Event // completes inService, bound once
+	wakeFn     sim.Event // write-timeout wakeup, bound once
+
 	onComplete func(*Request)
 	stats      Stats
 	nextID     uint64
@@ -148,6 +156,18 @@ func NewController(eng *sim.Engine, cfg Config, onComplete func(*Request)) (*Con
 		banks:      make([]bank, cfg.Banks),
 		refreshDue: eng.Now() + cfg.Timing.TREFI,
 		onComplete: onComplete,
+	}
+	c.scheduleFn = c.schedule
+	c.completeFn = func() {
+		r := c.inService
+		c.inService = nil
+		c.complete(r)
+	}
+	c.wakeFn = func() {
+		if !c.busy {
+			c.busy = true
+			c.schedule()
+		}
 	}
 	for i := range c.banks {
 		c.banks[i].openRow = -1
@@ -215,7 +235,7 @@ func (c *Controller) kick() {
 		return
 	}
 	c.busy = true
-	c.eng.At(c.eng.Now(), c.schedule)
+	c.eng.At(c.eng.Now(), c.scheduleFn)
 }
 
 // schedule issues the next command. It runs whenever the device
@@ -251,12 +271,7 @@ func (c *Controller) schedule() {
 			if wake < now {
 				wake = now
 			}
-			c.eng.At(wake, func() {
-				if !c.busy {
-					c.busy = true
-					c.schedule()
-				}
-			})
+			c.eng.At(wake, c.wakeFn)
 		}
 		return
 	}
@@ -266,7 +281,8 @@ func (c *Controller) schedule() {
 		c.traceService(req, svc)
 	}
 	c.applyBankState(req)
-	c.eng.After(svc, func() { c.complete(req) })
+	c.inService = req
+	c.eng.After(svc, c.completeFn)
 }
 
 // startRefresh issues a refresh: all banks precharge and the device is
@@ -288,9 +304,7 @@ func (c *Controller) startRefresh() {
 	} else {
 		c.refreshDue += c.cfg.Timing.TREFI
 	}
-	c.eng.After(c.cfg.Timing.TRFC, func() {
-		c.schedule()
-	})
+	c.eng.After(c.cfg.Timing.TRFC, c.scheduleFn)
 }
 
 // updateMode applies the watermark policy of Fig. 5.
@@ -440,10 +454,14 @@ func (c *Controller) applyBankState(r *Request) {
 }
 
 // complete stamps the request, notifies the client, and continues
-// scheduling.
+// scheduling. The per-request OnComplete hook fires before the
+// controller-level callback.
 func (c *Controller) complete(r *Request) {
 	r.Completion = c.eng.Now()
 	c.stats.record(r)
+	if r.OnComplete != nil {
+		r.OnComplete()
+	}
 	if c.onComplete != nil {
 		c.onComplete(r)
 	}

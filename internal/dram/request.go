@@ -38,6 +38,13 @@ type Request struct {
 	Arrival sim.Time
 	// Completion is stamped when the data burst finishes.
 	Completion sim.Time
+
+	// OnComplete, when non-nil, runs synchronously when the request
+	// completes (after Completion is stamped, before the controller's
+	// own completion callback). It lets clients attach a continuation
+	// without a side table, and — together with request reuse — keeps
+	// the submit path allocation-free.
+	OnComplete func()
 }
 
 // Latency returns the request's queueing + service delay. It is only

@@ -65,9 +65,15 @@ type entity struct {
 
 	throttled   bool
 	throttledAt sim.Time
-	drainArmed  bool
-	waiters     []waiter
-	stats       EntityStats
+	// drainArmed marks the periodic drain as running; drainEvery is
+	// its kernel handle and drainFn the once-allocated callback it
+	// fires (the replenish loop reuses one pooled event record for
+	// as long as the entity stays throttled).
+	drainArmed bool
+	drainEvery sim.Handle
+	drainFn    sim.Event
+	waiters    []waiter
+	stats      EntityStats
 }
 
 type waiter struct {
@@ -105,6 +111,7 @@ func (r *Regulator) SetBudget(name string, bytesPerPeriod int) error {
 	e := r.entities[name]
 	if e == nil {
 		e = &entity{name: name, periodIdx: r.periodOf(r.eng.Now())}
+		e.drainFn = func() { r.drain(e) }
 		r.entities[name] = e
 	}
 	e.budget = bytesPerPeriod
@@ -198,20 +205,22 @@ func (r *Regulator) Request(name string, bytes int, then func()) error {
 	return nil
 }
 
-// armDrain schedules the entity's drain at its next period boundary.
+// armDrain starts the entity's periodic drain at its next period
+// boundary. The drain is an Every event: while the entity stays over
+// budget it reschedules in place, one period at a time, on a single
+// pooled kernel record; drain cancels it once the backlog clears.
 func (r *Regulator) armDrain(e *entity) {
 	if e.drainArmed {
 		return
 	}
 	e.drainArmed = true
 	boundary := sim.Time((e.periodIdx + 1) * int64(r.cfg.Period))
-	r.eng.At(boundary, func() { r.drain(e) })
+	e.drainEvery = r.eng.EveryAt(boundary, r.cfg.Period, e.drainFn)
 }
 
 // drain resumes a throttled entity at a period boundary and serves its
 // queued requests while the fresh budget lasts.
 func (r *Regulator) drain(e *entity) {
-	e.drainArmed = false
 	now := r.eng.Now()
 	r.catchUp(e, now)
 	if e.throttled {
@@ -241,7 +250,8 @@ func (r *Regulator) drain(e *entity) {
 		}
 		if e.left < w.bytes {
 			// Still over budget: remain throttled into the next
-			// period.
+			// period. The periodic drain stays armed — the kernel
+			// reschedules it in place one period out.
 			e.throttled = true
 			e.throttledAt = now
 			e.stats.ThrottleEvents++
@@ -249,7 +259,6 @@ func (r *Regulator) drain(e *entity) {
 			if r.tel != nil {
 				r.traceThrottle(e.name, now)
 			}
-			r.armDrain(e)
 			return
 		}
 		e.waiters = e.waiters[1:]
@@ -262,4 +271,8 @@ func (r *Regulator) drain(e *entity) {
 			w.then()
 		}
 	}
+	// Backlog cleared: stop the periodic drain until the entity is
+	// throttled again.
+	e.drainArmed = false
+	e.drainEvery.Cancel()
 }

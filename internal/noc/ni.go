@@ -19,7 +19,11 @@ type NI struct {
 	shaper  *netcalc.Shaper
 	blocked bool
 
+	// queue is a head-indexed FIFO (same rationale as flitq: popping
+	// by reslicing would strand capacity and make every append
+	// reallocate on the hot path).
 	queue   []*Packet
+	qhead   int
 	credits int // free slots in the router's local input buffer
 	current *Packet
 	left    int // flits of current still to inject
@@ -28,10 +32,16 @@ type NI struct {
 	nextID    uint64
 	submitted uint64
 	injected  uint64
+
+	// pumpFn is pump bound once, so shaper re-arms schedule a pooled
+	// kernel event instead of allocating a method-value closure.
+	pumpFn sim.Event
 }
 
 func newNI(n *NoC, at Coord) *NI {
-	return &NI{noc: n, at: at, credits: n.cfg.BufferFlits}
+	ni := &NI{noc: n, at: at, credits: n.cfg.BufferFlits}
+	ni.pumpFn = ni.pump
+	return ni
 }
 
 // At returns the NI's mesh coordinate.
@@ -67,7 +77,7 @@ func (ni *NI) Blocked() bool { return ni.blocked }
 
 // QueueLen returns the number of packets waiting (excluding the one
 // partially injected).
-func (ni *NI) QueueLen() int { return len(ni.queue) }
+func (ni *NI) QueueLen() int { return len(ni.queue) - ni.qhead }
 
 // Counts returns packets submitted and fully injected so far.
 func (ni *NI) Counts() (submitted, injected uint64) {
@@ -123,10 +133,10 @@ func (ni *NI) pump() {
 			return
 		}
 		if ni.current == nil {
-			if len(ni.queue) == 0 {
+			if len(ni.queue) == ni.qhead {
 				return
 			}
-			head := ni.queue[0]
+			head := ni.queue[ni.qhead]
 			now := ni.noc.eng.Now()
 			if ni.shaper != nil {
 				if !ni.shaper.Take(now, float64(head.Bytes)) {
@@ -134,11 +144,20 @@ func (ni *NI) pump() {
 					if at == sim.Forever {
 						return // oversized for the bucket: stuck until re-rated
 					}
-					ni.noc.eng.At(at, ni.pump)
+					ni.noc.eng.At(at, ni.pumpFn)
 					return
 				}
 			}
-			ni.queue = ni.queue[1:]
+			ni.queue[ni.qhead] = nil
+			ni.qhead++
+			if ni.qhead == len(ni.queue) {
+				ni.queue = ni.queue[:0]
+				ni.qhead = 0
+			} else if ni.qhead > 32 && ni.qhead*2 >= len(ni.queue) {
+				n := copy(ni.queue, ni.queue[ni.qhead:])
+				ni.queue = ni.queue[:n]
+				ni.qhead = 0
+			}
 			ni.current = head
 			ni.left = ni.noc.FlitsFor(head.Bytes)
 			head.Injected = now
@@ -156,7 +175,7 @@ func (ni *NI) pump() {
 		ni.credits--
 		ni.left--
 		r := ni.noc.router(ni.at)
-		r.in[Local] = append(r.in[Local], f)
+		r.in[Local].push(f)
 		r.kick()
 		if ni.left == 0 {
 			ni.injected++

@@ -8,7 +8,7 @@ type router struct {
 	at  Coord
 
 	// in[p] is the input FIFO fed by the neighbor (or NI) on port p.
-	in [numPorts][]flit
+	in [numPorts]flitq
 	// out[p] is the state of output port p.
 	out [numPorts]outPort
 	// credits[p] counts free downstream buffer slots through output p.
@@ -24,11 +24,19 @@ type outPort struct {
 	input  Port
 	// rr is the round-robin pointer for the next head-flit grant.
 	rr Port
+	// inflight is the flit currently traversing the port (valid while
+	// busy); done is the port's traversal-complete callback, bound
+	// once at construction so the hot path schedules it without
+	// allocating a closure per flit.
+	inflight flit
+	done     func()
 }
 
 func newRouter(n *NoC, at Coord) *router {
 	r := &router{noc: n, at: at}
 	for p := Port(0); p < numPorts; p++ {
+		p := p
+		r.out[p].done = func() { r.finishFlit(p) }
 		if p == Local {
 			// Ejection consumes flits immediately; effectively infinite.
 			r.credits[p] = 1 << 30
@@ -59,7 +67,7 @@ func (r *router) tryOutput(p Port) {
 	if o.locked {
 		// Wormhole: only the locked input may proceed, and only with
 		// the locked packet's next flit at its head.
-		if len(r.in[o.input]) > 0 {
+		if r.in[o.input].len() > 0 {
 			inPort = o.input
 		}
 	} else {
@@ -67,11 +75,11 @@ func (r *router) tryOutput(p Port) {
 		// routed to this output.
 		for i := 0; i < int(numPorts); i++ {
 			cand := Port((int(o.rr) + i) % int(numPorts))
-			q := r.in[cand]
-			if len(q) == 0 || !q[0].head {
+			q := &r.in[cand]
+			if q.len() == 0 || !q.peek().head {
 				continue
 			}
-			if routeXY(r.at, q[0].pkt.Dst) != p {
+			if routeXY(r.at, q.peek().pkt.Dst) != p {
 				continue
 			}
 			inPort = cand
@@ -87,8 +95,7 @@ func (r *router) tryOutput(p Port) {
 		return
 	}
 
-	f := r.in[inPort][0]
-	r.in[inPort] = r.in[inPort][1:]
+	f := r.in[inPort].pop()
 	r.credits[p]--
 	if f.head {
 		o.locked, o.input = true, inPort
@@ -106,17 +113,27 @@ func (r *router) tryOutput(p Port) {
 	if ts := r.noc.tel; ts != nil {
 		ts.cFlitHops.Inc()
 	}
-	r.noc.eng.After(r.noc.cfg.FlitTime, func() {
-		o.busy = false
-		if p == Local {
-			r.eject(f)
-		} else {
-			next := r.noc.router(neighbor(r.at, p))
-			next.in[opposite(p)] = append(next.in[opposite(p)], f)
-			next.kick()
-		}
-		r.kick()
-	})
+	o.inflight = f
+	r.noc.eng.After(r.noc.cfg.FlitTime, o.done)
+}
+
+// finishFlit completes one flit's traversal of output port p: hand it
+// to the neighbor (or eject at Local) and re-arbitrate. The busy flag
+// guarantees at most one flit per port is in flight, so the single
+// inflight slot cannot be overwritten.
+func (r *router) finishFlit(p Port) {
+	o := &r.out[p]
+	f := o.inflight
+	o.inflight = flit{}
+	o.busy = false
+	if p == Local {
+		r.eject(f)
+	} else {
+		next := r.noc.router(neighbor(r.at, p))
+		next.in[opposite(p)].push(f)
+		next.kick()
+	}
+	r.kick()
 }
 
 // returnCredit tells whoever feeds input port p that a buffer slot

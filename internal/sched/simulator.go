@@ -177,7 +177,31 @@ func (s *Simulator) Run(horizon sim.Duration) map[string]TaskStats {
 // CoreBusy returns the accumulated busy time of a core.
 func (s *Simulator) CoreBusy(core int) sim.Duration { return s.busy[core] }
 
+// scheduleRelease schedules one job release for t at (or jittered
+// after) at, and starts the task's periodic release tick: an Every
+// event that reuses a single kernel record for the whole run instead
+// of chaining a fresh self-rescheduling closure every period. The
+// tick cancels itself at the horizon.
 func (s *Simulator) scheduleRelease(t *Task, at sim.Time) {
+	if at >= s.horizon {
+		return
+	}
+	s.releaseJob(t, at)
+	// The tick lives outside s.events: that list holds scheduling
+	// *decision* events that reschedule() cancels wholesale, while the
+	// release tick must survive every rescheduling pass.
+	var tick sim.Handle
+	tick = s.eng.EveryAt(at+t.Period, t.Period, func() {
+		if s.eng.Now() >= s.horizon {
+			tick.Cancel()
+			return
+		}
+		s.releaseJob(t, s.eng.Now())
+	})
+}
+
+// releaseJob schedules a single (possibly jittered) job release.
+func (s *Simulator) releaseJob(t *Task, at sim.Time) {
 	if at >= s.horizon {
 		return
 	}
@@ -204,7 +228,6 @@ func (s *Simulator) scheduleRelease(t *Task, at sim.Time) {
 		})
 		s.reschedule()
 	})
-	s.eng.At(at+t.Period, func() { s.scheduleRelease(t, s.eng.Now()) })
 }
 
 func (s *Simulator) scheduleReplenish(name string, at sim.Time) {

@@ -1,43 +1,42 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Event is a callback scheduled to run at a point in virtual time.
 type Event func()
 
-// scheduled is one entry in the event queue. seq breaks ties between
-// events scheduled for the same instant: earlier-scheduled events run
-// first, making the kernel fully deterministic.
-type scheduled struct {
-	at  Time
-	seq uint64
+// The kernel hot path is allocation-free in steady state. Event state
+// lives in a slab of records recycled through a free list; the ready
+// queue is a hand-specialized binary heap over small value entries
+// (timestamp, sequence, slot) so scheduling never boxes through an
+// interface or chases a pointer to compare keys. A generation counter
+// per slot keeps Handles safe across recycling: canceling a handle
+// whose record has been reused is a no-op.
+//
+// entry is one ready-queue element. seq breaks ties between events
+// scheduled for the same instant: earlier-scheduled events run first,
+// making the kernel fully deterministic. (at, seq) is a unique total
+// order, so any valid heap pops events in exactly the same order —
+// the layout of the heap itself never leaks into simulation results.
+type entry struct {
+	at   Time
+	seq  uint64
+	slot int32
+	gen  uint32
+}
+
+// record is the pooled per-event state referenced by heap entries and
+// Handles through its slot index.
+type record struct {
 	fn  Event
-	// canceled events stay in the heap but are skipped when popped;
-	// this keeps cancellation O(1).
+	gen uint32
+	// canceled events stay in the heap but are skipped when popped
+	// (and reclaimed in bulk by compact once they pile up); this
+	// keeps cancellation O(1).
 	canceled bool
-}
-
-type eventHeap []*scheduled
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*scheduled)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return x
+	// period > 0 marks an Every event: after firing it is rescheduled
+	// in place, reusing this record for the activity's lifetime.
+	period Duration
 }
 
 // Observer receives kernel dispatch callbacks. Observers must not
@@ -52,22 +51,50 @@ type Observer interface {
 	AfterEvent(at Time)
 }
 
-// Handle identifies a scheduled event so it can be canceled.
-type Handle struct{ ev *scheduled }
+// Handle identifies a scheduled event so it can be canceled. The zero
+// Handle is valid and cancels nothing.
+type Handle struct {
+	e    *Engine
+	slot int32
+	gen  uint32
+}
 
-// Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled event is a no-op.
+// Cancel prevents the event from firing; for an Every event it stops
+// the activity. Canceling an already-fired, already-canceled, or zero
+// handle is a no-op — generation counters make Cancel on a handle
+// whose pooled record has been recycled safe.
 func (h Handle) Cancel() {
-	if h.ev != nil {
-		h.ev.canceled = true
+	e := h.e
+	if e == nil {
+		return
+	}
+	r := &e.pool[h.slot]
+	if r.gen != h.gen || r.canceled {
+		return
+	}
+	r.canceled = true
+	// An in-flight Every record (canceled from inside its own
+	// callback) has no heap entry to reclaim; Step releases it.
+	if h.slot+1 != e.firing {
+		e.ncanceled++
+		e.maybeCompact()
 	}
 }
 
 // Engine is a single-threaded discrete-event simulation kernel.
 // The zero value is ready to use.
 type Engine struct {
-	now    Time
-	queue  eventHeap
+	now   Time
+	queue []entry
+	pool  []record
+	free  []int32
+	// ncanceled counts canceled records whose heap entry has not been
+	// reclaimed yet.
+	ncanceled int
+	// firing is 1+slot of the Every record currently dispatching
+	// (0 when none); its heap entry is popped, so Cancel must not
+	// count it toward ncanceled.
+	firing int32
 	seq    uint64
 	fired  uint64
 	halted bool
@@ -87,9 +114,41 @@ func (e *Engine) SetObserver(o Observer) { e.obs = o }
 // Fired reports how many events have executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending reports how many events are queued (including canceled ones
-// not yet discarded).
+// Pending reports how many events are queued, including canceled ones
+// not yet discarded — it measures queue occupancy, not future work.
+// Use PendingLive for the number of events that will actually fire.
 func (e *Engine) Pending() int { return len(e.queue) }
+
+// PendingLive reports how many live (non-canceled) events are queued.
+// Unlike Pending it does not drift upward while canceled events await
+// lazy reclamation, so it is the right input for telemetry gauges.
+func (e *Engine) PendingLive() int { return len(e.queue) - e.ncanceled }
+
+// alloc takes a record from the free list (or grows the slab) and
+// initializes it.
+func (e *Engine) alloc(fn Event, period Duration) (int32, uint32) {
+	if n := len(e.free); n > 0 {
+		slot := e.free[n-1]
+		e.free = e.free[:n-1]
+		r := &e.pool[slot]
+		r.fn = fn
+		r.period = period
+		r.canceled = false
+		return slot, r.gen
+	}
+	e.pool = append(e.pool, record{fn: fn, period: period})
+	return int32(len(e.pool) - 1), 0
+}
+
+// release recycles a record. Bumping the generation invalidates every
+// outstanding Handle to the slot before it is reused.
+func (e *Engine) release(slot int32) {
+	r := &e.pool[slot]
+	r.fn = nil
+	r.canceled = false
+	r.gen++
+	e.free = append(e.free, slot)
+}
 
 // At schedules fn to run at the absolute virtual time t.
 // Scheduling in the past panics: it would silently reorder causality.
@@ -97,10 +156,10 @@ func (e *Engine) At(t Time, fn Event) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &scheduled{at: t, seq: e.seq, fn: fn}
+	slot, gen := e.alloc(fn, 0)
+	e.push(t, e.seq, slot, gen)
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return Handle{ev}
+	return Handle{e, slot, gen}
 }
 
 // After schedules fn to run d after the current time.
@@ -109,6 +168,31 @@ func (e *Engine) After(d Duration, fn Event) Handle {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return e.At(e.now+d, fn)
+}
+
+// Every schedules fn to run every period, first at now+period. The
+// activity uses one pooled record for its whole lifetime: after each
+// firing the kernel reschedules it in place (with a fresh sequence
+// number, so ties against events scheduled meanwhile keep FIFO order)
+// instead of allocating a new event. Cancel on the returned Handle —
+// including from inside fn — stops the activity.
+func (e *Engine) Every(period Duration, fn Event) Handle {
+	return e.EveryAt(e.now+period, period, fn)
+}
+
+// EveryAt is Every with an explicit first firing time, for activities
+// aligned to an absolute grid (e.g. regulation-period boundaries).
+func (e *Engine) EveryAt(first Time, period Duration, fn Event) Handle {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: Every needs a positive period, got %v", period))
+	}
+	if first < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", first, e.now))
+	}
+	slot, gen := e.alloc(fn, period)
+	e.push(first, e.seq, slot, gen)
+	e.seq++
+	return Handle{e, slot, gen}
 }
 
 // Halt stops the current Run/RunUntil after the executing event
@@ -130,18 +214,46 @@ func (e *Engine) Halted() bool { return e.halted }
 // time to its timestamp. It reports whether an event was executed.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*scheduled)
-		if ev.canceled {
+		ent := e.pop()
+		rec := &e.pool[ent.slot]
+		if rec.canceled {
+			e.ncanceled--
+			e.release(ent.slot)
 			continue
 		}
-		e.now = ev.at
+		e.now = ent.at
 		e.fired++
-		if e.obs != nil {
-			e.obs.BeforeEvent(ev.at)
+		fn := rec.fn
+		if rec.period == 0 {
+			// One-shot: recycle before dispatch so events scheduled
+			// by fn can reuse the slot and Cancel-after-fire is a
+			// generation-checked no-op.
+			e.release(ent.slot)
+			if e.obs != nil {
+				e.obs.BeforeEvent(ent.at)
+			}
+			fn()
+			if e.obs != nil {
+				e.obs.AfterEvent(ent.at)
+			}
+			return true
 		}
-		ev.fn()
+		e.firing = ent.slot + 1
 		if e.obs != nil {
-			e.obs.AfterEvent(ev.at)
+			e.obs.BeforeEvent(ent.at)
+		}
+		fn()
+		if e.obs != nil {
+			e.obs.AfterEvent(ent.at)
+		}
+		e.firing = 0
+		// fn may have grown the pool; re-take the pointer.
+		rec = &e.pool[ent.slot]
+		if rec.canceled {
+			e.release(ent.slot)
+		} else {
+			e.push(ent.at+rec.period, e.seq, ent.slot, ent.gen)
+			e.seq++
 		}
 		return true
 	}
@@ -179,11 +291,14 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 }
 
-// peek reports the timestamp of the earliest live event.
+// peek reports the timestamp of the earliest live event, discarding
+// canceled queue heads along the way.
 func (e *Engine) peek() (Time, bool) {
 	for len(e.queue) > 0 {
-		if e.queue[0].canceled {
-			heap.Pop(&e.queue)
+		if e.pool[e.queue[0].slot].canceled {
+			ent := e.pop()
+			e.ncanceled--
+			e.release(ent.slot)
 			continue
 		}
 		return e.queue[0].at, true
@@ -198,4 +313,87 @@ func (e *Engine) NextEventAt() Time {
 		return t
 	}
 	return Forever
+}
+
+// compactMin is the minimum number of canceled entries before compact
+// runs; below it the queue is small enough that lazy pop-side
+// discarding is cheaper than a sweep.
+const compactMin = 64
+
+// maybeCompact reclaims canceled entries in bulk once they make up
+// more than half the queue, instead of carrying them to Pop. The
+// rebuilt heap pops in the same (at, seq) order, so compaction is
+// invisible to simulation results.
+func (e *Engine) maybeCompact() {
+	if e.ncanceled < compactMin || e.ncanceled*2 <= len(e.queue) {
+		return
+	}
+	kept := e.queue[:0]
+	for _, ent := range e.queue {
+		if e.pool[ent.slot].canceled {
+			e.release(ent.slot)
+			continue
+		}
+		kept = append(kept, ent)
+	}
+	e.queue = kept
+	e.ncanceled = 0
+	for i := len(kept)/2 - 1; i >= 0; i-- {
+		e.siftDown(i)
+	}
+}
+
+// push inserts an entry, sifting the hole up from the tail.
+func (e *Engine) push(at Time, seq uint64, slot int32, gen uint32) {
+	q := append(e.queue, entry{})
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if q[p].at < at || (q[p].at == at && q[p].seq < seq) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = entry{at: at, seq: seq, slot: slot, gen: gen}
+	e.queue = q
+}
+
+// pop removes and returns the minimum entry.
+func (e *Engine) pop() entry {
+	q := e.queue
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = entry{}
+	e.queue = q[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	return top
+}
+
+// siftDown restores the heap property below index i. It sifts a hole
+// down (one write per level instead of a swap), comparing (at, seq)
+// inline on a local slice — this loop is the kernel's hottest code.
+func (e *Engine) siftDown(i int) {
+	q := e.queue
+	n := len(q)
+	x := q[i]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && (q[r].at < q[l].at || (q[r].at == q[l].at && q[r].seq < q[l].seq)) {
+			c = r
+		}
+		if !(q[c].at < x.at || (q[c].at == x.at && q[c].seq < x.seq)) {
+			break
+		}
+		q[i] = q[c]
+		i = c
+	}
+	q[i] = x
 }

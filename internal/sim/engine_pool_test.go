@@ -1,0 +1,325 @@
+package sim
+
+import "testing"
+
+// Tests for the pooled-record kernel: handle safety across recycling,
+// Every semantics, lazy cancellation accounting, and compaction
+// invisibility.
+
+func TestCancelAfterFireIsNoOp(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	h := e.At(10, func() { ran++ })
+	e.Run()
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+	// The record was recycled when the event fired; Cancel must be a
+	// generation-checked no-op even if the slot has been reused.
+	h2 := e.At(20, func() { ran++ })
+	h.Cancel()
+	e.Run()
+	if ran != 2 {
+		t.Fatalf("Cancel-after-fire killed an unrelated event; ran = %d, want 2", ran)
+	}
+	_ = h2
+}
+
+func TestCancelOnRecycledSlotIsNoOp(t *testing.T) {
+	// Drive slot reuse hard: a canceled stale handle must never touch
+	// the live event that now occupies its slot.
+	e := NewEngine()
+	var stale []Handle
+	for i := 0; i < 100; i++ {
+		h := e.At(Time(i), func() {})
+		stale = append(stale, h)
+	}
+	e.Run()
+	live := 0
+	var fresh []Handle
+	for i := 0; i < 100; i++ {
+		fresh = append(fresh, e.At(Time(1000+i), func() { live++ }))
+	}
+	for _, h := range stale {
+		h.Cancel()
+	}
+	e.Run()
+	if live != 100 {
+		t.Fatalf("stale cancels killed %d live events", 100-live)
+	}
+	// And canceling the fresh (already fired) ones is equally inert.
+	for _, h := range fresh {
+		h.Cancel()
+	}
+	if e.PendingLive() != 0 || e.Pending() != 0 {
+		t.Fatalf("queue not empty: pending=%d live=%d", e.Pending(), e.PendingLive())
+	}
+}
+
+func TestZeroHandleCancel(t *testing.T) {
+	var h Handle
+	h.Cancel() // must not panic
+}
+
+func TestEveryFiresOnPeriodGrid(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	var h Handle
+	h = e.Every(10, func() {
+		ticks = append(ticks, e.Now())
+		if len(ticks) == 5 {
+			h.Cancel() // cancel from inside the callback
+		}
+	})
+	e.Run()
+	want := []Time{10, 20, 30, 40, 50}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("canceled Every left %d queued entries", e.Pending())
+	}
+}
+
+func TestEveryAtAlignsToAbsoluteGrid(t *testing.T) {
+	e := NewEngine()
+	e.At(3, func() {}) // move now off the grid first
+	var ticks []Time
+	var h Handle
+	h = e.EveryAt(100, 50, func() {
+		ticks = append(ticks, e.Now())
+		if e.Now() >= 200 {
+			h.Cancel()
+		}
+	})
+	e.Run()
+	want := []Time{100, 150, 200}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestEveryCancelFromOutside(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	h := e.Every(10, func() { ticks++ })
+	e.At(35, func() { h.Cancel() })
+	e.Run()
+	if ticks != 3 {
+		t.Fatalf("ticks = %d, want 3 (at 10, 20, 30)", ticks)
+	}
+}
+
+func TestEveryTieBreakIsFIFOAgainstOneShots(t *testing.T) {
+	// A periodic event re-armed at time T must order FIFO against
+	// one-shots scheduled for T: whichever was scheduled first (by
+	// sequence number) fires first.
+	e := NewEngine()
+	var order []string
+	var h Handle
+	h = e.Every(10, func() {
+		order = append(order, "tick")
+		if e.Now() >= 30 {
+			h.Cancel()
+			return
+		}
+		// The kernel re-arms the periodic record only after this
+		// callback returns, so this one-shot at the next tick's instant
+		// holds the earlier sequence number and must fire first.
+		e.At(e.Now()+10, func() { order = append(order, "shot") })
+	})
+	e.Run()
+	want := []string{"tick", "shot", "tick", "shot", "tick"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEveryPanicsOnBadArgs(t *testing.T) {
+	e := NewEngine()
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero period", func() { e.Every(0, func() {}) })
+	mustPanic("negative period", func() { e.Every(-5, func() {}) })
+	e.At(10, func() {})
+	e.Run()
+	mustPanic("first in the past", func() { e.EveryAt(5, 10, func() {}) })
+}
+
+func TestPendingCountsCanceledPendingLiveDoesNot(t *testing.T) {
+	e := NewEngine()
+	var hs []Handle
+	for i := 0; i < 10; i++ {
+		hs = append(hs, e.At(Time(100+i), func() {}))
+	}
+	for _, h := range hs[:4] {
+		h.Cancel()
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10 (canceled entries await lazy reclamation)", e.Pending())
+	}
+	if e.PendingLive() != 6 {
+		t.Fatalf("PendingLive = %d, want 6", e.PendingLive())
+	}
+	e.Run()
+	if e.Pending() != 0 || e.PendingLive() != 0 {
+		t.Fatalf("after Run: pending=%d live=%d, want 0/0", e.Pending(), e.PendingLive())
+	}
+}
+
+func TestPeekSkipsCanceledHead(t *testing.T) {
+	e := NewEngine()
+	h1 := e.At(10, func() {})
+	e.At(20, func() {})
+	h1.Cancel()
+	if got := e.NextEventAt(); got != 20 {
+		t.Fatalf("NextEventAt = %v, want 20 (canceled head skipped)", got)
+	}
+	// The canceled head was reclaimed by peek.
+	if e.Pending() != 1 || e.PendingLive() != 1 {
+		t.Fatalf("pending=%d live=%d, want 1/1", e.Pending(), e.PendingLive())
+	}
+}
+
+func TestRunUntilIgnoresCanceledEventsPastDeadline(t *testing.T) {
+	// RunUntil's peek loop must not execute (or trip over) canceled
+	// entries between now and the deadline.
+	e := NewEngine()
+	ran := 0
+	var hs []Handle
+	for i := 0; i < 5; i++ {
+		hs = append(hs, e.At(Time(10+i), func() { ran++ }))
+	}
+	e.At(30, func() { ran++ })
+	for _, h := range hs {
+		h.Cancel()
+	}
+	e.RunUntil(25)
+	if ran != 0 {
+		t.Fatalf("ran = %d, want 0", ran)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now = %v, want 25", e.Now())
+	}
+	e.RunUntil(40)
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+}
+
+// runOrder schedules a deterministic mixed workload, canceling a large
+// batch of events (optionally padded so compaction triggers), and
+// returns the observed dispatch order.
+func runOrder(t *testing.T, pad int) []int {
+	t.Helper()
+	e := NewEngine()
+	var order []int
+	// A spread of live events, several sharing timestamps.
+	for i := 0; i < 200; i++ {
+		i := i
+		e.At(Time(1000+i%17), func() { order = append(order, i) })
+	}
+	// A batch of doomed events; pad controls how many, and therefore
+	// whether maybeCompact's threshold trips before the run.
+	var doomed []Handle
+	for i := 0; i < pad; i++ {
+		doomed = append(doomed, e.At(Time(5000+i), func() { order = append(order, -1) }))
+	}
+	for _, h := range doomed {
+		h.Cancel()
+	}
+	e.Run()
+	return order
+}
+
+func TestTieBreakOrderSurvivesCompaction(t *testing.T) {
+	// Dispatch order must be identical whether or not compaction ran:
+	// (at, seq) is a unique total order, so the heap layout (and its
+	// wholesale rebuild) is invisible to results.
+	base := runOrder(t, 10)       // too few cancels: no compaction
+	compacted := runOrder(t, 500) // enough cancels: compaction triggers
+	if len(base) != len(compacted) {
+		t.Fatalf("lengths differ: %d vs %d", len(base), len(compacted))
+	}
+	for i := range base {
+		if base[i] != compacted[i] {
+			t.Fatalf("order diverged at %d: %d vs %d", i, base[i], compacted[i])
+		}
+	}
+	for _, v := range base {
+		if v == -1 {
+			t.Fatal("a canceled event ran")
+		}
+	}
+}
+
+func TestCompactionReclaimsQueueAndPool(t *testing.T) {
+	e := NewEngine()
+	var hs []Handle
+	for i := 0; i < 1000; i++ {
+		hs = append(hs, e.At(Time(10+i), func() {}))
+	}
+	e.At(5000, func() {})
+	for _, h := range hs {
+		h.Cancel()
+	}
+	// Far past the compactMin/majority thresholds: compaction must have
+	// swept the bulk of the canceled entries. (It stops once fewer than
+	// compactMin remain, so the queue need not reach exactly 1.)
+	if e.Pending() > 2*compactMin {
+		t.Fatalf("Pending = %d after mass cancel, want <= %d (compaction should have swept)", e.Pending(), 2*compactMin)
+	}
+	if e.PendingLive() != 1 {
+		t.Fatalf("PendingLive = %d, want 1", e.PendingLive())
+	}
+	ran := 0
+	// Recycled slots must be reusable immediately.
+	for i := 0; i < 500; i++ {
+		e.At(Time(100+i), func() { ran++ })
+	}
+	e.Run()
+	if ran != 500 {
+		t.Fatalf("ran = %d, want 500", ran)
+	}
+}
+
+func TestHandleReuseAcrossManyGenerations(t *testing.T) {
+	// Schedule-and-fire through the same slots repeatedly; generation
+	// counters must keep every stale handle inert.
+	e := NewEngine()
+	var all []Handle
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 4; i++ {
+			all = append(all, e.After(1, func() {}))
+		}
+		e.Run()
+		for _, h := range all {
+			h.Cancel()
+		}
+	}
+	fired := e.Fired()
+	if fired != 200 {
+		t.Fatalf("Fired = %d, want 200", fired)
+	}
+}
