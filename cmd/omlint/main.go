@@ -1,0 +1,132 @@
+// Command omlint is a minimal OpenMetrics text-exposition linter: it
+// reads an exposition from stdin (or the files named as arguments)
+// and exits non-zero with a diagnostic if the syntax is malformed.
+// The CI live-endpoint smoke job pipes `curl /metrics` through it to
+// prove the exporter emits parseable OpenMetrics, with no external
+// Prometheus tooling in the container.
+//
+// Checks: every line is a well-formed comment (# TYPE/# HELP/# UNIT),
+// the # EOF terminator, or a sample line `name{labels} value [ts]`
+// with a legal metric name and a parseable value; TYPE declarations
+// precede their samples and are not duplicated; the exposition is
+// terminated by exactly one # EOF with nothing after it.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var (
+	nameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)(\s+\S+)?$`)
+)
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true,
+	"untyped": true, "info": true, "stateset": true, "gaugehistogram": true, "unknown": true,
+}
+
+// lint validates one exposition; returns the diagnostics found.
+func lint(src string, r io.Reader) []string {
+	var errs []string
+	fail := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Sprintf("%s:%d: %s", src, line, fmt.Sprintf(format, args...)))
+	}
+	types := make(map[string]string)
+	sawEOF := false
+	n := 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if sawEOF {
+			fail(n, "content after # EOF terminator")
+			sawEOF = false // report once
+		}
+		switch {
+		case line == "# EOF":
+			sawEOF = true
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				fail(n, "malformed TYPE comment %q", line)
+				continue
+			}
+			name, typ := fields[2], fields[3]
+			if !nameRe.MatchString(name) {
+				fail(n, "illegal metric family name %q", name)
+			}
+			if !validTypes[typ] {
+				fail(n, "unknown metric type %q", typ)
+			}
+			if _, dup := types[name]; dup {
+				fail(n, "duplicate TYPE for family %q", name)
+			}
+			types[name] = typ
+		case strings.HasPrefix(line, "# HELP "), strings.HasPrefix(line, "# UNIT "):
+			// Free-form; accepted.
+		case strings.HasPrefix(line, "#"):
+			fail(n, "unknown comment %q (want TYPE/HELP/UNIT/EOF)", line)
+		case strings.TrimSpace(line) == "":
+			fail(n, "blank line not allowed in exposition")
+		default:
+			m := sampleRe.FindStringSubmatch(line)
+			if m == nil {
+				fail(n, "malformed sample line %q", line)
+				continue
+			}
+			if v := m[3]; !parseableValue(v) {
+				fail(n, "unparseable sample value %q", v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail(n, "read: %v", err)
+	}
+	if !sawEOF && len(errs) == 0 {
+		fail(n, "missing # EOF terminator")
+	}
+	return errs
+}
+
+// parseableValue accepts OpenMetrics sample values: floats plus the
+// spec's special forms.
+func parseableValue(s string) bool {
+	switch s {
+	case "+Inf", "-Inf", "NaN":
+		return true
+	}
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}
+
+func main() {
+	var errs []string
+	if args := os.Args[1:]; len(args) > 0 {
+		for _, path := range args {
+			f, err := os.Open(path)
+			if err != nil {
+				errs = append(errs, err.Error())
+				continue
+			}
+			errs = append(errs, lint(path, f)...)
+			f.Close()
+		}
+	} else {
+		errs = lint("stdin", os.Stdin)
+	}
+	for _, e := range errs {
+		fmt.Fprintf(os.Stderr, "omlint: %s\n", e)
+	}
+	if len(errs) > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("omlint: OK")
+}

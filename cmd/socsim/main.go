@@ -27,18 +27,32 @@
 //
 // -cpuprofile and -memprofile record pprof profiles of the simulation
 // process (inspect with go tool pprof); see docs/PERFORMANCE.md.
+//
+// -audit arms the runtime predictability auditor: each app's analytic
+// NC delay bound is captured at registration and every completed
+// transaction is checked against it online, with violations streamed
+// to stderr as they happen and summarized after the run. -listen
+// starts the live export endpoint (/metrics in OpenMetrics text,
+// /healthz, /progress, /debug/pprof/*) for scraping the run in
+// flight; -linger keeps it serving after the run until SIGINT, so
+// external scrapers (or the CI smoke job) can probe a finished run.
+// See docs/OBSERVABILITY.md ("Runtime auditing").
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -86,11 +100,20 @@ func main() {
 	useMPAM := flag.Bool("mpam", false, "regulate the memory channel with MPAM min/max bandwidth")
 	all := flag.Bool("all", false, "run the full scenario matrix")
 	workers := flag.Int("workers", 0, "parallel workers for -all (0 = GOMAXPROCS)")
-	metricsPath := flag.String("metrics", "", "write telemetry metrics JSON to this file (\"-\" for stdout)")
+	metricsPath := flag.String("metrics", "", "write telemetry metrics to this file (\"-\" for stdout)")
+	metricsFormat := flag.String("metrics-format", "json", "encoding for -metrics: json or openmetrics")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (\"-\" for stdout)")
+	auditOn := flag.Bool("audit", false, "arm the runtime predictability auditor (online NC bound conformance + contention attribution)")
+	listen := flag.String("listen", "", "serve live OpenMetrics /metrics, /healthz, /progress and pprof on this address (e.g. :9091; off by default)")
+	linger := flag.Bool("linger", false, "with -listen, keep serving after the run until SIGINT/SIGTERM")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	format, err := telemetry.ParseMetricsFormat(*metricsFormat)
+	if err != nil {
+		fatal(err)
+	}
 
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -98,8 +121,8 @@ func main() {
 	}
 	defer stopProfiles()
 
-	if *all && (*metricsPath != "" || *tracePath != "") {
-		fatal(fmt.Errorf("-metrics/-trace apply to a single scenario; drop -all"))
+	if *all && (*metricsPath != "" || *tracePath != "" || *auditOn || *listen != "") {
+		fatal(fmt.Errorf("-metrics/-trace/-audit/-listen apply to a single scenario; drop -all (cmd/sweep has the matrix equivalents)"))
 	}
 
 	horizon := sim.Duration(*msec) * sim.Millisecond
@@ -122,18 +145,51 @@ func main() {
 	spec := core.RunSpec{
 		Hogs: *hogs, DSU: *useDSU, MemGuard: *useMG, Shape: *useShape, MPAM: *useMPAM,
 		HogClass: trace.Infotainment, Duration: horizon, Seed: *seed,
-		Telemetry: *metricsPath != "" || *tracePath != "",
+		Telemetry: *metricsPath != "" || *tracePath != "" || *listen != "",
 		Trace:     *tracePath != "",
 	}
 	p, crit, err := core.BuildPlatform(spec)
 	if err != nil {
 		fatal(err)
 	}
+
+	// The auditor is enabled here rather than via spec.Audit so the
+	// violation stream reaches stderr the moment each event fires.
+	var aud *audit.Auditor
+	if *auditOn {
+		const maxPrinted = 20
+		printed := 0
+		aud, err = p.EnableAudit(core.AuditOptions{OnViolation: func(v audit.Violation) {
+			if printed < maxPrinted {
+				fmt.Fprintf(os.Stderr, "socsim: %s\n", v)
+			} else if printed == maxPrinted {
+				fmt.Fprintf(os.Stderr, "socsim: further violations suppressed (summary at end)\n")
+			}
+			printed++
+		}})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	var srv *audit.Server
+	if *listen != "" {
+		srv, err = audit.NewServer(*listen)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "socsim: live endpoint on http://%s (/metrics /healthz /progress /debug/pprof)\n", srv.Addr())
+	}
+
 	p.StartApps()
-	p.RunFor(spec.Duration)
+	runScenario(p, spec.Duration, srv)
+
 	if suite := p.Telemetry(); suite != nil {
 		p.SnapshotMetrics()
-		if err := suite.DumpFiles(*metricsPath, *tracePath); err != nil {
+		if srv != nil {
+			publishLive(p, spec.Duration, srv)
+		}
+		if err := suite.DumpFilesFormat(*metricsPath, format, *tracePath); err != nil {
 			fatal(err)
 		}
 	}
@@ -145,6 +201,92 @@ func main() {
 	fmt.Printf("  p95       %.1f ns\n", st.P95ReadLatency.Nanoseconds())
 	fmt.Printf("  max       %.1f ns\n", st.MaxReadLatency.Nanoseconds())
 	fmt.Printf("  DRAM row-hit rate %.2f\n", p.Memory().Stats().RowHitRate())
+	if aud != nil {
+		printAuditSummary(aud)
+	}
+
+	if srv != nil {
+		if *linger {
+			fmt.Fprintf(os.Stderr, "socsim: run complete; serving until SIGINT\n")
+			sigc := make(chan os.Signal, 1)
+			signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+			<-sigc
+		}
+		if err := srv.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runScenario advances the platform to the horizon. Without a live
+// endpoint it is one RunFor; with one, the run is chunked so fresh
+// snapshots are published while traffic flows — the chunk boundaries
+// never reorder events, so the simulated outcome is identical either
+// way.
+func runScenario(p *core.Platform, horizon sim.Duration, srv *audit.Server) {
+	if srv == nil {
+		p.RunFor(horizon)
+		return
+	}
+	end := p.Eng.Now() + horizon
+	chunk := horizon / 64
+	if chunk <= 0 {
+		chunk = horizon
+	}
+	for p.Eng.Now() < end {
+		next := p.Eng.Now() + chunk
+		if next > end {
+			next = end
+		}
+		p.Eng.RunUntil(next)
+		publishLive(p, horizon, srv)
+	}
+}
+
+// publishLive renders the current registry into the endpoint's scrape
+// buffer and refreshes the JSON progress snapshot.
+func publishLive(p *core.Platform, horizon sim.Duration, srv *audit.Server) {
+	p.SnapshotMetrics()
+	if suite := p.Telemetry(); suite != nil && suite.Registry != nil {
+		if err := srv.PublishMetrics(suite.Registry.WriteOpenMetrics); err != nil {
+			fmt.Fprintf(os.Stderr, "socsim: publish metrics: %v\n", err)
+		}
+	}
+	prog := struct {
+		SimTimeNS  float64 `json:"sim_time_ns"`
+		HorizonNS  float64 `json:"horizon_ns"`
+		Violations uint64  `json:"violations"`
+	}{p.Eng.Now().Nanoseconds(), horizon.Nanoseconds(), 0}
+	if aud := p.Auditor(); aud != nil {
+		prog.Violations = aud.TotalViolations()
+	}
+	if err := srv.PublishProgress(prog); err != nil {
+		fmt.Fprintf(os.Stderr, "socsim: publish progress: %v\n", err)
+	}
+}
+
+// printAuditSummary reports per-app conformance and where the time
+// went, stage by stage.
+func printAuditSummary(aud *audit.Auditor) {
+	fmt.Printf("runtime audit:\n")
+	for _, s := range aud.Snapshot() {
+		fmt.Printf("  %-8s observed %d  max %.1f ns", s.App, s.Observed, s.MaxNS)
+		if s.Bound.DelayBoundNS > 0 && s.Violations == 0 {
+			fmt.Printf("  bound %.1f ns  headroom %.1f ns", s.Bound.DelayBoundNS, s.HeadroomNS)
+		}
+		if s.Violations > 0 {
+			fmt.Printf("  VIOLATIONS %d (bound %.1f ns, worst overrun %.1f ns)",
+				s.Violations, s.Bound.DelayBoundNS, -s.HeadroomNS)
+		}
+		fmt.Println()
+		for _, st := range s.Stages {
+			if st.TotalPS == 0 {
+				continue
+			}
+			fmt.Printf("    %-16s %5.1f%% of time  (max %.1f ns)\n",
+				st.Stage, 100*st.Share, st.MaxPS.Nanoseconds())
+		}
+	}
 }
 
 func fatal(err error) {

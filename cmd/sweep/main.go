@@ -13,6 +13,7 @@
 //	      [-hogs 0,6] [-workloads infotainment] [-ms 4] [-seeds 100]
 //	      [-admission-apps 8,12] [-admission-crit 2]
 //	      [-json file.json] [-csv file.csv]
+//	      [-audit] [-run-metrics-dir dir] [-listen addr]
 //	      [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // "-" writes JSON/CSV to stdout. Output is byte-identical for any
@@ -20,6 +21,16 @@
 // order, so parallelism never changes the result, only the wall
 // clock. A run that panics becomes a failure record in the aggregates
 // instead of killing the sweep.
+//
+// -audit arms the runtime predictability auditor in every contention
+// run; per-configuration violation counts land in the table, JSON,
+// and CSV. -run-metrics-dir writes each run's end-of-run metrics
+// snapshot (OpenMetrics text) into the directory, one file per run,
+// so individual sweep cells are debuggable after the fact. -listen
+// serves live progress while the sweep executes: /progress (JSON
+// done/failed/violation counts), /healthz, and /debug/pprof for
+// profiling a long sweep in flight. All three are off by default and
+// leave the aggregate bytes unchanged.
 package main
 
 import (
@@ -27,11 +38,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
 
+	"repro/internal/audit"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/telemetry"
@@ -83,6 +96,9 @@ func main() {
 	admCrit := flag.Int("admission-crit", 2, "critical apps per admission-overlay run")
 	jsonPath := flag.String("json", "", "write aggregate JSON to this file (\"-\" for stdout)")
 	csvPath := flag.String("csv", "", "write aggregate CSV to this file (\"-\" for stdout)")
+	auditOn := flag.Bool("audit", false, "arm the runtime predictability auditor in every contention run")
+	runMetricsDir := flag.String("run-metrics-dir", "", "write each run's metrics snapshot (OpenMetrics text) into this directory")
+	listen := flag.String("listen", "", "serve live /progress, /healthz and pprof on this address while the sweep runs (off by default)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
@@ -101,8 +117,30 @@ func main() {
 	if len(specs) == 0 {
 		fatal(fmt.Errorf("empty configuration matrix"))
 	}
+	if err := armSpecs(specs, *auditOn, *runMetricsDir); err != nil {
+		fatal(err)
+	}
+
+	var srv *audit.Server
+	var observe func(sweep.Result)
+	if *listen != "" {
+		var err error
+		if srv, err = audit.NewServer(*listen); err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "sweep: live endpoint on http://%s (/progress /healthz /debug/pprof)\n", srv.Addr())
+		prog := sweep.NewProgress(len(specs), func(snap sweep.ProgressSnapshot) {
+			if err := srv.PublishProgress(snap); err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: publish progress: %v\n", err)
+			}
+		})
+		srv.PublishProgress(prog.Snapshot())
+		observe = prog.Observe
+	}
+
 	fmt.Printf("sweep: %d runs (%d workers)\n", len(specs), effectiveWorkers(*workers, len(specs)))
-	results := sweep.Run(specs, *workers, nil)
+	results := sweep.RunObserved(specs, *workers, nil, observe)
 	summaries := sweep.Summarize(results)
 
 	printTable(os.Stdout, summaries)
@@ -125,6 +163,42 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sweep: %d/%d runs failed in %q: %s\n", s.Failures, s.Runs, s.Label, s.Failure)
 		}
 	}
+}
+
+// armSpecs applies the per-run observability options onto the
+// expanded specs: the auditor switch, and a unique per-run metrics
+// snapshot path under dir (created if needed). Only contention runs
+// carry a platform to instrument.
+func armSpecs(specs []sweep.Spec, auditOn bool, dir string) error {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("-run-metrics-dir: %w", err)
+		}
+	}
+	for i := range specs {
+		if specs[i].Kind != sweep.Contention {
+			continue
+		}
+		specs[i].Platform.Audit = specs[i].Platform.Audit || auditOn
+		if dir != "" {
+			name := fmt.Sprintf("run%04d_%s_seed%d.om",
+				i, sanitizeFilename(specs[i].Label), specs[i].Platform.Seed)
+			specs[i].Platform.MetricsPath = filepath.Join(dir, name)
+		}
+	}
+	return nil
+}
+
+// sanitizeFilename maps a spec label onto a safe file-name fragment.
+func sanitizeFilename(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.', r == '+', r == '=':
+			return r
+		}
+		return '_'
+	}, s)
 }
 
 // buildMatrix parses the axis flags.
@@ -221,20 +295,20 @@ func maxProcs() int {
 
 // printTable renders the aggregate table.
 func printTable(w io.Writer, summaries []sweep.ConfigSummary) {
-	fmt.Fprintf(w, "%-40s %5s %5s %10s %10s %10s %9s %7s %9s\n",
-		"configuration", "runs", "fail", "mean(ns)", "p95(ns)", "max(ns)", "slowdown", "row-hit", "reject")
+	fmt.Fprintf(w, "%-40s %5s %5s %10s %10s %10s %9s %7s %5s %9s\n",
+		"configuration", "runs", "fail", "mean(ns)", "p95(ns)", "max(ns)", "slowdown", "row-hit", "viol", "reject")
 	for _, s := range summaries {
 		if s.Kind == "admission" {
-			fmt.Fprintf(w, "%-40s %5d %5d %10s %10s %10s %9s %7s %8.1f%%\n",
-				s.Label, s.Runs, s.Failures, "-", "-", "-", "-", "-", 100*s.RejectionRate)
+			fmt.Fprintf(w, "%-40s %5d %5d %10s %10s %10s %9s %7s %5s %8.1f%%\n",
+				s.Label, s.Runs, s.Failures, "-", "-", "-", "-", "-", "-", 100*s.RejectionRate)
 			continue
 		}
 		slow := "-"
 		if s.SlowdownP95 > 0 {
 			slow = fmt.Sprintf("%.2fx", s.SlowdownP95)
 		}
-		fmt.Fprintf(w, "%-40s %5d %5d %10.1f %10.1f %10.1f %9s %7.2f %9s\n",
-			s.Label, s.Runs, s.Failures, s.MeanNS, s.P95NS, s.MaxNS, slow, s.RowHitRate, "-")
+		fmt.Fprintf(w, "%-40s %5d %5d %10.1f %10.1f %10.1f %9s %7.2f %5d %9s\n",
+			s.Label, s.Runs, s.Failures, s.MeanNS, s.P95NS, s.MaxNS, slow, s.RowHitRate, s.Violations, "-")
 	}
 }
 

@@ -1,0 +1,192 @@
+package audit
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+func mkBreakdown(stall, noc, queue, svc sim.Duration) Breakdown {
+	var b Breakdown
+	b[StageMemGuard] = stall
+	b[StageNoCRequest] = noc
+	b[StageDRAMQueue] = queue
+	b[StageDRAMService] = svc
+	return b
+}
+
+func TestBreakdownTotalPartitions(t *testing.T) {
+	b := mkBreakdown(10, 20, 30, 40)
+	if got := b.Total(); got != 100 {
+		t.Fatalf("Total = %v, want 100", got)
+	}
+}
+
+func TestStageString(t *testing.T) {
+	if StageDRAMQueue.String() != "dram_queue" {
+		t.Errorf("StageDRAMQueue = %q", StageDRAMQueue.String())
+	}
+	if s := Stage(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("out-of-range stage = %q", s)
+	}
+}
+
+func TestObserveBelowBoundNoViolation(t *testing.T) {
+	a := New(Config{})
+	aa := a.Register("crit", Bound{DelayBoundNS: 100})
+	aa.Observe(1000, mkBreakdown(0, sim.NS(40), 0, sim.NS(50)))
+	if n := a.TotalViolations(); n != 0 {
+		t.Fatalf("violations = %d, want 0", n)
+	}
+	snap := aa.Snapshot()
+	if snap.Observed != 1 || snap.MaxNS != 90 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.HeadroomNS != 10 {
+		t.Fatalf("headroom = %v, want 10", snap.HeadroomNS)
+	}
+}
+
+func TestObserveAboveBoundEmitsViolation(t *testing.T) {
+	var got []Violation
+	a := New(Config{OnViolation: func(v Violation) { got = append(got, v) }})
+	aa := a.Register("crit", Bound{DelayBoundNS: 100, BudgetBytesPerPeriod: 4096})
+
+	b := mkBreakdown(sim.NS(60), sim.NS(30), sim.NS(20), sim.NS(10))
+	aa.Observe(sim.Time(5000), b)
+
+	if len(got) != 1 {
+		t.Fatalf("callback fired %d times, want 1", len(got))
+	}
+	v := got[0]
+	if v.Seq != 1 || v.App != "crit" || v.At != 5000 {
+		t.Fatalf("violation = %+v", v)
+	}
+	if v.ObservedNS != 120 || v.BoundNS != 100 || v.HeadroomNS != -20 {
+		t.Fatalf("violation numbers = %+v", v)
+	}
+	// Attribution must sum exactly to the observation.
+	if v.Breakdown.Total() != b.Total() {
+		t.Fatalf("breakdown total %v != observed %v", v.Breakdown.Total(), b.Total())
+	}
+	if v.worstStage() != StageMemGuard {
+		t.Fatalf("worst stage = %v", v.worstStage())
+	}
+	if !strings.Contains(v.String(), "memguard_stall") {
+		t.Errorf("String() = %q, want worst stage named", v.String())
+	}
+	if vs := a.Violations(); len(vs) != 1 || vs[0].Seq != 1 {
+		t.Fatalf("retained = %+v", vs)
+	}
+}
+
+func TestUnboundedAppNeverViolates(t *testing.T) {
+	a := New(Config{})
+	for _, boundNS := range []float64{0, math.Inf(1)} {
+		aa := a.Register("hog", Bound{DelayBoundNS: boundNS})
+		aa.Observe(1, mkBreakdown(sim.Second, sim.Second, sim.Second, sim.Second))
+		if n := aa.Violations(); n != 0 {
+			t.Fatalf("bound %v: violations = %d, want 0", boundNS, n)
+		}
+	}
+	snap := a.App("hog").Snapshot()
+	if !math.IsInf(snap.HeadroomNS, 1) {
+		t.Fatalf("unbounded headroom = %v, want +Inf", snap.HeadroomNS)
+	}
+}
+
+func TestRetentionCapKeepsCounting(t *testing.T) {
+	a := New(Config{MaxViolations: 2})
+	aa := a.Register("crit", Bound{DelayBoundNS: 1})
+	for i := 0; i < 5; i++ {
+		aa.Observe(sim.Time(i), mkBreakdown(sim.NS(10), 0, 0, 0))
+	}
+	if n := a.TotalViolations(); n != 5 {
+		t.Fatalf("total = %d, want 5", n)
+	}
+	if vs := a.Violations(); len(vs) != 2 || vs[1].Seq != 2 {
+		t.Fatalf("retained = %+v", vs)
+	}
+}
+
+func TestReRegisterReplacesBoundKeepsState(t *testing.T) {
+	a := New(Config{})
+	aa := a.Register("crit", Bound{DelayBoundNS: 1})
+	aa.Observe(0, mkBreakdown(sim.NS(10), 0, 0, 0))
+	aa2 := a.Register("crit", Bound{DelayBoundNS: 1000})
+	if aa2 != aa {
+		t.Fatal("re-register returned a different handle")
+	}
+	aa.Observe(1, mkBreakdown(sim.NS(10), 0, 0, 0))
+	if n := aa.Violations(); n != 1 {
+		t.Fatalf("violations = %d, want 1 (second observe under new bound)", n)
+	}
+	if got := aa.Snapshot().Observed; got != 2 {
+		t.Fatalf("observed = %d, want 2", got)
+	}
+}
+
+func TestSnapshotSharesSumToOne(t *testing.T) {
+	a := New(Config{})
+	aa := a.Register("crit", Bound{DelayBoundNS: math.Inf(1)})
+	aa.Observe(0, mkBreakdown(sim.NS(25), sim.NS(25), sim.NS(25), sim.NS(25)))
+	aa.Observe(1, mkBreakdown(sim.NS(100), 0, 0, 0))
+	snap := aa.Snapshot()
+	var sum float64
+	for _, st := range snap.Stages {
+		sum += st.Share
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("shares sum to %v, want 1", sum)
+	}
+	if snap.Stages[StageMemGuard].MaxPS != sim.NS(100) {
+		t.Fatalf("memguard max = %v", snap.Stages[StageMemGuard].MaxPS)
+	}
+}
+
+func TestPublishMetrics(t *testing.T) {
+	a := New(Config{})
+	aa := a.Register("crit", Bound{DelayBoundNS: 100, BudgetBytesPerPeriod: 4096})
+	a.Register("hog0", Bound{})
+	aa.Observe(0, mkBreakdown(sim.NS(60), sim.NS(30), sim.NS(20), sim.NS(10)))
+
+	reg := telemetry.NewRegistry()
+	a.PublishMetrics(reg)
+
+	var sb strings.Builder
+	if err := reg.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"audit_crit_violations 1",
+		"audit_crit_bound_ns 100",
+		"audit_crit_headroom_ns -20",
+		"audit_crit_budget_bytes_per_period 4096",
+		"audit_crit_latency_ps_count 1",
+		"audit_crit_stage_memguard_stall_ps",
+		"audit_violations_total 1",
+		"audit_hog0_observed 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "audit_hog0_bound_ns") {
+		t.Error("unbounded app should not export a bound gauge")
+	}
+}
+
+func TestAppsOrder(t *testing.T) {
+	a := New(Config{})
+	a.Register("crit", Bound{})
+	a.Register("hog1", Bound{})
+	a.Register("hog0", Bound{})
+	got := a.Apps()
+	if len(got) != 3 || got[0] != "crit" || got[1] != "hog1" || got[2] != "hog0" {
+		t.Fatalf("Apps = %v, want registration order", got)
+	}
+}

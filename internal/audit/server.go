@@ -1,0 +1,146 @@
+package audit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Server is the auditor's live export endpoint: an optional net/http
+// listener serving an OpenMetrics scrape (/metrics), a liveness probe
+// (/healthz), a JSON progress snapshot (/progress), and the standard
+// pprof handlers (/debug/pprof/*) for profiling a long sweep in
+// flight.
+//
+// The simulation goroutine stays allocation-free and lock-light: it
+// renders snapshots at times of its own choosing and publishes the
+// finished bytes with PublishMetrics/PublishProgress; HTTP handlers
+// only ever copy the latest published buffer under a short mutex.
+// Scrapes therefore never touch live simulation state, and a slow or
+// hostile scraper cannot stall the simulation.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+
+	mu       sync.Mutex
+	metrics  []byte
+	progress []byte
+
+	done chan struct{}
+	err  error
+}
+
+// NewServer starts a live export endpoint on addr (e.g. ":9091" or
+// "127.0.0.1:0"). The returned server is already listening; Addr
+// reports the bound address (useful with port 0).
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("audit: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, done: make(chan struct{})}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		err := s.srv.Serve(ln)
+		if err != nil && err != http.ErrServerClosed {
+			s.mu.Lock()
+			s.err = err
+			s.mu.Unlock()
+		}
+		close(s.done)
+	}()
+	return s, nil
+}
+
+// Addr returns the listener's bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// PublishMetrics renders a scrape body via render and installs it as
+// the payload /metrics serves until the next publish. Rendering runs
+// on the caller's goroutine (normally the simulation thread between
+// run chunks), never under the handler lock.
+func (s *Server) PublishMetrics(render func(io.Writer) error) error {
+	var buf bytes.Buffer
+	if err := render(&buf); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.metrics = buf.Bytes()
+	s.mu.Unlock()
+	return nil
+}
+
+// PublishProgress JSON-encodes v and installs it as the /progress
+// payload.
+func (s *Server) PublishProgress(v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.progress = append(b, '\n')
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	body := s.metrics
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", telemetry.OpenMetricsContentType)
+	if body == nil {
+		// Nothing published yet: a valid, empty exposition.
+		io.WriteString(w, "# EOF\n")
+		return
+	}
+	w.Write(body)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	body := s.progress
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if body == nil {
+		io.WriteString(w, "{}\n")
+		return
+	}
+	w.Write(body)
+}
+
+// Close shuts the listener down and waits for the serve loop to exit.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	s.mu.Lock()
+	serveErr := s.err
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return serveErr
+}

@@ -1,0 +1,154 @@
+package audit
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+func TestServerEndpoints(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	// Before any publish: healthz up, metrics a valid empty exposition,
+	// progress an empty object.
+	if code, body, _ := get(t, base+"/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+	if code, body, ct := get(t, base+"/metrics"); code != 200 || body != "# EOF\n" || ct != telemetry.OpenMetricsContentType {
+		t.Fatalf("empty metrics = %d %q %q", code, body, ct)
+	}
+	if code, body, _ := get(t, base+"/progress"); code != 200 || body != "{}\n" {
+		t.Fatalf("empty progress = %d %q", code, body)
+	}
+
+	// Publish a real scrape body and a progress snapshot.
+	reg := telemetry.NewRegistry()
+	reg.Counter("sim.events").Add(42)
+	if err := s.PublishMetrics(reg.WriteOpenMetrics); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PublishProgress(map[string]int{"done": 3, "total": 8}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, body, _ := get(t, base+"/metrics"); !strings.Contains(body, "sim_events_total 42") || !strings.HasSuffix(body, "# EOF\n") {
+		t.Fatalf("metrics body = %q", body)
+	}
+	if _, body, ct := get(t, base+"/progress"); !strings.Contains(body, `"done": 3`) || ct != "application/json" {
+		t.Fatalf("progress = %q %q", body, ct)
+	}
+
+	// pprof index answers.
+	if code, _, _ := get(t, base+"/debug/pprof/"); code != 200 {
+		t.Fatalf("pprof index = %d", code)
+	}
+}
+
+// TestConcurrentScrapesDuringObserve is the race test the issue asks
+// for: many /metrics scrapes while the "simulation" goroutine keeps
+// observing transactions and republishing. Run under -race.
+func TestConcurrentScrapesDuringObserve(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	a := New(Config{})
+	aa := a.Register("crit", Bound{DelayBoundNS: 50})
+	reg := telemetry.NewRegistry()
+	url := "http://" + s.Addr() + "/metrics"
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// The simulation thread: observe + publish in a tight loop.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			var b Breakdown
+			b[StageMemGuard] = sim.NS(float64(i % 90))
+			b[StageDRAMService] = sim.NS(15)
+			aa.Observe(sim.Time(i), b)
+			if i%25 == 0 {
+				a.PublishMetrics(reg)
+				if err := s.PublishMetrics(reg.WriteOpenMetrics); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+		close(stop)
+	}()
+
+	// Four concurrent scrapers hammering the endpoint until the run ends.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(url)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if !strings.HasSuffix(string(body), "# EOF\n") {
+					t.Errorf("truncated scrape: %q", string(body))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if a.TotalViolations() == 0 {
+		t.Fatal("expected violations from the synthetic load")
+	}
+}
+
+func TestServerCloseIdempotentScrapeAfterCloseFails(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
+		t.Fatal("scrape after close should fail")
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/cache"
 	"repro/internal/dram"
 	"repro/internal/dsu"
@@ -65,6 +66,11 @@ type App struct {
 
 	memTap func(at sim.Time, bytes int)
 
+	// aud is the app's runtime-auditor handle (nil unless the platform
+	// has EnableAudit); completed transactions report their per-stage
+	// latency decomposition through it.
+	aud *audit.AppAuditor
+
 	// Hot-path caches: the app's NI and the memory node's NI (both
 	// fixed after AddApp), the response flow label, the step callback
 	// bound once, and the free list of recycled transactions — in
@@ -90,6 +96,12 @@ type txn struct {
 	row   int64
 	write bool
 	start sim.Time
+	// issueAt and memAt stamp the regulator grant and the request
+	// packet's arrival at the memory node; with the DRAM request's own
+	// Arrival/Service/Completion stamps they let the auditor partition
+	// the round trip into stages exactly (integer picoseconds).
+	issueAt sim.Time
+	memAt   sim.Time
 
 	req     dram.Request
 	reqPkt  noc.Packet
@@ -174,6 +186,9 @@ func (p *Platform) AddApp(cfg AppConfig) (*App, error) {
 	a.memNI, _ = p.mesh.NI(p.cfg.MemoryNode)
 	p.apps[cfg.Name] = a
 	p.order = append(p.order, cfg.Name)
+	if p.aud != nil {
+		p.registerAudit(a)
+	}
 	return a, nil
 }
 
@@ -261,6 +276,11 @@ func (a *App) step() {
 // hit completes an L3-hit access after the hit latency.
 func (t *txn) hit() {
 	a := t.a
+	if a.aud != nil {
+		var b audit.Breakdown
+		b[audit.StageL3Hit] = a.p.Eng.Now() - t.start
+		a.aud.Observe(a.p.Eng.Now(), b)
+	}
 	a.finish(t.start, t.write, false)
 	a.releaseTxn(t)
 }
@@ -268,6 +288,7 @@ func (t *txn) hit() {
 // issue sends the miss across the mesh to the memory controller.
 func (t *txn) issue() {
 	a := t.a
+	t.issueAt = a.p.Eng.Now()
 	if a.ni == nil {
 		a.releaseTxn(t)
 		return
@@ -301,6 +322,7 @@ func (t *txn) issue() {
 // controller.
 func (t *txn) atMemory() {
 	a := t.a
+	t.memAt = a.p.Eng.Now()
 	t.bwReq = mpam.BWRequest{
 		Label:  mpam.Label{PARTID: a.cfg.PARTID, PMG: a.cfg.PMG},
 		Bytes:  a.cfg.Profile.ReqBytes,
@@ -356,8 +378,30 @@ func (t *txn) sendResponse() {
 // finishRead completes the round trip when the response lands.
 func (t *txn) finishRead() {
 	a := t.a
+	if a.aud != nil {
+		a.aud.Observe(a.p.Eng.Now(), t.breakdown(a.p.Eng.Now()))
+	}
 	a.finish(t.start, false, true)
 	a.releaseTxn(t)
+}
+
+// breakdown partitions a completed read's round trip [start, now]
+// into the auditor's attribution stages. The stages are exact integer
+// picosecond spans cut at the transaction's own stamps, so they always
+// sum to the observed end-to-end latency:
+//
+//	regulator stall | NoC request | channel arbitration (MPAM wait
+//	plus full-queue backpressure retries) | DRAM bank queue | DRAM
+//	service | NoC response
+func (t *txn) breakdown(now sim.Time) audit.Breakdown {
+	var b audit.Breakdown
+	b[audit.StageMemGuard] = t.issueAt - t.start
+	b[audit.StageNoCRequest] = t.memAt - t.issueAt
+	b[audit.StageChannel] = t.req.Arrival - t.memAt
+	b[audit.StageDRAMQueue] = t.req.Completion - t.req.Arrival - t.req.Service
+	b[audit.StageDRAMService] = t.req.Service
+	b[audit.StageNoCResponse] = now - t.req.Completion
+	return b
 }
 
 // finish records one access and schedules the next step after the

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/audit"
+	"repro/internal/dram/wcd"
+	"repro/internal/netcalc"
+)
+
+// AuditOptions parameterizes EnableAudit.
+type AuditOptions struct {
+	// Bounds overrides the analytic delay bound (in ns) per app name.
+	// Apps absent from the map get the platform-derived Network
+	// Calculus bound; an explicit 0 or +Inf disables conformance
+	// checking for that app (attribution still accumulates).
+	Bounds map[string]float64
+	// OnViolation runs synchronously for every bound violation, on the
+	// simulation goroutine, the moment the violating transaction
+	// completes.
+	OnViolation func(audit.Violation)
+	// MaxViolations caps retained violation events (0 = default).
+	MaxViolations int
+}
+
+// EnableAudit arms the runtime predictability auditor: every already
+// registered app (and any registered later) is captured with its
+// analytic NC delay bound and MemGuard budget, and from then on each
+// completed transaction is decomposed into per-stage contention
+// attribution and checked against the bound online. When telemetry is
+// enabled the mesh's per-flow latency histograms are switched on so
+// scrapes carry NoC-level latency too. Call before traffic starts.
+func (p *Platform) EnableAudit(opts AuditOptions) (*audit.Auditor, error) {
+	if p.aud != nil {
+		return nil, fmt.Errorf("core: audit already enabled")
+	}
+	p.aud = audit.New(audit.Config{
+		OnViolation:   opts.OnViolation,
+		MaxViolations: opts.MaxViolations,
+	})
+	p.audBounds = opts.Bounds
+	for _, name := range p.order {
+		p.registerAudit(p.apps[name])
+	}
+	if p.tel != nil && p.tel.Registry != nil {
+		p.mesh.EnableFlowLatencyHistograms()
+	}
+	return p.aud, nil
+}
+
+// Auditor returns the platform's auditor (nil when disabled).
+func (p *Platform) Auditor() *audit.Auditor { return p.aud }
+
+// registerAudit captures one app's contract with the auditor.
+func (p *Platform) registerAudit(a *App) {
+	b := audit.Bound{}
+	if explicit, ok := p.audBounds[a.cfg.Name]; ok {
+		b.DelayBoundNS = explicit
+	} else {
+		b.DelayBoundNS = p.analyticDelayBoundNS(a)
+	}
+	if p.reg != nil {
+		if budget, ok := p.reg.Budget(a.cfg.Name); ok {
+			b.BudgetBytesPerPeriod = budget
+		}
+	}
+	a.aud = p.aud.Register(a.cfg.Name, b)
+}
+
+// analyticDelayBoundNS composes the app's Section IV-A end-to-end
+// bound from the platform's own models: a closed-loop token-bucket
+// arrival contract (one request of ReqBytes per think interval)
+// pushed through the NoC request path, the WCD-derived DRAM service
+// curve, and the NoC response path, each shared with the app's
+// co-runners. A budgeted app additionally absorbs one full MemGuard
+// period (the worst throttle stall). +Inf (an infeasible composition)
+// disables conformance checking for the app.
+func (p *Platform) analyticDelayBoundNS(a *App) float64 {
+	prof := a.cfg.Profile
+	thinkNS := prof.Think.Nanoseconds()
+	if thinkNS < 1 {
+		thinkNS = 1
+	}
+	alpha := netcalc.TokenBucket(float64(prof.ReqBytes), float64(prof.ReqBytes)/thinkNS)
+
+	contenders := len(p.apps) - 1
+	if contenders < 0 {
+		contenders = 0
+	}
+	nocThere := p.mesh.ServiceCurve(a.cfg.Node, p.cfg.MemoryNode, contenders)
+	nocBack := p.mesh.ServiceCurve(p.cfg.MemoryNode, a.cfg.Node, contenders)
+
+	dramReq, err := wcd.ServiceCurve(wcd.DefaultParams(), 32)
+	if err != nil {
+		return 0 // no analytic bound derivable; attribution-only
+	}
+	dramBytes := netcalc.Scale(dramReq, float64(prof.ReqBytes))
+
+	bound := netcalc.DelayBoundThrough(alpha, nocThere, dramBytes, nocBack)
+	if p.reg != nil {
+		if _, budgeted := p.reg.Budget(a.cfg.Name); budgeted {
+			bound += p.reg.Period().Nanoseconds()
+		}
+	}
+	return bound
+}

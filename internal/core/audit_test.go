@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestAuditHogPushesCritPastBound is the issue's acceptance scenario,
+// self-calibrated: the critical app's bound is set to its measured
+// solo worst case, so the isolated baseline fires no violation while
+// the contended run must blow past it — and every violation's
+// attribution stages must sum exactly to its observed latency.
+func TestAuditHogPushesCritPastBound(t *testing.T) {
+	solo := RunSpec{Hogs: 0, Duration: 2 * sim.Millisecond, HogClass: trace.Infotainment}
+	soloRes, err := solo.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundNS := soloRes.Crit.MaxReadLatency.Nanoseconds()
+	if boundNS <= 0 {
+		t.Fatalf("solo max latency = %v", boundNS)
+	}
+	bounds := map[string]float64{"crit": boundNS, "hog0": 0, "hog1": 0, "hog2": 0}
+
+	// Isolated baseline under the same bound: no violations.
+	solo.Audit = true
+	solo.AuditBounds = bounds
+	soloAudited, err := solo.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if soloAudited.TotalViolations != 0 {
+		t.Fatalf("solo run violated its own max: %d violations", soloAudited.TotalViolations)
+	}
+
+	// Contended, no mechanism armed: the hogs push crit past the
+	// bound. Built directly so OnViolation can be hooked.
+	dur := 2 * sim.Millisecond
+	p2, crit2, err := BuildPlatform(RunSpec{
+		Hogs: 3, Duration: dur, HogClass: trace.Infotainment,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var violations []audit.Violation
+	if _, err := p2.EnableAudit(AuditOptions{
+		Bounds:      bounds,
+		OnViolation: func(v audit.Violation) { violations = append(violations, v) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p2.StartApps()
+	p2.RunFor(dur)
+
+	if len(violations) == 0 {
+		t.Fatal("contended run produced no bound violations")
+	}
+	var worst float64
+	for _, v := range violations {
+		if v.App != "crit" {
+			t.Fatalf("violation from %s; only crit is bounded", v.App)
+		}
+		// Attribution must partition the observation exactly: the
+		// stage sum in integer picoseconds equals the observed latency.
+		if got := v.Breakdown.Total().Nanoseconds(); got != v.ObservedNS {
+			t.Fatalf("stages sum to %vns, observed %vns", got, v.ObservedNS)
+		}
+		if v.HeadroomNS >= 0 {
+			t.Fatalf("violation with non-negative headroom: %+v", v)
+		}
+		if v.ObservedNS > worst {
+			worst = v.ObservedNS
+		}
+	}
+	// The worst violating observation is the app's own measured max —
+	// the stamps the breakdown is cut at agree with the independent
+	// end-to-end measurement in App.finish.
+	if critMax := crit2.Stats().MaxReadLatency.Nanoseconds(); worst != critMax {
+		t.Fatalf("worst violation %vns != crit max latency %vns", worst, critMax)
+	}
+	if n := p2.Auditor().TotalViolations(); n != uint64(len(violations)) {
+		t.Fatalf("auditor counted %d, callback saw %d", n, len(violations))
+	}
+}
+
+// TestAuditAnalyticBoundFinite checks the platform derives a usable
+// NC bound for the closed-loop critical app without overrides.
+func TestAuditAnalyticBoundFinite(t *testing.T) {
+	p, _, err := BuildPlatform(RunSpec{Hogs: 2, Duration: sim.Millisecond, Audit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := p.Auditor().App("crit").Bound()
+	if b.DelayBoundNS <= 0 || math.IsInf(b.DelayBoundNS, 1) {
+		t.Fatalf("crit analytic bound = %v, want finite positive", b.DelayBoundNS)
+	}
+}
+
+// TestAuditBudgetCapture checks the MemGuard budget rides along in
+// the captured contract.
+func TestAuditBudgetCapture(t *testing.T) {
+	p, _, err := BuildPlatform(RunSpec{Hogs: 1, Duration: sim.Millisecond, MemGuard: true, Audit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := p.Auditor().App("hog0").Bound(); b.BudgetBytesPerPeriod != 16<<10 {
+		t.Fatalf("hog0 budget = %d, want %d", b.BudgetBytesPerPeriod, 16<<10)
+	}
+	if b := p.Auditor().App("crit").Bound(); b.BudgetBytesPerPeriod != 0 {
+		t.Fatalf("crit budget = %d, want 0 (unregulated)", b.BudgetBytesPerPeriod)
+	}
+}
+
+// TestAuditHitAttribution checks L3 hits decompose entirely into the
+// hit stage.
+func TestAuditHitAttribution(t *testing.T) {
+	p, crit, err := BuildPlatform(RunSpec{Hogs: 0, Duration: sim.Millisecond, Audit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.StartApps()
+	p.RunFor(sim.Millisecond)
+	st := crit.Stats()
+	if st.L3Hits == 0 {
+		t.Skip("profile produced no hits")
+	}
+	snap := p.Auditor().App("crit").Snapshot()
+	hs := snap.Stages[audit.StageL3Hit]
+	if hs.TotalPS == 0 {
+		t.Fatal("no L3-hit attribution recorded")
+	}
+	if hs.MaxPS != sim.NS(20) { // DefaultConfig L3HitLatency
+		t.Fatalf("hit stage max = %v, want 20ns", hs.MaxPS)
+	}
+	if snap.Observed == 0 {
+		t.Fatal("auditor observed no transactions")
+	}
+}
+
+// TestAuditRunSpecViolationCounts checks RunSpec.Run surfaces the
+// auditor's counters.
+func TestAuditRunSpecViolationCounts(t *testing.T) {
+	spec := RunSpec{
+		Hogs: 2, Duration: sim.Millisecond, HogClass: trace.Infotainment,
+		Audit:       true,
+		AuditBounds: map[string]float64{"crit": 1, "hog0": 0, "hog1": 0}, // 1ns: everything violates
+	}
+	res, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CritViolations == 0 || res.TotalViolations != res.CritViolations {
+		t.Fatalf("violations = %d/%d, want crit-only nonzero", res.CritViolations, res.TotalViolations)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/mpam"
 	"repro/internal/noc"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -42,6 +43,17 @@ type RunSpec struct {
 	// additionally records a Chrome trace_event timeline.
 	Telemetry bool
 	Trace     bool
+	// Audit arms the runtime predictability auditor: per-app analytic
+	// delay bounds, online conformance checking, and per-stage
+	// contention attribution.
+	Audit bool
+	// AuditBounds overrides the analytic per-app delay bound (ns);
+	// see AuditOptions.Bounds. Only meaningful with Audit.
+	AuditBounds map[string]float64
+	// MetricsPath, when non-empty, writes the end-of-run metrics
+	// snapshot to this file in OpenMetrics text ("-" for stdout) and
+	// implies Telemetry — the sweep harness's per-run snapshot hook.
+	MetricsPath string
 }
 
 // Validate checks the spec.
@@ -63,6 +75,11 @@ type RunResult struct {
 	RowHitRate float64
 	// HogStats holds each hog's stats, in registration order.
 	HogStats []AppStats
+	// CritViolations and TotalViolations count the auditor's bound
+	// violations for the critical app and across all apps (zero when
+	// the auditor is off).
+	CritViolations  uint64
+	TotalViolations uint64
 }
 
 // BuildPlatform assembles a fresh Platform per the spec: the critical
@@ -142,6 +159,13 @@ func BuildPlatform(spec RunSpec) (*Platform, *App, error) {
 			return nil, nil, err
 		}
 	}
+	if spec.Audit {
+		// After every app and budget is in place, so the captured
+		// contracts see the final co-runner set and MemGuard budgets.
+		if _, err := p.EnableAudit(AuditOptions{Bounds: spec.AuditBounds}); err != nil {
+			return nil, nil, err
+		}
+	}
 	return p, crit, nil
 }
 
@@ -159,6 +183,9 @@ func (p *Platform) StartApps() {
 // specs never share state, and the same spec always reproduces the
 // same result.
 func (spec RunSpec) Run() (RunResult, error) {
+	if spec.MetricsPath != "" {
+		spec.Telemetry = true
+	}
 	p, crit, err := BuildPlatform(spec)
 	if err != nil {
 		return RunResult{}, err
@@ -178,6 +205,17 @@ func (spec RunSpec) Run() (RunResult, error) {
 			return RunResult{}, err
 		}
 		res.HogStats = append(res.HogStats, h.Stats())
+	}
+	if aud := p.Auditor(); aud != nil {
+		if h := aud.App(crit.Name()); h != nil {
+			res.CritViolations = h.Violations()
+		}
+		res.TotalViolations = aud.TotalViolations()
+	}
+	if spec.MetricsPath != "" {
+		if err := telemetry.WriteOutput(spec.MetricsPath, p.Telemetry().Registry.WriteOpenMetrics); err != nil {
+			return res, fmt.Errorf("core: run metrics snapshot: %w", err)
+		}
 	}
 	return res, nil
 }

@@ -18,6 +18,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/cache"
 	"repro/internal/dram"
 	"repro/internal/dsu"
@@ -111,6 +112,9 @@ type Platform struct {
 	nextReqID uint64
 
 	tel *telemetry.Suite
+
+	aud       *audit.Auditor
+	audBounds map[string]float64
 }
 
 // New assembles a platform on a fresh engine.

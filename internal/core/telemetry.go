@@ -95,5 +95,8 @@ func (p *Platform) SnapshotMetrics() {
 	if p.mpamArb != nil {
 		reg.Gauge("mpam.utilization").Set(p.mpamArb.Utilization())
 	}
+	if p.aud != nil {
+		p.aud.PublishMetrics(reg)
+	}
 	s.Monitors.Snapshot(reg, now)
 }

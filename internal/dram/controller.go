@@ -209,6 +209,7 @@ func (c *Controller) Submit(r *Request) error {
 		r.ID = c.nextID
 	}
 	r.Arrival = c.eng.Now()
+	r.Service = 0 // pooled requests may carry a stale stamp
 	switch r.Op {
 	case Read:
 		if len(c.readQ) >= c.cfg.ReadQueueCap {
@@ -277,6 +278,7 @@ func (c *Controller) schedule() {
 	}
 
 	svc := c.serviceTime(req)
+	req.Service = svc
 	if c.tel != nil {
 		c.traceService(req, svc)
 	}

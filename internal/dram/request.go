@@ -38,6 +38,12 @@ type Request struct {
 	Arrival sim.Time
 	// Completion is stamped when the data burst finishes.
 	Completion sim.Time
+	// Service is the device occupancy of the request's issue (row
+	// activation, bus turnaround, data bursts), stamped when the
+	// controller starts serving it. The bank-queue wait is therefore
+	// Completion - Arrival - Service — the decomposition the runtime
+	// auditor's contention attribution reports.
+	Service sim.Duration
 
 	// OnComplete, when non-nil, runs synchronously when the request
 	// completes (after Completion is stamped, before the controller's
@@ -50,6 +56,11 @@ type Request struct {
 // Latency returns the request's queueing + service delay. It is only
 // meaningful after completion.
 func (r *Request) Latency() sim.Duration { return r.Completion - r.Arrival }
+
+// QueueWait returns the time the request spent waiting behind other
+// work (bank queue, refreshes, write drains) before its own service
+// started. Only meaningful after completion.
+func (r *Request) QueueWait() sim.Duration { return r.Completion - r.Arrival - r.Service }
 
 // String implements fmt.Stringer.
 func (r *Request) String() string {

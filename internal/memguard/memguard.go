@@ -130,6 +130,19 @@ func (r *Regulator) Stats(name string) EntityStats {
 // Overhead returns the total CPU time spent on regulation interrupts.
 func (r *Regulator) Overhead() sim.Duration { return r.overhead }
 
+// Budget reports an entity's configured bytes-per-period budget, with
+// ok false for unregulated entities — the budgeted bandwidth the
+// runtime auditor captures at app registration.
+func (r *Regulator) Budget(name string) (bytesPerPeriod int, ok bool) {
+	if e := r.entities[name]; e != nil {
+		return e.budget, true
+	}
+	return 0, false
+}
+
+// Period returns the regulation interval.
+func (r *Regulator) Period() sim.Duration { return r.cfg.Period }
+
 // Entities returns the number of regulated entities.
 func (r *Regulator) Entities() int { return len(r.entities) }
 

@@ -45,6 +45,24 @@ func DelayBound(alpha, beta Curve) float64 {
 	return worst
 }
 
+// DelayBoundThrough composes a tandem of per-resource service curves
+// by (min,plus) convolution and returns the delay bound of a flow with
+// arrival curve alpha through the whole path — the Section IV-A
+// end-to-end composition (NoC ⊗ DRAM ⊗ NoC) as one call, used by the
+// runtime auditor to capture each application's analytic bound at
+// registration. With no service curves the bound is zero; an
+// infeasible tandem yields +Inf.
+func DelayBoundThrough(alpha Curve, betas ...Curve) float64 {
+	if len(betas) == 0 {
+		return 0
+	}
+	beta := betas[0]
+	for _, b := range betas[1:] {
+		beta = Convolve(beta, b)
+	}
+	return DelayBound(alpha, beta)
+}
+
 // BacklogBound returns the vertical deviation v(alpha, beta): the
 // worst-case backlog (buffer requirement) of a flow with arrival curve
 // alpha served with service curve beta. It returns +Inf when the

@@ -16,6 +16,39 @@ type telemetryState struct {
 
 	cDelivered *telemetry.Counter
 	cFlitHops  *telemetry.Counter
+
+	// latHists caches per-flow delivery-latency histograms
+	// ("noc.latency.<flow>", submission to tail-flit ejection, ps) so
+	// the steady-state delivery path skips the registry's lock+map.
+	// Opt-in (latOn) so default metrics dumps keep their pre-auditor
+	// byte layout.
+	latOn    bool
+	latHists map[string]*telemetry.Histogram
+}
+
+// latHist returns (creating on first delivery) the flow's
+// delivery-latency histogram, nil unless enabled.
+func (ts *telemetryState) latHist(flow string) *telemetry.Histogram {
+	if !ts.latOn || ts.reg == nil {
+		return nil
+	}
+	h := ts.latHists[flow]
+	if h == nil {
+		h = ts.reg.Histogram("noc.latency." + flow)
+		ts.latHists[flow] = h
+	}
+	return h
+}
+
+// EnableFlowLatencyHistograms arms per-flow delivery-latency
+// histograms (registry keys "noc.latency.<flow>"). Off by default so
+// uninstrumented and pre-auditor metric dumps stay byte-identical; the
+// runtime auditor switches it on. Requires SetTelemetry with a
+// registry first.
+func (n *NoC) EnableFlowLatencyHistograms() {
+	if n.tel != nil {
+		n.tel.latOn = true
+	}
 }
 
 // SetTelemetry attaches a metrics registry, tracer, and PMU-style
@@ -26,7 +59,7 @@ func (n *NoC) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer, mon *t
 		n.tel = nil
 		return
 	}
-	ts := &telemetryState{reg: reg, tr: tr, mon: mon}
+	ts := &telemetryState{reg: reg, tr: tr, mon: mon, latHists: make(map[string]*telemetry.Histogram)}
 	if reg != nil {
 		ts.cDelivered = reg.Counter("noc.delivered")
 		ts.cFlitHops = reg.Counter("noc.flit_hops")
@@ -55,6 +88,7 @@ func (n *NoC) traceDeliver(p *Packet, at sim.Time) {
 	m := ts.mon.Monitor("noc:" + flow)
 	m.AddBytes(at, p.Bytes)
 	m.TxnEnd()
+	ts.latHist(flow).Record(int64(at - p.Submitted))
 	if ts.tr != nil {
 		ts.tr.Span("noc", flow, p.Submitted, at,
 			"src", p.Src.String(), "dst", p.Dst.String(),

@@ -29,6 +29,10 @@ type ConfigSummary struct {
 	RowHitRate  float64 `json:"row_hit_rate,omitempty"`
 	SlowdownP95 float64 `json:"slowdown_p95,omitempty"`
 
+	// Violations sums the audit bound violations over the
+	// configuration's runs (omitted when the auditor was off).
+	Violations uint64 `json:"violations,omitempty"`
+
 	// Admission aggregates: total admitted/rejected activations, the
 	// rejection rate rejected/(admitted+rejected), and mean mode
 	// changes per run.
@@ -107,6 +111,7 @@ func summarizeGroup(label string, runs []Result) ConfigSummary {
 				s.MaxNS = m
 			}
 			s.RowHitRate += r.RowHitRate
+			s.Violations += r.Violations
 		case Admission:
 			s.Admitted += r.Admitted
 			s.Rejected += r.Rejected

@@ -21,6 +21,7 @@ var csvHeader = []string{
 	"label", "kind", "mechanisms", "hogs", "workload", "duration_ns",
 	"runs", "failures",
 	"mean_ns", "p95_ns", "max_ns", "row_hit_rate", "slowdown_p95",
+	"violations",
 	"admitted", "rejected", "rejection_rate", "mode_changes",
 	"failure",
 }
@@ -38,6 +39,7 @@ func WriteCSV(w io.Writer, summaries []ConfigSummary) error {
 			strconv.Itoa(s.Hogs), s.Workload, strconv.FormatInt(s.DurationNS, 10),
 			strconv.Itoa(s.Runs), strconv.Itoa(s.Failures),
 			f(s.MeanNS), f(s.P95NS), f(s.MaxNS), f(s.RowHitRate), f(s.SlowdownP95),
+			strconv.FormatUint(s.Violations, 10),
 			strconv.FormatUint(s.Admitted, 10), strconv.FormatUint(s.Rejected, 10),
 			f(s.RejectionRate), f(s.ModeChanges),
 			s.Failure,

@@ -1,0 +1,70 @@
+package sweep
+
+import "sync"
+
+// ProgressSnapshot is a point-in-time view of a sweep's completion,
+// JSON-shaped for the live /progress endpoint.
+type ProgressSnapshot struct {
+	Total      int    `json:"total"`
+	Done       int    `json:"done"`
+	Failed     int    `json:"failed"`
+	Violations uint64 `json:"violations"`
+	// LastLabel is the configuration of the most recently finished run
+	// (completion order, which varies with scheduling — informational
+	// only, never part of deterministic output).
+	LastLabel string `json:"last_label,omitempty"`
+}
+
+// Progress tracks per-run sweep completion. Its Observe method is the
+// intended RunObserved callback: safe for concurrent use, with
+// onUpdate invoked outside the lock after every finished run.
+type Progress struct {
+	mu         sync.Mutex
+	total      int
+	done       int
+	failed     int
+	violations uint64
+	lastLabel  string
+
+	onUpdate func(ProgressSnapshot)
+}
+
+// NewProgress builds a tracker for total runs; onUpdate (optional)
+// fires with a fresh snapshot after each Observe.
+func NewProgress(total int, onUpdate func(ProgressSnapshot)) *Progress {
+	return &Progress{total: total, onUpdate: onUpdate}
+}
+
+// Observe folds one finished run into the tracker.
+func (p *Progress) Observe(r Result) {
+	p.mu.Lock()
+	p.done++
+	if r.Failed() {
+		p.failed++
+	}
+	p.violations += r.Violations
+	p.lastLabel = r.Spec.Label
+	snap := p.snapshotLocked()
+	cb := p.onUpdate
+	p.mu.Unlock()
+	if cb != nil {
+		cb(snap)
+	}
+}
+
+// Snapshot returns the current completion state.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.snapshotLocked()
+}
+
+func (p *Progress) snapshotLocked() ProgressSnapshot {
+	return ProgressSnapshot{
+		Total:      p.total,
+		Done:       p.done,
+		Failed:     p.failed,
+		Violations: p.violations,
+		LastLabel:  p.lastLabel,
+	}
+}

@@ -23,6 +23,10 @@ type Result struct {
 	Rejected    uint64
 	ModeChanges uint64
 
+	// Violations counts the run's audit bound violations across all
+	// apps (zero unless the spec armed the auditor).
+	Violations uint64
+
 	// Err is the structured failure record: empty on success, the
 	// error text or "panic: ..." otherwise.
 	Err string
@@ -43,7 +47,7 @@ func Execute(s Spec) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{Crit: rr.Crit, RowHitRate: rr.RowHitRate}, nil
+		return Result{Crit: rr.Crit, RowHitRate: rr.RowHitRate, Violations: rr.TotalViolations}, nil
 	case Admission:
 		return runAdmission(s.Admission)
 	}
@@ -62,6 +66,16 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // A panic inside one run is recovered into that run's failure record;
 // the remaining specs still execute.
 func Run(specs []Spec, workers int, exec Executor) []Result {
+	return RunObserved(specs, workers, exec, nil)
+}
+
+// RunObserved is Run with a completion observer: observe (when
+// non-nil) fires once per finished run, concurrently from the worker
+// goroutines and in completion order — not spec order. It must be
+// safe for concurrent use; Progress.Observe is the intended callback.
+// The returned results are indexed by spec position exactly as with
+// Run, so live observation never perturbs the deterministic output.
+func RunObserved(specs []Spec, workers int, exec Executor, observe func(Result)) []Result {
 	if exec == nil {
 		exec = Execute
 	}
@@ -82,7 +96,11 @@ func Run(specs []Spec, workers int, exec Executor) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = runOne(specs[i], exec)
+				r := runOne(specs[i], exec)
+				results[i] = r
+				if observe != nil {
+					observe(r)
+				}
 			}
 		}()
 	}

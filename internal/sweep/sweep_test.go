@@ -3,6 +3,7 @@ package sweep
 import (
 	"bytes"
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -59,10 +60,11 @@ func TestMatrixExpandOrderAndBaseline(t *testing.T) {
 	if specs[0].Label != specs[1].Label || specs[0].Platform.Seed == specs[1].Platform.Seed {
 		t.Fatal("seed runs must share a label and differ in seed")
 	}
-	// Expansion is deterministic.
+	// Expansion is deterministic. (reflect.DeepEqual: RunSpec carries a
+	// bounds map, so Spec is no longer ==-comparable.)
 	again := mx.Expand()
 	for i := range specs {
-		if specs[i] != again[i] {
+		if !reflect.DeepEqual(specs[i], again[i]) {
 			t.Fatalf("expansion not deterministic at %d: %+v vs %+v", i, specs[i], again[i])
 		}
 	}

@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"io"
+	"sort"
+	"strconv"
+)
+
+// OpenMetrics content type for HTTP exposition, per the OpenMetrics
+// 1.0 specification.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// sanitizeMetricName maps an instrument name onto the OpenMetrics
+// metric-name charset [a-zA-Z_][a-zA-Z0-9_]*: dots (the registry's
+// subsystem separator) and any other foreign rune become underscores,
+// and a leading digit is prefixed. The mapping is deterministic, so
+// sorted input yields stable output.
+func sanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	b := make([]byte, 0, len(name)+1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b = append(b, c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b = append(b, '_')
+			}
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	return string(b)
+}
+
+// WriteOpenMetrics serializes the registry as OpenMetrics text
+// exposition: counters as `<name>_total`, gauges verbatim, histograms
+// as summary families (quantiles 0.5/0.95/0.99 plus _sum/_count) with
+// companion `<name>_min`/`<name>_max` gauges. Families are sorted by
+// metric name, so identical registries serialize byte-identically —
+// the same property WriteJSON guarantees. The stream ends with the
+// mandatory `# EOF` marker.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "# EOF\n")
+		return err
+	}
+	r.mu.Lock()
+	counters := make(map[string]uint64, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v.Value()
+	}
+	gauges := make(map[string]float64, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v.Value()
+	}
+	histRefs := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		histRefs[k] = v
+	}
+	r.mu.Unlock()
+	hists := make(map[string]Summary, len(histRefs))
+	for k, h := range histRefs {
+		hists[k] = h.Summarize()
+	}
+
+	type family struct {
+		name   string
+		render func(b []byte, name string) []byte
+	}
+	fams := make([]family, 0, len(counters)+len(gauges)+len(hists))
+	for _, k := range sortedKeys(counters) {
+		v := counters[k]
+		fams = append(fams, family{sanitizeMetricName(k), func(b []byte, n string) []byte {
+			b = appendFamilyType(b, n, "counter")
+			b = append(b, n...)
+			b = append(b, "_total "...)
+			b = strconv.AppendUint(b, v, 10)
+			return append(b, '\n')
+		}})
+	}
+	for _, k := range sortedKeys(gauges) {
+		v := gauges[k]
+		fams = append(fams, family{sanitizeMetricName(k), func(b []byte, n string) []byte {
+			b = appendFamilyType(b, n, "gauge")
+			b = append(b, n...)
+			b = append(b, ' ')
+			b = appendFloat(b, v)
+			return append(b, '\n')
+		}})
+	}
+	for _, k := range sortedKeys(hists) {
+		s := hists[k]
+		fams = append(fams, family{sanitizeMetricName(k), func(b []byte, n string) []byte {
+			b = appendFamilyType(b, n, "summary")
+			for _, q := range []struct {
+				label string
+				v     int64
+			}{{"0.5", s.P50}, {"0.95", s.P95}, {"0.99", s.P99}} {
+				b = append(b, n...)
+				b = append(b, `{quantile="`...)
+				b = append(b, q.label...)
+				b = append(b, `"} `...)
+				b = strconv.AppendInt(b, q.v, 10)
+				b = append(b, '\n')
+			}
+			b = append(b, n...)
+			b = append(b, "_sum "...)
+			b = strconv.AppendInt(b, s.Sum, 10)
+			b = append(b, '\n')
+			b = append(b, n...)
+			b = append(b, "_count "...)
+			b = strconv.AppendUint(b, s.Count, 10)
+			b = append(b, '\n')
+			// Min/max are not summary suffixes; expose them as
+			// companion gauges.
+			b = appendFamilyType(b, n+"_min", "gauge")
+			b = append(b, n...)
+			b = append(b, "_min "...)
+			b = strconv.AppendInt(b, s.Min, 10)
+			b = append(b, '\n')
+			b = appendFamilyType(b, n+"_max", "gauge")
+			b = append(b, n...)
+			b = append(b, "_max "...)
+			b = strconv.AppendInt(b, s.Max, 10)
+			return append(b, '\n')
+		}})
+	}
+	sort.SliceStable(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b []byte
+	for _, f := range fams {
+		b = f.render(b, f.name)
+	}
+	b = append(b, "# EOF\n"...)
+	_, err := w.Write(b)
+	return err
+}
+
+func appendFamilyType(b []byte, name, kind string) []byte {
+	b = append(b, "# TYPE "...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = append(b, kind...)
+	return append(b, '\n')
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := keysOf(m)
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"dram.reads":              "dram_reads",
+		"app.hog0.read_latency":   "app_hog0_read_latency",
+		"noc:flow":                "noc_flow",
+		"0abc":                    "_0abc",
+		"":                        "_",
+		"already_fine_Name9":      "already_fine_Name9",
+		"weird-chars+here(now)":   "weird_chars_here_now_",
+		"monitor.mem:crit.events": "monitor_mem_crit_events",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteOpenMetricsNilRegistry(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "# EOF\n" {
+		t.Fatalf("nil registry output = %q", buf.String())
+	}
+}
+
+func TestWriteOpenMetricsContent(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dram.reads").Add(7)
+	r.Gauge("noc.delivered_total").Set(12.5)
+	h := r.Histogram("app.crit.read_latency_ps")
+	for _, v := range []int64{100, 200, 300, 400, 1000} {
+		h.Record(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE dram_reads counter\n",
+		"dram_reads_total 7\n",
+		"# TYPE noc_delivered_total gauge\n",
+		"noc_delivered_total 12.5\n",
+		"# TYPE app_crit_read_latency_ps summary\n",
+		`app_crit_read_latency_ps{quantile="0.5"} `,
+		`app_crit_read_latency_ps{quantile="0.95"} `,
+		`app_crit_read_latency_ps{quantile="0.99"} `,
+		"app_crit_read_latency_ps_sum 2000\n",
+		"app_crit_read_latency_ps_count 5\n",
+		"app_crit_read_latency_ps_min 100\n",
+		"app_crit_read_latency_ps_max 1000\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("output does not end with # EOF:\n%s", out)
+	}
+}
+
+func TestWriteOpenMetricsSortedAndStable(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		// Insert in shuffled order; serialization must sort.
+		r.Gauge("zzz.last").Set(1)
+		r.Counter("mmm.mid").Inc()
+		r.Histogram("aaa.first").Record(5)
+		r.Counter("bbb.second").Inc()
+		return r
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteOpenMetrics(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("identical registries serialized differently")
+	}
+	// Family order must be sorted by metric name.
+	idx := func(s string) int { return strings.Index(a.String(), "# TYPE "+s) }
+	order := []int{idx("aaa_first"), idx("bbb_second"), idx("mmm_mid"), idx("zzz_last")}
+	for i := 0; i < len(order)-1; i++ {
+		if order[i] < 0 || order[i] >= order[i+1] {
+			t.Fatalf("families out of order: %v\n%s", order, a.String())
+		}
+	}
+}

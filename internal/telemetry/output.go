@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -13,33 +14,88 @@ import (
 // final flush is where truncation surfaces, and swallowing it would
 // leave a silently short file.
 func WriteOutput(path string, write func(io.Writer) error) error {
+	return writeOutput(path, write, defaultCreate, os.Stdout)
+}
+
+// defaultCreate is the production file opener behind WriteOutput.
+func defaultCreate(path string) (io.WriteCloser, error) { return os.Create(path) }
+
+// writeOutput is WriteOutput with its filesystem seams injected, so
+// tests can exercise the close-error and partial-write paths without
+// a faulting disk.
+func writeOutput(path string, write func(io.Writer) error, create func(string) (io.WriteCloser, error), stdout io.Writer) error {
 	if path == "-" {
-		return write(os.Stdout)
+		return write(stdout)
 	}
-	f, err := os.Create(path)
+	f, err := create(path)
 	if err != nil {
 		return err
 	}
 	if err := write(f); err != nil {
+		// Close still runs (releasing the descriptor) but the write
+		// error is the root cause and is what gets reported.
 		f.Close()
 		return err
 	}
 	return f.Close()
 }
 
-// DumpFiles writes the suite's metrics and/or trace to the given
-// paths ("-" for stdout, "" to skip), the shape every command-line
-// tool needs after a run. Errors identify which dump failed.
+// MetricsFormat names a registry dump encoding for Suite.DumpFiles and
+// the CLIs' -metrics-format flag.
+type MetricsFormat string
+
+// Supported metrics encodings.
+const (
+	// FormatJSON is the registry's native sorted-JSON dump.
+	FormatJSON MetricsFormat = "json"
+	// FormatOpenMetrics is OpenMetrics/Prometheus text exposition.
+	FormatOpenMetrics MetricsFormat = "openmetrics"
+)
+
+// ParseMetricsFormat validates a -metrics-format flag value; the empty
+// string defaults to JSON.
+func ParseMetricsFormat(s string) (MetricsFormat, error) {
+	switch MetricsFormat(s) {
+	case "", FormatJSON:
+		return FormatJSON, nil
+	case FormatOpenMetrics:
+		return FormatOpenMetrics, nil
+	}
+	return "", fmt.Errorf("telemetry: unknown metrics format %q (want json or openmetrics)", s)
+}
+
+// writeMetrics dispatches a registry dump in the given format.
+func (s *Suite) writeMetrics(w io.Writer, format MetricsFormat) error {
+	if format == FormatOpenMetrics {
+		return s.registry().WriteOpenMetrics(w)
+	}
+	return s.registry().WriteJSON(w)
+}
+
+// DumpFiles writes the suite's metrics and/or trace to the given paths
+// ("-" for stdout, "" to skip), the shape every command-line tool
+// needs after a run. Every requested dump is attempted even when an
+// earlier one fails — a bad metrics path must not silently skip the
+// trace file — and the returned error (via errors.Join) identifies
+// each dump that failed.
 func (s *Suite) DumpFiles(metricsPath, tracePath string) error {
+	return s.DumpFilesFormat(metricsPath, FormatJSON, tracePath)
+}
+
+// DumpFilesFormat is DumpFiles with an explicit metrics encoding.
+func (s *Suite) DumpFilesFormat(metricsPath string, format MetricsFormat, tracePath string) error {
+	var errs []error
 	if metricsPath != "" {
-		if err := s.WriteMetricsFile(metricsPath); err != nil {
-			return fmt.Errorf("metrics %s: %w", metricsPath, err)
+		if err := WriteOutput(metricsPath, func(w io.Writer) error {
+			return s.writeMetrics(w, format)
+		}); err != nil {
+			errs = append(errs, fmt.Errorf("metrics %s: %w", metricsPath, err))
 		}
 	}
 	if tracePath != "" {
 		if err := s.WriteTraceFile(tracePath); err != nil {
-			return fmt.Errorf("trace %s: %w", tracePath, err)
+			errs = append(errs, fmt.Errorf("trace %s: %w", tracePath, err))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
