@@ -3,6 +3,7 @@ package admission
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/netcalc"
 )
@@ -35,9 +36,32 @@ type CheckFunc func(active []AppRef, rates map[string]float64, candidate AppRef)
 // WCD (see internal/dram/wcd.ServiceCurve for the memory side).
 // Applications without a Requirement are admitted unconditionally
 // (best effort).
+//
+// The check is incremental: each closure keeps a per-application memo
+// of the last (rate, requirement) it evaluated and the resulting
+// bound, plus a memoized operator cache for the underlying curve
+// arithmetic. Admitting or releasing one application only recomputes
+// the bounds of applications whose assigned rate actually changed —
+// baseService is not even called for the others — so high-churn online
+// admission does not re-derive the whole mode's analysis from scratch.
+// A memo hit returns the stored result of the identical computation,
+// so decisions are bit-identical to the non-incremental check.
 func DelayBoundCheck(reqs map[string]Requirement,
 	baseService func(app AppRef, rate float64) netcalc.Curve) CheckFunc {
+	type boundMemo struct {
+		ref   AppRef
+		rate  float64
+		req   Requirement
+		bound float64
+	}
+	var (
+		mu    sync.Mutex
+		memo  = make(map[string]*boundMemo)
+		cache = netcalc.NewCache(0)
+	)
 	return func(active []AppRef, rates map[string]float64, candidate AppRef) error {
+		mu.Lock()
+		defer mu.Unlock()
 		for _, app := range active {
 			req, has := reqs[app.Name]
 			if !has {
@@ -47,10 +71,15 @@ func DelayBoundCheck(reqs map[string]Requirement,
 			if rate <= 0 {
 				return fmt.Errorf("admission: %s would receive no bandwidth", app.Name)
 			}
-			alpha := netcalc.TokenBucket(req.BurstBytes, rate)
-			beta := baseService(app, rate)
-			d := netcalc.DelayBound(alpha, beta)
-			if math.IsInf(d, 1) || d > req.DeadlineNS {
+			m, ok := memo[app.Name]
+			if !ok || m.ref != app || m.rate != rate || m.req != req {
+				alpha := netcalc.TokenBucket(req.BurstBytes, rate)
+				beta := baseService(app, rate)
+				m = &boundMemo{ref: app, rate: rate, req: req,
+					bound: cache.DelayBound(alpha, beta)}
+				memo[app.Name] = m
+			}
+			if d := m.bound; math.IsInf(d, 1) || d > req.DeadlineNS {
 				return fmt.Errorf("admission: admitting %s would push %s to %.1f ns (deadline %.1f ns)",
 					candidate.Name, app.Name, d, req.DeadlineNS)
 			}

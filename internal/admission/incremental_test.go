@@ -1,0 +1,179 @@
+package admission
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/netcalc"
+	"repro/internal/noc"
+)
+
+// TestEventQueueFIFO pins FIFO order through the head-indexed queue's
+// compaction path: keep the queue non-empty for long enough that the
+// dead-prefix compaction triggers and check nothing is lost or
+// reordered.
+func TestEventQueueFIFO(t *testing.T) {
+	var q eventQueue
+	next, want := 0, 0
+	push := func() {
+		q.push(event{app: AppRef{Name: fmt.Sprintf("app%d", next)}})
+		next++
+	}
+	pop := func() {
+		ev := q.pop()
+		if got := fmt.Sprintf("app%d", want); ev.app.Name != got {
+			t.Fatalf("pop = %q, want %q", ev.app.Name, got)
+		}
+		want++
+	}
+	// Phase 1: grow a backlog, then drain past the compaction threshold
+	// (head > 32 with a live tail).
+	for i := 0; i < 100; i++ {
+		push()
+	}
+	for i := 0; i < 60; i++ {
+		pop()
+	}
+	// Phase 2: steady churn with a standing backlog.
+	for i := 0; i < 500; i++ {
+		push()
+		pop()
+	}
+	// Drain.
+	for !q.empty() {
+		pop()
+	}
+	if want != next {
+		t.Fatalf("popped %d events, pushed %d", want, next)
+	}
+}
+
+// TestEventQueueAllocFlat checks the satellite fix: a long
+// activation/termination churn cycle through the RM's pending queue
+// must not reallocate per event. The old `pending = pending[1:]`
+// reslice kept the dead prefix alive so every cycle grew the backing
+// array; the head-indexed queue reuses it.
+func TestEventQueueAllocFlat(t *testing.T) {
+	var q eventQueue
+	ev := event{typ: ActMsg, app: AppRef{Name: "app"}}
+	// Warm up: let the buffer reach its steady-state capacity.
+	for i := 0; i < 64; i++ {
+		q.push(ev)
+		q.pop()
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		q.push(ev)
+		q.pop()
+	})
+	if avg != 0 {
+		t.Fatalf("push/pop churn allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestDelayBoundCheckIncremental verifies the incremental admission
+// check: when a decision re-evaluates an active set whose rates did
+// not change, the service-curve constructor must not run again, and
+// admitting one more application must only recompute the bounds of
+// applications whose assigned rate actually moved.
+func TestDelayBoundCheckIncremental(t *testing.T) {
+	reqs := map[string]Requirement{
+		"a": {BurstBytes: 64, DeadlineNS: 1e6},
+		"b": {BurstBytes: 64, DeadlineNS: 1e6},
+		"c": {BurstBytes: 64, DeadlineNS: 1e6},
+	}
+	calls := make(map[string]int)
+	check := DelayBoundCheck(reqs, func(app AppRef, rate float64) netcalc.Curve {
+		calls[app.Name]++
+		return netcalc.RateLatency(rate, 100)
+	})
+
+	apps := []AppRef{
+		{Name: "a", Node: noc.Coord{X: 1, Y: 1}},
+		{Name: "b", Node: noc.Coord{X: 2, Y: 2}},
+		{Name: "c", Node: noc.Coord{X: 3, Y: 3}},
+	}
+	rates := map[string]float64{"a": 0.4, "b": 0.4, "c": 0.4}
+	if err := check(apps, rates, apps[2]); err != nil {
+		t.Fatalf("first decision rejected: %v", err)
+	}
+	if calls["a"] != 1 || calls["b"] != 1 || calls["c"] != 1 {
+		t.Fatalf("first decision calls = %v, want one per app", calls)
+	}
+
+	// Same active set, same rates: a fresh decision must be free.
+	if err := check(apps, rates, apps[0]); err != nil {
+		t.Fatalf("repeat decision rejected: %v", err)
+	}
+	if calls["a"] != 1 || calls["b"] != 1 || calls["c"] != 1 {
+		t.Fatalf("repeat decision recomputed: calls = %v", calls)
+	}
+
+	// Only c's rate changes: a and b must not be recomputed.
+	rates2 := map[string]float64{"a": 0.4, "b": 0.4, "c": 0.3}
+	if err := check(apps, rates2, apps[2]); err != nil {
+		t.Fatalf("rate-change decision rejected: %v", err)
+	}
+	if calls["a"] != 1 || calls["b"] != 1 {
+		t.Fatalf("unaffected apps recomputed: calls = %v", calls)
+	}
+	if calls["c"] != 2 {
+		t.Fatalf("changed app not recomputed: calls = %v", calls)
+	}
+
+	// A requirement identity change (same name, new node) invalidates.
+	apps2 := []AppRef{apps[0], apps[1], {Name: "c", Node: noc.Coord{X: 0, Y: 3}}}
+	if err := check(apps2, rates2, apps2[2]); err != nil {
+		t.Fatalf("ref-change decision rejected: %v", err)
+	}
+	if calls["c"] != 3 {
+		t.Fatalf("re-registered app not recomputed: calls = %v", calls)
+	}
+}
+
+// TestDelayBoundCheckMatchesUncached pins bit-identical decisions: the
+// incremental check must agree with a from-scratch evaluation of the
+// same bound on every step of a churn sequence, including rejections.
+func TestDelayBoundCheckMatchesUncached(t *testing.T) {
+	reqs := map[string]Requirement{
+		"a": {BurstBytes: 256, DeadlineNS: 2200},
+		"b": {BurstBytes: 512, DeadlineNS: 2400},
+		"c": {BurstBytes: 1024, DeadlineNS: 2600},
+	}
+	base := func(app AppRef, rate float64) netcalc.Curve {
+		return netcalc.RateLatency(rate, 100+float64(app.Node.X)*50)
+	}
+	inc := DelayBoundCheck(reqs, base)
+	ref := func(active []AppRef, rates map[string]float64, candidate AppRef) error {
+		for _, app := range active {
+			req, has := reqs[app.Name]
+			if !has {
+				continue
+			}
+			rate := rates[app.Name]
+			alpha := netcalc.TokenBucket(req.BurstBytes, rate)
+			d := netcalc.DelayBound(alpha, base(app, rate))
+			if d > req.DeadlineNS {
+				return fmt.Errorf("reject %s", app.Name)
+			}
+		}
+		return nil
+	}
+	apps := []AppRef{
+		{Name: "a", Node: noc.Coord{X: 1, Y: 1}},
+		{Name: "b", Node: noc.Coord{X: 2, Y: 2}},
+		{Name: "c", Node: noc.Coord{X: 3, Y: 3}},
+	}
+	// Sweep the shared rate across the feasibility boundary in both
+	// directions; acceptance must flip at exactly the same steps.
+	for step := 0; step < 40; step++ {
+		r := 0.2 + 0.05*float64(step%20)
+		active := apps[:1+step%3]
+		rates := map[string]float64{"a": r, "b": r, "c": r}
+		gotErr := inc(active, rates, active[len(active)-1]) != nil
+		wantErr := ref(active, rates, active[len(active)-1]) != nil
+		if gotErr != wantErr {
+			t.Fatalf("step %d (rate %.2f, %d apps): incremental reject=%v, reference reject=%v",
+				step, r, len(active), gotErr, wantErr)
+		}
+	}
+}

@@ -13,6 +13,36 @@ type event struct {
 	app AppRef
 }
 
+// eventQueue is a head-indexed FIFO of RM events. Popping advances a
+// head index instead of reslicing (`pending = pending[1:]` kept the
+// backing array's dead prefix alive, so every push/pop cycle grew and
+// reallocated it); the buffer is reset when drained and compacted when
+// the dead prefix dominates, so steady-state churn is allocation-flat.
+// Same pattern as the NI flit queue fix.
+type eventQueue struct {
+	buf  []event
+	head int
+}
+
+func (q *eventQueue) push(ev event) { q.buf = append(q.buf, ev) }
+
+func (q *eventQueue) empty() bool { return q.head == len(q.buf) }
+
+func (q *eventQueue) pop() event {
+	ev := q.buf[q.head]
+	q.buf[q.head] = event{} // release the AppRef strings
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head > 32 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return ev
+}
+
 // RM is the Resource Manager: the centralized scheduling unit with the
 // global view of active senders and occupied resources. It serializes
 // activation and termination events ("processed in their arrival
@@ -22,7 +52,7 @@ type RM struct {
 	node noc.Coord
 
 	active  map[string]AppRef
-	pending []event
+	pending eventQueue
 
 	reconfiguring bool
 	reconfStart   sim.Time
@@ -55,17 +85,16 @@ func (rm *RM) Active() []AppRef {
 // handle receives an actMsg or terMsg (invoked on control-packet
 // delivery at the RM node).
 func (rm *RM) handle(typ MsgType, app AppRef) {
-	rm.pending = append(rm.pending, event{typ, app})
+	rm.pending.push(event{typ, app})
 	rm.next()
 }
 
 // next starts the following reconfiguration if idle.
 func (rm *RM) next() {
-	if rm.reconfiguring || len(rm.pending) == 0 {
+	if rm.reconfiguring || rm.pending.empty() {
 		return
 	}
-	ev := rm.pending[0]
-	rm.pending = rm.pending[1:]
+	ev := rm.pending.pop()
 
 	switch ev.typ {
 	case ActMsg:

@@ -39,6 +39,11 @@ func (p *Platform) EnableAudit(opts AuditOptions) (*audit.Auditor, error) {
 		MaxViolations: opts.MaxViolations,
 	})
 	p.audBounds = opts.Bounds
+	// Registrations of co-located apps compose the same NoC and DRAM
+	// service curves over and over; the memo makes re-registration (and
+	// the re-derivation after each app joins) cheap. Cached results are
+	// bit-identical to the uncached composition, so bounds don't move.
+	p.ncCache = netcalc.NewCache(0)
 	for _, name := range p.order {
 		p.registerAudit(p.apps[name])
 	}
@@ -96,7 +101,7 @@ func (p *Platform) analyticDelayBoundNS(a *App) float64 {
 	}
 	dramBytes := netcalc.Scale(dramReq, float64(prof.ReqBytes))
 
-	bound := netcalc.DelayBoundThrough(alpha, nocThere, dramBytes, nocBack)
+	bound := p.ncCache.DelayBoundThrough(alpha, nocThere, dramBytes, nocBack)
 	if p.reg != nil {
 		if _, budgeted := p.reg.Budget(a.cfg.Name); budgeted {
 			bound += p.reg.Period().Nanoseconds()

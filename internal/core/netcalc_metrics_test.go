@@ -1,0 +1,159 @@
+package core
+
+import (
+	"bufio"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// lintOpenMetrics replicates cmd/omlint's exposition checks (the
+// command is package main, so the test carries its own validator):
+// every line is a TYPE/HELP/UNIT comment, a sample with a legal name
+// and parseable value, or the single trailing # EOF; TYPE declarations
+// are unique.
+func lintOpenMetrics(t *testing.T, exposition string) {
+	t.Helper()
+	nameRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)(\s+\S+)?$`)
+	validTypes := map[string]bool{
+		"counter": true, "gauge": true, "histogram": true, "summary": true,
+		"untyped": true, "info": true, "stateset": true, "gaugehistogram": true, "unknown": true,
+	}
+	types := make(map[string]bool)
+	sawEOF := false
+	n := 0
+	sc := bufio.NewScanner(strings.NewReader(exposition))
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if sawEOF {
+			t.Fatalf("line %d: content after # EOF", n)
+		}
+		switch {
+		case line == "# EOF":
+			sawEOF = true
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("line %d: malformed TYPE comment %q", n, line)
+			}
+			name, typ := fields[2], fields[3]
+			if !nameRe.MatchString(name) {
+				t.Fatalf("line %d: illegal family name %q", n, name)
+			}
+			if !validTypes[typ] {
+				t.Fatalf("line %d: unknown type %q", n, typ)
+			}
+			if types[name] {
+				t.Fatalf("line %d: duplicate TYPE for %q", n, name)
+			}
+			types[name] = true
+		case strings.HasPrefix(line, "# HELP "), strings.HasPrefix(line, "# UNIT "):
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unknown comment %q", n, line)
+		case strings.TrimSpace(line) == "":
+			t.Fatalf("line %d: blank line in exposition", n)
+		default:
+			m := sampleRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed sample %q", n, line)
+			}
+			switch v := m[3]; v {
+			case "+Inf", "-Inf", "NaN":
+			default:
+				if _, err := strconv.ParseFloat(v, 64); err != nil {
+					t.Fatalf("line %d: unparseable value %q", n, v)
+				}
+			}
+		}
+	}
+	if !sawEOF {
+		t.Fatal("missing # EOF terminator")
+	}
+}
+
+// sampleValue extracts one sample's value from an exposition.
+func sampleValue(t *testing.T, exposition, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.Fields(rest)[0], 64)
+			if err != nil {
+				t.Fatalf("sample %s: bad value %q", name, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("sample %s not found in exposition", name)
+	return 0
+}
+
+// TestNetcalcCacheMetricsExposed checks the observability satellite:
+// with auditing live, the /metrics exposition carries the analytic
+// cache counters, the snapshot stays omlint-clean, and the published
+// values mirror the platform cache's own stats.
+func TestNetcalcCacheMetricsExposed(t *testing.T) {
+	// 4 hogs: hog1 (2,0) and hog3 (1,1) sit equidistant from the memory
+	// node, so their NoC service curves are structurally identical and
+	// the second registration's composition must hit the cache.
+	p, _, err := BuildPlatform(RunSpec{
+		Hogs: 4, Duration: sim.Millisecond, Audit: true, Telemetry: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.StartApps()
+	p.RunFor(sim.Millisecond)
+	p.SnapshotMetrics()
+
+	var sb strings.Builder
+	if err := p.Telemetry().Registry.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	om := sb.String()
+	lintOpenMetrics(t, om)
+
+	st := p.ncCache.Stats()
+	if st.Misses == 0 {
+		t.Fatal("audited registration composed no curves through the cache")
+	}
+	if st.Hits == 0 {
+		t.Fatal("co-located apps share curve compositions; expected cache hits")
+	}
+	if got := sampleValue(t, om, "netcalc_cache_hits_total"); got != float64(st.Hits) {
+		t.Fatalf("netcalc_cache_hits_total = %v, cache says %d", got, st.Hits)
+	}
+	if got := sampleValue(t, om, "netcalc_cache_misses_total"); got != float64(st.Misses) {
+		t.Fatalf("netcalc_cache_misses_total = %v, cache says %d", got, st.Misses)
+	}
+	if got := sampleValue(t, om, "netcalc_interned_curves_total"); got != float64(st.InternedCurves) || got == 0 {
+		t.Fatalf("netcalc_interned_curves_total = %v, cache says %d", got, st.InternedCurves)
+	}
+}
+
+// TestNetcalcCacheMetricsAbsentWithoutAudit pins the gating: a
+// telemetry-only run must not publish analytic-cache counters (there
+// is no cache to observe), keeping non-audited snapshots unchanged.
+func TestNetcalcCacheMetricsAbsentWithoutAudit(t *testing.T) {
+	p, _, err := BuildPlatform(RunSpec{
+		Hogs: 1, Duration: sim.Millisecond, Telemetry: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.StartApps()
+	p.RunFor(sim.Millisecond)
+	p.SnapshotMetrics()
+	var sb strings.Builder
+	if err := p.Telemetry().Registry.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "netcalc_") {
+		t.Fatal("netcalc cache counters published without auditing")
+	}
+}

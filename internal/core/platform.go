@@ -115,6 +115,10 @@ type Platform struct {
 
 	aud       *audit.Auditor
 	audBounds map[string]float64
+	// ncCache memoizes the auditor's Network Calculus compositions;
+	// per-platform (never shared across runs) so published hit/miss
+	// counters stay deterministic for a given scenario and seed.
+	ncCache *netcalc.Cache
 }
 
 // New assembles a platform on a fresh engine.

@@ -98,5 +98,14 @@ func (p *Platform) SnapshotMetrics() {
 	if p.aud != nil {
 		p.aud.PublishMetrics(reg)
 	}
+	if p.ncCache != nil {
+		// Mirror the analytic-plane cache counters (monotone per run;
+		// the cache is per-platform so values are deterministic for a
+		// given scenario and seed).
+		st := p.ncCache.Stats()
+		reg.Counter("netcalc.cache_hits").Store(st.Hits)
+		reg.Counter("netcalc.cache_misses").Store(st.Misses)
+		reg.Counter("netcalc.interned_curves").Store(st.InternedCurves)
+	}
 	s.Monitors.Snapshot(reg, now)
 }

@@ -53,14 +53,7 @@ func DelayBound(alpha, beta Curve) float64 {
 // registration. With no service curves the bound is zero; an
 // infeasible tandem yields +Inf.
 func DelayBoundThrough(alpha Curve, betas ...Curve) float64 {
-	if len(betas) == 0 {
-		return 0
-	}
-	beta := betas[0]
-	for _, b := range betas[1:] {
-		beta = Convolve(beta, b)
-	}
-	return DelayBound(alpha, beta)
+	return (*Cache)(nil).DelayBoundThrough(alpha, betas...)
 }
 
 // BacklogBound returns the vertical deviation v(alpha, beta): the

@@ -1,0 +1,292 @@
+package netcalc
+
+import (
+	"sort"
+	"sync"
+)
+
+// Memoized min-plus operator cache.
+//
+// The analytic plane recomputes the same curve arithmetic over and
+// over: every online admission decision re-evaluates the bounds of
+// every active application, every mode change re-derives rate
+// assignments that mostly repeat earlier modes, and every audited
+// registration composes the same per-resource service curves. A Cache
+// memoizes the four operators on interned operand identities, so a
+// repeated composition costs two hash lookups instead of an O(n*m)
+// segment convolution.
+//
+// Correctness contract: a cache hit returns the stored result of the
+// exact computation a miss would perform — operands are matched by
+// bit-exact structural identity (see canon.go), so cached and uncached
+// paths are bit-identical, never merely epsilon-close. Curves are
+// immutable after construction, so sharing a stored result is safe.
+//
+// All methods are safe for concurrent use (sweep workers may share a
+// cache) and are nil-safe: every method on a nil *Cache falls through
+// to the uncached operator, so call sites can thread an optional cache
+// without branching.
+
+// opCode discriminates the memoized operators in a cache key.
+type opCode uint8
+
+const (
+	opConvolve opCode = iota
+	opDeconvolve
+	opResidual
+	opDelayBound
+)
+
+// opKey is a cache key: the operator plus both operands' interned
+// identities. Keys are directional — DelayBound and Deconvolve are not
+// commutative, and Convolve is not normalized either so that a hit is
+// always the stored result of the identical call.
+type opKey struct {
+	op   opCode
+	a, b uint64
+}
+
+// cacheEntry is one memoized result on the LRU list.
+type cacheEntry struct {
+	key    opKey
+	curve  Curve   // Convolve, Deconvolve, Residual
+	scalar float64 // DelayBound
+	err    error   // Deconvolve unboundedness
+
+	prev, next *cacheEntry
+}
+
+// CacheStats is a point-in-time snapshot of a cache's counters. Hits,
+// Misses, Evictions, and InternedCurves are monotone (InternedCurves
+// counts curves ever interned, so it keeps counter semantics across
+// interner flushes); Entries and LiveInterned are instantaneous.
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
+	InternedCurves          uint64
+	Entries, LiveInterned   int
+}
+
+// DefaultCacheCapacity is the LRU entry bound used when NewCache is
+// given a non-positive capacity.
+const DefaultCacheCapacity = 4096
+
+// Cache is an LRU-memoized view of the netcalc operators.
+type Cache struct {
+	in *interner
+
+	mu         sync.Mutex
+	entries    map[opKey]*cacheEntry
+	head, tail *cacheEntry // head = most recently used
+	cap        int
+
+	hits, misses, evictions uint64
+}
+
+// NewCache returns an empty cache bounded to capacity entries
+// (DefaultCacheCapacity if capacity <= 0).
+func NewCache(capacity int) *Cache {
+	return newCacheWithInterner(capacity, newInterner())
+}
+
+func newCacheWithInterner(capacity int, in *interner) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Cache{
+		in:      in,
+		entries: make(map[opKey]*cacheEntry, capacity),
+		cap:     capacity,
+	}
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	total, live := c.in.interned()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:           c.hits,
+		Misses:         c.misses,
+		Evictions:      c.evictions,
+		InternedCurves: total,
+		Entries:        len(c.entries),
+		LiveInterned:   live,
+	}
+}
+
+// lookup returns the entry for k, promoting it to most-recently-used.
+func (c *Cache) lookup(k opKey) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.moveToFront(e)
+	return e, true
+}
+
+// insert stores e under its key, evicting the least-recently-used
+// entry when full. If another goroutine raced the same miss, the
+// first stored entry wins (both computed bit-identical results).
+func (c *Cache) insert(e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[e.key]; exists {
+		return
+	}
+	if len(c.entries) >= c.cap {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.entries, lru.key)
+		c.evictions++
+	}
+	c.entries[e.key] = e
+	c.pushFront(e)
+}
+
+func (c *Cache) moveToFront(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *Cache) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// Convolve is the memoized min-plus convolution f (*) g.
+func (c *Cache) Convolve(f, g Curve) Curve {
+	if c == nil {
+		return Convolve(f, g)
+	}
+	fi, gi := c.in.intern(f), c.in.intern(g)
+	k := opKey{opConvolve, fi.id, gi.id}
+	if e, ok := c.lookup(k); ok {
+		return e.curve
+	}
+	out := Convolve(fi.c, gi.c)
+	c.insert(&cacheEntry{key: k, curve: out})
+	return out
+}
+
+// Deconvolve is the memoized min-plus deconvolution f (/) g; the
+// unboundedness error is memoized alongside the curve.
+func (c *Cache) Deconvolve(f, g Curve) (Curve, error) {
+	if c == nil {
+		return Deconvolve(f, g)
+	}
+	fi, gi := c.in.intern(f), c.in.intern(g)
+	k := opKey{opDeconvolve, fi.id, gi.id}
+	if e, ok := c.lookup(k); ok {
+		return e.curve, e.err
+	}
+	out, err := Deconvolve(fi.c, gi.c)
+	c.insert(&cacheEntry{key: k, curve: out, err: err})
+	return out, err
+}
+
+// Residual is the memoized leftover service curve under blind
+// multiplexing.
+func (c *Cache) Residual(beta, alphaCross Curve) Curve {
+	if c == nil {
+		return Residual(beta, alphaCross)
+	}
+	bi, ai := c.in.intern(beta), c.in.intern(alphaCross)
+	k := opKey{opResidual, bi.id, ai.id}
+	if e, ok := c.lookup(k); ok {
+		return e.curve
+	}
+	out := Residual(bi.c, ai.c)
+	c.insert(&cacheEntry{key: k, curve: out})
+	return out
+}
+
+// DelayBound is the memoized horizontal deviation h(alpha, beta).
+func (c *Cache) DelayBound(alpha, beta Curve) float64 {
+	if c == nil {
+		return DelayBound(alpha, beta)
+	}
+	ai, bi := c.in.intern(alpha), c.in.intern(beta)
+	k := opKey{opDelayBound, ai.id, bi.id}
+	if e, ok := c.lookup(k); ok {
+		return e.scalar
+	}
+	out := DelayBound(ai.c, bi.c)
+	c.insert(&cacheEntry{key: k, scalar: out})
+	return out
+}
+
+// ConvolveAll composes a chain of service curves through the cache,
+// convolving cheapest (fewest breakpoints) operands first: the
+// intermediate envelopes stay small, and identical sub-chains hit the
+// memo. The order is deterministic (stable on equal breakpoint
+// counts) and — convolution being associative and commutative —
+// produces the same curve as the left fold; conv_order tests pin that
+// the output is bit-identical on the repository's curve shapes.
+func (c *Cache) ConvolveAll(curves ...Curve) Curve {
+	if len(curves) == 0 {
+		return Zero()
+	}
+	order := convOrder(curves)
+	out := curves[order[0]]
+	for _, i := range order[1:] {
+		out = c.Convolve(out, curves[i])
+	}
+	return out
+}
+
+// DelayBoundThrough composes a tandem of per-resource service curves
+// through the cache and returns the delay bound of a flow with
+// arrival curve alpha across the whole path. Semantics match the
+// package-level DelayBoundThrough.
+func (c *Cache) DelayBoundThrough(alpha Curve, betas ...Curve) float64 {
+	if len(betas) == 0 {
+		return 0
+	}
+	return c.DelayBound(alpha, c.ConvolveAll(betas...))
+}
+
+// convOrder returns the operand order for ConvolveAll: indices sorted
+// by ascending breakpoint count, stable by position, so the cheapest
+// curves convolve first and equal-size operands keep their caller
+// order.
+func convOrder(curves []Curve) []int {
+	idx := make([]int, len(curves))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return len(curves[idx[a]].normPoints()) < len(curves[idx[b]].normPoints())
+	})
+	return idx
+}

@@ -1,0 +1,137 @@
+package netcalc
+
+import (
+	"math"
+	"sync"
+)
+
+// Canonical curve form and interning.
+//
+// Every Curve built through NewCurve (and hence every operator result,
+// all of which funnel through MustCurve/buildFrom) is already in
+// canonical form: breakpoints strictly increasing in X, coincident
+// points deduped, and collinear interior points merged by simplify.
+// Canonical form makes structural identity meaningful — two curves
+// describe the same function iff their normalized breakpoints and
+// final slope are equal — so the analytic plane can compare curves by
+// identity instead of by geometry.
+//
+// The interner assigns each distinct canonical structure a small
+// integer id. Equal curves intern to the same *internedCurve, making
+// them pointer-comparable; the operator cache keys its memo table on
+// those ids, so a cache key is three machine words regardless of how
+// many breakpoints the operands carry.
+
+// identical reports bit-exact structural equality: same breakpoints,
+// same final slope, compared by float bit pattern. It is stricter
+// than Equal (which admits an epsilon): interning and cache keys use
+// identical so a memoized result can never differ from the uncached
+// computation by even one ulp.
+func (c Curve) identical(d Curve) bool {
+	cp, dp := c.normPoints(), d.normPoints()
+	if len(cp) != len(dp) ||
+		math.Float64bits(c.finalSlope) != math.Float64bits(d.finalSlope) {
+		return false
+	}
+	for i := range cp {
+		if math.Float64bits(cp[i].X) != math.Float64bits(dp[i].X) ||
+			math.Float64bits(cp[i].Y) != math.Float64bits(dp[i].Y) {
+			return false
+		}
+	}
+	return true
+}
+
+// fingerprint hashes the curve's canonical structure (FNV-1a over the
+// float bit patterns). identical curves have identical fingerprints;
+// the interner resolves the (vanishingly rare) collisions by exact
+// structural comparison, so a collision costs a bucket scan, never a
+// wrong answer.
+func (c Curve) fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	for _, p := range c.normPoints() {
+		mix(math.Float64bits(p.X))
+		mix(math.Float64bits(p.Y))
+	}
+	mix(math.Float64bits(c.finalSlope))
+	return h
+}
+
+// internedCurve is one canonical curve in an interner's table. The
+// pointer itself is the identity: interning equal curves returns the
+// same entry.
+type internedCurve struct {
+	id uint64
+	c  Curve
+}
+
+// interner deduplicates canonical curves. Safe for concurrent use.
+type interner struct {
+	mu      sync.Mutex
+	hash    func(Curve) uint64
+	buckets map[uint64][]*internedCurve
+	nextID  uint64 // also the cumulative intern count
+	live    int
+	maxLive int
+}
+
+// internerFlushThreshold bounds the live table. Curve churn beyond the
+// threshold (e.g. a long-running service interning a new rate
+// assignment per mode change) flushes the table; ids keep increasing,
+// so cache entries keyed on flushed ids simply stop matching and age
+// out of the LRU — stale ids can never alias a new curve.
+const internerFlushThreshold = 1 << 16
+
+func newInterner() *interner {
+	return newInternerWithHash(Curve.fingerprint)
+}
+
+// newInternerWithHash injects the hash function; tests use a constant
+// hash to force every intern through the collision path.
+func newInternerWithHash(hash func(Curve) uint64) *interner {
+	return &interner{
+		hash:    hash,
+		buckets: make(map[uint64][]*internedCurve),
+		maxLive: internerFlushThreshold,
+	}
+}
+
+// intern returns the canonical entry for c, creating one if this
+// structure has not been seen (or was flushed).
+func (in *interner) intern(c Curve) *internedCurve {
+	fp := in.hash(c)
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, e := range in.buckets[fp] {
+		if e.c.identical(c) {
+			return e
+		}
+	}
+	if in.live >= in.maxLive {
+		in.buckets = make(map[uint64][]*internedCurve)
+		in.live = 0
+	}
+	in.nextID++
+	e := &internedCurve{id: in.nextID, c: c}
+	in.buckets[fp] = append(in.buckets[fp], e)
+	in.live++
+	return e
+}
+
+// interned returns the cumulative number of distinct curves interned
+// (monotone across flushes) and the current live table size.
+func (in *interner) interned() (total uint64, live int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.nextID, in.live
+}

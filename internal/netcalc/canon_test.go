@@ -1,0 +1,134 @@
+package netcalc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomCurve draws a canonical piecewise-linear curve. Coordinates are
+// drawn on a coarse grid so independently generated curves collide with
+// useful probability and re-generated equal curves are bit-equal.
+func randomCurve(rnd *rand.Rand) Curve {
+	n := 1 + rnd.Intn(6)
+	pts := make([]Point, 0, n)
+	x, y := 0.0, float64(rnd.Intn(4))
+	for i := 0; i < n; i++ {
+		pts = append(pts, Point{x, y})
+		x += 0.25 * float64(1+rnd.Intn(16))
+		y += 0.25 * float64(rnd.Intn(16))
+	}
+	finalSlope := 0.25 * float64(rnd.Intn(8))
+	c, err := NewCurve(pts, finalSlope)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// TestIdenticalProperties pins the identity relation the interner and
+// cache keys rest on: reflexive, symmetric, bit-strict (an ulp of
+// difference separates curves that Equal would merge), and implied by
+// construction from equal inputs.
+func TestIdenticalProperties(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a, b := randomCurve(rnd), randomCurve(rnd)
+		if !a.identical(a) || !b.identical(b) {
+			t.Fatal("identical not reflexive")
+		}
+		if a.identical(b) != b.identical(a) {
+			t.Fatal("identical not symmetric")
+		}
+		if a.identical(b) && a.fingerprint() != b.fingerprint() {
+			t.Fatal("identical curves with different fingerprints")
+		}
+		// Rebuilding from the same points must yield an identical curve.
+		c := MustCurve(a.Points(), a.FinalSlope())
+		if !a.identical(c) {
+			t.Fatalf("rebuild not identical: %v vs %v", a, c)
+		}
+	}
+	// One-ulp perturbation must break identity even though Equal holds.
+	base := RateLatency(0.5, 100)
+	pts := base.Points()
+	pts[len(pts)-1].Y += pts[len(pts)-1].Y * 1e-16
+	bumped := MustCurve(pts, base.FinalSlope())
+	if base.identical(bumped) && base.Points()[len(pts)-1] != bumped.Points()[len(pts)-1] {
+		t.Fatal("identical ignored a bit-level difference")
+	}
+	if !base.Equal(bumped) {
+		t.Fatal("epsilon Equal should still hold for an ulp perturbation")
+	}
+}
+
+// TestInternPointerEquality checks the core interning guarantee: equal
+// structures intern to the same entry (pointer-comparable identity),
+// distinct structures to distinct ids.
+func TestInternPointerEquality(t *testing.T) {
+	in := newInterner()
+	rnd := rand.New(rand.NewSource(11))
+	byID := make(map[uint64]Curve)
+	for i := 0; i < 2000; i++ {
+		c := randomCurve(rnd)
+		e := in.intern(c)
+		e2 := in.intern(MustCurve(c.Points(), c.FinalSlope()))
+		if e != e2 {
+			t.Fatalf("equal curves interned to distinct entries: %v", c)
+		}
+		if prev, seen := byID[e.id]; seen && !prev.identical(c) {
+			t.Fatalf("id %d reused for a different structure", e.id)
+		}
+		byID[e.id] = c
+	}
+	total, live := in.interned()
+	if total == 0 || live == 0 || int(total) != live {
+		t.Fatalf("interned() = (%d, %d); want equal non-zero counts before any flush", total, live)
+	}
+}
+
+// TestInternCollisions forces every intern through the collision path
+// with a constant hash: correctness must not depend on fingerprint
+// quality, only speed does.
+func TestInternCollisions(t *testing.T) {
+	in := newInternerWithHash(func(Curve) uint64 { return 42 })
+	rnd := rand.New(rand.NewSource(13))
+	seen := make(map[uint64]Curve)
+	for i := 0; i < 300; i++ {
+		c := randomCurve(rnd)
+		e := in.intern(c)
+		if prev, ok := seen[e.id]; ok {
+			if !prev.identical(c) {
+				t.Fatalf("collision bucket returned wrong curve: %v vs %v", prev, c)
+			}
+		} else {
+			seen[e.id] = c
+		}
+		if again := in.intern(c); again != e {
+			t.Fatal("re-intern under constant hash lost identity")
+		}
+	}
+}
+
+// TestInternFlush checks the churn guard: crossing the live threshold
+// flushes the table but keeps ids monotone, so an entry interned after
+// the flush never aliases a pre-flush id.
+func TestInternFlush(t *testing.T) {
+	in := newInterner()
+	in.maxLive = 8
+	var maxID uint64
+	for i := 0; i < 50; i++ {
+		c := TokenBucket(float64(i+1), 1)
+		e := in.intern(c)
+		if e.id <= maxID {
+			t.Fatalf("id regressed across flush: %d after %d", e.id, maxID)
+		}
+		maxID = e.id
+	}
+	total, live := in.interned()
+	if total != 50 {
+		t.Fatalf("cumulative count = %d, want 50", total)
+	}
+	if live > in.maxLive {
+		t.Fatalf("live = %d exceeds threshold %d", live, in.maxLive)
+	}
+}

@@ -3,7 +3,22 @@ package netcalc
 import (
 	"fmt"
 	"math"
+	"sync"
 )
+
+// convScratch holds the intermediate buffers of one Convolve call.
+// Convolution of an n-segment curve with an m-segment curve builds
+// n*m partial functions plus candidate/crossing coordinate lists;
+// allocating those per call made Convolve the analytic plane's
+// dominant allocation source. The buffers are recycled through a
+// sync.Pool — only the result curve's breakpoints escape.
+type convScratch struct {
+	fsegs, gsegs []segment
+	partials     []partial
+	xs, base     []float64
+}
+
+var convScratchPool = sync.Pool{New: func() interface{} { return new(convScratch) }}
 
 // Convolve returns the min-plus convolution
 //
@@ -16,36 +31,35 @@ import (
 // is convolved (segments concatenate in ascending slope order) and the
 // result is the lower envelope of all partial convolutions.
 func Convolve(f, g Curve) Curve {
+	sc := convScratchPool.Get().(*convScratch)
 	// (f (*) g)(t) >= f(0)+g(0); factor the offsets out so that the
 	// segment machinery can assume both operands start at 0.
 	f0, g0 := f.Eval(0), g.Eval(0)
-	fs, gs := segmentsOf(f), segmentsOf(g)
+	sc.fsegs = appendSegments(sc.fsegs[:0], f)
+	sc.gsegs = appendSegments(sc.gsegs[:0], g)
 
-	var partials []partial
-	for _, a := range fs {
-		for _, b := range gs {
-			partials = append(partials, convSegments(a, b))
+	sc.partials = sc.partials[:0]
+	for _, a := range sc.fsegs {
+		for _, b := range sc.gsegs {
+			sc.partials = append(sc.partials, convSegments(a, b))
 		}
 	}
-	env := lowerEnvelope(partials)
+	env := lowerEnvelope(sc)
 	// Re-apply the offsets.
 	pts := env.Points()
 	for i := range pts {
 		pts[i].Y += f0 + g0
 	}
-	return MustCurve(pts, env.finalSlope)
+	out := MustCurve(pts, env.finalSlope)
+	convScratchPool.Put(sc)
+	return out
 }
 
-// ConvolveAll composes a chain of service curves.
+// ConvolveAll composes a chain of service curves, cheapest operands
+// first (see Cache.ConvolveAll for the ordering rationale and the
+// bit-identity guarantee versus the left fold).
 func ConvolveAll(curves ...Curve) Curve {
-	if len(curves) == 0 {
-		return Zero()
-	}
-	out := curves[0]
-	for _, c := range curves[1:] {
-		out = Convolve(out, c)
-	}
-	return out
+	return (*Cache)(nil).ConvolveAll(curves...)
 }
 
 // Deconvolve returns the min-plus deconvolution
@@ -121,11 +135,11 @@ type segment struct {
 	length float64
 }
 
-// segmentsOf decomposes a curve (minus its value at zero) into segments.
-func segmentsOf(c Curve) []segment {
+// appendSegments decomposes a curve (minus its value at zero) into
+// segments, appending to segs (usually a recycled scratch buffer).
+func appendSegments(segs []segment, c Curve) []segment {
 	pts := c.normPoints()
 	y0 := pts[0].Y
-	var segs []segment
 	for i := 0; i < len(pts); i++ {
 		p := pts[i]
 		if i+1 < len(pts) {
@@ -140,9 +154,12 @@ func segmentsOf(c Curve) []segment {
 
 // partial is a piecewise-linear function defined on [start, end)
 // (+Inf outside), used as an intermediate in convolution envelopes.
+// A partial produced by convSegments has at most two pieces, so they
+// live in a fixed-size array: building one allocates nothing.
 type partial struct {
-	start  float64
-	pieces []piece // contiguous from start
+	start float64
+	n     int
+	pcs   [2]piece // pcs[:n] contiguous from start
 }
 
 type piece struct {
@@ -151,21 +168,21 @@ type piece struct {
 	length float64 // +Inf allowed only on the last piece
 }
 
-func (p partial) end() float64 {
+func (p *partial) end() float64 {
 	e := p.start
-	for _, pc := range p.pieces {
+	for _, pc := range p.pcs[:p.n] {
 		e += pc.length
 	}
 	return e
 }
 
 // eval evaluates the partial at x; outside its domain it returns +Inf.
-func (p partial) eval(x float64) float64 {
+func (p *partial) eval(x float64) float64 {
 	if x < p.start-eps {
 		return math.Inf(1)
 	}
 	off := x - p.start
-	for _, pc := range p.pieces {
+	for _, pc := range p.pcs[:p.n] {
 		if off <= pc.length || math.IsInf(pc.length, 1) {
 			return pc.y0 + pc.slope*math.Min(off, pc.length)
 		}
@@ -176,12 +193,12 @@ func (p partial) eval(x float64) float64 {
 
 // slopeAt returns the slope of the partial's piece containing x
 // (right-continuous), or 0 outside the domain.
-func (p partial) slopeAt(x float64) float64 {
+func (p *partial) slopeAt(x float64) float64 {
 	if x < p.start-eps {
 		return 0
 	}
 	off := x - p.start
-	for _, pc := range p.pieces {
+	for _, pc := range p.pcs[:p.n] {
 		if off < pc.length {
 			return pc.slope
 		}
@@ -190,11 +207,12 @@ func (p partial) slopeAt(x float64) float64 {
 	return 0
 }
 
-// breakXs returns the absolute Xs of the partial's piece boundaries.
-func (p partial) breakXs() []float64 {
-	xs := []float64{p.start}
+// appendBreakXs appends the absolute Xs of the partial's piece
+// boundaries to xs.
+func (p *partial) appendBreakXs(xs []float64) []float64 {
+	xs = append(xs, p.start)
 	x := p.start
-	for _, pc := range p.pieces {
+	for _, pc := range p.pcs[:p.n] {
 		if math.IsInf(pc.length, 1) {
 			break
 		}
@@ -213,44 +231,51 @@ func convSegments(a, b segment) partial {
 	if b.slope < a.slope {
 		lo, hi = b, a
 	}
-	pcs := make([]piece, 0, 2)
+	p := partial{start: a.x0 + b.x0}
 	y := a.y0 + b.y0
-	pcs = append(pcs, piece{y, lo.slope, lo.length})
+	p.pcs[0] = piece{y, lo.slope, lo.length}
+	p.n = 1
 	if !math.IsInf(lo.length, 1) {
 		y += lo.slope * lo.length
-		pcs = append(pcs, piece{y, hi.slope, hi.length})
+		p.pcs[1] = piece{y, hi.slope, hi.length}
+		p.n = 2
 	}
-	return partial{start: a.x0 + b.x0, pieces: pcs}
+	return p
 }
 
-// lowerEnvelope computes the pointwise minimum of the partials as a
+// lowerEnvelope computes the pointwise minimum of sc.partials as a
 // Curve. Candidate breakpoints are all piece boundaries plus all
 // pairwise intersections of pieces; between consecutive candidates the
-// envelope is a single affine piece.
-func lowerEnvelope(partials []partial) Curve {
+// envelope is a single affine piece. Coordinate lists live in the
+// scratch buffers.
+func lowerEnvelope(sc *convScratch) Curve {
+	partials := sc.partials
 	if len(partials) == 0 {
 		return Zero()
 	}
-	var xs []float64
-	for _, p := range partials {
-		xs = append(xs, p.breakXs()...)
+	sc.base = sc.base[:0]
+	for i := range partials {
+		p := &partials[i]
+		sc.base = p.appendBreakXs(sc.base)
 		if e := p.end(); !math.IsInf(e, 1) {
-			xs = append(xs, e)
+			sc.base = append(sc.base, e)
 		}
 	}
-	// Pairwise intersections.
-	base := sortedUnique(xs)
+	sc.base = sortedUnique(sc.base)
+	// Pairwise intersections, on top of the piece-boundary candidates.
+	sc.xs = append(sc.xs[:0], sc.base...)
 	for i := 0; i < len(partials); i++ {
 		for j := i + 1; j < len(partials); j++ {
-			xs = append(xs, partialCrossings(partials[i], partials[j], base)...)
+			sc.xs = appendPartialCrossings(sc.xs, &partials[i], &partials[j], sc.base)
 		}
 	}
-	xs = sortedUnique(xs)
+	sc.xs = sortedUnique(sc.xs)
+	xs := sc.xs
 
 	evalMin := func(x float64) float64 {
 		best := math.Inf(1)
-		for _, p := range partials {
-			if v := p.eval(x); v < best {
+		for i := range partials {
+			if v := partials[i].eval(x); v < best {
 				best = v
 			}
 		}
@@ -262,7 +287,8 @@ func lowerEnvelope(partials []partial) Curve {
 	lastX := xs[len(xs)-1]
 	probe := lastX + 1
 	bestVal, bestSlope := math.Inf(1), 0.0
-	for _, p := range partials {
+	for i := range partials {
+		p := &partials[i]
 		v := p.eval(probe)
 		if math.IsInf(v, 1) {
 			continue
@@ -275,10 +301,10 @@ func lowerEnvelope(partials []partial) Curve {
 	return buildFrom(xs, evalMin, bestSlope)
 }
 
-// partialCrossings finds intersections of two partials' affine pieces
-// inside the intervals delimited by the base candidate Xs.
-func partialCrossings(a, b partial, base []float64) []float64 {
-	var out []float64
+// appendPartialCrossings appends to out the intersections of two
+// partials' affine pieces inside the intervals delimited by the base
+// candidate Xs.
+func appendPartialCrossings(out []float64, a, b *partial, base []float64) []float64 {
 	for i := 0; i < len(base); i++ {
 		x0 := base[i]
 		x1 := math.Inf(1)

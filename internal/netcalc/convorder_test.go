@@ -1,0 +1,146 @@
+// Bit-identity pinning for the ConvolveAll operand reorder. Lives in an
+// external test package so it can compose the real DRAM worst-case
+// service curve (internal/dram/wcd imports netcalc, so an internal test
+// would cycle).
+package netcalc_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dram/wcd"
+	"repro/internal/netcalc"
+)
+
+// bitIdentical compares two curves by float bit pattern — stricter than
+// Curve.Equal, which admits an epsilon.
+func bitIdentical(a, b netcalc.Curve) bool {
+	ap, bp := a.Points(), b.Points()
+	if len(ap) != len(bp) ||
+		math.Float64bits(a.FinalSlope()) != math.Float64bits(b.FinalSlope()) {
+		return false
+	}
+	for i := range ap {
+		if math.Float64bits(ap[i].X) != math.Float64bits(bp[i].X) ||
+			math.Float64bits(ap[i].Y) != math.Float64bits(bp[i].Y) {
+			return false
+		}
+	}
+	return true
+}
+
+// leftFold is the pre-reorder ConvolveAll semantics: pairwise min-plus
+// convolution in caller order.
+func leftFold(curves ...netcalc.Curve) netcalc.Curve {
+	out := curves[0]
+	for _, c := range curves[1:] {
+		out = netcalc.Convolve(out, c)
+	}
+	return out
+}
+
+// tandems returns representative service-curve chains from across the
+// repository: the audit path's NoC/DRAM/NoC composition (rate-latency
+// around the multi-segment WCD staircase), TDMA staircases, CBS
+// reservations, and mixed-size chains that force the cheapest-first
+// order to differ from caller order.
+func tandems(t *testing.T) map[string][]netcalc.Curve {
+	t.Helper()
+	dramCurve, err := wcd.ServiceCurve(wcd.DefaultParams(), 16)
+	if err != nil {
+		t.Fatalf("wcd.ServiceCurve: %v", err)
+	}
+	return map[string][]netcalc.Curve{
+		"audit-noc-dram-noc": {
+			netcalc.RateLatency(0.4, 120),
+			dramCurve,
+			netcalc.RateLatency(0.4, 120),
+		},
+		"dram-first": {
+			dramCurve,
+			netcalc.RateLatency(1.6, 30),
+			netcalc.TDMAService(1.6, 20, 100, 6),
+		},
+		"tdma-pair": {
+			netcalc.TDMAService(1.0, 25, 100, 8),
+			netcalc.RateLatency(0.8, 50),
+			netcalc.CBSService(1.2, 30, 90),
+		},
+		"equal-sizes": {
+			netcalc.RateLatency(0.5, 10),
+			netcalc.RateLatency(0.7, 20),
+			netcalc.RateLatency(0.9, 5),
+		},
+		"single": {
+			dramCurve,
+		},
+	}
+}
+
+// TestConvolveAllMatchesLeftFold proves the reorder satellite's safety
+// claim: convolving cheapest-breakpoint-count operands first yields a
+// bit-identical curve to the historical left fold on every
+// representative tandem (min-plus convolution is associative and
+// commutative, and these compositions land on the same floats).
+func TestConvolveAllMatchesLeftFold(t *testing.T) {
+	for name, chain := range tandems(t) {
+		got := netcalc.ConvolveAll(chain...)
+		want := leftFold(chain...)
+		if !bitIdentical(got, want) {
+			t.Errorf("%s: ConvolveAll diverges from left fold\n got %v\nwant %v",
+				name, got, want)
+		}
+	}
+}
+
+// TestConvolveAllDeepChainEquivalent documents the boundary of the
+// bit-identity guarantee: on a deep chain of mixed staircases the
+// reordered fold can land an interior coordinate an ulp away from the
+// left fold (float addition is not associative), but the curves remain
+// equal as functions under the package epsilon. No repository
+// composition is this deep; the chains in tandems stay bit-identical.
+func TestConvolveAllDeepChainEquivalent(t *testing.T) {
+	chain := []netcalc.Curve{
+		netcalc.TDMAService(1.0, 25, 100, 8),
+		netcalc.RateLatency(0.8, 50),
+		netcalc.TDMAService(2.0, 10, 80, 4),
+		netcalc.CBSService(1.2, 30, 90),
+	}
+	got := netcalc.ConvolveAll(chain...)
+	want := leftFold(chain...)
+	if !got.Equal(want) {
+		t.Fatalf("deep chain diverges beyond epsilon\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestDelayBoundThroughMatchesFold pins the same property one level up:
+// the tandem delay bound through the reordered composition must equal
+// the bound through the left fold bit-for-bit.
+func TestDelayBoundThroughMatchesFold(t *testing.T) {
+	for name, chain := range tandems(t) {
+		alpha := netcalc.TokenBucket(256, 0.2)
+		got := netcalc.DelayBoundThrough(alpha, chain...)
+		want := netcalc.DelayBound(alpha, leftFold(chain...))
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("%s: DelayBoundThrough = %v, left fold bound = %v", name, got, want)
+		}
+	}
+}
+
+// TestConvolveAllCachedMatchesUncached runs the same chains through a
+// shared cache twice; hits must return the bit-identical curve the cold
+// path produced.
+func TestConvolveAllCachedMatchesUncached(t *testing.T) {
+	cache := netcalc.NewCache(0)
+	for name, chain := range tandems(t) {
+		cold := cache.ConvolveAll(chain...)
+		warm := cache.ConvolveAll(chain...)
+		plain := netcalc.ConvolveAll(chain...)
+		if !bitIdentical(cold, warm) || !bitIdentical(cold, plain) {
+			t.Errorf("%s: cached ConvolveAll not bit-identical to uncached", name)
+		}
+	}
+	if st := cache.Stats(); st.Hits == 0 {
+		t.Error("second pass produced no cache hits")
+	}
+}

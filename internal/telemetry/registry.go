@@ -45,6 +45,15 @@ func (c *Counter) Add(n uint64) {
 // Inc increments the counter by one.
 func (c *Counter) Inc() { c.Add(1) }
 
+// Store sets the counter to v, for mirroring a monotone count that is
+// maintained elsewhere (e.g. a cache's hit total) at snapshot time.
+// The caller owns the monotonicity guarantee.
+func (c *Counter) Store(v uint64) {
+	if c != nil {
+		c.v.Store(v)
+	}
+}
+
 // Value returns the current count.
 func (c *Counter) Value() uint64 {
 	if c == nil {
