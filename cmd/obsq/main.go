@@ -1,0 +1,465 @@
+// Command obsq is the query surface of the cross-run observability
+// store (internal/obs): it lists stored run records, extracts metric
+// series, evaluates SLOs with burn rates over the stored history, and
+// runs the regression sentinel against the trajectory — the CLI half
+// of the store that cmd/sweep and the bench emitters write.
+//
+// Usage:
+//
+//	obsq <command> [-store DIR] [flags]
+//
+// Commands:
+//
+//	query     list records (table or -json)
+//	series    print one metric's values in append order
+//	labels    list distinct (kind, label) groups
+//	slo       evaluate SLOs over the store (-strict exits 1 when unmet)
+//	sentinel  judge the newest run per group against its trajectory
+//	          (exits 1 when a regression is flagged)
+//	record    append a record from flags or an ingested bench JSON
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+const usage = `usage: obsq <command> [-store DIR] [flags]
+
+commands:
+  query     list stored run records
+  series    print one metric's values in append order
+  labels    list distinct (kind, label) groups
+  slo       evaluate SLOs over the stored history
+  sentinel  judge the newest run per group against its trajectory
+  record    append a record from flags or a bench JSON file
+
+run "obsq <command> -h" for the command's flags
+`
+
+func run(args []string, out, errw io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprint(errw, usage)
+		return 2
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "query":
+		return cmdQuery(rest, out, errw)
+	case "series":
+		return cmdSeries(rest, out, errw)
+	case "labels":
+		return cmdLabels(rest, out, errw)
+	case "slo":
+		return cmdSLO(rest, out, errw)
+	case "sentinel":
+		return cmdSentinel(rest, out, errw)
+	case "record":
+		return cmdRecord(rest, out, errw)
+	case "-h", "-help", "--help", "help":
+		fmt.Fprint(out, usage)
+		return 0
+	}
+	fmt.Fprintf(errw, "obsq: unknown command %q\n%s", cmd, usage)
+	return 2
+}
+
+// fail prints an operational error and returns the exit code.
+func fail(errw io.Writer, err error) int {
+	fmt.Fprintf(errw, "obsq: %v\n", err)
+	return 1
+}
+
+// filterFlags registers the shared record-filter flags on fs and
+// returns a builder that materializes the obs.Filter after parsing.
+func filterFlags(fs *flag.FlagSet) func() (obs.Filter, error) {
+	kind := fs.String("kind", "", "filter by record kind (contention, admission, bench, ...)")
+	label := fs.String("label", "", "filter by configuration label")
+	seed := fs.String("seed", "", "filter by seed")
+	failed := fs.Bool("failed", false, "only failure records")
+	ok := fs.Bool("ok", false, "only successful records")
+	last := fs.Int("last", 0, "keep only the newest N matching records")
+	since := fs.Int64("since", 0, "only records recorded at or after this unix time")
+	until := fs.Int64("until", 0, "only records recorded at or before this unix time")
+	return func() (obs.Filter, error) {
+		f := obs.Filter{
+			Kind: *kind, Label: *label, Failed: *failed, OK: *ok,
+			LastN: *last, Since: *since, Until: *until,
+		}
+		if *seed != "" {
+			v, err := strconv.ParseUint(*seed, 10, 64)
+			if err != nil {
+				return f, fmt.Errorf("bad -seed %q: %v", *seed, err)
+			}
+			f.Seed = &v
+		}
+		return f, nil
+	}
+}
+
+func cmdQuery(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("obsq query", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	store := fs.String("store", ".obs", "store directory")
+	asJSON := fs.Bool("json", false, "emit records as JSON")
+	full := fs.Bool("full", false, "include the OpenMetrics payload in -json output")
+	mkFilter := filterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	f, err := mkFilter()
+	if err != nil {
+		return fail(errw, err)
+	}
+	st, err := obs.Open(*store)
+	if err != nil {
+		return fail(errw, err)
+	}
+	defer st.Close()
+	recs, err := st.Query(f)
+	if err != nil {
+		return fail(errw, err)
+	}
+	if *asJSON {
+		if !*full {
+			for i := range recs {
+				recs[i].Metrics = ""
+			}
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(recs); err != nil {
+			return fail(errw, err)
+		}
+		return 0
+	}
+	fmt.Fprintf(out, "%4s %-10s %-40s %6s %-8s %s\n", "seq", "kind", "label", "seed", "status", "values")
+	for _, r := range recs {
+		status := "ok"
+		if r.Failed() {
+			status = "FAILED"
+		}
+		fmt.Fprintf(out, "%4d %-10s %-40s %6d %-8s %s\n",
+			r.Seq, r.Kind, r.Label, r.Seed, status, compactValues(r.Values))
+	}
+	return 0
+}
+
+// compactValues renders a values map as sorted "k=v" pairs.
+func compactValues(vals map[string]float64) string {
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%g", k, vals[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+func cmdSeries(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("obsq series", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	store := fs.String("store", ".obs", "store directory")
+	metric := fs.String("metric", "", "metric name to extract (required)")
+	mkFilter := filterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *metric == "" {
+		fmt.Fprintln(errw, "obsq series: -metric is required")
+		return 2
+	}
+	f, err := mkFilter()
+	if err != nil {
+		return fail(errw, err)
+	}
+	st, err := obs.Open(*store)
+	if err != nil {
+		return fail(errw, err)
+	}
+	defer st.Close()
+	series, err := st.Series(*metric, f)
+	if err != nil {
+		return fail(errw, err)
+	}
+	for _, v := range series {
+		fmt.Fprintf(out, "%g\n", v)
+	}
+	return 0
+}
+
+func cmdLabels(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("obsq labels", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	store := fs.String("store", ".obs", "store directory")
+	mkFilter := filterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	f, err := mkFilter()
+	if err != nil {
+		return fail(errw, err)
+	}
+	st, err := obs.Open(*store)
+	if err != nil {
+		return fail(errw, err)
+	}
+	defer st.Close()
+	labels, err := st.Labels(f)
+	if err != nil {
+		return fail(errw, err)
+	}
+	for _, kl := range labels {
+		fmt.Fprintf(out, "%-10s %s\n", kl[0], kl[1])
+	}
+	return 0
+}
+
+func cmdSLO(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("obsq slo", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	store := fs.String("store", ".obs", "store directory")
+	specPath := fs.String("spec", "", "SLO spec JSON file (default: built-in objectives)")
+	asJSON := fs.Bool("json", false, "emit statuses as JSON")
+	strict := fs.Bool("strict", false, "exit 1 when any SLO is unmet")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	slos := obs.DefaultSLOs()
+	if *specPath != "" {
+		f, err := os.Open(*specPath)
+		if err != nil {
+			return fail(errw, err)
+		}
+		slos, err = obs.LoadSLOs(f)
+		f.Close()
+		if err != nil {
+			return fail(errw, fmt.Errorf("spec %s: %w", *specPath, err))
+		}
+	}
+	st, err := obs.Open(*store)
+	if err != nil {
+		return fail(errw, err)
+	}
+	defer st.Close()
+	statuses, err := obs.EvaluateStore(st, slos)
+	if err != nil {
+		return fail(errw, err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(statuses); err != nil {
+			return fail(errw, err)
+		}
+	} else {
+		fmt.Fprintf(out, "%-24s %5s %5s %11s %9s %s\n", "slo", "runs", "good", "attainment", "burn", "met")
+		for _, s := range statuses {
+			fmt.Fprintf(out, "%-24s %5d %5d %10.1f%% %9.2f %v\n",
+				s.SLO.Name, s.Runs, s.Good, 100*s.Attainment, s.BurnRate, s.Met)
+		}
+	}
+	if *strict {
+		for _, s := range statuses {
+			if !s.Met {
+				fmt.Fprintf(errw, "obsq: SLO %q unmet (attainment %.1f%% < target %.1f%%)\n",
+					s.SLO.Name, 100*s.Attainment, 100*s.SLO.Target)
+				return 1
+			}
+		}
+	}
+	return 0
+}
+
+func cmdSentinel(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("obsq sentinel", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	store := fs.String("store", ".obs", "store directory")
+	lastN := fs.Int("baseline", 0, "baseline depth: median of the last N healthy runs (default 5)")
+	tolerance := fs.Float64("tolerance", 0, "relative tolerance band (default 0.25)")
+	minHistory := fs.Int("min-history", 0, "minimum baseline samples before judging (default 1)")
+	only := fs.String("only", "", "comma-separated metric substrings to judge (default: all known)")
+	asJSON := fs.Bool("json", false, "emit findings as JSON")
+	mkFilter := filterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	f, err := mkFilter()
+	if err != nil {
+		return fail(errw, err)
+	}
+	cfg := obs.SentinelConfig{LastN: *lastN, Tolerance: *tolerance, MinHistory: *minHistory}
+	if *only != "" {
+		cfg.Only = strings.Split(*only, ",")
+	}
+	st, err := obs.Open(*store)
+	if err != nil {
+		return fail(errw, err)
+	}
+	defer st.Close()
+	findings, err := cfg.CheckStore(st, f)
+	if err != nil {
+		return fail(errw, err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			return fail(errw, err)
+		}
+	} else {
+		for _, fd := range findings {
+			fmt.Fprintln(out, fd.String())
+		}
+	}
+	if reg := obs.Regressions(findings); len(reg) > 0 {
+		fmt.Fprintf(errw, "obsq: %d regression(s) against the stored trajectory\n", len(reg))
+		return 1
+	}
+	return 0
+}
+
+func cmdRecord(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("obsq record", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	store := fs.String("store", ".obs", "store directory")
+	kind := fs.String("kind", obs.KindBench, "record kind")
+	label := fs.String("label", "", "configuration label (default: the bench JSON's benchmark name)")
+	seed := fs.Uint64("seed", 0, "run seed")
+	values := fs.String("values", "", "comma-separated name=value headline metrics")
+	config := fs.String("config", "", "comma-separated k=v config axes to fingerprint")
+	metricsPath := fs.String("metrics", "", "OpenMetrics snapshot file to embed (\"-\" for stdin)")
+	benchPath := fs.String("bench", "", "bench emitter JSON to ingest (nested values flatten to dotted names)")
+	errText := fs.String("err", "", "failure record text (marks the run failed)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	rec := obs.RunRecord{Kind: *kind, Label: *label, Seed: *seed, Err: *errText, Values: map[string]float64{}}
+	if *benchPath != "" {
+		name, vals, err := ingestBench(*benchPath)
+		if err != nil {
+			return fail(errw, err)
+		}
+		for k, v := range vals {
+			rec.Values[k] = v
+		}
+		if rec.Label == "" {
+			rec.Label = name
+		}
+	}
+	if *values != "" {
+		for _, pair := range strings.Split(*values, ",") {
+			k, vs, ok := strings.Cut(pair, "=")
+			if !ok {
+				return fail(errw, fmt.Errorf("bad -values entry %q (want name=value)", pair))
+			}
+			v, err := strconv.ParseFloat(vs, 64)
+			if err != nil {
+				return fail(errw, fmt.Errorf("bad -values entry %q: %v", pair, err))
+			}
+			rec.Values[k] = v
+		}
+	}
+	if *config != "" {
+		cfg := map[string]string{}
+		for _, pair := range strings.Split(*config, ",") {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok {
+				return fail(errw, fmt.Errorf("bad -config entry %q (want k=v)", pair))
+			}
+			cfg[k] = v
+		}
+		rec.ConfigFP = obs.FingerprintConfig(cfg)
+	}
+	if *metricsPath != "" {
+		var data []byte
+		var err error
+		if *metricsPath == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(*metricsPath)
+		}
+		if err != nil {
+			return fail(errw, err)
+		}
+		rec.Metrics = string(data)
+	}
+	if rec.Label == "" {
+		fmt.Fprintln(errw, "obsq record: -label is required (or a -bench file naming its benchmark)")
+		return 2
+	}
+	if len(rec.Values) == 0 {
+		rec.Values = nil
+	}
+	st, err := obs.Open(*store)
+	if err != nil {
+		return fail(errw, err)
+	}
+	defer st.Close()
+	stamped, err := st.Append(rec)
+	if err != nil {
+		return fail(errw, err)
+	}
+	fmt.Fprintf(out, "recorded seq=%d kind=%s label=%s (%d values)\n",
+		stamped.Seq, stamped.Kind, stamped.Label, len(stamped.Values))
+	return 0
+}
+
+// ingestBench reads a bench emitter JSON file (BENCH_kernel.json,
+// BENCH_netcalc.json) and flattens its numeric fields into dotted
+// metric names ("new.events_per_sec", "admission_churn.speedup"),
+// returning the benchmark name and the values.
+func ingestBench(path string) (string, map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return "", nil, fmt.Errorf("bench %s: %v", path, err)
+	}
+	name, _ := doc["benchmark"].(string)
+	vals := map[string]float64{}
+	flattenJSON("", doc, vals)
+	if len(vals) == 0 {
+		return name, nil, fmt.Errorf("bench %s: no numeric fields", path)
+	}
+	return name, vals, nil
+}
+
+// flattenJSON walks decoded JSON, collecting numeric leaves under
+// dotted names. Non-numeric leaves (the benchmark name, flags) are
+// identity, not measurement, and are skipped.
+func flattenJSON(prefix string, v any, vals map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, sub := range x {
+			key := k
+			if prefix != "" {
+				key = prefix + "." + k
+			}
+			flattenJSON(key, sub, vals)
+		}
+	case []any:
+		for i, sub := range x {
+			flattenJSON(fmt.Sprintf("%s.%d", prefix, i), sub, vals)
+		}
+	case float64:
+		if prefix != "" {
+			vals[prefix] = x
+		}
+	}
+}

@@ -10,10 +10,18 @@
 // with a legal metric name and a parseable value; TYPE declarations
 // precede their samples and are not duplicated; the exposition is
 // terminated by exactly one # EOF with nothing after it.
+//
+// -strict additionally enforces exposition hygiene suitable for
+// third-party scrapers: every sample must belong to a family with a
+// TYPE and a HELP declaration (standard suffixes like _total, _sum,
+// _count, _bucket resolve to their family), and label sets are parsed
+// in full — legal label names, double-quoted values, and only the
+// spec's escapes (\\, \", \n) inside them.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -23,8 +31,9 @@ import (
 )
 
 var (
-	nameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
-	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)(\s+\S+)?$`)
+	nameRe      = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	sampleRe    = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)(\s+\S+)?$`)
 )
 
 var validTypes = map[string]bool{
@@ -32,13 +41,25 @@ var validTypes = map[string]bool{
 	"untyped": true, "info": true, "stateset": true, "gaugehistogram": true, "unknown": true,
 }
 
+// familySuffixes are the sample-name suffixes the spec derives from a
+// family name, tried in order when resolving a sample to its TYPE
+// declaration (counter _total/_created, summary/histogram
+// _sum/_count/_bucket, gaugehistogram _gsum/_gcount, info _info).
+var familySuffixes = []string{
+	"_total", "_created", "_bucket", "_count", "_sum", "_gcount", "_gsum", "_info",
+}
+
 // lint validates one exposition; returns the diagnostics found.
-func lint(src string, r io.Reader) []string {
+// strict additionally demands HELP+TYPE metadata for every sampled
+// family and fully parses label sets (names, quoting, escapes).
+func lint(src string, r io.Reader, strict bool) []string {
 	var errs []string
 	fail := func(line int, format string, args ...any) {
 		errs = append(errs, fmt.Sprintf("%s:%d: %s", src, line, fmt.Sprintf(format, args...)))
 	}
 	types := make(map[string]string)
+	helps := make(map[string]bool)
+	reported := make(map[string]bool) // families already flagged for missing metadata
 	sawEOF := false
 	n := 0
 	sc := bufio.NewScanner(r)
@@ -70,7 +91,13 @@ func lint(src string, r io.Reader) []string {
 				fail(n, "duplicate TYPE for family %q", name)
 			}
 			types[name] = typ
-		case strings.HasPrefix(line, "# HELP "), strings.HasPrefix(line, "# UNIT "):
+		case strings.HasPrefix(line, "# HELP "):
+			if fields := strings.Fields(line); len(fields) >= 3 {
+				helps[fields[2]] = true
+			} else {
+				fail(n, "malformed HELP comment %q", line)
+			}
+		case strings.HasPrefix(line, "# UNIT "):
 			// Free-form; accepted.
 		case strings.HasPrefix(line, "#"):
 			fail(n, "unknown comment %q (want TYPE/HELP/UNIT/EOF)", line)
@@ -85,6 +112,26 @@ func lint(src string, r io.Reader) []string {
 			if v := m[3]; !parseableValue(v) {
 				fail(n, "unparseable sample value %q", v)
 			}
+			if !strict {
+				continue
+			}
+			if m[2] != "" {
+				if err := lintLabels(m[2]); err != nil {
+					fail(n, "sample %q: %v", m[1], err)
+				}
+			}
+			family, ok := familyOf(m[1], types)
+			if !ok {
+				if !reported[m[1]] {
+					fail(n, "sample %q has no TYPE declaration", m[1])
+					reported[m[1]] = true
+				}
+				continue
+			}
+			if !helps[family] && !reported[family] {
+				fail(n, "family %q has no HELP declaration", family)
+				reported[family] = true
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -94,6 +141,81 @@ func lint(src string, r io.Reader) []string {
 		fail(n, "missing # EOF terminator")
 	}
 	return errs
+}
+
+// familyOf resolves a sample name to its declared family: the name
+// itself, or the name with one standard suffix stripped.
+func familyOf(name string, types map[string]string) (string, bool) {
+	if _, ok := types[name]; ok {
+		return name, true
+	}
+	for _, suf := range familySuffixes {
+		if base := strings.TrimSuffix(name, suf); base != name && base != "" {
+			if _, ok := types[base]; ok {
+				return base, true
+			}
+		}
+	}
+	return "", false
+}
+
+// lintLabels validates a brace-delimited label set: legal label
+// names, double-quoted values, and only the escapes the spec allows
+// inside them (\\, \", \n).
+func lintLabels(block string) error {
+	s := block[1 : len(block)-1] // sampleRe guarantees the braces
+	for s != "" {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return fmt.Errorf("label %q missing '='", s)
+		}
+		name := s[:eq]
+		if !labelNameRe.MatchString(name) {
+			return fmt.Errorf("illegal label name %q", name)
+		}
+		s = s[eq+1:]
+		if s == "" || s[0] != '"' {
+			return fmt.Errorf("label %q value is not double-quoted", name)
+		}
+		i, closed := 1, false
+		for i < len(s) {
+			switch s[i] {
+			case '\\':
+				if i+1 >= len(s) {
+					return fmt.Errorf("label %q value ends in a dangling escape", name)
+				}
+				switch s[i+1] {
+				case '\\', '"', 'n':
+					i += 2
+				default:
+					return fmt.Errorf("label %q value has illegal escape \\%c", name, s[i+1])
+				}
+			case '"':
+				closed = true
+				i++
+			default:
+				i++
+			}
+			if closed {
+				break
+			}
+		}
+		if !closed {
+			return fmt.Errorf("label %q value has no closing quote", name)
+		}
+		s = s[i:]
+		if s == "" {
+			return nil
+		}
+		if s[0] != ',' {
+			return fmt.Errorf("unexpected %q after label %q", s, name)
+		}
+		s = s[1:]
+		if s == "" {
+			return fmt.Errorf("trailing ',' in label set")
+		}
+	}
+	return nil
 }
 
 // parseableValue accepts OpenMetrics sample values: floats plus the
@@ -108,19 +230,21 @@ func parseableValue(s string) bool {
 }
 
 func main() {
+	strict := flag.Bool("strict", false, "also require HELP+TYPE metadata per sampled family and validate label-value escaping")
+	flag.Parse()
 	var errs []string
-	if args := os.Args[1:]; len(args) > 0 {
+	if args := flag.Args(); len(args) > 0 {
 		for _, path := range args {
 			f, err := os.Open(path)
 			if err != nil {
 				errs = append(errs, err.Error())
 				continue
 			}
-			errs = append(errs, lint(path, f)...)
+			errs = append(errs, lint(path, f, *strict)...)
 			f.Close()
 		}
 	} else {
-		errs = lint("stdin", os.Stdin)
+		errs = lint("stdin", os.Stdin, *strict)
 	}
 	for _, e := range errs {
 		fmt.Fprintf(os.Stderr, "omlint: %s\n", e)

@@ -36,10 +36,16 @@
 // /healthz, /progress, /debug/pprof/*) for scraping the run in
 // flight; -linger keeps it serving after the run until SIGINT, so
 // external scrapers (or the CI smoke job) can probe a finished run.
-// See docs/OBSERVABILITY.md ("Runtime auditing").
+// -store appends the run's record — headline latencies, audit
+// conformance, config fingerprint, and the full OpenMetrics snapshot
+// — to the cross-run results store in that directory, where obsq can
+// query it and the regression sentinel can judge later runs against
+// it. See docs/OBSERVABILITY.md ("Runtime auditing" and "Cross-run
+// store, SLOs, and regression sentinel").
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -50,6 +56,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/telemetry"
@@ -104,6 +111,7 @@ func main() {
 	metricsFormat := flag.String("metrics-format", "json", "encoding for -metrics: json or openmetrics")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (\"-\" for stdout)")
 	auditOn := flag.Bool("audit", false, "arm the runtime predictability auditor (online NC bound conformance + contention attribution)")
+	storeDir := flag.String("store", "", "append this run's record to the cross-run results store in this directory")
 	listen := flag.String("listen", "", "serve live OpenMetrics /metrics, /healthz, /progress and pprof on this address (e.g. :9091; off by default)")
 	linger := flag.Bool("linger", false, "with -listen, keep serving after the run until SIGINT/SIGTERM")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -121,8 +129,8 @@ func main() {
 	}
 	defer stopProfiles()
 
-	if *all && (*metricsPath != "" || *tracePath != "" || *auditOn || *listen != "") {
-		fatal(fmt.Errorf("-metrics/-trace/-audit/-listen apply to a single scenario; drop -all (cmd/sweep has the matrix equivalents)"))
+	if *all && (*metricsPath != "" || *tracePath != "" || *auditOn || *listen != "" || *storeDir != "") {
+		fatal(fmt.Errorf("-metrics/-trace/-audit/-listen/-store apply to a single scenario; drop -all (cmd/sweep has the matrix equivalents)"))
 	}
 
 	horizon := sim.Duration(*msec) * sim.Millisecond
@@ -145,7 +153,7 @@ func main() {
 	spec := core.RunSpec{
 		Hogs: *hogs, DSU: *useDSU, MemGuard: *useMG, Shape: *useShape, MPAM: *useMPAM,
 		HogClass: trace.Infotainment, Duration: horizon, Seed: *seed,
-		Telemetry: *metricsPath != "" || *tracePath != "" || *listen != "",
+		Telemetry: *metricsPath != "" || *tracePath != "" || *listen != "" || *storeDir != "",
 		Trace:     *tracePath != "",
 	}
 	p, crit, err := core.BuildPlatform(spec)
@@ -203,6 +211,12 @@ func main() {
 	fmt.Printf("  DRAM row-hit rate %.2f\n", p.Memory().Stats().RowHitRate())
 	if aud != nil {
 		printAuditSummary(aud)
+	}
+
+	if *storeDir != "" {
+		if err := recordRun(*storeDir, spec, *auditOn, p, st); err != nil {
+			fatal(err)
+		}
 	}
 
 	if srv != nil {
@@ -263,6 +277,45 @@ func publishLive(p *core.Platform, horizon sim.Duration, srv *audit.Server) {
 	if err := srv.PublishProgress(prog); err != nil {
 		fmt.Fprintf(os.Stderr, "socsim: publish progress: %v\n", err)
 	}
+}
+
+// recordRun appends the finished run to the cross-run results store,
+// reusing the sweep harness's record shape so socsim and sweep runs
+// of the same configuration share fingerprints and metric names.
+func recordRun(dir string, spec core.RunSpec, auditOn bool, p *core.Platform, st core.AppStats) error {
+	store, err := obs.Open(dir)
+	if err != nil {
+		return fmt.Errorf("-store: %w", err)
+	}
+	defer store.Close()
+	mset := sweep.MechanismSet{DSU: spec.DSU, MemGuard: spec.MemGuard, Shape: spec.Shape, MPAM: spec.MPAM}
+	sp := sweep.Spec{
+		Label:    fmt.Sprintf("%s/hogs=%d/%s/%gms", mset, spec.Hogs, spec.HogClass, spec.Duration.Nanoseconds()/1e6),
+		Kind:     sweep.Contention,
+		Platform: spec,
+	}
+	sp.Platform.Audit = auditOn
+	res := sweep.Result{Crit: st, RowHitRate: p.Memory().Stats().RowHitRate()}
+	if aud := p.Auditor(); aud != nil {
+		res.Violations = aud.TotalViolations()
+		for _, s := range aud.Snapshot() {
+			res.Observed += s.Observed
+		}
+	}
+	var metrics []byte
+	if suite := p.Telemetry(); suite != nil && suite.Registry != nil {
+		var buf bytes.Buffer
+		if err := suite.Registry.WriteOpenMetrics(&buf); err != nil {
+			return fmt.Errorf("-store: render metrics: %w", err)
+		}
+		metrics = buf.Bytes()
+	}
+	rec, err := store.Append(sweep.RecordOf(sp, res, metrics))
+	if err != nil {
+		return fmt.Errorf("-store: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "socsim: recorded run seq=%d label=%s into %s\n", rec.Seq, rec.Label, dir)
+	return nil
 }
 
 // printAuditSummary reports per-app conformance and where the time

@@ -13,7 +13,7 @@
 //	      [-hogs 0,6] [-workloads infotainment] [-ms 4] [-seeds 100]
 //	      [-admission-apps 8,12] [-admission-crit 2]
 //	      [-json file.json] [-csv file.csv]
-//	      [-audit] [-run-metrics-dir dir] [-listen addr]
+//	      [-audit] [-run-metrics-dir dir] [-store dir] [-listen addr]
 //	      [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // "-" writes JSON/CSV to stdout. Output is byte-identical for any
@@ -26,11 +26,16 @@
 // run; per-configuration violation counts land in the table, JSON,
 // and CSV. -run-metrics-dir writes each run's end-of-run metrics
 // snapshot (OpenMetrics text) into the directory, one file per run,
-// so individual sweep cells are debuggable after the fact. -listen
-// serves live progress while the sweep executes: /progress (JSON
-// done/failed/violation counts), /healthz, and /debug/pprof for
-// profiling a long sweep in flight. All three are off by default and
-// leave the aggregate bytes unchanged.
+// so individual sweep cells are debuggable after the fact. -store
+// appends every run (including failures) to the cross-run results
+// store in that directory — headline values, config fingerprint, and
+// the full metrics snapshot, queryable afterwards with obsq — and
+// evaluates the built-in SLOs over the stored history when the sweep
+// finishes. -listen serves live progress while the sweep executes:
+// /progress (JSON done/failed/violation counts), /healthz, /slo (SLO
+// statuses once computed), and /debug/pprof for profiling a long
+// sweep in flight. All of these are off by default and leave the
+// aggregate bytes unchanged.
 package main
 
 import (
@@ -45,6 +50,7 @@ import (
 	"strings"
 
 	"repro/internal/audit"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/telemetry"
@@ -98,6 +104,7 @@ func main() {
 	csvPath := flag.String("csv", "", "write aggregate CSV to this file (\"-\" for stdout)")
 	auditOn := flag.Bool("audit", false, "arm the runtime predictability auditor in every contention run")
 	runMetricsDir := flag.String("run-metrics-dir", "", "write each run's metrics snapshot (OpenMetrics text) into this directory")
+	storeDir := flag.String("store", "", "append per-run records to the cross-run results store in this directory and evaluate SLOs over it")
 	listen := flag.String("listen", "", "serve live /progress, /healthz and pprof on this address while the sweep runs (off by default)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -121,6 +128,19 @@ func main() {
 		fatal(err)
 	}
 
+	// The store recorder arms its metrics capture after armSpecs so
+	// both per-run files and stored payloads can coexist.
+	var store *obs.Store
+	var recorder *sweep.Recorder
+	if *storeDir != "" {
+		var err error
+		if store, err = obs.Open(*storeDir); err != nil {
+			fatal(fmt.Errorf("-store: %w", err))
+		}
+		defer store.Close()
+		recorder = sweep.NewRecorder(store, specs)
+	}
+
 	var srv *audit.Server
 	var observe func(sweep.Result)
 	if *listen != "" {
@@ -129,7 +149,7 @@ func main() {
 			fatal(err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "sweep: live endpoint on http://%s (/progress /healthz /debug/pprof)\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "sweep: live endpoint on http://%s (/progress /healthz /slo /debug/pprof)\n", srv.Addr())
 		prog := sweep.NewProgress(len(specs), func(snap sweep.ProgressSnapshot) {
 			if err := srv.PublishProgress(snap); err != nil {
 				fmt.Fprintf(os.Stderr, "sweep: publish progress: %v\n", err)
@@ -142,6 +162,22 @@ func main() {
 	fmt.Printf("sweep: %d runs (%d workers)\n", len(specs), effectiveWorkers(*workers, len(specs)))
 	results := sweep.RunObserved(specs, *workers, nil, observe)
 	summaries := sweep.Summarize(results)
+
+	if recorder != nil {
+		if err := recorder.Flush(results); err != nil {
+			fatal(err)
+		}
+		statuses, err := obs.EvaluateStore(store, obs.DefaultSLOs())
+		if err != nil {
+			fatal(fmt.Errorf("-store: evaluate SLOs: %w", err))
+		}
+		printSLOs(os.Stderr, statuses)
+		if srv != nil {
+			if err := srv.PublishSLO(statuses); err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: publish slo: %v\n", err)
+			}
+		}
+	}
 
 	printTable(os.Stdout, summaries)
 	if *jsonPath != "" {
@@ -291,6 +327,17 @@ func maxProcs() int {
 	// Mirrors sweep.Run's default without importing runtime twice in
 	// messages vs behaviour.
 	return sweep.DefaultWorkers()
+}
+
+// printSLOs renders the stored-history SLO statuses.
+func printSLOs(w io.Writer, statuses []obs.SLOStatus) {
+	for _, s := range statuses {
+		if s.Runs == 0 {
+			continue // objective has no stored runs yet
+		}
+		fmt.Fprintf(w, "sweep: slo %-24s runs=%d attainment=%.1f%% burn=%.2f met=%v\n",
+			s.SLO.Name, s.Runs, 100*s.Attainment, s.BurnRate, s.Met)
+	}
 }
 
 // printTable renders the aggregate table.

@@ -16,9 +16,10 @@ import (
 
 // Server is the auditor's live export endpoint: an optional net/http
 // listener serving an OpenMetrics scrape (/metrics), a liveness probe
-// (/healthz), a JSON progress snapshot (/progress), and the standard
-// pprof handlers (/debug/pprof/*) for profiling a long sweep in
-// flight.
+// (/healthz), a JSON progress snapshot (/progress), a JSON SLO status
+// report (/slo, fed by the cross-run observability plane), and the
+// standard pprof handlers (/debug/pprof/*) for profiling a long sweep
+// in flight.
 //
 // The simulation goroutine stays allocation-free and lock-light: it
 // renders snapshots at times of its own choosing and publishes the
@@ -33,6 +34,7 @@ type Server struct {
 	mu       sync.Mutex
 	metrics  []byte
 	progress []byte
+	slo      []byte
 
 	done chan struct{}
 	err  error
@@ -52,6 +54,7 @@ func NewServer(addr string) (*Server, error) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/slo", s.handleSLO)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -102,6 +105,21 @@ func (s *Server) PublishProgress(v any) error {
 	return nil
 }
 
+// PublishSLO JSON-encodes v (normally a []obs.SLOStatus) and installs
+// it as the /slo payload. The server stays decoupled from the SLO
+// engine the same way /progress stays decoupled from the sweep: it
+// serves whatever the caller rendered.
+func (s *Server) PublishSLO(v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.slo = append(b, '\n')
+	s.mu.Unlock()
+	return nil
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	body := s.metrics
@@ -127,6 +145,18 @@ func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if body == nil {
 		io.WriteString(w, "{}\n")
+		return
+	}
+	w.Write(body)
+}
+
+func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	body := s.slo
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if body == nil {
+		io.WriteString(w, "[]\n")
 		return
 	}
 	w.Write(body)

@@ -1,6 +1,7 @@
 package audit
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -45,6 +46,9 @@ func TestServerEndpoints(t *testing.T) {
 	if code, body, _ := get(t, base+"/progress"); code != 200 || body != "{}\n" {
 		t.Fatalf("empty progress = %d %q", code, body)
 	}
+	if code, body, ct := get(t, base+"/slo"); code != 200 || body != "[]\n" || ct != "application/json" {
+		t.Fatalf("empty slo = %d %q %q", code, body, ct)
+	}
 
 	// Publish a real scrape body and a progress snapshot.
 	reg := telemetry.NewRegistry()
@@ -66,6 +70,121 @@ func TestServerEndpoints(t *testing.T) {
 	// pprof index answers.
 	if code, _, _ := get(t, base+"/debug/pprof/"); code != 200 {
 		t.Fatalf("pprof index = %d", code)
+	}
+
+	// SLO statuses serve as published.
+	if err := s.PublishSLO([]map[string]any{{"name": "bound-conformance", "met": true}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, body, ct := get(t, base+"/slo"); !strings.Contains(body, `"bound-conformance"`) || ct != "application/json" {
+		t.Fatalf("slo = %q %q", body, ct)
+	}
+}
+
+// TestServerProgressAndHealthzContract pins the handlers' HTTP
+// contract: status codes, content types, and a decodable JSON shape
+// for /progress — the schema socsim and sweep publish and external
+// watchers poll.
+func TestServerProgressAndHealthzContract(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	code, body, ct := get(t, base+"/healthz")
+	if code != http.StatusOK || body != "ok\n" || !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("healthz = %d %q %q", code, body, ct)
+	}
+
+	published := struct {
+		SimTimeNS  float64 `json:"sim_time_ns"`
+		HorizonNS  float64 `json:"horizon_ns"`
+		Violations uint64  `json:"violations"`
+	}{1.5e6, 4e6, 3}
+	if err := s.PublishProgress(published); err != nil {
+		t.Fatal(err)
+	}
+	code, body, ct = get(t, base+"/progress")
+	if code != http.StatusOK || ct != "application/json" {
+		t.Fatalf("progress = %d %q", code, ct)
+	}
+	var got struct {
+		SimTimeNS  float64 `json:"sim_time_ns"`
+		HorizonNS  float64 `json:"horizon_ns"`
+		Violations uint64  `json:"violations"`
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("progress body is not JSON: %v\n%s", err, body)
+	}
+	if got != published {
+		t.Fatalf("progress round-trip = %+v, want %+v", got, published)
+	}
+
+	// Unencodable progress is rejected, and the previous payload stays.
+	if err := s.PublishProgress(map[string]any{"bad": func() {}}); err == nil {
+		t.Fatal("unencodable progress accepted")
+	}
+	if _, body2, _ := get(t, base+"/progress"); body2 != body {
+		t.Fatalf("failed publish replaced the payload: %q", body2)
+	}
+}
+
+// TestServerServesFinalSnapshotAfterHalt drives a simulation that
+// publishes while running and halts mid-horizon: the endpoint must
+// keep serving the final published snapshot — the evidence of where
+// the run stopped — not go empty or stale-race with the dead engine.
+func TestServerServesFinalSnapshotAfterHalt(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	eng := sim.NewEngine()
+	reg := telemetry.NewRegistry()
+	ticks := reg.Counter("sim.ticks")
+	publish := func() {
+		if err := s.PublishMetrics(reg.WriteOpenMetrics); err != nil {
+			t.Error(err)
+		}
+		if err := s.PublishProgress(map[string]float64{"sim_time_ns": eng.Now().Nanoseconds()}); err != nil {
+			t.Error(err)
+		}
+	}
+	eng.Every(sim.Microsecond, func() {
+		ticks.Inc()
+		publish()
+	})
+	eng.At(10*sim.Microsecond+sim.Nanosecond, func() { eng.Halt() })
+	eng.RunUntil(100 * sim.Microsecond)
+
+	if !eng.Halted() {
+		t.Fatal("engine did not halt")
+	}
+	if eng.Now().Nanoseconds() >= 100*1000 {
+		t.Fatalf("halt did not cut the horizon: now=%v", eng.Now())
+	}
+	// The last published snapshot survives the halt, scrape after
+	// scrape.
+	for i := 0; i < 3; i++ {
+		code, body, _ := get(t, base+"/metrics")
+		if code != http.StatusOK || !strings.Contains(body, "sim_ticks_total 10") {
+			t.Fatalf("post-halt metrics = %d %q", code, body)
+		}
+	}
+	_, body, _ := get(t, base+"/progress")
+	var prog map[string]float64
+	if err := json.Unmarshal([]byte(body), &prog); err != nil {
+		t.Fatalf("post-halt progress: %v", err)
+	}
+	if prog["sim_time_ns"] != 10_000 {
+		t.Fatalf("post-halt progress = %v, want the halt-time snapshot", prog)
+	}
+	if code, body, _ := get(t, base+"/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("healthz after halt = %d %q", code, body)
 	}
 }
 

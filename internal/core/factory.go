@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro/internal/dsu"
@@ -53,7 +54,17 @@ type RunSpec struct {
 	// MetricsPath, when non-empty, writes the end-of-run metrics
 	// snapshot to this file in OpenMetrics text ("-" for stdout) and
 	// implies Telemetry — the sweep harness's per-run snapshot hook.
+	// The snapshot is written even when the run fails or panics: a
+	// failed run's telemetry is exactly the evidence a diagnosis
+	// needs, so Run dumps whatever accumulated before unwinding.
 	MetricsPath string
+	// MetricsSink, when non-nil, receives the end-of-run OpenMetrics
+	// snapshot bytes exactly once per Run — including on the failure
+	// and panic paths — and implies Telemetry. It is how the sweep
+	// harness captures per-run payloads for the cross-run results
+	// store without routing them through the filesystem. The sink
+	// owns the slice.
+	MetricsSink func(openmetrics []byte)
 }
 
 // Validate checks the spec.
@@ -80,6 +91,11 @@ type RunResult struct {
 	// the auditor is off).
 	CritViolations  uint64
 	TotalViolations uint64
+	// AuditObserved counts the transactions the auditor checked across
+	// all apps (zero when the auditor is off) — the denominator of the
+	// run's bound-conformance rate
+	// (AuditObserved-TotalViolations)/AuditObserved.
+	AuditObserved uint64
 }
 
 // BuildPlatform assembles a fresh Platform per the spec: the critical
@@ -177,23 +193,55 @@ func (p *Platform) StartApps() {
 	}
 }
 
+// testRunFailpoint, when non-nil, runs after the simulation horizon
+// inside RunSpec.Run — a test seam for proving that a run which
+// panics mid-collection still persists its metrics snapshot.
+var testRunFailpoint func(*Platform)
+
 // Run builds the platform, runs every app for spec.Duration, and
 // collects the result. Each call is fully independent — fresh engine,
 // fresh platform, fresh telemetry — so concurrent Runs of different
 // specs never share state, and the same spec always reproduces the
 // same result.
 func (spec RunSpec) Run() (RunResult, error) {
-	if spec.MetricsPath != "" {
+	if spec.MetricsPath != "" || spec.MetricsSink != nil {
 		spec.Telemetry = true
 	}
 	p, crit, err := BuildPlatform(spec)
 	if err != nil {
 		return RunResult{}, err
 	}
+	// The snapshot dump runs exactly once: explicitly on the success
+	// path (so its error can be reported), or from the defer when the
+	// run errors or panics — a failed run's telemetry is exactly the
+	// evidence a diagnosis needs, so whatever accumulated is flushed
+	// before unwinding.
+	snapshotDone := false
+	dumpSnapshot := func() error {
+		if snapshotDone || p.Telemetry() == nil {
+			return nil
+		}
+		snapshotDone = true
+		p.SnapshotMetrics()
+		if spec.MetricsSink != nil {
+			var buf bytes.Buffer
+			if err := p.Telemetry().Registry.WriteOpenMetrics(&buf); err != nil {
+				return fmt.Errorf("core: run metrics snapshot: %w", err)
+			}
+			spec.MetricsSink(buf.Bytes())
+		}
+		if spec.MetricsPath != "" {
+			if err := telemetry.WriteOutput(spec.MetricsPath, p.Telemetry().Registry.WriteOpenMetrics); err != nil {
+				return fmt.Errorf("core: run metrics snapshot: %w", err)
+			}
+		}
+		return nil
+	}
+	defer dumpSnapshot()
 	p.StartApps()
 	p.RunFor(spec.Duration)
-	if p.Telemetry() != nil {
-		p.SnapshotMetrics()
+	if testRunFailpoint != nil {
+		testRunFailpoint(p)
 	}
 	res := RunResult{
 		Crit:       crit.Stats(),
@@ -211,11 +259,12 @@ func (spec RunSpec) Run() (RunResult, error) {
 			res.CritViolations = h.Violations()
 		}
 		res.TotalViolations = aud.TotalViolations()
-	}
-	if spec.MetricsPath != "" {
-		if err := telemetry.WriteOutput(spec.MetricsPath, p.Telemetry().Registry.WriteOpenMetrics); err != nil {
-			return res, fmt.Errorf("core: run metrics snapshot: %w", err)
+		for _, s := range aud.Snapshot() {
+			res.AuditObserved += s.Observed
 		}
+	}
+	if err := dumpSnapshot(); err != nil {
+		return res, err
 	}
 	return res, nil
 }

@@ -1,6 +1,10 @@
 package core
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/sim"
@@ -93,5 +97,71 @@ func TestRunSpecSeedChangesHogStream(t *testing.T) {
 	// (and hence at least some measured counter).
 	if a.Crit == b.Crit && a.RowHitRate == b.RowHitRate && a.HogStats[0] == b.HogStats[0] {
 		t.Fatal("seed had no observable effect")
+	}
+}
+
+func TestRunSpecMetricsSinkAndAuditObserved(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.om")
+	var sunk [][]byte
+	spec := RunSpec{
+		Hogs: 1, HogClass: trace.Infotainment,
+		Duration: 100 * sim.Microsecond, Seed: 5,
+		Audit: true, MetricsPath: path,
+		MetricsSink: func(b []byte) { sunk = append(sunk, b) },
+	}
+	res, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sunk) != 1 {
+		t.Fatalf("sink fired %d times, want exactly once", len(sunk))
+	}
+	if !strings.HasSuffix(string(sunk[0]), "# EOF\n") {
+		t.Fatalf("sink payload is not OpenMetrics:\n%s", sunk[0])
+	}
+	file, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(file, sunk[0]) {
+		t.Fatal("MetricsPath file and MetricsSink payload diverge")
+	}
+	if res.AuditObserved == 0 {
+		t.Fatal("audited run observed no transactions")
+	}
+	if res.AuditObserved < res.TotalViolations {
+		t.Fatalf("observed %d < violations %d", res.AuditObserved, res.TotalViolations)
+	}
+}
+
+func TestRunSpecPanicStillDumpsSnapshot(t *testing.T) {
+	// Satellite contract: a run that panics mid-collection must still
+	// persist whatever telemetry accumulated before unwinding.
+	path := filepath.Join(t.TempDir(), "run.om")
+	sunk := 0
+	testRunFailpoint = func(*Platform) { panic("collection boom") }
+	defer func() { testRunFailpoint = nil }()
+	spec := RunSpec{
+		Hogs: 1, HogClass: trace.Infotainment, Duration: 50 * sim.Microsecond,
+		MetricsPath: path,
+		MetricsSink: func([]byte) { sunk++ },
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("failpoint did not propagate its panic")
+			}
+		}()
+		spec.Run()
+	}()
+	if sunk != 1 {
+		t.Fatalf("sink fired %d times on the panic path, want once", sunk)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("panic path left no snapshot: %v", err)
+	}
+	if !strings.HasSuffix(string(data), "# EOF\n") {
+		t.Fatalf("panic-path snapshot is not terminated OpenMetrics:\n%s", data)
 	}
 }

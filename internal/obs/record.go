@@ -1,0 +1,200 @@
+// Package obs is the cross-run observability plane: the persistent
+// layer that turns each run's evaporating telemetry into longitudinal
+// evidence. Where internal/telemetry and internal/audit observe one
+// process while it runs, obs keeps a versioned record of every run —
+// config fingerprint, seed, headline values, audit conformance, the
+// full OpenMetrics snapshot — in an embedded, pure-Go store, and
+// answers the questions only history can: is the platform still
+// meeting its SLOs over the last N runs (slo.go), and did this run
+// regress against the stored trajectory (sentinel.go)?
+//
+// The store is an append-only JSONL file, so records are durable the
+// moment Append returns, diff cleanly under version control, and can
+// be read by anything that can split lines and parse JSON. Everything
+// a record carries except its wall-clock timestamp and sequence
+// number is a pure function of the run, so two identical-seed runs
+// store byte-identical metric payloads — the same determinism
+// contract the rest of the repository is built on, now checkable
+// across process lifetimes.
+package obs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// SchemaVersion is stamped into every record so future readers can
+// migrate old stores. Bump it when the record shape changes
+// incompatibly.
+const SchemaVersion = 1
+
+// Record kinds. Kind is an open string — external tools may ingest
+// their own — but the writers in this repository use these.
+const (
+	// KindContention is one contention experiment (socsim / sweep run).
+	KindContention = "contention"
+	// KindAdmission is one admission-overlay run.
+	KindAdmission = "admission"
+	// KindBench is one benchmark emission (BENCH_*.json trajectory).
+	KindBench = "bench"
+)
+
+// RunRecord is one run's persistent evidence. Values carries the
+// headline numbers the SLO engine and the regression sentinel operate
+// on; Metrics carries the full OpenMetrics snapshot for after-the-fact
+// debugging. Seq and RecordedUnix are assigned by the store on append
+// and are the only fields that differ between two identical runs.
+type RunRecord struct {
+	// Schema is the record schema version (SchemaVersion at write).
+	Schema int `json:"schema"`
+	// Seq is the store-assigned append ordinal (1-based).
+	Seq int64 `json:"seq,omitempty"`
+	// RecordedUnix is the wall-clock append time (Unix seconds). It is
+	// deliberately outside the deterministic payload.
+	RecordedUnix int64 `json:"recorded_unix,omitempty"`
+
+	// Kind classifies the run (KindContention, KindAdmission,
+	// KindBench, or an external tool's own kind).
+	Kind string `json:"kind"`
+	// Label is the human configuration label ("none/hogs=6/..." for
+	// sweep cells, the benchmark name for bench records).
+	Label string `json:"label"`
+	// ConfigFP fingerprints the run's configuration: runs with equal
+	// fingerprints are re-runs of the same configuration (seeds may
+	// differ — the seed is a separate axis).
+	ConfigFP string `json:"config_fp,omitempty"`
+	// Seed is the run's RNG seed (0 when not seed-driven).
+	Seed uint64 `json:"seed,omitempty"`
+
+	// Values holds the run's headline numbers, keyed by metric name
+	// (e.g. "crit.p95_ns", "audit.conformance", "new.events_per_sec").
+	Values map[string]float64 `json:"values,omitempty"`
+	// Metrics is the run's full OpenMetrics snapshot, verbatim.
+	Metrics string `json:"metrics,omitempty"`
+	// MetricsFP fingerprints Metrics (FNV-1a hex, empty when Metrics
+	// is) so payload byte-identity is checkable without diffing bodies.
+	MetricsFP string `json:"metrics_fp,omitempty"`
+
+	// Err is the run's failure record; empty on success. Failed runs
+	// keep their Values and Metrics — that evidence is exactly what a
+	// failure diagnosis needs.
+	Err string `json:"err,omitempty"`
+}
+
+// Failed reports whether the record is a failure record.
+func (r RunRecord) Failed() bool { return r.Err != "" }
+
+// Value returns the named headline value and whether it is present.
+func (r RunRecord) Value(name string) (float64, bool) {
+	v, ok := r.Values[name]
+	return v, ok
+}
+
+// Fingerprint hashes bytes into the store's short hex fingerprint
+// format (64-bit FNV-1a). It is not cryptographic — it detects drift,
+// not adversaries.
+func Fingerprint(b []byte) string {
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// FingerprintConfig canonicalizes a flat config map (sorted keys,
+// "k=v" joined by ";") and fingerprints it. Writers build their
+// ConfigFP from the configuration axes that define "the same
+// experiment" — not from seeds, output paths, or observer options.
+func FingerprintConfig(cfg map[string]string) string {
+	keys := make([]string, 0, len(cfg))
+	for k := range cfg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+cfg[k])
+	}
+	return Fingerprint([]byte(strings.Join(parts, ";")))
+}
+
+// Direction says which way a metric is allowed to move.
+type Direction int
+
+// Metric directions.
+const (
+	// Unknown metrics are never judged by the sentinel.
+	Unknown Direction = iota
+	// HigherBetter flags drops (throughput, conformance, hit rates).
+	HigherBetter
+	// LowerBetter flags rises (latencies, violations, allocations).
+	LowerBetter
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case HigherBetter:
+		return "higher_better"
+	case LowerBetter:
+		return "lower_better"
+	}
+	return "unknown"
+}
+
+// exactDirections pins metrics whose names don't carry a usable
+// suffix.
+var exactDirections = map[string]Direction{
+	"row_hit_rate":      HigherBetter,
+	"audit.conformance": HigherBetter,
+	"rejection_rate":    Unknown, // policy outcome, not a health axis
+	"admitted":          Unknown,
+	"rejected":          Unknown,
+	"mode_changes":      Unknown,
+	"audit.observed":    Unknown,
+	"audit.violations":  LowerBetter,
+	"speedup":           HigherBetter,
+	"crit.mean_ns":      LowerBetter,
+	"crit.p95_ns":       LowerBetter,
+	"crit.max_ns":       LowerBetter,
+	"failures":          LowerBetter,
+	"runs":              Unknown,
+	"seed":              Unknown,
+	"events":            Unknown,
+	"churn_apps":        Unknown,
+}
+
+// MetricDirection classifies a metric name: the exact table first,
+// then conservative suffix heuristics (throughput suffixes are
+// higher-better; latency/alloc/violation suffixes are lower-better;
+// anything else is Unknown and left unjudged).
+func MetricDirection(name string) Direction {
+	if d, ok := exactDirections[name]; ok {
+		return d
+	}
+	// Nested bench keys ("admission_churn.speedup",
+	// "new.events_per_sec") classify by their leaf.
+	if i := strings.LastIndex(name, "."); i >= 0 {
+		if d, ok := exactDirections[name[i+1:]]; ok {
+			return d
+		}
+	}
+	switch {
+	case strings.HasSuffix(name, "_per_sec"),
+		strings.HasSuffix(name, "_per_ns"),
+		strings.HasSuffix(name, ".speedup"),
+		strings.HasSuffix(name, "_rate") && strings.Contains(name, "hit"),
+		strings.HasSuffix(name, ".conformance"):
+		return HigherBetter
+	case strings.HasSuffix(name, "_ns"),
+		strings.HasSuffix(name, "_ps"),
+		strings.HasSuffix(name, "_per_event"),
+		strings.HasSuffix(name, "_per_op"),
+		strings.HasSuffix(name, "_per_decision"),
+		strings.HasSuffix(name, ".violations"),
+		strings.HasSuffix(name, "_stall"),
+		strings.HasSuffix(name, "_latency"):
+		return LowerBetter
+	}
+	return Unknown
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SentinelConfig parameterizes the perf-regression sentinel: the
+// newest record of each (kind, label) group is judged against the
+// median of the previous LastN records of the same group, metric by
+// metric, with a relative Tolerance band. Median-of-last-N makes the
+// baseline robust to one noisy historical run; the tolerance absorbs
+// run-to-run jitter while still catching real cliffs.
+type SentinelConfig struct {
+	// LastN is the trajectory depth behind the judged record
+	// (default 5).
+	LastN int
+	// Tolerance is the allowed relative degradation (default 0.25:
+	// a higher-better metric may fall to 75% of the baseline, a
+	// lower-better metric may rise to 125%).
+	Tolerance float64
+	// MinHistory is the minimum number of baseline records required
+	// to judge a group at all (default 1 — a single prior run is a
+	// baseline, just a weak one).
+	MinHistory int
+	// Only restricts judgment to metrics whose name contains one of
+	// these substrings (empty = every metric with a known direction).
+	Only []string
+}
+
+// withDefaults fills unset knobs.
+func (c SentinelConfig) withDefaults() SentinelConfig {
+	if c.LastN <= 0 {
+		c.LastN = 5
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = 0.25
+	}
+	if c.MinHistory <= 0 {
+		c.MinHistory = 1
+	}
+	return c
+}
+
+// judges reports whether the metric is in scope for this config.
+func (c SentinelConfig) judges(metric string) bool {
+	if len(c.Only) == 0 {
+		return true
+	}
+	for _, s := range c.Only {
+		if strings.Contains(metric, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Finding is one metric's verdict for one group's newest record.
+// Regressed findings are the sentinel's output; healthy metrics are
+// reported too (Regressed false) so a gate's log shows what was
+// checked, not just what failed.
+type Finding struct {
+	Kind      string    `json:"kind"`
+	Label     string    `json:"label"`
+	Metric    string    `json:"metric"`
+	Direction Direction `json:"-"`
+	// DirectionName is Direction rendered for JSON.
+	DirectionName string `json:"direction"`
+	// Baseline is the median of the prior LastN values; Observed is
+	// the newest record's value; Ratio is Observed/Baseline (0 when
+	// Baseline is 0).
+	Baseline float64 `json:"baseline"`
+	Observed float64 `json:"observed"`
+	Ratio    float64 `json:"ratio"`
+	// History is the number of baseline records behind the median.
+	History   int  `json:"history"`
+	Regressed bool `json:"regressed"`
+}
+
+// String renders the finding for logs.
+func (f Finding) String() string {
+	verdict := "ok"
+	if f.Regressed {
+		verdict = "REGRESSED"
+	}
+	return fmt.Sprintf("%s %s/%s %s: observed %g vs median-of-%d baseline %g (ratio %.3f, %s)",
+		verdict, f.Kind, f.Label, f.Metric, f.Observed, f.History, f.Baseline, f.Ratio, f.DirectionName)
+}
+
+// median of a non-empty slice (copy; input untouched).
+func median(xs []float64) float64 {
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	n := len(ys)
+	if n%2 == 1 {
+		return ys[n/2]
+	}
+	return (ys[n/2-1] + ys[n/2]) / 2
+}
+
+// CheckRecord judges latest against its trajectory (history oldest
+// first; failed records are skipped — a crashed run is not a perf
+// baseline). Only metrics present in latest, carried by at least
+// MinHistory baseline records, with a known direction, and matching
+// Only are judged.
+func (c SentinelConfig) CheckRecord(history []RunRecord, latest RunRecord) []Finding {
+	c = c.withDefaults()
+	// Trajectory per metric: the last LastN healthy values.
+	base := make(map[string][]float64)
+	healthy := 0
+	for _, r := range history {
+		if r.Failed() {
+			continue
+		}
+		healthy++
+	}
+	skip := healthy - c.LastN // older runs beyond the window
+	for _, r := range history {
+		if r.Failed() {
+			continue
+		}
+		if skip > 0 {
+			skip--
+			continue
+		}
+		for k, v := range r.Values {
+			base[k] = append(base[k], v)
+		}
+	}
+
+	metrics := make([]string, 0, len(latest.Values))
+	for k := range latest.Values {
+		metrics = append(metrics, k)
+	}
+	sort.Strings(metrics)
+
+	var out []Finding
+	for _, m := range metrics {
+		dir := MetricDirection(m)
+		if dir == Unknown || !c.judges(m) {
+			continue
+		}
+		hist := base[m]
+		if len(hist) < c.MinHistory {
+			continue
+		}
+		b := median(hist)
+		o := latest.Values[m]
+		f := Finding{
+			Kind: latest.Kind, Label: latest.Label, Metric: m,
+			Direction: dir, DirectionName: dir.String(),
+			Baseline: b, Observed: o, History: len(hist),
+		}
+		if b != 0 {
+			f.Ratio = o / b
+		}
+		switch dir {
+		case HigherBetter:
+			f.Regressed = o < b*(1-c.Tolerance)
+		case LowerBetter:
+			f.Regressed = o > b*(1+c.Tolerance)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// CheckStore judges the newest record of every (kind, label) group in
+// the store (restricted by filter) against that group's trajectory.
+// Groups whose newest record is a failure yield one synthetic
+// regressed finding — a run that cannot report numbers has, for
+// gating purposes, regressed.
+func (c SentinelConfig) CheckStore(s *Store, filter Filter) ([]Finding, error) {
+	groups, err := s.Labels(filter)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, g := range groups {
+		gf := filter
+		gf.Kind, gf.Label = g[0], g[1]
+		recs, err := s.Query(gf)
+		if err != nil {
+			return nil, err
+		}
+		if len(recs) < 2 {
+			continue // nothing to compare against
+		}
+		latest := recs[len(recs)-1]
+		if latest.Failed() {
+			out = append(out, Finding{
+				Kind: latest.Kind, Label: latest.Label,
+				Metric: "run", DirectionName: Unknown.String(),
+				Regressed: true,
+			})
+			continue
+		}
+		out = append(out, c.CheckRecord(recs[:len(recs)-1], latest)...)
+	}
+	return out, nil
+}
+
+// Regressions filters the findings down to the failures.
+func Regressions(fs []Finding) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Regressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// histRecs builds n healthy contention records with the given metric
+// values (one value per record).
+func histRecs(metric string, vals ...float64) []RunRecord {
+	recs := make([]RunRecord, 0, len(vals))
+	for _, v := range vals {
+		recs = append(recs, RunRecord{
+			Kind: KindContention, Label: "a",
+			Values: map[string]float64{metric: v},
+		})
+	}
+	return recs
+}
+
+func TestSentinelIdenticalRunsPass(t *testing.T) {
+	hist := histRecs("crit.p95_ns", 400, 400, 400)
+	latest := hist[0]
+	fs := SentinelConfig{}.CheckRecord(hist, latest)
+	if len(fs) != 1 {
+		t.Fatalf("findings = %+v", fs)
+	}
+	f := fs[0]
+	if f.Regressed || f.Ratio != 1 || f.Baseline != 400 || f.History != 3 {
+		t.Fatalf("identical-run finding = %+v", f)
+	}
+	if !strings.HasPrefix(f.String(), "ok ") {
+		t.Fatalf("finding renders as %q", f.String())
+	}
+}
+
+func TestSentinelDirectionality(t *testing.T) {
+	// Lower-better: a 10x latency rise regresses, a 10x drop does not.
+	hist := histRecs("crit.p95_ns", 400, 410, 390)
+	up := RunRecord{Kind: KindContention, Label: "a", Values: map[string]float64{"crit.p95_ns": 4000}}
+	down := RunRecord{Kind: KindContention, Label: "a", Values: map[string]float64{"crit.p95_ns": 40}}
+	if fs := (SentinelConfig{}).CheckRecord(hist, up); !fs[0].Regressed {
+		t.Fatalf("10x latency rise not flagged: %+v", fs[0])
+	}
+	if fs := (SentinelConfig{}).CheckRecord(hist, down); fs[0].Regressed {
+		t.Fatalf("latency improvement flagged: %+v", fs[0])
+	}
+
+	// Higher-better: the acceptance shape — events/sec degraded 10x.
+	hist = histRecs("new.events_per_sec", 14.7e6, 14.8e6, 14.6e6)
+	slow := RunRecord{Kind: KindContention, Label: "a", Values: map[string]float64{"new.events_per_sec": 1.47e6}}
+	fs := SentinelConfig{}.CheckRecord(hist, slow)
+	if !fs[0].Regressed {
+		t.Fatalf("10x throughput drop not flagged: %+v", fs[0])
+	}
+	if !strings.Contains(fs[0].String(), "REGRESSED") {
+		t.Fatalf("regressed finding renders as %q", fs[0].String())
+	}
+}
+
+func TestSentinelToleranceBand(t *testing.T) {
+	hist := histRecs("crit.p95_ns", 100, 100, 100)
+	within := RunRecord{Kind: KindContention, Label: "a", Values: map[string]float64{"crit.p95_ns": 120}}
+	beyond := RunRecord{Kind: KindContention, Label: "a", Values: map[string]float64{"crit.p95_ns": 130}}
+	cfg := SentinelConfig{Tolerance: 0.25}
+	if fs := cfg.CheckRecord(hist, within); fs[0].Regressed {
+		t.Fatalf("within-tolerance rise flagged: %+v", fs[0])
+	}
+	if fs := cfg.CheckRecord(hist, beyond); !fs[0].Regressed {
+		t.Fatalf("beyond-tolerance rise not flagged: %+v", fs[0])
+	}
+}
+
+func TestSentinelMedianRobustToOutlier(t *testing.T) {
+	// One historic spike must not drag the baseline: median of
+	// {100, 100, 100, 100, 10000} is 100.
+	hist := histRecs("crit.p95_ns", 100, 100, 100, 100, 10000)
+	probe := RunRecord{Kind: KindContention, Label: "a", Values: map[string]float64{"crit.p95_ns": 140}}
+	fs := SentinelConfig{LastN: 5}.CheckRecord(hist, probe)
+	if fs[0].Baseline != 100 {
+		t.Fatalf("baseline = %v, want outlier-robust 100", fs[0].Baseline)
+	}
+	if !fs[0].Regressed {
+		t.Fatalf("40%% rise over robust baseline not flagged: %+v", fs[0])
+	}
+}
+
+func TestSentinelWindowSkipsOldRuns(t *testing.T) {
+	// Trajectory depth 2: only the newest two baseline runs count.
+	hist := histRecs("crit.p95_ns", 1000, 1000, 100, 100)
+	probe := RunRecord{Kind: KindContention, Label: "a", Values: map[string]float64{"crit.p95_ns": 150}}
+	fs := SentinelConfig{LastN: 2}.CheckRecord(hist, probe)
+	if fs[0].Baseline != 100 || fs[0].History != 2 {
+		t.Fatalf("windowed baseline = %+v", fs[0])
+	}
+	if !fs[0].Regressed {
+		t.Fatal("rise over windowed baseline not flagged")
+	}
+}
+
+func TestSentinelSkipsUnknownFailedAndFiltered(t *testing.T) {
+	hist := []RunRecord{
+		{Kind: KindContention, Label: "a", Values: map[string]float64{"crit.p95_ns": 100, "admitted": 5}},
+		{Kind: KindContention, Label: "a", Err: "panic", Values: map[string]float64{"crit.p95_ns": 9999}},
+		{Kind: KindContention, Label: "a", Values: map[string]float64{"crit.p95_ns": 100, "admitted": 5}},
+	}
+	probe := RunRecord{Kind: KindContention, Label: "a",
+		Values: map[string]float64{"crit.p95_ns": 100, "admitted": 50, "row_hit_rate": 0.5}}
+	fs := SentinelConfig{}.CheckRecord(hist, probe)
+	for _, f := range fs {
+		if f.Metric == "admitted" {
+			t.Fatalf("direction-less metric judged: %+v", f)
+		}
+		if f.Metric == "row_hit_rate" {
+			t.Fatalf("metric without history judged: %+v", f)
+		}
+		if f.Baseline != 100 {
+			t.Fatalf("failed run leaked into the baseline: %+v", f)
+		}
+	}
+	if len(fs) != 1 {
+		t.Fatalf("findings = %+v", fs)
+	}
+
+	// Only restricts scope.
+	fs = SentinelConfig{Only: []string{"events_per_sec"}}.CheckRecord(hist, probe)
+	if len(fs) != 0 {
+		t.Fatalf("Only filter leaked: %+v", fs)
+	}
+}
+
+func TestSentinelCheckStoreGroupsAndFailures(t *testing.T) {
+	s := testStore(t)
+	appendAll := func(recs ...RunRecord) {
+		t.Helper()
+		for _, r := range recs {
+			if _, err := s.Append(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Group a: steady then regressed. Group b: steady. Group c: one
+	// record only (unjudged). Group d: latest failed.
+	appendAll(histRecs("crit.p95_ns", 100, 100, 1000)...)
+	appendAll(
+		RunRecord{Kind: KindBench, Label: "b", Values: map[string]float64{"new.events_per_sec": 1e6}},
+		RunRecord{Kind: KindBench, Label: "b", Values: map[string]float64{"new.events_per_sec": 1.01e6}},
+		RunRecord{Kind: KindContention, Label: "c", Values: map[string]float64{"crit.p95_ns": 5}},
+		RunRecord{Kind: KindContention, Label: "d", Values: map[string]float64{"crit.p95_ns": 5}},
+		RunRecord{Kind: KindContention, Label: "d", Err: "panic: boom"},
+	)
+	fs, err := SentinelConfig{}.CheckStore(s, Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := Regressions(fs)
+	var gotA, gotD bool
+	for _, f := range reg {
+		switch f.Label {
+		case "a":
+			gotA = true
+		case "d":
+			gotD = true
+			if f.Metric != "run" {
+				t.Fatalf("failed-latest finding = %+v", f)
+			}
+		default:
+			t.Fatalf("unexpected regression %+v", f)
+		}
+	}
+	if !gotA || !gotD {
+		t.Fatalf("regressions = %+v", reg)
+	}
+	for _, f := range fs {
+		if f.Label == "c" {
+			t.Fatalf("single-record group judged: %+v", f)
+		}
+	}
+}

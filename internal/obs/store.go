@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// storeFile is the append-only record log inside a store directory.
+const storeFile = "runs.jsonl"
+
+// Store is the embedded results store: a directory holding an
+// append-only JSONL log of RunRecords. It is pure Go (no cgo, no
+// external database), safe for concurrent use within one process, and
+// durable per append — each record is one fsync-free O_APPEND write
+// of one line, so a crashed run loses at most the record being
+// written, never the history.
+//
+// Multiple processes may append to the same store; POSIX guarantees
+// O_APPEND writes of one line land whole. Sequence numbers are only
+// unique per process, so cross-process writers should rely on append
+// order, which Query preserves.
+type Store struct {
+	dir  string
+	path string
+
+	mu   sync.Mutex
+	f    *os.File
+	next int64
+	now  func() int64
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithClock overrides the wall clock stamped into RecordedUnix —
+// deterministic tests pin it.
+func WithClock(now func() int64) Option {
+	return func(s *Store) { s.now = now }
+}
+
+// Open opens (creating if needed) the store rooted at dir.
+func Open(dir string, opts ...Option) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("obs: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: open store: %w", err)
+	}
+	s := &Store{
+		dir:  dir,
+		path: filepath.Join(dir, storeFile),
+		now:  func() int64 { return time.Now().Unix() },
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	recs, err := s.load()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range recs {
+		if r.Seq >= s.next {
+			s.next = r.Seq
+		}
+	}
+	s.next++
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: open store log: %w", err)
+	}
+	s.f = f
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close releases the append handle. Appends after Close fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// Append stamps the record (schema version, sequence number, recorded
+// time, metrics fingerprint) and persists it. The stamped record is
+// returned.
+func (s *Store) Append(rec RunRecord) (RunRecord, error) {
+	rec.Schema = SchemaVersion
+	if rec.Metrics != "" && rec.MetricsFP == "" {
+		rec.MetricsFP = Fingerprint([]byte(rec.Metrics))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return rec, fmt.Errorf("obs: append on closed store")
+	}
+	rec.Seq = s.next
+	rec.RecordedUnix = s.now()
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return rec, fmt.Errorf("obs: encode record: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := s.f.Write(line); err != nil {
+		return rec, fmt.Errorf("obs: append record: %w", err)
+	}
+	s.next++
+	return rec, nil
+}
+
+// load reads every record in append order. Unparseable lines are an
+// error — the store is ours; silent skips would hide corruption.
+func (s *Store) load() ([]RunRecord, error) {
+	f, err := os.Open(s.path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("obs: read store: %w", err)
+	}
+	defer f.Close()
+	var recs []RunRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var r RunRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			return nil, fmt.Errorf("obs: %s:%d: %w", s.path, n, err)
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: %s: %w", s.path, err)
+	}
+	return recs, nil
+}
+
+// Filter selects records. The zero Filter matches everything.
+type Filter struct {
+	// Kind/Label/ConfigFP match exactly when non-empty.
+	Kind     string
+	Label    string
+	ConfigFP string
+	// Seed matches when non-nil.
+	Seed *uint64
+	// Since/Until bound RecordedUnix inclusively when non-zero.
+	Since, Until int64
+	// Failed selects only failure records; OK selects only successes.
+	Failed, OK bool
+	// LastN keeps only the newest N matches (0 = all).
+	LastN int
+}
+
+// matches applies every non-zero predicate.
+func (f Filter) matches(r RunRecord) bool {
+	if f.Kind != "" && r.Kind != f.Kind {
+		return false
+	}
+	if f.Label != "" && r.Label != f.Label {
+		return false
+	}
+	if f.ConfigFP != "" && r.ConfigFP != f.ConfigFP {
+		return false
+	}
+	if f.Seed != nil && r.Seed != *f.Seed {
+		return false
+	}
+	if f.Since != 0 && r.RecordedUnix < f.Since {
+		return false
+	}
+	if f.Until != 0 && r.RecordedUnix > f.Until {
+		return false
+	}
+	if f.Failed && !r.Failed() {
+		return false
+	}
+	if f.OK && r.Failed() {
+		return false
+	}
+	return true
+}
+
+// Query returns the matching records in append order (oldest first),
+// re-reading the log so appends from other handles are visible.
+func (s *Store) Query(f Filter) ([]RunRecord, error) {
+	recs, err := s.load()
+	if err != nil {
+		return nil, err
+	}
+	out := recs[:0]
+	for _, r := range recs {
+		if f.matches(r) {
+			out = append(out, r)
+		}
+	}
+	if f.LastN > 0 && len(out) > f.LastN {
+		out = out[len(out)-f.LastN:]
+	}
+	return append([]RunRecord(nil), out...), nil
+}
+
+// Series extracts one metric's trajectory from the matching records in
+// append order. Records without the metric are skipped, so the series
+// is dense.
+func (s *Store) Series(metric string, f Filter) ([]float64, error) {
+	recs, err := s.Query(f)
+	if err != nil {
+		return nil, err
+	}
+	var out []float64
+	for _, r := range recs {
+		if v, ok := r.Value(metric); ok {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// Labels returns the distinct (kind, label) pairs present in the
+// matching records, in first-appearance order — the sentinel's
+// grouping axis.
+func (s *Store) Labels(f Filter) ([][2]string, error) {
+	recs, err := s.Query(f)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[[2]string]bool)
+	var out [][2]string
+	for _, r := range recs {
+		k := [2]string{r.Kind, r.Label}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testStore opens a store in a temp dir with a deterministic clock.
+func testStore(t *testing.T) *Store {
+	t.Helper()
+	var tick int64
+	s, err := Open(t.TempDir(), WithClock(func() int64 { tick++; return 1000 + tick }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestStoreAppendStampsAndPersists(t *testing.T) {
+	s := testStore(t)
+	rec, err := s.Append(RunRecord{
+		Kind: KindContention, Label: "none/hogs=2", Seed: 100,
+		Values:  map[string]float64{"crit.p95_ns": 376.8},
+		Metrics: "# TYPE x gauge\nx 1\n# EOF\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Schema != SchemaVersion || rec.Seq != 1 || rec.RecordedUnix == 0 {
+		t.Fatalf("stamp missing: %+v", rec)
+	}
+	if rec.MetricsFP != Fingerprint([]byte(rec.Metrics)) {
+		t.Fatalf("metrics fingerprint %q not derived from payload", rec.MetricsFP)
+	}
+
+	// A fresh handle sees the record and continues the sequence.
+	s2, err := Open(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	recs, err := s2.Query(Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Label != "none/hogs=2" || recs[0].Values["crit.p95_ns"] != 376.8 {
+		t.Fatalf("reloaded records = %+v", recs)
+	}
+	r2, err := s2.Append(RunRecord{Kind: KindContention, Label: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Seq != 2 {
+		t.Fatalf("sequence did not resume: %d", r2.Seq)
+	}
+}
+
+func TestStoreQueryFilters(t *testing.T) {
+	s := testStore(t)
+	seed := func(v uint64) *uint64 { return &v }
+	for _, r := range []RunRecord{
+		{Kind: KindContention, Label: "a", Seed: 1, Values: map[string]float64{"m": 1}},
+		{Kind: KindContention, Label: "a", Seed: 2, Values: map[string]float64{"m": 2}},
+		{Kind: KindContention, Label: "b", Seed: 1, Err: "boom"},
+		{Kind: KindBench, Label: "kernel", Values: map[string]float64{"m": 9}},
+	} {
+		if _, err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		name string
+		f    Filter
+		want int
+	}{
+		{"all", Filter{}, 4},
+		{"kind", Filter{Kind: KindBench}, 1},
+		{"label", Filter{Label: "a"}, 2},
+		{"seed", Filter{Seed: seed(1)}, 2},
+		{"failed", Filter{Failed: true}, 1},
+		{"ok", Filter{OK: true}, 3},
+		{"lastN", Filter{LastN: 2}, 2},
+		{"since", Filter{Since: 1003}, 2},
+		{"until", Filter{Until: 1002}, 2},
+		{"combined", Filter{Kind: KindContention, OK: true, LastN: 1}, 1},
+	}
+	for _, c := range cases {
+		recs, err := s.Query(c.f)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if len(recs) != c.want {
+			t.Errorf("%s: %d records, want %d", c.name, len(recs), c.want)
+		}
+	}
+	// LastN keeps the newest.
+	recs, _ := s.Query(Filter{LastN: 1})
+	if recs[0].Kind != KindBench {
+		t.Fatalf("LastN kept %+v, want the bench record", recs[0])
+	}
+}
+
+func TestStoreSeriesAndLabels(t *testing.T) {
+	s := testStore(t)
+	for i, v := range []float64{10, 20, 30} {
+		if _, err := s.Append(RunRecord{
+			Kind: KindContention, Label: "a", Seed: uint64(i),
+			Values: map[string]float64{"crit.p95_ns": v},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Append(RunRecord{Kind: KindBench, Label: "kernel"}); err != nil {
+		t.Fatal(err)
+	}
+	series, err := s.Series("crit.p95_ns", Filter{Label: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 || series[0] != 10 || series[2] != 30 {
+		t.Fatalf("series = %v", series)
+	}
+	// The bench record has no such metric; the dense series skips it.
+	all, _ := s.Series("crit.p95_ns", Filter{})
+	if len(all) != 3 {
+		t.Fatalf("dense series = %v", all)
+	}
+	labels, err := s.Labels(Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 2 || labels[0] != [2]string{KindContention, "a"} || labels[1] != [2]string{KindBench, "kernel"} {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func TestStoreIdenticalPayloadsFingerprintEqual(t *testing.T) {
+	s := testStore(t)
+	payload := "# TYPE dram_reads counter\ndram_reads_total 42\n# EOF\n"
+	r1, err := s.Append(RunRecord{Kind: KindContention, Label: "a", Metrics: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Append(RunRecord{Kind: KindContention, Label: "a", Metrics: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.MetricsFP != r2.MetricsFP || r1.Metrics != r2.Metrics {
+		t.Fatal("identical payloads must store byte-identically")
+	}
+	if r1.Seq == r2.Seq || r1.RecordedUnix == r2.RecordedUnix {
+		t.Fatal("store stamps must still distinguish the two appends")
+	}
+}
+
+func TestStoreCorruptLineErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, storeFile), []byte("{\"kind\":\"x\"}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), ":2:") {
+		t.Fatalf("corrupt store opened without a line-numbered error: %v", err)
+	}
+}
+
+func TestStoreClosedAppendFails(t *testing.T) {
+	s := testStore(t)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(RunRecord{Kind: "x"}); err == nil {
+		t.Fatal("append on closed store succeeded")
+	}
+}
+
+func TestFingerprintConfigOrderIndependent(t *testing.T) {
+	a := FingerprintConfig(map[string]string{"hogs": "6", "mechs": "dsu", "workload": "infotainment"})
+	b := FingerprintConfig(map[string]string{"workload": "infotainment", "mechs": "dsu", "hogs": "6"})
+	if a != b {
+		t.Fatal("fingerprint depends on map order")
+	}
+	c := FingerprintConfig(map[string]string{"hogs": "7", "mechs": "dsu", "workload": "infotainment"})
+	if a == c {
+		t.Fatal("fingerprint ignored a config change")
+	}
+}
+
+func TestMetricDirection(t *testing.T) {
+	cases := map[string]Direction{
+		"crit.p95_ns":                   LowerBetter,
+		"crit.mean_ns":                  LowerBetter,
+		"row_hit_rate":                  HigherBetter,
+		"audit.conformance":             HigherBetter,
+		"audit.violations":              LowerBetter,
+		"new.events_per_sec":            HigherBetter,
+		"new.allocs_per_event":          LowerBetter,
+		"admission_churn.speedup":       HigherBetter,
+		"cached.decisions_per_sec":      HigherBetter,
+		"uncached.ns_per_decision":      LowerBetter,
+		"speedup":                       HigherBetter,
+		"admitted":                      Unknown,
+		"rejection_rate":                Unknown,
+		"some.brand.new.metric":         Unknown,
+		"convolve.cached.allocs_per_op": LowerBetter,
+	}
+	for name, want := range cases {
+		if got := MetricDirection(name); got != want {
+			t.Errorf("MetricDirection(%q) = %v, want %v", name, got, want)
+		}
+	}
+}

@@ -24,8 +24,11 @@ type Result struct {
 	ModeChanges uint64
 
 	// Violations counts the run's audit bound violations across all
-	// apps (zero unless the spec armed the auditor).
+	// apps (zero unless the spec armed the auditor); Observed counts
+	// the transactions the auditor checked — together they give the
+	// run's bound-conformance rate (Observed-Violations)/Observed.
 	Violations uint64
+	Observed   uint64
 
 	// Err is the structured failure record: empty on success, the
 	// error text or "panic: ..." otherwise.
@@ -47,7 +50,10 @@ func Execute(s Spec) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{Crit: rr.Crit, RowHitRate: rr.RowHitRate, Violations: rr.TotalViolations}, nil
+		return Result{
+			Crit: rr.Crit, RowHitRate: rr.RowHitRate,
+			Violations: rr.TotalViolations, Observed: rr.AuditObserved,
+		}, nil
 	case Admission:
 		return runAdmission(s.Admission)
 	}

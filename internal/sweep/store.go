@@ -1,0 +1,142 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// Recorder persists a sweep's per-run evidence into an obs.Store: the
+// headline values the SLO engine and the regression sentinel operate
+// on, plus each run's full OpenMetrics snapshot. It is the bridge
+// between the in-process sweep and the cross-run observability plane.
+//
+// Usage: NewRecorder before RunObserved (it arms metrics capture on
+// the specs in place), Flush after (it appends one record per spec,
+// in spec order, so store contents are deterministic whatever the
+// worker count).
+type Recorder struct {
+	store    *obs.Store
+	specs    []Spec
+	payloads [][]byte
+}
+
+// NewRecorder arms per-run metrics capture across the specs, in
+// place: every contention spec's platform gets a MetricsSink writing
+// into the recorder's slot for that spec. Slots are indexed like the
+// specs — each is written by exactly one hermetic run, so concurrent
+// workers never contend — and core.Run fires the sink from its
+// deferred snapshot dump, so a run that fails or panics still leaves
+// its telemetry in the record (the sweep-level satellite of the same
+// contract).
+func NewRecorder(st *obs.Store, specs []Spec) *Recorder {
+	r := &Recorder{store: st, specs: specs, payloads: make([][]byte, len(specs))}
+	for i := range specs {
+		if specs[i].Kind != Contention {
+			continue
+		}
+		slot := &r.payloads[i]
+		specs[i].Platform.MetricsSink = func(b []byte) { *slot = b }
+	}
+	return r
+}
+
+// Flush appends one record per spec, in spec order. Results must be
+// indexed like the specs (Run/RunObserved's contract).
+func (r *Recorder) Flush(results []Result) error {
+	if len(results) != len(r.specs) {
+		return fmt.Errorf("sweep: %d results for %d specs", len(results), len(r.specs))
+	}
+	for i, res := range results {
+		if _, err := r.store.Append(RecordOf(r.specs[i], res, r.payloads[i])); err != nil {
+			return fmt.Errorf("sweep: record run %d (%s): %w", i, r.specs[i].Label, err)
+		}
+	}
+	return nil
+}
+
+// RecordOf builds the persistent record of one run: kind and label
+// from the spec, a configuration fingerprint over the axes that
+// define "the same experiment" (not the seed — that is its own
+// field), the headline values, and the captured OpenMetrics snapshot.
+// A failed run keeps its snapshot but carries no headline values; its
+// Err field is the failure record.
+func RecordOf(s Spec, res Result, metrics []byte) obs.RunRecord {
+	rec := obs.RunRecord{
+		Label:    s.Label,
+		ConfigFP: obs.FingerprintConfig(ConfigOf(s)),
+		Metrics:  string(metrics),
+		Err:      res.Err,
+	}
+	switch s.Kind {
+	case Contention:
+		rec.Kind = obs.KindContention
+		rec.Seed = s.Platform.Seed
+	case Admission:
+		rec.Kind = obs.KindAdmission
+	default:
+		rec.Kind = s.Kind.String()
+	}
+	if res.Failed() {
+		return rec
+	}
+	vals := map[string]float64{}
+	switch s.Kind {
+	case Contention:
+		vals["crit.mean_ns"] = res.Crit.MeanReadLatency.Nanoseconds()
+		vals["crit.p95_ns"] = res.Crit.P95ReadLatency.Nanoseconds()
+		vals["crit.max_ns"] = res.Crit.MaxReadLatency.Nanoseconds()
+		vals["row_hit_rate"] = res.RowHitRate
+		if s.Platform.Audit {
+			vals["audit.violations"] = float64(res.Violations)
+			vals["audit.observed"] = float64(res.Observed)
+			if res.Observed > 0 {
+				vals["audit.conformance"] = float64(res.Observed-res.Violations) / float64(res.Observed)
+			}
+		}
+	case Admission:
+		vals["admitted"] = float64(res.Admitted)
+		vals["rejected"] = float64(res.Rejected)
+		vals["mode_changes"] = float64(res.ModeChanges)
+		if total := res.Admitted + res.Rejected; total > 0 {
+			vals["rejection_rate"] = float64(res.Rejected) / float64(total)
+		}
+	}
+	rec.Values = vals
+	return rec
+}
+
+// ConfigOf flattens a spec's configuration axes into the explicit map
+// the store fingerprints. It deliberately enumerates fields rather
+// than marshaling the spec: RunSpec carries function-valued observer
+// hooks (MetricsSink) that neither serialize nor belong in an
+// experiment's identity, and the fingerprint must not shift when an
+// observer is armed.
+func ConfigOf(s Spec) map[string]string {
+	switch s.Kind {
+	case Contention:
+		p := s.Platform
+		return map[string]string{
+			"kind":        "contention",
+			"mechs":       mechanismsOf(p).String(),
+			"hogs":        strconv.Itoa(p.Hogs),
+			"workload":    p.HogClass.String(),
+			"duration_ns": strconv.FormatFloat(p.Duration.Nanoseconds(), 'g', -1, 64),
+			"audit":       strconv.FormatBool(p.Audit),
+		}
+	case Admission:
+		a := s.Admission
+		return map[string]string{
+			"kind":            "admission",
+			"apps":            strconv.Itoa(a.Apps),
+			"crit_apps":       strconv.Itoa(a.CritApps),
+			"total_bpn":       strconv.FormatFloat(a.TotalBytesPerNS, 'g', -1, 64),
+			"crit_bpn":        strconv.FormatFloat(a.CriticalBytesPerNS, 'g', -1, 64),
+			"floor_bpn":       strconv.FormatFloat(a.FloorBytesPerNS, 'g', -1, 64),
+			"packets_per_app": strconv.Itoa(a.PacketsPerApp),
+			"deadline_ns":     strconv.FormatFloat(a.DeadlineNS, 'g', -1, 64),
+		}
+	}
+	return map[string]string{"kind": s.Kind.String()}
+}

@@ -93,6 +93,64 @@ func TestHistogramQuantileErrorBound(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileErrorBoundProperty pins the documented
+// guarantee as a property across distributions: for every p, the
+// reported quantile is within [x, x*(1+MaxQuantileRelativeError)] of
+// the exact nearest-rank order statistic x — with no slack term — and
+// is exact below subBuckets and at p <= 0 / p >= 1.
+func TestHistogramQuantileErrorBoundProperty(t *testing.T) {
+	distributions := []struct {
+		name string
+		gen  func(rnd *sim.Rand) int64
+	}{
+		{"uniform", func(rnd *sim.Rand) int64 { return int64(rnd.Intn(1_000_000)) }},
+		{"log-uniform", func(rnd *sim.Rand) int64 {
+			return int64(rnd.Intn(1 << uint(1+rnd.Intn(40))))
+		}},
+		{"constant", func(*sim.Rand) int64 { return 123_456 }},
+		{"small-exact", func(rnd *sim.Rand) int64 { return int64(rnd.Intn(subBuckets)) }},
+		{"bimodal", func(rnd *sim.Rand) int64 {
+			if rnd.Intn(10) == 0 {
+				return int64(5_000_000 + rnd.Intn(1000)) // tail mode
+			}
+			return int64(100 + rnd.Intn(50))
+		}},
+	}
+	quantiles := []float64{0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999}
+	for di, d := range distributions {
+		t.Run(d.name, func(t *testing.T) {
+			rnd := sim.NewRand(uint64(1000 + di))
+			h := NewHistogram()
+			samples := make([]int64, 0, 10000)
+			for i := 0; i < 10000; i++ {
+				v := d.gen(rnd)
+				h.Record(v)
+				samples = append(samples, v)
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			for _, p := range quantiles {
+				exact := samples[int(p*float64(len(samples)-1))]
+				got := h.Quantile(p)
+				if got < exact {
+					t.Errorf("Quantile(%g) = %d under-estimates exact %d", p, got, exact)
+				}
+				if float64(got) > float64(exact)*(1+MaxQuantileRelativeError) {
+					t.Errorf("Quantile(%g) = %d exceeds %d * (1+1/%d)", p, got, exact, subBuckets)
+				}
+				if exact < subBuckets && got != exact {
+					t.Errorf("Quantile(%g) = %d not exact below subBuckets (want %d)", p, got, exact)
+				}
+			}
+			if h.Quantile(0) != samples[0] || h.Quantile(-0.5) != samples[0] {
+				t.Errorf("Quantile(<=0) = %d, want exact min %d", h.Quantile(0), samples[0])
+			}
+			if h.Quantile(1) != samples[len(samples)-1] || h.Quantile(1.5) != samples[len(samples)-1] {
+				t.Errorf("Quantile(>=1) = %d, want exact max %d", h.Quantile(1), samples[len(samples)-1])
+			}
+		})
+	}
+}
+
 func TestHistogramQuantileMonotone(t *testing.T) {
 	rnd := sim.NewRand(3)
 	h := NewHistogram()
