@@ -80,6 +80,21 @@ func fail(errw io.Writer, err error) int {
 	return 1
 }
 
+// openStore opens the store and surfaces any crash recovery Open had
+// to perform (a torn final line from a crashed writer) as a warning —
+// the history is intact, but the operator should know a run's record
+// was lost or repaired.
+func openStore(dir string, errw io.Writer) (*obs.Store, error) {
+	st, err := obs.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	if rec := st.Recovery(); rec.Recovered > 0 {
+		fmt.Fprintf(errw, "obsq: warning: store recovered from a crashed writer: %s\n", rec.Message)
+	}
+	return st, nil
+}
+
 // filterFlags registers the shared record-filter flags on fs and
 // returns a builder that materializes the obs.Filter after parsing.
 func filterFlags(fs *flag.FlagSet) func() (obs.Filter, error) {
@@ -121,7 +136,7 @@ func cmdQuery(args []string, out, errw io.Writer) int {
 	if err != nil {
 		return fail(errw, err)
 	}
-	st, err := obs.Open(*store)
+	st, err := openStore(*store, errw)
 	if err != nil {
 		return fail(errw, err)
 	}
@@ -186,7 +201,7 @@ func cmdSeries(args []string, out, errw io.Writer) int {
 	if err != nil {
 		return fail(errw, err)
 	}
-	st, err := obs.Open(*store)
+	st, err := openStore(*store, errw)
 	if err != nil {
 		return fail(errw, err)
 	}
@@ -213,7 +228,7 @@ func cmdLabels(args []string, out, errw io.Writer) int {
 	if err != nil {
 		return fail(errw, err)
 	}
-	st, err := obs.Open(*store)
+	st, err := openStore(*store, errw)
 	if err != nil {
 		return fail(errw, err)
 	}
@@ -250,7 +265,7 @@ func cmdSLO(args []string, out, errw io.Writer) int {
 			return fail(errw, fmt.Errorf("spec %s: %w", *specPath, err))
 		}
 	}
-	st, err := obs.Open(*store)
+	st, err := openStore(*store, errw)
 	if err != nil {
 		return fail(errw, err)
 	}
@@ -305,7 +320,7 @@ func cmdSentinel(args []string, out, errw io.Writer) int {
 	if *only != "" {
 		cfg.Only = strings.Split(*only, ",")
 	}
-	st, err := obs.Open(*store)
+	st, err := openStore(*store, errw)
 	if err != nil {
 		return fail(errw, err)
 	}
@@ -404,7 +419,7 @@ func cmdRecord(args []string, out, errw io.Writer) int {
 	if len(rec.Values) == 0 {
 		rec.Values = nil
 	}
-	st, err := obs.Open(*store)
+	st, err := openStore(*store, errw)
 	if err != nil {
 		return fail(errw, err)
 	}

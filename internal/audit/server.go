@@ -2,6 +2,7 @@ package audit
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -30,6 +31,7 @@ import (
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
+	mux *http.ServeMux
 
 	mu       sync.Mutex
 	metrics  []byte
@@ -61,6 +63,7 @@ func NewServer(addr string) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
+	s.mux = mux
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		err := s.srv.Serve(ln)
@@ -160,6 +163,30 @@ func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	w.Write(body)
+}
+
+// Handle registers an additional handler on the server's mux, letting
+// a service (e.g. the admission-control plane's API) share one
+// listener with the observability endpoints. http.ServeMux registration
+// is safe while the server is serving.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
+}
+
+// Shutdown drains the server gracefully: the listener closes, in-flight
+// requests run to completion (bounded by ctx), and the serve loop
+// exits. Use this instead of Close when in-flight requests must not be
+// dropped — the admission service's SIGTERM path.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	s.mu.Lock()
+	serveErr := s.err
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return serveErr
 }
 
 // Close shuts the listener down and waits for the serve loop to exit.

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package obs
+
+import "sync"
+
+// Platforms without flock fall back to a process-local lock: handles
+// within one process still serialize correctly (the common case for
+// tests and single-binary tools), but cross-process appends are not
+// protected. The store's documentation flags this limitation.
+var fallbackLocks sync.Map // dir -> *sync.Mutex
+
+func lockDir(dir string) (unlock func(), err error) {
+	mu, _ := fallbackLocks.LoadOrStore(dir, &sync.Mutex{})
+	m := mu.(*sync.Mutex)
+	m.Lock()
+	return m.Unlock, nil
+}

@@ -1,0 +1,30 @@
+//go:build unix
+
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes the store's cross-process writer lock: an exclusive
+// flock on a dedicated lock file inside the store directory. The
+// returned function releases it. flock is advisory, which is enough —
+// every writer in this repository goes through Append/Open, and both
+// take the lock.
+func lockDir(dir string) (unlock func(), err error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockFile), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("flock: %w", err)
+	}
+	return func() {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, nil
+}

@@ -39,6 +39,9 @@ const (
 	KindAdmission = "admission"
 	// KindBench is one benchmark emission (BENCH_*.json trajectory).
 	KindBench = "bench"
+	// KindService is one admission-service session (rmd lifetime or
+	// rmload profile run).
+	KindService = "service"
 )
 
 // RunRecord is one run's persistent evidence. Values carries the
@@ -162,6 +165,13 @@ var exactDirections = map[string]Direction{
 	"seed":              Unknown,
 	"events":            Unknown,
 	"churn_apps":        Unknown,
+	// Service-plane headline metrics (rmd / rmload records).
+	"availability":  HigherBetter,
+	"throttled":     Unknown, // backpressure doing its job is not a regression
+	"breaker_opens": Unknown,
+	"decisions":     Unknown,
+	"batches":       Unknown,
+	"shards":        Unknown,
 }
 
 // MetricDirection classifies a metric name: the exact table first,

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// seedStore writes n records through the normal append path and
+// closes the handle, returning the store dir.
+func seedStore(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(dir, WithClock(func() int64 { return 1000 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := s.Append(RunRecord{
+			Kind: KindContention, Label: fmt.Sprintf("l%d", i),
+			Values: map[string]float64{"m": float64(i)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// truncateLog chops the store log to all but the last cut bytes,
+// simulating a writer that crashed mid-Write.
+func truncateLog(t *testing.T, dir string, cut int) {
+	t.Helper()
+	path := filepath.Join(dir, storeFile)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-int64(cut)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreRecoversTornFinalLine(t *testing.T) {
+	dir := seedStore(t, 3)
+	// Tear the final record: drop its trailing 10 bytes (newline
+	// included), leaving an unparseable JSON prefix.
+	truncateLog(t, dir, 10)
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("torn final line bricked Open: %v", err)
+	}
+	defer s.Close()
+	rec := s.Recovery()
+	if rec.Recovered != 1 || rec.Dropped == 0 || !strings.Contains(rec.Message, "torn") {
+		t.Fatalf("recovery not surfaced: %+v", rec)
+	}
+	recs, err := s.Query(Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Label != "l0" || recs[1].Label != "l1" {
+		t.Fatalf("history not intact after recovery: %+v", recs)
+	}
+	// The log is clean again: appends resume and a fresh Open sees no
+	// damage.
+	if _, err := s.Append(RunRecord{Kind: KindContention, Label: "after"}); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Recovery().Recovered != 0 {
+		t.Fatalf("second Open still sees damage: %+v", s2.Recovery())
+	}
+	recs, err = s2.Query(Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[2].Label != "after" {
+		t.Fatalf("post-recovery append lost: %+v", recs)
+	}
+}
+
+func TestStoreRecoversMissingFinalNewline(t *testing.T) {
+	dir := seedStore(t, 2)
+	// Drop only the trailing newline: the final record's JSON is
+	// whole, so it must be salvaged, not dropped.
+	truncateLog(t, dir, 1)
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("missing final newline bricked Open: %v", err)
+	}
+	defer s.Close()
+	rec := s.Recovery()
+	if rec.Recovered != 1 || rec.Dropped != 0 || !strings.Contains(rec.Message, "newline") {
+		t.Fatalf("recovery not surfaced: %+v", rec)
+	}
+	recs, err := s.Query(Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].Label != "l1" {
+		t.Fatalf("salvageable final record lost: %+v", recs)
+	}
+	// The repair restored the newline, so the next append starts on
+	// its own line.
+	if _, err := s.Append(RunRecord{Kind: KindContention, Label: "after"}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = s.Query(Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[2].Label != "after" {
+		t.Fatalf("append after newline repair corrupted the log: %+v", recs)
+	}
+}
+
+func TestStoreInteriorCorruptionStillHardErrors(t *testing.T) {
+	dir := seedStore(t, 3)
+	path := filepath.Join(dir, storeFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the middle record in place: interior damage is not a
+	// torn append and must not be silently skipped.
+	lines := strings.SplitAfter(string(data), "\n")
+	lines[1] = "GARBAGE" + lines[1]
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), ":2:") {
+		t.Fatalf("interior corruption did not hard-error: %v", err)
+	}
+}
+
+func TestStoreQueryToleratesTornTailWithoutRepairing(t *testing.T) {
+	dir := seedStore(t, 2)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Tear the tail *after* the handle is open — the shape of another
+	// process's append in flight (or crash).
+	truncateLog(t, dir, 5)
+	recs, err := s.Query(Filter{})
+	if err != nil {
+		t.Fatalf("query errored on torn tail: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Label != "l0" {
+		t.Fatalf("query with torn tail = %+v, want the intact prefix", recs)
+	}
+	// Query must not have mutated the file: the torn bytes are still
+	// there for the next Open to judge.
+	fi, err := os.Stat(filepath.Join(dir, storeFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("query truncated the log")
+	}
+}
+
+func TestStoreConcurrentHandlesUniqueOrderedSeqs(t *testing.T) {
+	dir := t.TempDir()
+	const handles, each = 2, 25
+	stores := make([]*Store, handles)
+	for i := range stores {
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		stores[i] = s
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, handles*each)
+	for h, s := range stores {
+		wg.Add(1)
+		go func(h int, s *Store) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if _, err := s.Append(RunRecord{
+					Kind: KindService, Label: fmt.Sprintf("h%d", h),
+					Values: map[string]float64{"i": float64(i)},
+				}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(h, s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	recs, err := stores[0].Query(Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != handles*each {
+		t.Fatalf("%d records stored, want %d", len(recs), handles*each)
+	}
+	// Seq must be unique and strictly increasing in append order —
+	// the property newest-run selection (sentinel, Series) depends on.
+	seen := make(map[int64]bool, len(recs))
+	prev := int64(0)
+	for i, r := range recs {
+		if seen[r.Seq] {
+			t.Fatalf("duplicate seq %d at record %d", r.Seq, i)
+		}
+		seen[r.Seq] = true
+		if r.Seq <= prev {
+			t.Fatalf("seq went backwards at record %d: %d after %d", i, r.Seq, prev)
+		}
+		prev = r.Seq
+	}
+	// A fresh handle resumes numbering past everything written.
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r, err := s.Append(RunRecord{Kind: KindService, Label: "tail"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Seq <= prev {
+		t.Fatalf("fresh handle reused seq %d (max was %d)", r.Seq, prev)
+	}
+}

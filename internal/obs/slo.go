@@ -192,6 +192,39 @@ func DefaultSLOs() []SLO {
 	}
 }
 
+// ServiceSLOs is the admission-service plane's contract, evaluated
+// over KindService records written by the load harness (cmd/rmload)
+// and served live on rmd's /slo endpoint: decisions stay fast at the
+// tail, and the steady-state (soak) path stays available. Spike
+// profiles deliberately drive the service into backpressure, so the
+// availability objective is scoped to soak records — 429s under a
+// spike are the design working, not an outage.
+func ServiceSLOs() []SLO {
+	return []SLO{
+		{
+			Name:   "service-decision-p99",
+			Metric: "decision.p99_ns",
+			Op:     "<=", Goal: 1e6, // 1 ms server-side p99 per decision
+			Target: 0.95, Window: 50,
+			Kind: KindService,
+		},
+		{
+			Name:   "service-availability",
+			Metric: "availability",
+			Op:     ">=", Goal: 0.999,
+			Target: 0.95, Window: 50,
+			Kind: KindService, Label: "rmload/soak",
+		},
+		{
+			Name:   "service-throughput",
+			Metric: "decisions_per_sec",
+			Op:     ">=", Goal: 1e5, // floor; the batched-path target is 1e6
+			Target: 0.9, Window: 20,
+			Kind: KindService,
+		},
+	}
+}
+
 // LoadSLOs decodes a JSON array of SLO specs.
 func LoadSLOs(r io.Reader) ([]SLO, error) {
 	var slos []SLO

@@ -2,36 +2,73 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 )
 
-// storeFile is the append-only record log inside a store directory.
-const storeFile = "runs.jsonl"
+// Files inside a store directory.
+const (
+	// storeFile is the append-only record log.
+	storeFile = "runs.jsonl"
+	// seqFile holds the next sequence number to hand out. It is only
+	// read and written under the store lock, and is written *before*
+	// the record it numbers, so a crash between the two leaves a gap
+	// in the sequence — never a duplicate.
+	seqFile = "seq"
+	// lockFile serializes writers (and Open-time repair) across
+	// processes.
+	lockFile = "lock"
+)
 
 // Store is the embedded results store: a directory holding an
 // append-only JSONL log of RunRecords. It is pure Go (no cgo, no
 // external database), safe for concurrent use within one process, and
 // durable per append — each record is one fsync-free O_APPEND write
 // of one line, so a crashed run loses at most the record being
-// written, never the history.
+// written, never the history. A torn final line left behind by such a
+// crash is repaired on the next Open: a parseable tail missing only
+// its newline is kept (the newline is restored), an unparseable tail
+// is truncated away, and either outcome is reported via Recovery.
+// Corruption anywhere *before* the final line is not crash damage and
+// still fails Open hard. Query tolerates a torn final line without
+// repairing it, because a tail mid-write by a live process looks the
+// same as crash damage from the outside.
 //
-// Multiple processes may append to the same store; POSIX guarantees
-// O_APPEND writes of one line land whole. Sequence numbers are only
-// unique per process, so cross-process writers should rely on append
-// order, which Query preserves.
+// Multiple processes may append to the same store: appends (and
+// Open-time repair) are serialized by a lock file, and sequence
+// numbers are reserved through a sidecar counter under that lock, so
+// Seq is unique and strictly increasing across processes and equals
+// append order. On platforms without file locking the fallback
+// serializes writers within one process only — see flock_other.go.
 type Store struct {
 	dir  string
 	path string
 
-	mu   sync.Mutex
-	f    *os.File
-	next int64
-	now  func() int64
+	mu       sync.Mutex
+	f        *os.File
+	next     int64
+	now      func() int64
+	recovery Recovery
+}
+
+// Recovery reports what Open had to repair to bring the log back to a
+// clean state. Zero when the log was already clean.
+type Recovery struct {
+	// Recovered counts repaired tail incidents (0 or 1: only the
+	// final line can legally be torn).
+	Recovered int
+	// Dropped counts torn-tail bytes truncated away because they did
+	// not parse; 0 when the tail record was salvageable.
+	Dropped int
+	// Message is a human-readable description of the repair.
+	Message string
 }
 
 // Option configures a Store.
@@ -43,7 +80,8 @@ func WithClock(now func() int64) Option {
 	return func(s *Store) { s.now = now }
 }
 
-// Open opens (creating if needed) the store rooted at dir.
+// Open opens (creating if needed) the store rooted at dir, repairing
+// a torn final line (a crashed writer's remnant) if one is present.
 func Open(dir string, opts ...Option) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("obs: empty store directory")
@@ -59,10 +97,29 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	for _, o := range opts {
 		o(s)
 	}
-	recs, err := s.load()
+	// Load and repair under the store lock: a tail that looks torn
+	// while the lock is held cannot be a live writer mid-append
+	// (writers hold the lock across the write), so it is safe to
+	// truncate.
+	unlock, err := lockDir(dir)
 	if err != nil {
+		return nil, fmt.Errorf("obs: lock store: %w", err)
+	}
+	recs, torn, err := s.load()
+	if err != nil {
+		unlock()
 		return nil, err
 	}
+	if torn != nil {
+		if err := s.repair(torn); err != nil {
+			unlock()
+			return nil, err
+		}
+		if torn.rec != nil {
+			recs = append(recs, *torn.rec)
+		}
+	}
+	unlock()
 	for _, r := range recs {
 		if r.Seq >= s.next {
 			s.next = r.Seq
@@ -76,6 +133,45 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	s.f = f
 	return s, nil
 }
+
+// repair fixes a torn final line in place: a salvageable record gets
+// its missing newline restored; an unparseable tail is truncated at
+// the start of the torn line.
+func (s *Store) repair(t *tornTail) error {
+	if t.rec != nil {
+		f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("obs: repair torn tail: %w", err)
+		}
+		_, werr := f.Write([]byte{'\n'})
+		cerr := f.Close()
+		if werr != nil {
+			return fmt.Errorf("obs: repair torn tail: %w", werr)
+		}
+		if cerr != nil {
+			return fmt.Errorf("obs: repair torn tail: %w", cerr)
+		}
+		s.recovery = Recovery{
+			Recovered: 1,
+			Message: fmt.Sprintf("%s:%d: restored missing newline on final record",
+				s.path, t.line),
+		}
+		return nil
+	}
+	if err := os.Truncate(s.path, t.off); err != nil {
+		return fmt.Errorf("obs: truncate torn tail: %w", err)
+	}
+	s.recovery = Recovery{
+		Recovered: 1,
+		Dropped:   t.size,
+		Message: fmt.Sprintf("%s:%d: dropped torn final line (%d bytes, crashed writer): %v",
+			s.path, t.line, t.size, t.err),
+	}
+	return nil
+}
+
+// Recovery reports what Open repaired (zero when the log was clean).
+func (s *Store) Recovery() Recovery { return s.recovery }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
@@ -94,7 +190,10 @@ func (s *Store) Close() error {
 
 // Append stamps the record (schema version, sequence number, recorded
 // time, metrics fingerprint) and persists it. The stamped record is
-// returned.
+// returned. The sequence number is reserved through the store's
+// on-disk counter under the cross-process lock, so concurrent handles
+// — including handles in other processes — never stamp duplicates,
+// and file order equals Seq order.
 func (s *Store) Append(rec RunRecord) (RunRecord, error) {
 	rec.Schema = SchemaVersion
 	if rec.Metrics != "" && rec.MetricsFP == "" {
@@ -105,7 +204,16 @@ func (s *Store) Append(rec RunRecord) (RunRecord, error) {
 	if s.f == nil {
 		return rec, fmt.Errorf("obs: append on closed store")
 	}
-	rec.Seq = s.next
+	unlock, err := lockDir(s.dir)
+	if err != nil {
+		return rec, fmt.Errorf("obs: lock store: %w", err)
+	}
+	defer unlock()
+	seq, err := s.reserveSeqLocked()
+	if err != nil {
+		return rec, err
+	}
+	rec.Seq = seq
 	rec.RecordedUnix = s.now()
 	line, err := json.Marshal(rec)
 	if err != nil {
@@ -115,40 +223,123 @@ func (s *Store) Append(rec RunRecord) (RunRecord, error) {
 	if _, err := s.f.Write(line); err != nil {
 		return rec, fmt.Errorf("obs: append record: %w", err)
 	}
-	s.next++
+	s.next = seq + 1
 	return rec, nil
 }
 
-// load reads every record in append order. Unparseable lines are an
-// error — the store is ours; silent skips would hide corruption.
-func (s *Store) load() ([]RunRecord, error) {
+// reserveSeqLocked hands out the next sequence number. Caller holds
+// both the handle mutex and the cross-process lock. The counter file
+// is advanced *before* the record is written: a crash in between
+// leaves an unused number (a gap), which is harmless, instead of a
+// duplicate, which would corrupt newest-run selection.
+func (s *Store) reserveSeqLocked() (int64, error) {
+	next := s.next
+	b, err := os.ReadFile(filepath.Join(s.dir, seqFile))
+	switch {
+	case err == nil:
+		v, perr := strconv.ParseInt(string(bytes.TrimSpace(b)), 10, 64)
+		if perr != nil {
+			// Corrupt counter: rebuild it from the log (rare path).
+			recs, _, lerr := s.load()
+			if lerr != nil {
+				return 0, fmt.Errorf("obs: rebuild seq counter: %w", lerr)
+			}
+			v = 0
+			for _, r := range recs {
+				if r.Seq > v {
+					v = r.Seq
+				}
+			}
+			v++
+		}
+		if v > next {
+			next = v
+		}
+	case os.IsNotExist(err):
+		// First writer since the counter existed: the handle's view
+		// (derived from the log at Open) is authoritative.
+	default:
+		return 0, fmt.Errorf("obs: read seq counter: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(s.dir, seqFile),
+		strconv.AppendInt(nil, next+1, 10), 0o644); err != nil {
+		return 0, fmt.Errorf("obs: advance seq counter: %w", err)
+	}
+	return next, nil
+}
+
+// tornTail describes a final line that does not end in a clean,
+// parseable record — the signature of a writer that crashed
+// mid-append.
+type tornTail struct {
+	off  int64      // byte offset where the torn line starts
+	size int        // torn line length in bytes
+	line int        // 1-based line number
+	err  error      // parse failure (nil when rec is salvageable)
+	rec  *RunRecord // parsed record when only the newline is missing
+}
+
+// load reads every record in append order. An unparseable or
+// newline-less *final* line is returned as a tornTail, not an error —
+// that is exactly what a crash mid-Write leaves behind, and the
+// documented durability contract is "a crashed run loses at most the
+// record being written, never the history". Unparseable lines
+// anywhere earlier are still a hard error: interior corruption cannot
+// come from a torn append, and silent skips would hide it.
+func (s *Store) load() ([]RunRecord, *tornTail, error) {
 	f, err := os.Open(s.path)
 	if os.IsNotExist(err) {
-		return nil, nil
+		return nil, nil, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("obs: read store: %w", err)
+		return nil, nil, fmt.Errorf("obs: read store: %w", err)
 	}
 	defer f.Close()
 	var recs []RunRecord
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	br := bufio.NewReaderSize(f, 64*1024)
+	var off int64
 	n := 0
-	for sc.Scan() {
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if len(line) == 0 {
+			if rerr == io.EOF {
+				return recs, nil, nil
+			}
+			if rerr != nil {
+				return nil, nil, fmt.Errorf("obs: %s: %w", s.path, rerr)
+			}
+		}
 		n++
-		if len(sc.Bytes()) == 0 {
+		complete := rerr == nil // line ended with '\n'
+		body := line
+		if complete {
+			body = line[:len(line)-1]
+		}
+		if len(body) == 0 {
+			off += int64(len(line))
 			continue
 		}
 		var r RunRecord
-		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
-			return nil, fmt.Errorf("obs: %s:%d: %w", s.path, n, err)
+		jerr := json.Unmarshal(body, &r)
+		switch {
+		case jerr == nil && complete:
+			recs = append(recs, r)
+		case jerr == nil && !complete:
+			// Final line, parseable, newline missing: the record made
+			// it out whole; only the terminator was lost.
+			return recs, &tornTail{off: off, size: len(line), line: n, rec: &r}, nil
+		case !complete:
+			// Final line, unparseable: torn append.
+			return recs, &tornTail{off: off, size: len(line), line: n, err: jerr}, nil
+		default:
+			// Unparseable but newline-terminated: a torn append never
+			// writes its trailing newline (it is the line's last
+			// byte), so this is real corruption wherever it sits —
+			// hard error, even at the tail.
+			return nil, nil, fmt.Errorf("obs: %s:%d: %w", s.path, n, jerr)
 		}
-		recs = append(recs, r)
+		off += int64(len(line))
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("obs: %s: %w", s.path, err)
-	}
-	return recs, nil
 }
 
 // Filter selects records. The zero Filter matches everything.
@@ -197,11 +388,20 @@ func (f Filter) matches(r RunRecord) bool {
 }
 
 // Query returns the matching records in append order (oldest first),
-// re-reading the log so appends from other handles are visible.
+// re-reading the log so appends from other handles — and other
+// processes — are visible. Append order is the store's authoritative
+// ordering axis (equal to Seq order; newest-run selection in the
+// sentinel and Series rely on it). A torn final line is tolerated: a
+// salvageable record is included, an unparseable tail is skipped —
+// it is either a crash remnant (repaired by the next Open) or a live
+// writer's append in flight.
 func (s *Store) Query(f Filter) ([]RunRecord, error) {
-	recs, err := s.load()
+	recs, torn, err := s.load()
 	if err != nil {
 		return nil, err
+	}
+	if torn != nil && torn.rec != nil {
+		recs = append(recs, *torn.rec)
 	}
 	out := recs[:0]
 	for _, r := range recs {

@@ -1,0 +1,147 @@
+package rmserver
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// The throughput acceptance criterion for the service plane is one
+// million admission decisions per second aggregate on the batched
+// path. These benchmarks measure it in-process (Fleet.Do with full
+// batches, the same path /v1/batch drives after parsing) and via the
+// compact wire parser, and TestEmitRMServerBench emits
+// BENCH_rmserver.json for the CI gate. The automated floor is set at
+// 250k decisions/sec — 4x under target — so a shared single-core CI
+// runner cannot flake the job while a real order-of-magnitude
+// regression still fails it; the measured number is what the obs
+// store tracks.
+
+const benchBatchOps = 8192
+
+// benchOps builds one full batch of register+withdraw pairs over 64
+// platforms — the workload cmd/rmload drives, minus HTTP.
+func benchOps() []Op {
+	ops := make([]Op, 0, benchBatchOps)
+	for i := 0; len(ops) < benchBatchOps; i++ {
+		plat := fmt.Sprintf("p%d", i%64)
+		app := fmt.Sprintf("a%d", i)
+		ops = append(ops,
+			Op{Kind: OpRegister, Platform: plat, App: app, BurstBytes: 64, DeadlineNS: 1e6},
+			Op{Kind: OpWithdraw, Platform: plat, App: app},
+		)
+	}
+	return ops
+}
+
+func BenchmarkFleetDoBatched(b *testing.B) {
+	f := New(Config{Shards: 4, QueueDepth: 64}, telemetry.NewRegistry())
+	defer f.Drain()
+	ops := benchOps()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(ops) {
+		f.Do(ops)
+	}
+}
+
+func BenchmarkParseOpsText(b *testing.B) {
+	var buf []byte
+	for i := 0; i < benchBatchOps/2; i++ {
+		buf = append(buf, fmt.Sprintf("r p%d a%d b 64 1000000\nw p%d a%d\n", i%64, i, i%64, i)...)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parseOpsText(newByteReader(buf), benchBatchOps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type byteReader struct {
+	b   []byte
+	off int
+}
+
+func newByteReader(b []byte) *byteReader { return &byteReader{b: b} }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.off:])
+	r.off += n
+	return n, nil
+}
+
+var benchOut = flag.String("benchout", "", "write rmserver benchmark results as JSON to this file")
+
+// TestEmitRMServerBench measures the batched decision path and writes
+// BENCH_rmserver.json when -benchout is given:
+//
+//	go test ./internal/rmserver/ -run TestEmitRMServerBench -benchout BENCH_rmserver.json
+//
+// It gates the decisions/sec floor so CI fails on a service-plane
+// throughput regression without inspecting numbers.
+func TestEmitRMServerBench(t *testing.T) {
+	if testing.Short() && *benchOut == "" {
+		t.Skip("short mode without -benchout")
+	}
+	do := testing.Benchmark(BenchmarkFleetDoBatched)
+	parse := testing.Benchmark(BenchmarkParseOpsText)
+
+	decPerSec := 1e9 / float64(do.NsPerOp())
+	// One parse op decodes a whole batch.
+	parsedOpsPerSec := 1e9 / float64(parse.NsPerOp()) * benchBatchOps
+
+	t.Logf("fleet.Do batched: %d ns/decision, %.0f decisions/sec, %d allocs/decision",
+		do.NsPerOp(), decPerSec, do.AllocsPerOp())
+	t.Logf("compact parse:    %.0f ops/sec decoded (%d ns per %d-op batch)",
+		parsedOpsPerSec, parse.NsPerOp(), benchBatchOps)
+
+	// Target: >= 1e6 decisions/sec on the batched path (see the
+	// committed BENCH_rmserver.json for measured numbers). CI floor
+	// sits 4x under target to absorb shared-runner noise.
+	if decPerSec < 250_000 {
+		t.Errorf("batched path at %.0f decisions/sec, want >= 1e6 (CI floor 2.5e5)", decPerSec)
+	}
+	if parsedOpsPerSec < 250_000 {
+		t.Errorf("compact parse at %.0f ops/sec, floor 2.5e5", parsedOpsPerSec)
+	}
+
+	if *benchOut == "" {
+		return
+	}
+	out := map[string]interface{}{
+		"benchmark": "rmserver_service_plane",
+		"batch_ops": benchBatchOps,
+		"fleet_do_batched": map[string]float64{
+			"ns_per_decision":     float64(do.NsPerOp()),
+			"decisions_per_sec":   decPerSec,
+			"allocs_per_decision": float64(do.AllocsPerOp()),
+		},
+		"compact_parse": map[string]float64{
+			"ns_per_batch":     float64(parse.NsPerOp()),
+			"ops_per_sec":      parsedOpsPerSec,
+			"mb_per_sec":       float64(parse.Bytes) / float64(parse.NsPerOp()) * 1e3,
+			"allocs_per_batch": float64(parse.AllocsPerOp()),
+		},
+		"target_decisions_per_sec":   1e6,
+		"ci_floor_decisions_per_sec": 250_000.0,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*benchOut, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+package rmserver
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig tunes the overload circuit breaker.
+type BreakerConfig struct {
+	// Window is the sliding observation window (default 1s).
+	Window time.Duration
+	// MinRequests is the minimum traffic inside the window before the
+	// throttle ratio is trusted (default 32): a single throttled probe
+	// at dawn must not trip the breaker.
+	MinRequests int
+	// TripRatio opens the breaker when throttled/total inside the
+	// window reaches it (default 0.5).
+	TripRatio float64
+	// Cooldown is how long an open breaker rejects outright before
+	// admitting half-open probes (default 2s).
+	Cooldown time.Duration
+	// HalfOpenProbes is how many consecutive un-throttled probes close
+	// the breaker again (default 8); one throttled probe re-opens it.
+	HalfOpenProbes int
+
+	// now is a test hook for virtual time; defaults to time.Now.
+	now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = time.Second
+	}
+	if c.MinRequests <= 0 {
+		c.MinRequests = 32
+	}
+	if c.TripRatio <= 0 {
+		c.TripRatio = 0.5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 8
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// breakerState enumerates the classic three-state machine.
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is the service's overload circuit breaker. It watches the
+// *throttle* rate — the fraction of requests shed by full shard
+// queues — rather than errors: in an admission-control plane the
+// failure mode under overload is queue saturation, and the cheapest
+// place to shed is the front door, before any parsing or enqueueing.
+//
+// Closed: all requests pass; throttle outcomes feed a sliding window.
+// When the windowed throttle ratio reaches TripRatio (with at least
+// MinRequests observed) the breaker opens. Open: every request is
+// rejected immediately for Cooldown, then the breaker half-opens.
+// Half-open: requests pass as probes; HalfOpenProbes consecutive
+// un-throttled outcomes close it, one throttled outcome re-opens it.
+type breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     breakerState
+	openedAt  time.Time
+	probeOKs  int
+	opens     uint64 // cumulative open transitions
+	buckets   [breakerBuckets]breakerBucket
+	bucketDur time.Duration
+}
+
+// The sliding window is approximated by a ring of sub-buckets, rotated
+// by wall time — O(1) memory, no per-request timestamp queue.
+const breakerBuckets = 8
+
+type breakerBucket struct {
+	epoch     int64 // bucket index since the zero time; stale entries are reset lazily
+	total     int
+	throttled int
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	cfg = cfg.withDefaults()
+	return &breaker{cfg: cfg, bucketDur: cfg.Window / breakerBuckets}
+}
+
+// Allow reports whether a request may proceed. An open breaker past
+// its cooldown transitions to half-open and admits the caller as a
+// probe.
+func (b *breaker) Allow() bool {
+	now := b.cfg.now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed, breakerHalfOpen:
+		return true
+	default: // open
+		if now.Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.state = breakerHalfOpen
+			b.probeOKs = 0
+			return true
+		}
+		return false
+	}
+}
+
+// Record feeds one admitted request's outcome back into the breaker.
+func (b *breaker) Record(throttled bool) {
+	now := b.cfg.now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	switch b.state {
+	case breakerHalfOpen:
+		if throttled {
+			b.openLocked(now)
+			return
+		}
+		b.probeOKs++
+		if b.probeOKs >= b.cfg.HalfOpenProbes {
+			b.state = breakerClosed
+			for i := range b.buckets {
+				b.buckets[i] = breakerBucket{}
+			}
+		}
+		return
+	case breakerOpen:
+		return
+	}
+
+	// Closed: rotate the window and accumulate.
+	epoch := now.UnixNano() / int64(b.bucketDur)
+	bk := &b.buckets[epoch%breakerBuckets]
+	if bk.epoch != epoch {
+		*bk = breakerBucket{epoch: epoch}
+	}
+	bk.total++
+	if throttled {
+		bk.throttled++
+	}
+
+	total, thr := 0, 0
+	for i := range b.buckets {
+		if epoch-b.buckets[i].epoch < breakerBuckets {
+			total += b.buckets[i].total
+			thr += b.buckets[i].throttled
+		}
+	}
+	if total >= b.cfg.MinRequests && float64(thr) >= b.cfg.TripRatio*float64(total) {
+		b.openLocked(now)
+	}
+}
+
+func (b *breaker) openLocked(now time.Time) {
+	b.state = breakerOpen
+	b.openedAt = now
+	b.opens++
+	for i := range b.buckets {
+		b.buckets[i] = breakerBucket{}
+	}
+}
+
+// State returns the current state and the cumulative open count.
+func (b *breaker) State() (breakerState, uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.opens
+}

@@ -1,0 +1,204 @@
+package rmserver
+
+import (
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// Fleet is the sharded RM service: the ring routes platforms onto
+// shards, Do scatter-gathers batches across them, and the breaker
+// guards the front door.
+type Fleet struct {
+	cfg     Config
+	ring    *ring
+	shards  []*shard
+	breaker *breaker
+	reg     *telemetry.Registry
+
+	throttled    *telemetry.Counter
+	breakerOpens *telemetry.Counter
+	breakerState *telemetry.Gauge
+
+	drainOnce sync.Once
+	// pool recycles batchReq completion channels across Do calls.
+	pool sync.Pool
+}
+
+// New builds and starts a fleet. The shard goroutines run until Drain.
+func New(cfg Config, reg *telemetry.Registry) *Fleet {
+	cfg = cfg.withDefaults()
+	f := &Fleet{
+		cfg:     cfg,
+		ring:    newRing(cfg.Shards),
+		shards:  make([]*shard, cfg.Shards),
+		breaker: newBreaker(cfg.Breaker),
+		reg:     reg,
+
+		throttled:    reg.Counter("rmserver_throttled"),
+		breakerOpens: reg.Counter("rmserver_breaker_opens"),
+		breakerState: reg.Gauge("rmserver_breaker_state"),
+	}
+	f.pool.New = func() any { return make(chan *batchReq, cfg.Shards) }
+	for i := range f.shards {
+		f.shards[i] = newShard(i, cfg, reg)
+	}
+	reg.Gauge("rmserver_shards").Set(float64(cfg.Shards))
+	setFleetHelp(reg)
+	return f
+}
+
+// setFleetHelp attaches HELP metadata to every fleet metric family so
+// the service's OpenMetrics exposition passes `omlint -strict`.
+func setFleetHelp(reg *telemetry.Registry) {
+	for name, help := range map[string]string{
+		"rmserver_shard_decisions":     "Admission decisions executed by shard loops.",
+		"rmserver_shard_batches":       "Batches drained from shard queues.",
+		"rmserver_shard_rejects":       "Decisions that rejected the requested operation.",
+		"rmserver_shard_queue_depth":   "High-water mark of pending batches across shard queues.",
+		"rmserver_decision_latency_ns": "Per-decision latency on the batched path (amortized), nanoseconds.",
+		"rmserver_throttled":           "Operations shed by backpressure (full shard queue or open breaker).",
+		"rmserver_breaker_opens":       "Circuit-breaker transitions to the open state.",
+		"rmserver_breaker_state":       "Circuit-breaker state: 0 closed, 1 open, 2 half-open.",
+		"rmserver_shards":              "Number of shard loops in the fleet.",
+		"rmserver_http_requests":       "HTTP requests accepted by the service API.",
+		"rmserver_http_latency_ns":     "HTTP request handling latency, nanoseconds.",
+	} {
+		reg.SetHelp(name, help)
+	}
+}
+
+// Allowed reports whether the breaker admits new work right now. The
+// HTTP layer calls this before reading a request body, so an open
+// breaker sheds load at the cheapest possible point.
+func (f *Fleet) Allowed() bool {
+	ok := f.breaker.Allow()
+	if !ok {
+		f.throttled.Inc()
+		f.breaker.Record(true)
+	}
+	f.publishBreaker()
+	return ok
+}
+
+// Do executes a batch of operations, routing each to its platform's
+// shard and gathering the per-op decisions in input order. A full
+// shard queue throttles that shard's portion — those ops return
+// Decision{Throttled: true} while other shards' portions still
+// complete. The outcome (any throttling) feeds the breaker.
+func (f *Fleet) Do(ops []Op) []Decision {
+	out := make([]Decision, len(ops))
+	if len(ops) == 0 {
+		return out
+	}
+
+	// Scatter: group op indices by shard. Batches are usually
+	// shard-skewed (a client talks about few platforms), so the
+	// common case allocates one group.
+	groups := make(map[int][]int, 4)
+	for i := range ops {
+		sh := f.ring.shardOf(ops[i].Platform)
+		groups[sh] = append(groups[sh], i)
+	}
+
+	done := f.pool.Get().(chan *batchReq)
+	type pending struct {
+		req  *batchReq
+		idxs []int
+	}
+	sent := make([]pending, 0, len(groups))
+	throttledOps := 0
+	for sh, idxs := range groups {
+		req := &batchReq{
+			ops:  make([]Op, len(idxs)),
+			out:  make([]Decision, len(idxs)),
+			done: done,
+		}
+		for j, i := range idxs {
+			req.ops[j] = ops[i]
+		}
+		if f.shards[sh].tryEnqueue(req) {
+			sent = append(sent, pending{req, idxs})
+			continue
+		}
+		// Shed this shard's portion.
+		throttledOps += len(idxs)
+		for _, i := range idxs {
+			out[i] = Decision{Throttled: true, Reason: "shard queue full"}
+		}
+	}
+	if throttledOps > 0 {
+		f.throttled.Add(uint64(throttledOps))
+	}
+
+	// Gather in completion order; map results back via the index list.
+	for range sent {
+		req := <-done
+		for _, p := range sent {
+			if p.req == req {
+				for j, i := range p.idxs {
+					out[i] = req.out[j]
+				}
+				break
+			}
+		}
+	}
+	f.pool.Put(done)
+
+	f.breaker.Record(throttledOps > 0)
+	f.publishBreaker()
+	return out
+}
+
+func (f *Fleet) publishBreaker() {
+	st, opens := f.breaker.State()
+	f.breakerState.Set(float64(st))
+	f.breakerOpens.Store(opens)
+}
+
+// Stats is a point-in-time snapshot of the fleet's counters, served
+// by the HTTP API's /v1/stats for load harnesses.
+type Stats struct {
+	Shards       int     `json:"shards"`
+	Decisions    uint64  `json:"decisions"`
+	Batches      uint64  `json:"batches"`
+	Rejects      uint64  `json:"rejects"`
+	Throttled    uint64  `json:"throttled"`
+	BreakerOpens uint64  `json:"breaker_opens"`
+	BreakerState string  `json:"breaker_state"`
+	DecisionP50  int64   `json:"decision_p50_ns"`
+	DecisionP99  int64   `json:"decision_p99_ns"`
+	DecisionMean float64 `json:"decision_mean_ns"`
+}
+
+// Snapshot reads the current stats.
+func (f *Fleet) Snapshot() Stats {
+	st, opens := f.breaker.State()
+	h := f.reg.Histogram("rmserver_decision_latency_ns")
+	return Stats{
+		Shards:       f.cfg.Shards,
+		Decisions:    f.reg.Counter("rmserver_shard_decisions").Value(),
+		Batches:      f.reg.Counter("rmserver_shard_batches").Value(),
+		Rejects:      f.reg.Counter("rmserver_shard_rejects").Value(),
+		Throttled:    f.throttled.Value(),
+		BreakerOpens: opens,
+		BreakerState: st.String(),
+		DecisionP50:  h.Quantile(0.50),
+		DecisionP99:  h.Quantile(0.99),
+		DecisionMean: h.Mean(),
+	}
+}
+
+// Registry exposes the fleet's telemetry registry (for OpenMetrics
+// publication).
+func (f *Fleet) Registry() *telemetry.Registry { return f.reg }
+
+// Drain completes all enqueued work and stops the shard loops. Safe to
+// call more than once. After Drain, Do must not be called.
+func (f *Fleet) Drain() {
+	f.drainOnce.Do(func() {
+		for _, s := range f.shards {
+			s.drain()
+		}
+	})
+}

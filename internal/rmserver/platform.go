@@ -1,0 +1,216 @@
+package rmserver
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/admission"
+	"repro/internal/netcalc"
+)
+
+// maxBoundMemo bounds a platform's (burst, rate) → delay-bound memo.
+// Real workloads revisit a small set of rates (modes oscillate), so
+// the memo stays tiny; the cap only guards against adversarial churn
+// over unbounded distinct rates.
+const maxBoundMemo = 8192
+
+// appEntry is one active application on a platform.
+type appEntry struct {
+	name  string
+	crit  admission.Criticality
+	burst float64
+	// deadline <= 0 marks a best-effort app with no analytic
+	// requirement — admitted unconditionally, like the simulated RM's
+	// apps without a Requirement.
+	deadline float64
+}
+
+// boundKey memoizes delay bounds per (burst, rate): with the service
+// latency fixed per platform, the Network-Calculus bound of a
+// token-bucket arrival through the rate-latency server depends on
+// nothing else. All apps sharing a requirement and a rate therefore
+// share one memo entry — the service-plane analogue of
+// admission.DelayBoundCheck's per-app memo, collapsed further.
+type boundKey struct {
+	burst float64
+	rate  float64
+}
+
+// platform is one admitted-set state machine, owned by exactly one
+// shard goroutine (never locked — the shard loop serializes access,
+// preserving the RM's "processed in arrival order" semantics).
+type platform struct {
+	name   string
+	spec   PlatformSpec
+	apps   []appEntry // sorted by name
+	crits  int        // count of Critical entries
+	bounds map[boundKey]float64
+	cache  *netcalc.Cache // the owning shard's operator cache
+}
+
+func newPlatform(name string, spec PlatformSpec, cache *netcalc.Cache) *platform {
+	return &platform{
+		name:   name,
+		spec:   spec,
+		bounds: make(map[boundKey]float64),
+		cache:  cache,
+	}
+}
+
+// find returns the index of app in the sorted active set and whether
+// it is present.
+func (p *platform) find(app string) (int, bool) {
+	i := sort.Search(len(p.apps), func(i int) bool { return p.apps[i].name >= app })
+	return i, i < len(p.apps) && p.apps[i].name == app
+}
+
+// rates computes the policy's per-class rates for a mode of n apps
+// with c critical among them. Returned as (critical, bestEffort) —
+// under the symmetric policy both classes share one uniform rate.
+// This is admission.Symmetric/NonSymmetric.Rates specialized to two
+// classes, with no per-call map allocation: the decision path runs
+// millions of times per second.
+func (p *platform) rates(n, c int) (critRate, beRate float64) {
+	if n == 0 {
+		return 0, 0
+	}
+	switch p.spec.Policy {
+	case "non-symmetric":
+		critRate = p.spec.CriticalBytesPerNS
+		be := n - c
+		if be > 0 {
+			beRate = (p.spec.TotalBytesPerNS - float64(c)*critRate) / float64(be)
+			if beRate < p.spec.FloorBytesPerNS {
+				beRate = p.spec.FloorBytesPerNS
+			}
+		}
+		return critRate, beRate
+	default: // symmetric
+		r := p.spec.TotalBytesPerNS / float64(n)
+		return r, r
+	}
+}
+
+// bound returns the memoized Network-Calculus delay bound of a
+// (burst, rate) token bucket through the platform's rate-latency
+// service at that rate.
+func (p *platform) bound(burst, rate float64) float64 {
+	k := boundKey{burst, rate}
+	if b, ok := p.bounds[k]; ok {
+		return b
+	}
+	b := p.cache.DelayBound(
+		netcalc.TokenBucket(burst, rate),
+		netcalc.RateLatency(rate, p.spec.ServiceLatencyNS),
+	)
+	if len(p.bounds) >= maxBoundMemo {
+		clear(p.bounds)
+	}
+	p.bounds[k] = b
+	return b
+}
+
+// checkAll validates every app's deadline under a mode of n apps with
+// c critical. Returns "" when all bounds hold, else the rejection
+// reason naming the first violated app — the same failure the
+// simulated RM's DelayBoundCheck reports.
+func (p *platform) checkAll(n, c int) string {
+	critRate, beRate := p.rates(n, c)
+	for i := range p.apps {
+		a := &p.apps[i]
+		if a.deadline <= 0 {
+			continue
+		}
+		rate := beRate
+		if a.crit == admission.Critical {
+			rate = critRate
+		}
+		if rate <= 0 {
+			return fmt.Sprintf("%s would receive no bandwidth", a.name)
+		}
+		if d := p.bound(a.burst, rate); math.IsInf(d, 1) || d > a.deadline {
+			return fmt.Sprintf("%s delay bound %.1f ns exceeds deadline %.1f ns", a.name, d, a.deadline)
+		}
+	}
+	return ""
+}
+
+// register admits or rejects one application: tentatively join the
+// active set, run the analytic admission test over the post-admission
+// rate assignment, and roll back on violation. Mirrors the simulated
+// RM's activation path (rm.next's ActMsg case).
+func (p *platform) register(op *Op) Decision {
+	if p.spec.MaxApps > 0 && len(p.apps) >= p.spec.MaxApps {
+		return Decision{Mode: len(p.apps), Reason: "platform full"}
+	}
+	i, dup := p.find(op.App)
+	if dup {
+		return Decision{Mode: len(p.apps), Reason: "duplicate registration"}
+	}
+	p.apps = append(p.apps, appEntry{})
+	copy(p.apps[i+1:], p.apps[i:])
+	p.apps[i] = appEntry{name: op.App, crit: op.Crit, burst: op.BurstBytes, deadline: op.DeadlineNS}
+	if op.Crit == admission.Critical {
+		p.crits++
+	}
+	if reason := p.checkAll(len(p.apps), p.crits); reason != "" {
+		// Reject: restore the previous mode.
+		if op.Crit == admission.Critical {
+			p.crits--
+		}
+		copy(p.apps[i:], p.apps[i+1:])
+		p.apps = p.apps[:len(p.apps)-1]
+		return Decision{Mode: len(p.apps), Reason: reason}
+	}
+	critRate, beRate := p.rates(len(p.apps), p.crits)
+	rate := beRate
+	if op.Crit == admission.Critical {
+		rate = critRate
+	}
+	return Decision{OK: true, Mode: len(p.apps), RateBytesPerNS: rate}
+}
+
+// withdraw removes an application (the terMsg path). Unknown apps are
+// rejected, matching the simulated RM's accounting.
+func (p *platform) withdraw(op *Op) Decision {
+	i, ok := p.find(op.App)
+	if !ok {
+		return Decision{Mode: len(p.apps), Reason: "not registered"}
+	}
+	if p.apps[i].crit == admission.Critical {
+		p.crits--
+	}
+	copy(p.apps[i:], p.apps[i+1:])
+	p.apps = p.apps[:len(p.apps)-1]
+	return Decision{OK: true, Mode: len(p.apps)}
+}
+
+// modeChange swaps the platform's policy envelope, revalidating every
+// active application's bound under the new spec before committing; a
+// violation rolls the spec back, leaving the previous mode intact —
+// an online reconfiguration must not break admitted guarantees.
+func (p *platform) modeChange(spec PlatformSpec) Decision {
+	if err := spec.Validate(); err != nil {
+		return Decision{Mode: len(p.apps), Reason: err.Error()}
+	}
+	if spec.MaxApps > 0 && len(p.apps) > spec.MaxApps {
+		return Decision{Mode: len(p.apps),
+			Reason: fmt.Sprintf("%d active apps exceed new cap %d", len(p.apps), spec.MaxApps)}
+	}
+	old := p.spec
+	p.spec = spec
+	// The memo is keyed (burst, rate) with the service latency
+	// implicit; a new latency invalidates it wholesale.
+	if spec.ServiceLatencyNS != old.ServiceLatencyNS {
+		clear(p.bounds)
+	}
+	if reason := p.checkAll(len(p.apps), p.crits); reason != "" {
+		p.spec = old
+		if spec.ServiceLatencyNS != old.ServiceLatencyNS {
+			clear(p.bounds)
+		}
+		return Decision{Mode: len(p.apps), Reason: "mode change would violate " + reason}
+	}
+	return Decision{OK: true, Mode: len(p.apps)}
+}

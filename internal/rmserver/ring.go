@@ -1,0 +1,78 @@
+package rmserver
+
+import (
+	"fmt"
+	"sort"
+)
+
+// vnodesPerShard is the number of virtual nodes each shard contributes
+// to the hash ring. More vnodes smooth the key distribution; 64 keeps
+// the ring small (shards × 64 points) while holding per-shard load
+// within a few percent of uniform.
+const vnodesPerShard = 64
+
+// ring is a consistent-hash ring mapping platform IDs onto shards.
+// Consistent hashing (rather than id % n) keeps almost all platforms
+// on their shard when the fleet is resized — only the keys between a
+// removed vnode and its predecessor move — so a future rebalance
+// invalidates the minimum amount of per-shard platform state.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// newRing builds the ring for n shards. Vnode positions are FNV-1a
+// hashes of "shard/<i>/vnode/<v>" — deterministic, so every process
+// building a ring for the same n routes identically.
+func newRing(n int) *ring {
+	r := &ring{points: make([]ringPoint, 0, n*vnodesPerShard)}
+	for i := 0; i < n; i++ {
+		for v := 0; v < vnodesPerShard; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hash64(fmt.Sprintf("shard/%d/vnode/%d", i, v)),
+				shard: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// shardOf maps a platform ID to its shard: the first vnode clockwise
+// from the key's hash.
+func (r *ring) shardOf(platform string) int {
+	h := hash64(platform)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// hash64 is FNV-1a over the string, inlined so the per-op routing
+// path does not allocate a byte-slice copy, followed by a 64-bit
+// finalizer (MurmurHash3's fmix64). Raw FNV clusters badly on the
+// near-identical strings a ring hashes — sequential vnode labels,
+// "platform-<n>" IDs — and a clustered ring routes shards wildly
+// unevenly; the finalizer's avalanche restores a near-uniform spread.
+func hash64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

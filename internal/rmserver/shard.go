@@ -1,0 +1,174 @@
+package rmserver
+
+import (
+	"time"
+
+	"repro/internal/netcalc"
+	"repro/internal/telemetry"
+)
+
+// batchReq is one batch's worth of operations destined for a single
+// shard. The fleet scatter-gathers: a client batch is split by the
+// ring into at most one batchReq per shard, so the channel (and its
+// synchronization cost) is crossed once per shard per batch, not once
+// per operation — the amortization that carries the throughput target.
+type batchReq struct {
+	ops  []Op
+	out  []Decision // len(ops), filled by the shard
+	done chan<- *batchReq
+}
+
+// shard is one RM loop: a bounded queue of batches drained by a
+// single goroutine that owns every platform routed to it. Single
+// ownership is the determinism guarantee — a platform's decisions are
+// made in exactly the order its batches entered the queue, with no
+// interleaving, mirroring how the simulated RM serializes actMsg and
+// terMsg events.
+type shard struct {
+	id    int
+	cfg   Config
+	queue chan *batchReq
+	stop  chan struct{}
+	done  chan struct{}
+
+	platforms map[string]*platform
+	cache     *netcalc.Cache
+
+	decisions  *telemetry.Counter
+	batches    *telemetry.Counter
+	rejects    *telemetry.Counter
+	queueDepth *telemetry.Gauge
+	latency    *telemetry.Histogram // per-op decision latency, ns
+}
+
+func newShard(id int, cfg Config, reg *telemetry.Registry) *shard {
+	s := &shard{
+		id:        id,
+		cfg:       cfg,
+		queue:     make(chan *batchReq, cfg.QueueDepth),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		platforms: make(map[string]*platform),
+		cache:     netcalc.NewCache(0),
+
+		decisions:  reg.Counter("rmserver_shard_decisions"),
+		batches:    reg.Counter("rmserver_shard_batches"),
+		rejects:    reg.Counter("rmserver_shard_rejects"),
+		queueDepth: reg.Gauge("rmserver_shard_queue_depth"),
+		latency:    reg.Histogram("rmserver_decision_latency_ns"),
+	}
+	go s.loop()
+	return s
+}
+
+// tryEnqueue offers a batch to the shard without blocking. A full
+// queue returns false — the caller sheds the work as a throttle. The
+// queue is never blocked on: backpressure must surface to the client
+// as 429, not as unbounded server-side latency.
+func (s *shard) tryEnqueue(b *batchReq) bool {
+	select {
+	case s.queue <- b:
+		s.queueDepth.SetMax(float64(len(s.queue)))
+		return true
+	default:
+		return false
+	}
+}
+
+// loop drains the queue until stop is closed AND the queue is empty:
+// close(stop) is the drain signal, and every batch enqueued before it
+// still completes — the no-dropped-in-flight guarantee behind graceful
+// shutdown.
+func (s *shard) loop() {
+	defer close(s.done)
+	for {
+		select {
+		case b := <-s.queue:
+			s.process(b)
+		case <-s.stop:
+			for {
+				select {
+				case b := <-s.queue:
+					s.process(b)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *shard) process(b *batchReq) {
+	start := time.Now()
+	for i := range b.ops {
+		b.out[i] = s.decide(&b.ops[i])
+		if s.cfg.DecisionDelay > 0 {
+			time.Sleep(s.cfg.DecisionDelay)
+		}
+	}
+	s.batches.Inc()
+	s.decisions.Add(uint64(len(b.ops)))
+	if n := len(b.ops); n > 0 {
+		// One observation per batch at the amortized per-op cost: this
+		// is the decision latency a client experiences on the batched
+		// path, and a single Record keeps the histogram off the
+		// per-operation hot path.
+		s.latency.Record(time.Since(start).Nanoseconds() / int64(n))
+	}
+	b.done <- b
+}
+
+// decide executes one operation against its platform. Platforms are
+// created implicitly on first register with the fleet's default spec;
+// withdraw/modechange against an unknown platform is a rejection, not
+// a creation.
+func (s *shard) decide(op *Op) Decision {
+	p := s.platforms[op.Platform]
+	switch op.Kind {
+	case OpRegister:
+		if p == nil {
+			p = newPlatform(op.Platform, s.cfg.DefaultPlatform, s.cache)
+			s.platforms[op.Platform] = p
+		}
+		d := p.register(op)
+		if !d.OK {
+			s.rejects.Inc()
+		}
+		return d
+	case OpWithdraw:
+		if p == nil {
+			s.rejects.Inc()
+			return Decision{Reason: "unknown platform"}
+		}
+		return p.withdraw(op)
+	case OpModeChange:
+		if op.Spec == nil {
+			s.rejects.Inc()
+			return Decision{Mode: modeOf(p), Reason: "modechange without spec"}
+		}
+		if p == nil {
+			p = newPlatform(op.Platform, s.cfg.DefaultPlatform, s.cache)
+			s.platforms[op.Platform] = p
+		}
+		d := p.modeChange(*op.Spec)
+		if !d.OK {
+			s.rejects.Inc()
+		}
+		return d
+	}
+	s.rejects.Inc()
+	return Decision{Mode: modeOf(p), Reason: "unknown operation"}
+}
+
+func modeOf(p *platform) int {
+	if p == nil {
+		return 0
+	}
+	return len(p.apps)
+}
+
+// drain signals the loop to finish queued work and waits for it.
+func (s *shard) drain() {
+	close(s.stop)
+	<-s.done
+}

@@ -62,6 +62,10 @@ func (r *Registry) WriteOpenMetrics(w io.Writer) error {
 	for k, v := range r.histograms {
 		histRefs[k] = v
 	}
+	helps := make(map[string]string, len(r.helps))
+	for k, v := range r.helps {
+		helps[k] = v
+	}
 	r.mu.Unlock()
 	hists := make(map[string]Summary, len(histRefs))
 	for k, h := range histRefs {
@@ -74,8 +78,9 @@ func (r *Registry) WriteOpenMetrics(w io.Writer) error {
 	}
 	fams := make([]family, 0, len(counters)+len(gauges)+len(hists))
 	for _, k := range sortedKeys(counters) {
-		v := counters[k]
+		v, help := counters[k], helps[k]
 		fams = append(fams, family{sanitizeMetricName(k), func(b []byte, n string) []byte {
+			b = appendFamilyHelp(b, n, help)
 			b = appendFamilyType(b, n, "counter")
 			b = append(b, n...)
 			b = append(b, "_total "...)
@@ -84,8 +89,9 @@ func (r *Registry) WriteOpenMetrics(w io.Writer) error {
 		}})
 	}
 	for _, k := range sortedKeys(gauges) {
-		v := gauges[k]
+		v, help := gauges[k], helps[k]
 		fams = append(fams, family{sanitizeMetricName(k), func(b []byte, n string) []byte {
+			b = appendFamilyHelp(b, n, help)
 			b = appendFamilyType(b, n, "gauge")
 			b = append(b, n...)
 			b = append(b, ' ')
@@ -94,8 +100,9 @@ func (r *Registry) WriteOpenMetrics(w io.Writer) error {
 		}})
 	}
 	for _, k := range sortedKeys(hists) {
-		s := hists[k]
+		s, help := hists[k], helps[k]
 		fams = append(fams, family{sanitizeMetricName(k), func(b []byte, n string) []byte {
+			b = appendFamilyHelp(b, n, help)
 			b = appendFamilyType(b, n, "summary")
 			for _, q := range []struct {
 				label string
@@ -118,11 +125,17 @@ func (r *Registry) WriteOpenMetrics(w io.Writer) error {
 			b = append(b, '\n')
 			// Min/max are not summary suffixes; expose them as
 			// companion gauges.
+			if help != "" {
+				b = appendFamilyHelp(b, n+"_min", help+" (min)")
+			}
 			b = appendFamilyType(b, n+"_min", "gauge")
 			b = append(b, n...)
 			b = append(b, "_min "...)
 			b = strconv.AppendInt(b, s.Min, 10)
 			b = append(b, '\n')
+			if help != "" {
+				b = appendFamilyHelp(b, n+"_max", help+" (max)")
+			}
 			b = appendFamilyType(b, n+"_max", "gauge")
 			b = append(b, n...)
 			b = append(b, "_max "...)
@@ -139,6 +152,26 @@ func (r *Registry) WriteOpenMetrics(w io.Writer) error {
 	b = append(b, "# EOF\n"...)
 	_, err := w.Write(b)
 	return err
+}
+
+// appendFamilyHelp emits a `# HELP` line when help is non-empty.
+// Newlines in the text would break the line-oriented exposition, so
+// they are flattened to spaces.
+func appendFamilyHelp(b []byte, name, help string) []byte {
+	if help == "" {
+		return b
+	}
+	b = append(b, "# HELP "...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	for i := 0; i < len(help); i++ {
+		c := help[i]
+		if c == '\n' || c == '\r' {
+			c = ' '
+		}
+		b = append(b, c)
+	}
+	return append(b, '\n')
 }
 
 func appendFamilyType(b []byte, name, kind string) []byte {

@@ -108,6 +108,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	helps      map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -116,7 +117,25 @@ func NewRegistry() *Registry {
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		helps:      make(map[string]string),
 	}
+}
+
+// SetHelp attaches a HELP string to the named instrument, emitted as
+// a `# HELP` line in the OpenMetrics exposition. Expositions whose
+// every family carries HELP metadata pass `omlint -strict`; families
+// without help render exactly as before, so existing goldens are
+// unaffected. Nil-safe.
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil || help == "" {
+		return
+	}
+	r.mu.Lock()
+	if r.helps == nil {
+		r.helps = make(map[string]string)
+	}
+	r.helps[name] = help
+	r.mu.Unlock()
 }
 
 // Counter returns (creating if needed) the named counter.
