@@ -470,6 +470,22 @@ func flattenJSON(prefix string, v any, vals map[string]float64) {
 		}
 	case []any:
 		for i, sub := range x {
+			// Per-partition-count series points ({"partitions": 4,
+			// "events_per_sec": ...}) flatten by the discriminator
+			// rather than the array index, so names stay stable however
+			// the series is ordered or extended and the sentinel can
+			// track "parallel.series.events_per_sec_p4" across runs.
+			if pt, ok := sub.(map[string]any); ok {
+				if pv, ok := pt["partitions"].(float64); ok && pv == float64(int(pv)) {
+					for k, leaf := range pt {
+						if k == "partitions" {
+							continue
+						}
+						flattenJSON(fmt.Sprintf("%s.%s_p%d", prefix, k, int(pv)), leaf, vals)
+					}
+					continue
+				}
+			}
 			flattenJSON(fmt.Sprintf("%s.%d", prefix, i), sub, vals)
 		}
 	case float64:

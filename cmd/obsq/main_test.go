@@ -44,6 +44,110 @@ func benchFile(t *testing.T, dir string, eventsPerSec float64) string {
 	return path
 }
 
+// benchFileParallel writes a bench file in the current BENCH_kernel.json
+// schema — including the per-partition-count scaling series — with the
+// 4-partition events/sec parameterized for regression-injection tests.
+func benchFileParallel(t *testing.T, dir, name string, p4PerSec float64) string {
+	t.Helper()
+	point := func(parts int, perSec float64) map[string]any {
+		return map[string]any{
+			"partitions":       parts,
+			"ns_per_event":     1e9 / perSec,
+			"events_per_sec":   perSec,
+			"allocs_per_event": 0.001,
+		}
+	}
+	doc := map[string]any{
+		"benchmark": "kernel_dispatch",
+		"events":    100000,
+		"new": map[string]any{
+			"ns_per_event":     60.0,
+			"events_per_sec":   16.6e6,
+			"allocs_per_event": 0.0,
+		},
+		"speedup": 2.2,
+		"parallel": map[string]any{
+			"gomaxprocs": 4,
+			"series": []any{
+				point(1, 15.7e6),
+				point(2, 16.4e6),
+				point(4, p4PerSec),
+				point(8, 23.5e6),
+			},
+		},
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestIngestBenchParallelSeries(t *testing.T) {
+	path := benchFileParallel(t, t.TempDir(), "bench.json", 19.1e6)
+	name, vals, err := ingestBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "kernel_dispatch" {
+		t.Fatalf("benchmark name = %q", name)
+	}
+	// The series flattens by its partitions discriminator, never by
+	// array index, so the metric names survive reordering or extending
+	// the series.
+	for metric, want := range map[string]float64{
+		"parallel.gomaxprocs":                 4,
+		"parallel.series.events_per_sec_p1":   15.7e6,
+		"parallel.series.events_per_sec_p4":   19.1e6,
+		"parallel.series.events_per_sec_p8":   23.5e6,
+		"parallel.series.allocs_per_event_p2": 0.001,
+		"new.events_per_sec":                  16.6e6,
+	} {
+		if got, ok := vals[metric]; !ok || got != want {
+			t.Errorf("vals[%q] = %v (present=%v), want %v", metric, got, ok, want)
+		}
+	}
+	for k := range vals {
+		if strings.Contains(k, "series.0") || strings.Contains(k, "partitions") {
+			t.Errorf("index- or discriminator-named leaf leaked: %q", k)
+		}
+	}
+}
+
+func TestSentinelParallelScalingRegression(t *testing.T) {
+	// The bench-smoke gate's parallel-scaling shape: a drop confined to
+	// the 4-partition series point must still trip the sentinel, which
+	// requires the flattener to name the point stably and the direction
+	// heuristics to read events_per_sec_p4 as higher-better.
+	dir := t.TempDir()
+	store := filepath.Join(dir, "store")
+	good := benchFileParallel(t, dir, "good.json", 19.1e6)
+	for i := 0; i < 2; i++ {
+		if code, _, errOut := exec(t, "record", "-store", store, "-bench", good); code != 0 {
+			t.Fatalf("record failed: %s", errOut)
+		}
+	}
+	if code, _, errOut := exec(t, "sentinel", "-store", store, "-min-history", "1"); code != 0 {
+		t.Fatalf("identical parallel series flagged: %s", errOut)
+	}
+
+	bad := benchFileParallel(t, dir, "bad.json", 1.91e6)
+	if code, _, errOut := exec(t, "record", "-store", store, "-bench", bad); code != 0 {
+		t.Fatalf("bad record failed: %s", errOut)
+	}
+	code, out, errOut := exec(t, "sentinel", "-store", store, "-min-history", "1")
+	if code != 1 {
+		t.Fatalf("p4 scaling collapse exit = %d, stderr = %q\n%s", code, errOut, out)
+	}
+	if !strings.Contains(out, "parallel.series.events_per_sec_p4") {
+		t.Fatalf("finding does not name the regressed series point:\n%s", out)
+	}
+}
+
 func TestRunUsageAndUnknownCommand(t *testing.T) {
 	if code, _, _ := exec(t); code != 2 {
 		t.Fatalf("bare obsq exit = %d, want 2", code)

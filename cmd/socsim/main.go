@@ -8,7 +8,7 @@
 // Usage:
 //
 //	socsim [-hogs 6] [-ms 4] [-seed 100] [-dsu] [-memguard] [-shape]
-//	       [-mpam] [-all] [-workers N]
+//	       [-mpam] [-all] [-workers N] [-parallel N]
 //	       [-metrics file.json] [-trace file.json]
 //	       [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
@@ -17,6 +17,13 @@
 // GOMAXPROCS); the printed table is byte-identical for any worker
 // count. For bigger matrices — more axes, seed lists, JSON/CSV
 // aggregates — use cmd/sweep directly.
+//
+// -parallel N runs the single-scenario event kernel with N
+// conservative-lookahead partitions (lookahead = the mesh FlitTime).
+// Output — stdout, metrics, traces — is byte-identical to the
+// sequential engine for every N; see docs/PERFORMANCE.md ("Parallel
+// kernel") for the protocol and for why -all rejects it (the sweep
+// parallelizes across scenarios instead).
 //
 // -metrics dumps the unified telemetry registry (counters, gauges,
 // latency histograms) as JSON; -trace records a Chrome trace_event
@@ -107,6 +114,7 @@ func main() {
 	useMPAM := flag.Bool("mpam", false, "regulate the memory channel with MPAM min/max bandwidth")
 	all := flag.Bool("all", false, "run the full scenario matrix")
 	workers := flag.Int("workers", 0, "parallel workers for -all (0 = GOMAXPROCS)")
+	parallelN := flag.Int("parallel", 0, "run the event kernel with N conservative-lookahead partitions (output is byte-identical to sequential for every N; 0 = sequential engine)")
 	metricsPath := flag.String("metrics", "", "write telemetry metrics to this file (\"-\" for stdout)")
 	metricsFormat := flag.String("metrics-format", "json", "encoding for -metrics: json or openmetrics")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (\"-\" for stdout)")
@@ -132,6 +140,15 @@ func main() {
 	if *all && (*metricsPath != "" || *tracePath != "" || *auditOn || *listen != "" || *storeDir != "") {
 		fatal(fmt.Errorf("-metrics/-trace/-audit/-listen/-store apply to a single scenario; drop -all (cmd/sweep has the matrix equivalents)"))
 	}
+	if *parallelN < 0 {
+		fatal(fmt.Errorf("-parallel must be >= 0, got %d", *parallelN))
+	}
+	if *all && *parallelN > 0 {
+		// The sweep already parallelizes at run granularity (one whole
+		// scenario per worker); kernel partitions inside each run would
+		// oversubscribe the cores for no wall-clock gain.
+		fatal(fmt.Errorf("-parallel applies to a single scenario; -all parallelizes across scenarios via -workers instead"))
+	}
 
 	horizon := sim.Duration(*msec) * sim.Millisecond
 	if *all {
@@ -153,8 +170,9 @@ func main() {
 	spec := core.RunSpec{
 		Hogs: *hogs, DSU: *useDSU, MemGuard: *useMG, Shape: *useShape, MPAM: *useMPAM,
 		HogClass: trace.Infotainment, Duration: horizon, Seed: *seed,
-		Telemetry: *metricsPath != "" || *tracePath != "" || *listen != "" || *storeDir != "",
-		Trace:     *tracePath != "",
+		KernelPartitions: *parallelN,
+		Telemetry:        *metricsPath != "" || *tracePath != "" || *listen != "" || *storeDir != "",
+		Trace:            *tracePath != "",
 	}
 	p, crit, err := core.BuildPlatform(spec)
 	if err != nil {
@@ -252,7 +270,7 @@ func runScenario(p *core.Platform, horizon sim.Duration, srv *audit.Server) {
 		if next > end {
 			next = end
 		}
-		p.Eng.RunUntil(next)
+		p.RunUntil(next)
 		publishLive(p, horizon, srv)
 	}
 }

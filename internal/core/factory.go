@@ -40,6 +40,13 @@ type RunSpec struct {
 	// seed Seed+i. Runs differing only in Seed are independent
 	// samples of the same configuration.
 	Seed uint64
+	// KernelPartitions runs the platform on a Parallel event kernel
+	// with this many partitions (socsim -parallel). Output is
+	// byte-identical for every value; 0 keeps the sequential engine.
+	// The sweep harness pins this to 0 — its parallelism is one whole
+	// run per OS worker, and kernel partitions inside each run would
+	// oversubscribe the cores (documented in docs/PERFORMANCE.md).
+	KernelPartitions int
 	// Telemetry enables the metrics registry (and monitors); Trace
 	// additionally records a Chrome trace_event timeline.
 	Telemetry bool
@@ -75,6 +82,9 @@ func (s RunSpec) Validate() error {
 	if s.Duration <= 0 {
 		return fmt.Errorf("core: RunSpec.Duration = %v, must be positive", s.Duration)
 	}
+	if s.KernelPartitions < 0 {
+		return fmt.Errorf("core: RunSpec.KernelPartitions = %d, must be >= 0", s.KernelPartitions)
+	}
 	return nil
 }
 
@@ -107,7 +117,9 @@ func BuildPlatform(spec RunSpec) (*Platform, *App, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, nil, err
 	}
-	p, err := New(DefaultConfig())
+	pcfg := DefaultConfig()
+	pcfg.Partitions = spec.KernelPartitions
+	p, err := New(pcfg)
 	if err != nil {
 		return nil, nil, err
 	}

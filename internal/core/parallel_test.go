@@ -1,0 +1,127 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// The platform-level determinism contract of the parallel kernel:
+// RunSpec.KernelPartitions must never change the simulated outcome.
+// Every partition count produces the same RunResult and the same
+// metrics snapshot, byte for byte — the property the socsim goldens
+// (and the CI diff of `socsim -parallel N` against sequential) pin.
+
+// runWithPartitions executes one fixed contention scenario and returns
+// the result plus the captured OpenMetrics snapshot.
+func runWithPartitions(t *testing.T, parts int) (RunResult, []byte) {
+	t.Helper()
+	var snap []byte
+	spec := RunSpec{
+		Hogs: 3, HogClass: trace.Infotainment,
+		DSU: true, MemGuard: true, MPAM: true,
+		Duration: 100 * sim.Microsecond, Seed: 11,
+		KernelPartitions: parts,
+		MetricsSink:      func(b []byte) { snap = b },
+	}
+	res, err := spec.Run()
+	if err != nil {
+		t.Fatalf("run with %d kernel partitions: %v", parts, err)
+	}
+	return res, snap
+}
+
+// TestRunKernelPartitionsByteIdentity: results and metrics snapshots
+// are byte-identical across kernel partition counts 0 (sequential
+// engine) and 1/2/4/8 (Parallel kernel).
+func TestRunKernelPartitionsByteIdentity(t *testing.T) {
+	want, wantSnap := runWithPartitions(t, 0)
+	if want.Crit.Issued == 0 || len(wantSnap) == 0 {
+		t.Fatal("degenerate sequential reference run")
+	}
+	for _, parts := range []int{1, 2, 4, 8} {
+		got, snap := runWithPartitions(t, parts)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("KernelPartitions=%d RunResult diverged from sequential:\ngot:  %+v\nwant: %+v", parts, got, want)
+		}
+		if !bytes.Equal(snap, wantSnap) {
+			t.Errorf("KernelPartitions=%d metrics snapshot diverged from sequential (%d vs %d bytes)", parts, len(snap), len(wantSnap))
+		}
+	}
+}
+
+// TestPlatformKernelWiring pins how Config.Partitions assembles the
+// kernel: the platform engine is the cut's home partition (the slab
+// holding the memory node), the lookahead is the mesh FlitTime, and
+// the barrier loop actually turns rounds.
+func TestPlatformKernelWiring(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Partitions = 4
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := p.Kernel()
+	if par == nil {
+		t.Fatal("Partitions=4 built no kernel")
+	}
+	if got := par.Partitions(); got != 4 {
+		t.Fatalf("kernel has %d partitions, want 4", got)
+	}
+	if got, want := par.Lookahead(), cfg.Mesh.FlitTime; got != want {
+		t.Errorf("lookahead %v, want FlitTime %v", got, want)
+	}
+	plan := p.Plan()
+	// Memory node (3,3) on a 4-wide mesh cut into 4 column slabs lives
+	// in the rightmost slab.
+	if plan.Home != 3 {
+		t.Errorf("home partition %d, want 3 (memory node's column slab)", plan.Home)
+	}
+	if p.Eng != par.Partition(plan.Home) {
+		t.Error("platform engine is not the home partition")
+	}
+	if got := plan.Assign(noc.Coord{X: 0, Y: 2}); got != 0 {
+		t.Errorf("column 0 assigned to partition %d, want 0", got)
+	}
+
+	fired := false
+	p.Eng.At(100, func() { fired = true })
+	p.RunFor(sim.Microsecond)
+	if !fired {
+		t.Error("home-partition event did not fire through the kernel run loop")
+	}
+	if par.Rounds() == 0 {
+		t.Error("kernel turned no rounds")
+	}
+	for i := 0; i < 4; i++ {
+		if now := par.Partition(i).Now(); now != sim.Time(sim.Microsecond) {
+			t.Errorf("partition %d clock %v after RunFor, want %v", i, now, sim.Microsecond)
+		}
+	}
+}
+
+// TestPlanPartitionsClamps: more partitions than mesh columns clamp to
+// one slab per column (no empty slabs), and a plain sequential config
+// keeps Partitions 0 semantics.
+func TestPlanPartitionsClamps(t *testing.T) {
+	mesh := noc.DefaultConfig() // 4 wide
+	pl := PlanPartitions(mesh, noc.Coord{X: 3, Y: 3}, 16)
+	if pl.Partitions != mesh.Width {
+		t.Errorf("planned %d partitions on a %d-wide mesh, want clamp to width", pl.Partitions, mesh.Width)
+	}
+	if pl.Lookahead != mesh.FlitTime {
+		t.Errorf("lookahead %v, want FlitTime %v", pl.Lookahead, mesh.FlitTime)
+	}
+	cfg := DefaultConfig()
+	cfg.Partitions = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative Partitions accepted")
+	}
+	if (RunSpec{Duration: sim.Millisecond, KernelPartitions: -2}).Validate() == nil {
+		t.Error("negative KernelPartitions accepted")
+	}
+}

@@ -45,6 +45,14 @@ type Config struct {
 	L3HitLatency sim.Duration
 	// RowBytes sets the DRAM address interleaving granularity.
 	RowBytes int
+	// Partitions runs the platform on a conservative-lookahead Parallel
+	// kernel with this many event partitions (lookahead = the mesh
+	// FlitTime, the minimum inter-partition link latency). 0 or 1 keeps
+	// the plain sequential engine; any N produces byte-identical
+	// output — see PlanPartitions for what the cut assigns where and
+	// docs/PERFORMANCE.md for why the platform's synchronously coupled
+	// components share one home partition today.
+	Partitions int
 }
 
 // DefaultConfig returns a two-cluster platform on a 4x4 mesh with the
@@ -89,12 +97,65 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
+	if c.Partitions < 0 {
+		return fmt.Errorf("core: Partitions must be non-negative, got %d", c.Partitions)
+	}
 	return nil
+}
+
+// PartitionPlan is the topology cut BuildPlatform derives for a
+// Parallel kernel: vertical column slabs of the mesh, so every cut
+// link is an East/West hop and the kernel lookahead is exactly one
+// FlitTime. Home is the slab holding the memory controller — the
+// partition where the platform's synchronously coupled components
+// (clusters' shared L3, MemGuard, the MPAM channel, the DRAM
+// controller, and the apps that touch them with zero latency) must all
+// live for output to stay byte-identical with the sequential engine.
+type PartitionPlan struct {
+	Partitions int
+	Lookahead  sim.Duration
+	Home       int
+	width      int
+}
+
+// PlanPartitions cuts a mesh into n column slabs.
+func PlanPartitions(mesh noc.Config, memNode noc.Coord, n int) PartitionPlan {
+	if n < 1 {
+		n = 1
+	}
+	if n > mesh.Width {
+		n = mesh.Width // no empty slabs: at most one partition per column
+	}
+	pl := PartitionPlan{Partitions: n, Lookahead: mesh.FlitTime, width: mesh.Width}
+	pl.Home = pl.Assign(memNode)
+	return pl
+}
+
+// Assign returns the partition owning the node at c under the column
+// cut.
+func (pl PartitionPlan) Assign(c noc.Coord) int {
+	if pl.width == 0 || pl.Partitions <= 1 {
+		return 0
+	}
+	p := c.X * pl.Partitions / pl.width
+	if p >= pl.Partitions {
+		p = pl.Partitions - 1
+	}
+	return p
 }
 
 // Platform is an assembled VIP SoC model.
 type Platform struct {
+	// Eng is the engine the platform's components schedule on: the
+	// plain sequential engine, or — under Config.Partitions — the home
+	// partition of the Parallel kernel (see PartitionPlan).
 	Eng *sim.Engine
+
+	// par drives the run loop when the platform sits on a Parallel
+	// kernel; plan records the topology cut that chose the home
+	// partition.
+	par  *sim.Parallel
+	plan PartitionPlan
 
 	cfg      Config
 	clusters []*dsu.Cluster
@@ -127,9 +188,27 @@ func New(cfg Config) (*Platform, error) {
 		return nil, err
 	}
 	p := &Platform{
-		Eng:  sim.NewEngine(),
 		cfg:  cfg,
 		apps: make(map[string]*App),
+	}
+	if cfg.Partitions >= 1 {
+		// Conservative-lookahead kernel cut on the mesh: the link time
+		// is the lookahead. Every component is co-located on the cut's
+		// home partition — the zero-latency couplings (shared L3,
+		// MemGuard, credit returns, MPAM) make any other placement
+		// diverge from the sequential goldens — so non-home partitions
+		// idle and each round's single-active window runs inline; the
+		// full barrier protocol still executes, and output stays
+		// byte-identical for every partition count.
+		p.plan = PlanPartitions(cfg.Mesh, cfg.MemoryNode, cfg.Partitions)
+		lookahead := p.plan.Lookahead
+		if p.plan.Partitions == 1 {
+			lookahead = 0
+		}
+		p.par = sim.NewParallel(p.plan.Partitions, lookahead)
+		p.Eng = p.par.Partition(p.plan.Home)
+	} else {
+		p.Eng = sim.NewEngine()
 	}
 	for _, cc := range cfg.Clusters {
 		cl, err := dsu.NewCluster(cc)
@@ -246,8 +325,26 @@ func (p *Platform) SetNodeShaper(node noc.Coord, burst, rate float64) error {
 
 // RunFor advances the platform by d of virtual time.
 func (p *Platform) RunFor(d sim.Duration) {
-	p.Eng.RunUntil(p.Eng.Now() + d)
+	p.RunUntil(p.Eng.Now() + d)
 }
+
+// RunUntil advances the platform to absolute virtual time t — through
+// the Parallel kernel's barrier loop when one is configured, else the
+// sequential engine.
+func (p *Platform) RunUntil(t sim.Time) {
+	if p.par != nil {
+		p.par.RunUntil(t)
+		return
+	}
+	p.Eng.RunUntil(t)
+}
+
+// Kernel returns the Parallel kernel driving the platform, nil on the
+// plain sequential engine.
+func (p *Platform) Kernel() *sim.Parallel { return p.par }
+
+// Plan returns the partition plan (zero value without a kernel).
+func (p *Platform) Plan() PartitionPlan { return p.plan }
 
 // bankRow maps a physical address onto the DRAM geometry.
 func (p *Platform) bankRow(addr uint64) (bank int, row int64) {

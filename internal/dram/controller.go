@@ -56,6 +56,19 @@ type Config struct {
 	// once a queue is full (backpressure to the interconnect).
 	ReadQueueCap  int
 	WriteQueueCap int
+
+	// CrossCompleteLatency is the wire delay added to completions
+	// delivered to another kernel partition (Request.CompleteOn). It
+	// models the response's hop back over the partition cut and must be
+	// at least the kernel's lookahead or the mailbox send will panic.
+	// Irrelevant (and unused) for same-engine completions.
+	CrossCompleteLatency sim.Duration
+
+	// CrossKey labels this controller's completion stream in the
+	// destination partition's deterministic merge order; give
+	// controllers sharing a destination distinct keys when their
+	// relative same-instant order should be topology-defined.
+	CrossKey uint64
 }
 
 // DefaultConfig returns the paper's controller configuration on
@@ -103,6 +116,9 @@ func (c Config) Validate() error {
 	}
 	if c.WriteTimeout < 0 {
 		return fmt.Errorf("dram: WriteTimeout must be non-negative, got %v", c.WriteTimeout)
+	}
+	if c.CrossCompleteLatency < 0 {
+		return fmt.Errorf("dram: CrossCompleteLatency must be non-negative, got %v", c.CrossCompleteLatency)
 	}
 	return nil
 }
@@ -457,11 +473,19 @@ func (c *Controller) applyBankState(r *Request) {
 
 // complete stamps the request, notifies the client, and continues
 // scheduling. The per-request OnComplete hook fires before the
-// controller-level callback.
+// controller-level callback. When the requester lives on another
+// kernel partition (Request.CompleteOn), its hook instead rides the
+// mailbox and fires CrossCompleteLatency later on that partition; the
+// controller-level callback always stays on the controller's engine —
+// it is the memory node's own bookkeeping.
 func (c *Controller) complete(r *Request) {
 	r.Completion = c.eng.Now()
 	c.stats.record(r)
-	if r.OnComplete != nil {
+	if dst := r.CompleteOn; dst != nil && dst != c.eng {
+		if fn := r.OnComplete; fn != nil {
+			c.eng.CrossAfter(dst, c.cfg.CrossCompleteLatency, c.cfg.CrossKey, fn)
+		}
+	} else if r.OnComplete != nil {
 		r.OnComplete()
 	}
 	if c.onComplete != nil {

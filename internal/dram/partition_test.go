@@ -1,0 +1,154 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Cross-partition completion routing: a controller owned by one kernel
+// partition serving requesters on another, with the response's wire
+// delay (CrossCompleteLatency) as the cut latency.
+
+// crossRig places the controller on partition 1 of a 2-partition
+// kernel; requesters live on partition 0.
+func crossRig(t *testing.T, lookahead, crossLat sim.Duration) (*sim.Parallel, *Controller) {
+	t.Helper()
+	par := sim.NewParallel(2, lookahead)
+	cfg := DefaultConfig()
+	cfg.CrossCompleteLatency = crossLat
+	cfg.CrossKey = 42
+	c, err := NewController(par.Partition(1), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return par, c
+}
+
+// TestCrossPartitionCompletionDelivers: the requester's OnComplete
+// runs on its own partition, exactly CrossCompleteLatency after the
+// controller stamped Completion.
+func TestCrossPartitionCompletionDelivers(t *testing.T) {
+	const lookahead = sim.Nanosecond
+	par, c := crossRig(t, lookahead, 2*lookahead)
+	requester := par.Partition(0)
+	ctrlEng := par.Partition(1)
+
+	var doneAt sim.Time
+	r := &Request{Op: Read, Bank: 0, Row: 7, CompleteOn: requester}
+	r.OnComplete = func() { doneAt = requester.Now() }
+
+	// Submission crosses the cut too: the requester asks the memory
+	// node to enqueue, one lookahead later.
+	requester.At(10, func() {
+		requester.CrossAfter(ctrlEng, lookahead, 1, func() {
+			if err := c.Submit(r); err != nil {
+				t.Errorf("submit: %v", err)
+			}
+		})
+	})
+	par.RunUntil(sim.Millisecond)
+
+	if r.Completion == 0 {
+		t.Fatal("request never completed")
+	}
+	if doneAt == 0 {
+		t.Fatal("OnComplete never delivered to the requester partition")
+	}
+	if want := r.Completion + 2*lookahead; doneAt != want {
+		t.Errorf("OnComplete at %v, want Completion %v + latency %v = %v", doneAt, r.Completion, 2*lookahead, want)
+	}
+}
+
+// TestCrossPartitionCompletionOrder: completions bound for the same
+// requester partition arrive in completion order (one stream, one
+// key, FIFO through the mailbox).
+func TestCrossPartitionCompletionOrder(t *testing.T) {
+	const lookahead = sim.Nanosecond
+	par, c := crossRig(t, lookahead, lookahead)
+	requester := par.Partition(0)
+	ctrlEng := par.Partition(1)
+
+	const n = 16
+	var order []int
+	reqs := make([]*Request, n)
+	for i := 0; i < n; i++ {
+		i := i
+		reqs[i] = &Request{Op: Read, Bank: i % c.cfg.Banks, Row: int64(i), CompleteOn: requester}
+		reqs[i].OnComplete = func() { order = append(order, i) }
+	}
+	requester.At(0, func() {
+		requester.CrossAfter(ctrlEng, lookahead, 1, func() {
+			for _, r := range reqs {
+				if err := c.Submit(r); err != nil {
+					t.Errorf("submit: %v", err)
+				}
+			}
+		})
+	})
+	par.RunUntil(sim.Millisecond)
+
+	if len(order) != n {
+		t.Fatalf("delivered %d completions, want %d", len(order), n)
+	}
+	for k := 1; k < len(order); k++ {
+		a, b := reqs[order[k-1]], reqs[order[k]]
+		if a.Completion > b.Completion {
+			t.Fatalf("completion order inverted: req %d (%v) delivered before req %d (%v)", order[k-1], a.Completion, order[k], b.Completion)
+		}
+	}
+}
+
+// TestCompleteOnSameEngineStaysSynchronous: CompleteOn pointing at the
+// controller's own engine is the sequential path — the hook runs at
+// Completion with no added latency, identical to a nil CompleteOn.
+func TestCompleteOnSameEngineStaysSynchronous(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.CrossCompleteLatency = sim.Microsecond // must be ignored
+	c, err := NewController(eng, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doneAt sim.Time
+	r := &Request{Op: Read, Bank: 0, Row: 1, CompleteOn: eng}
+	r.OnComplete = func() { doneAt = eng.Now() }
+	eng.At(0, func() {
+		if err := c.Submit(r); err != nil {
+			t.Errorf("submit: %v", err)
+		}
+	})
+	eng.RunUntil(sim.Millisecond)
+	if doneAt == 0 || doneAt != r.Completion {
+		t.Errorf("OnComplete at %v, want synchronous at Completion %v", doneAt, r.Completion)
+	}
+}
+
+// TestCrossCompleteLatencyValidation: negative latency is a config
+// error; a latency below the kernel lookahead panics at delivery (the
+// conservative horizon would be violated).
+func TestCrossCompleteLatencyValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CrossCompleteLatency = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative CrossCompleteLatency accepted")
+	}
+
+	par, c := crossRig(t, sim.NS(10), sim.NS(5)) // latency < lookahead
+	requester := par.Partition(0)
+	r := &Request{Op: Read, Bank: 0, Row: 1, CompleteOn: requester, OnComplete: func() {}}
+	par.Partition(1).At(0, func() {
+		if err := c.Submit(r); err != nil {
+			t.Errorf("submit: %v", err)
+		}
+	})
+	// Only partition 1 is active, so its window runs inline and the
+	// lookahead-violation panic from the completion's mailbox send
+	// surfaces right here.
+	defer func() {
+		if recover() == nil {
+			t.Error("cross completion below lookahead did not panic")
+		}
+	}()
+	par.RunUntil(sim.Millisecond)
+}

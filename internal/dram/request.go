@@ -51,6 +51,15 @@ type Request struct {
 	// without a side table, and — together with request reuse — keeps
 	// the submit path allocation-free.
 	OnComplete func()
+
+	// CompleteOn, when non-nil and not the controller's own engine,
+	// names the kernel partition that owns the requester: OnComplete is
+	// then delivered through the Parallel kernel's mailbox on that
+	// engine, Config.CrossCompleteLatency after Completion, instead of
+	// running synchronously. Both engines must belong to the same
+	// kernel and the latency must cover its lookahead. Nil (the normal
+	// sequential case) keeps the synchronous path.
+	CompleteOn *sim.Engine
 }
 
 // Latency returns the request's queueing + service delay. It is only

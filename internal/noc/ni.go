@@ -15,6 +15,10 @@ import (
 type NI struct {
 	noc *NoC
 	at  Coord
+	// eng is the owning partition's engine — always the same engine as
+	// the node's router, so NI↔router coupling (injection, local
+	// credits) stays synchronous even in a partitioned fabric.
+	eng *sim.Engine
 
 	shaper  *netcalc.Shaper
 	blocked bool
@@ -39,7 +43,7 @@ type NI struct {
 }
 
 func newNI(n *NoC, at Coord) *NI {
-	ni := &NI{noc: n, at: at, credits: n.cfg.BufferFlits}
+	ni := &NI{noc: n, at: at, eng: n.router(at).eng, credits: n.cfg.BufferFlits}
 	ni.pumpFn = ni.pump
 	return ni
 }
@@ -58,7 +62,7 @@ func (ni *NI) SetShaper(s *netcalc.Shaper) {
 // time; a no-op without a shaper.
 func (ni *NI) SetRate(rate float64) {
 	if ni.shaper != nil {
-		ni.shaper.SetRate(ni.noc.eng.Now(), rate)
+		ni.shaper.SetRate(ni.eng.Now(), rate)
 		ni.pump()
 	}
 }
@@ -101,7 +105,7 @@ func (ni *NI) Send(p *Packet) error {
 		ni.nextID++
 		p.ID = ni.nextID
 	}
-	p.Submitted = ni.noc.eng.Now()
+	p.Submitted = ni.eng.Now()
 	ni.submitted++
 	if ni.noc.tel != nil {
 		ni.noc.traceSubmit(p)
@@ -137,14 +141,14 @@ func (ni *NI) pump() {
 				return
 			}
 			head := ni.queue[ni.qhead]
-			now := ni.noc.eng.Now()
+			now := ni.eng.Now()
 			if ni.shaper != nil {
 				if !ni.shaper.Take(now, float64(head.Bytes)) {
 					at := ni.shaper.EarliestConforming(now, float64(head.Bytes))
 					if at == sim.Forever {
 						return // oversized for the bucket: stuck until re-rated
 					}
-					ni.noc.eng.At(at, ni.pumpFn)
+					ni.eng.At(at, ni.pumpFn)
 					return
 				}
 			}

@@ -162,24 +162,67 @@ type NoC struct {
 	routers []*router
 	nis     []*NI
 
-	delivered uint64
-	flitHops  uint64
+	// par is non-nil when the fabric spans a Parallel kernel's
+	// partitions; partOf maps node index to partition id. In this mode
+	// flits and credits crossing a partition cut travel through the
+	// kernel's mailboxes with exactly FlitTime of latency (the
+	// lookahead), and packet/hop counters live per router so partitions
+	// never write shared fabric state.
+	par    *sim.Parallel
+	partOf []int32
 
 	tel *telemetryState
 }
 
-// New builds the mesh and its network interfaces.
+// New builds the mesh and its network interfaces on one engine.
 func New(eng *sim.Engine, cfg Config) (*NoC, error) {
+	return build(cfg, nil, func(Coord) *sim.Engine { return eng }, func(Coord) int32 { return 0 })
+}
+
+// NewPartitioned builds the mesh across the partitions of a Parallel
+// kernel: assign maps each node to a partition, and the node's router
+// and NI schedule on that partition's engine. The kernel's lookahead
+// must not exceed FlitTime — link traversal is the physical latency
+// that makes the conservative protocol safe here. Cross-cut credit
+// returns also take FlitTime (they are instantaneous on one engine),
+// so cut timing matches the sequential fabric exactly only while
+// downstream buffers never exhaust; with scarce credits the fabric
+// stays deterministic but backpressure relaxes by one link time.
+func NewPartitioned(par *sim.Parallel, cfg Config, assign func(Coord) int) (*NoC, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	n := &NoC{eng: eng, cfg: cfg}
+	if par == nil {
+		return nil, fmt.Errorf("noc: NewPartitioned needs a kernel")
+	}
+	if par.Partitions() > 1 && par.Lookahead() > cfg.FlitTime {
+		return nil, fmt.Errorf("noc: kernel lookahead %v exceeds FlitTime %v; cross-cut hops would violate the conservative horizon", par.Lookahead(), cfg.FlitTime)
+	}
+	pick := func(c Coord) int32 {
+		p := assign(c)
+		if p < 0 || p >= par.Partitions() {
+			panic(fmt.Sprintf("noc: node %v assigned to partition %d of %d", c, p, par.Partitions()))
+		}
+		return int32(p)
+	}
+	return build(cfg, par, func(c Coord) *sim.Engine { return par.Partition(int(pick(c))) }, pick)
+}
+
+func build(cfg Config, par *sim.Parallel, engOf func(Coord) *sim.Engine, partOf func(Coord) int32) (*NoC, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &NoC{cfg: cfg, par: par}
 	n.routers = make([]*router, cfg.Width*cfg.Height)
+	n.partOf = make([]int32, cfg.Width*cfg.Height)
 	for y := 0; y < cfg.Height; y++ {
 		for x := 0; x < cfg.Width; x++ {
-			n.routers[n.idx(Coord{x, y})] = newRouter(n, Coord{x, y})
+			c := Coord{x, y}
+			n.partOf[n.idx(c)] = partOf(c)
+			n.routers[n.idx(c)] = newRouter(n, c, engOf(c))
 		}
 	}
+	n.eng = n.routers[0].eng
 	n.nis = make([]*NI, cfg.Width*cfg.Height)
 	for y := 0; y < cfg.Height; y++ {
 		for x := 0; x < cfg.Width; x++ {
@@ -189,6 +232,17 @@ func New(eng *sim.Engine, cfg Config) (*NoC, error) {
 	}
 	return n, nil
 }
+
+// Partitioned reports whether the fabric spans a Parallel kernel.
+func (n *NoC) Partitioned() bool { return n.par != nil }
+
+// EngineAt returns the engine that owns the node at c (the shared
+// engine for a sequential fabric).
+func (n *NoC) EngineAt(c Coord) *sim.Engine { return n.routers[n.idx(c)].eng }
+
+// PartitionAt returns the partition owning the node at c (0 for a
+// sequential fabric).
+func (n *NoC) PartitionAt(c Coord) int { return int(n.partOf[n.idx(c)]) }
 
 func (n *NoC) idx(c Coord) int { return c.Y*n.cfg.Width + c.X }
 
@@ -211,11 +265,26 @@ func (n *NoC) NI(c Coord) (*NI, error) {
 // Config returns the mesh configuration.
 func (n *NoC) Config() Config { return n.cfg }
 
-// Delivered returns the total packets delivered.
-func (n *NoC) Delivered() uint64 { return n.delivered }
+// Delivered returns the total packets delivered. Counters accumulate
+// per router (each mutated only by its owning partition); reading
+// them mid-run in partitioned mode is only coherent at a barrier —
+// i.e. outside Run/RunUntil.
+func (n *NoC) Delivered() uint64 {
+	var total uint64
+	for _, r := range n.routers {
+		total += r.delivered
+	}
+	return total
+}
 
 // FlitHops returns the total flit-hop count (a utilization proxy).
-func (n *NoC) FlitHops() uint64 { return n.flitHops }
+func (n *NoC) FlitHops() uint64 {
+	var total uint64
+	for _, r := range n.routers {
+		total += r.flitHops
+	}
+	return total
+}
 
 // FlitsFor returns the number of flits a payload needs.
 func (n *NoC) FlitsFor(bytes int) int {

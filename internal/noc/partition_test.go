@@ -1,0 +1,257 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Partitioned-fabric tests: the mesh split across a Parallel kernel by
+// a vertical topology cut, with FlitTime as the lookahead. Flits and
+// credits crossing the cut ride the kernel mailboxes; everything else
+// is the sequential fabric verbatim.
+
+// splitX assigns nodes left of the cut column to partition 0 and the
+// rest to partition 1.
+func splitX(cut int) func(Coord) int {
+	return func(c Coord) int {
+		if c.X < cut {
+			return 0
+		}
+		return 1
+	}
+}
+
+// buildPartitioned returns a 2-partition fabric and its kernel.
+func buildPartitioned(t *testing.T, cfg Config) (*sim.Parallel, *NoC) {
+	t.Helper()
+	par := sim.NewParallel(2, cfg.FlitTime)
+	n, err := NewPartitioned(par, cfg, splitX(cfg.Width/2))
+	if err != nil {
+		t.Fatalf("NewPartitioned: %v", err)
+	}
+	return par, n
+}
+
+// sendAt schedules a Send on the owning partition at time t and
+// returns the packet for post-run inspection.
+func sendAt(t *testing.T, n *NoC, at sim.Time, src, dst Coord, bytes int) *Packet {
+	t.Helper()
+	ni, err := n.NI(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Packet{Dst: dst, Bytes: bytes}
+	n.EngineAt(src).At(at, func() {
+		if err := ni.Send(p); err != nil {
+			t.Errorf("send %v->%v: %v", src, dst, err)
+		}
+	})
+	return p
+}
+
+// TestNoCPartitionedMatchesSequentialDisjointFlows: with ample credits
+// and flows whose paths never share a link, per-packet delivery
+// timestamps must be bit-identical to the sequential fabric — the cut
+// adds no latency because link traversal is the lookahead.
+func TestNoCPartitionedMatchesSequentialDisjointFlows(t *testing.T) {
+	cfg := Config{Width: 4, Height: 4, FlitBytes: 16, FlitTime: sim.NS(1), BufferFlits: 64}
+	// One flow crossing the cut along row 0, two intra-half flows on
+	// disjoint rows. XY routing keeps the paths link-disjoint.
+	type flow struct{ src, dst Coord }
+	flows := []flow{
+		{Coord{0, 0}, Coord{3, 0}}, // crosses the x=2 cut
+		{Coord{0, 2}, Coord{1, 2}}, // left half only
+		{Coord{2, 3}, Coord{3, 3}}, // right half only
+	}
+	const packets = 8
+
+	run := func(build func() (*NoC, func())) []sim.Time {
+		n, runAll := build()
+		var pkts []*Packet
+		for fi, f := range flows {
+			for k := 0; k < packets; k++ {
+				at := sim.Time(10*k + fi)
+				pkts = append(pkts, sendAt(t, n, at, f.src, f.dst, 64))
+			}
+		}
+		runAll()
+		var out []sim.Time
+		for _, p := range pkts {
+			out = append(out, p.Delivered)
+		}
+		return out
+	}
+
+	seq := run(func() (*NoC, func()) {
+		eng := sim.NewEngine()
+		n, err := New(eng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n, func() { eng.RunUntil(sim.US(1)) }
+	})
+	parl := run(func() (*NoC, func()) {
+		par, n := buildPartitioned(t, cfg)
+		return n, func() { par.RunUntil(sim.US(1)) }
+	})
+	for i := range seq {
+		if seq[i] == 0 {
+			t.Fatalf("sequential packet %d undelivered", i)
+		}
+		if seq[i] != parl[i] {
+			t.Errorf("packet %d delivered at %v partitioned, %v sequential", i, parl[i], seq[i])
+		}
+	}
+}
+
+// TestNoCPartitionedRepeatDeterminism: heavy cross-cut contention may
+// legally arbitrate differently from the sequential fabric (mailbox
+// deliveries order after a router's own same-instant events), but it
+// must be a deterministic function of the model — repeat runs agree
+// exactly.
+func TestNoCPartitionedRepeatDeterminism(t *testing.T) {
+	cfg := Config{Width: 4, Height: 4, FlitBytes: 16, FlitTime: sim.NS(1), BufferFlits: 4}
+	run := func() ([]sim.Time, uint64, uint64) {
+		par, n := buildPartitioned(t, cfg)
+		var pkts []*Packet
+		// All-to-mirror: every node streams to its horizontal mirror,
+		// saturating the two cut links in both directions.
+		for y := 0; y < cfg.Height; y++ {
+			for x := 0; x < cfg.Width; x++ {
+				src := Coord{x, y}
+				dst := Coord{cfg.Width - 1 - x, y}
+				for k := 0; k < 6; k++ {
+					pkts = append(pkts, sendAt(t, n, sim.Time(5*k), src, dst, 96))
+				}
+			}
+		}
+		par.RunUntil(sim.US(2))
+		var out []sim.Time
+		for _, p := range pkts {
+			out = append(out, p.Delivered)
+		}
+		return out, n.Delivered(), n.FlitHops()
+	}
+	d1, n1, h1 := run()
+	for i := 0; i < 3; i++ {
+		d2, n2, h2 := run()
+		if n1 != n2 || h1 != h2 {
+			t.Fatalf("run %d counters diverged: delivered %d/%d, hops %d/%d", i, n2, n1, h2, h1)
+		}
+		for j := range d1 {
+			if d1[j] != d2[j] {
+				t.Fatalf("run %d packet %d delivered at %v, first run %v", i, j, d2[j], d1[j])
+			}
+		}
+	}
+	if n1 == 0 {
+		t.Fatal("no packets delivered")
+	}
+}
+
+// TestNoCPartitionedConservation: under contention the partitioned
+// fabric must still deliver every packet over the same XY routes —
+// delivered count and total flit-hops equal the sequential fabric even
+// when per-packet timing differs.
+func TestNoCPartitionedConservation(t *testing.T) {
+	cfg := Config{Width: 4, Height: 4, FlitBytes: 16, FlitTime: sim.NS(1), BufferFlits: 2}
+	inject := func(n *NoC) int {
+		count := 0
+		for y := 0; y < cfg.Height; y++ {
+			for x := 0; x < cfg.Width; x++ {
+				src := Coord{x, y}
+				dst := Coord{(x + 2) % cfg.Width, (y + 1) % cfg.Height}
+				if src == dst {
+					continue
+				}
+				for k := 0; k < 5; k++ {
+					sendAt(t, n, sim.Time(7*k), src, dst, 128)
+					count++
+				}
+			}
+		}
+		return count
+	}
+
+	eng := sim.NewEngine()
+	ns, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := inject(ns)
+	eng.RunUntil(sim.US(5))
+
+	par, np := buildPartitioned(t, cfg)
+	if got := inject(np); got != want {
+		t.Fatalf("injected %d packets partitioned, %d sequential", got, want)
+	}
+	par.RunUntil(sim.US(5))
+
+	if ns.Delivered() != uint64(want) {
+		t.Fatalf("sequential delivered %d of %d", ns.Delivered(), want)
+	}
+	if np.Delivered() != ns.Delivered() {
+		t.Errorf("partitioned delivered %d, sequential %d", np.Delivered(), ns.Delivered())
+	}
+	if np.FlitHops() != ns.FlitHops() {
+		t.Errorf("partitioned flit-hops %d, sequential %d (routes must not change)", np.FlitHops(), ns.FlitHops())
+	}
+}
+
+// TestNoCPartitionedTightCredits: with single-flit buffers every
+// cross-cut credit return is on the critical path; the fabric must
+// keep making progress (the delayed credit relaxes backpressure by one
+// link time, it must never deadlock).
+func TestNoCPartitionedTightCredits(t *testing.T) {
+	cfg := Config{Width: 4, Height: 2, FlitBytes: 16, FlitTime: sim.NS(1), BufferFlits: 1}
+	par, n := buildPartitioned(t, cfg)
+	var pkts []*Packet
+	for k := 0; k < 10; k++ {
+		pkts = append(pkts, sendAt(t, n, 0, Coord{0, 0}, Coord{3, 1}, 64))
+		pkts = append(pkts, sendAt(t, n, 0, Coord{3, 0}, Coord{0, 1}, 64))
+	}
+	par.RunUntil(sim.US(10))
+	for i, p := range pkts {
+		if p.Delivered == 0 {
+			t.Fatalf("packet %d stuck with tight credits (cross-cut backpressure deadlock?)", i)
+		}
+	}
+	if got := n.Delivered(); got != uint64(len(pkts)) {
+		t.Errorf("delivered %d, want %d", got, len(pkts))
+	}
+}
+
+// TestNoCPartitionedValidation pins the constructor contracts: the
+// kernel lookahead may not exceed the link time, node assignments must
+// be in range, and telemetry is refused on a multi-partition fabric.
+func TestNoCPartitionedValidation(t *testing.T) {
+	cfg := DefaultConfig()
+
+	par := sim.NewParallel(2, cfg.FlitTime*2)
+	if _, err := NewPartitioned(par, cfg, splitX(2)); err == nil {
+		t.Error("lookahead > FlitTime accepted")
+	}
+
+	ok := sim.NewParallel(2, cfg.FlitTime)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range partition assignment did not panic")
+			}
+		}()
+		NewPartitioned(ok, cfg, func(Coord) int { return 7 })
+	}()
+
+	par2, n := buildPartitioned(t, cfg)
+	_ = par2
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("telemetry on a multi-partition fabric did not panic")
+			}
+		}()
+		n.SetTelemetry(nil, nil, telemetry.NewMonitorSet(sim.Microsecond))
+	}()
+}

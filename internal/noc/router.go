@@ -1,11 +1,16 @@
 package noc
 
+import "repro/internal/sim"
+
 // router is one mesh router: five input FIFOs, five output ports with
 // wormhole locking and round-robin (iSLIP-style) arbitration, and
 // credit-based flow control toward downstream input buffers.
 type router struct {
 	noc *NoC
 	at  Coord
+	// eng is the engine this router schedules on: the shared engine in
+	// a sequential fabric, the owning partition's in a partitioned one.
+	eng *sim.Engine
 
 	// in[p] is the input FIFO fed by the neighbor (or NI) on port p.
 	in [numPorts]flitq
@@ -13,6 +18,17 @@ type router struct {
 	out [numPorts]outPort
 	// credits[p] counts free downstream buffer slots through output p.
 	credits [numPorts]int
+
+	// Per-router accumulators so partitions never share counter words;
+	// the fabric sums them on read.
+	delivered uint64
+	flitHops  uint64
+
+	// creditFns[p] returns one credit to input port p's bookkeeping on
+	// THIS router; prebound so cross-cut credit returns reuse one
+	// function value per (router, port) instead of closing over state
+	// per flit.
+	creditFns [numPorts]sim.Event
 }
 
 // outPort tracks one output port's wormhole and arbitration state.
@@ -27,16 +43,24 @@ type outPort struct {
 	// inflight is the flit currently traversing the port (valid while
 	// busy); done is the port's traversal-complete callback, bound
 	// once at construction so the hot path schedules it without
-	// allocating a closure per flit.
-	inflight flit
-	done     func()
+	// allocating a closure per flit. crossDone is its cross-cut twin:
+	// when the downstream arrival was prescheduled through the kernel
+	// mailbox it only frees the port and re-arbitrates.
+	inflight  flit
+	done      func()
+	crossDone func()
 }
 
-func newRouter(n *NoC, at Coord) *router {
-	r := &router{noc: n, at: at}
+func newRouter(n *NoC, at Coord, eng *sim.Engine) *router {
+	r := &router{noc: n, at: at, eng: eng}
 	for p := Port(0); p < numPorts; p++ {
 		p := p
 		r.out[p].done = func() { r.finishFlit(p) }
+		r.out[p].crossDone = func() { r.freePort(p) }
+		r.creditFns[p] = func() {
+			r.credits[p]++
+			r.kick()
+		}
 		if p == Local {
 			// Ejection consumes flits immediately; effectively infinite.
 			r.credits[p] = 1 << 30
@@ -109,13 +133,38 @@ func (r *router) tryOutput(p Port) {
 	// or the neighboring router feeding this input).
 	r.returnCredit(inPort)
 
-	r.noc.flitHops++
+	r.flitHops++
 	if ts := r.noc.tel; ts != nil {
 		ts.cFlitHops.Inc()
 	}
 	o.inflight = f
-	r.noc.eng.After(r.noc.cfg.FlitTime, o.done)
+	if p != Local {
+		if next := r.noc.router(neighbor(r.at, p)); next.eng != r.eng {
+			// Partition cut: the downstream arrival is scheduled on the
+			// neighbor's engine now, for exactly the traversal-complete
+			// instant — link latency IS the lookahead, so the send is
+			// always legal and the flit lands at the same virtual time
+			// as the sequential fabric's handoff. The local port frees
+			// at the same instant via crossDone.
+			inp := opposite(p)
+			r.eng.CrossAfter(next.eng, r.noc.cfg.FlitTime, linkKey(r.noc.idx(r.at), p), func() {
+				next.in[inp].push(f)
+				next.kick()
+			})
+			r.eng.After(r.noc.cfg.FlitTime, o.crossDone)
+			return
+		}
+	}
+	r.eng.After(r.noc.cfg.FlitTime, o.done)
 }
+
+// linkKey names the mailbox channel for flit arrivals over one
+// directed link; keys are topology-derived so the barrier merge order
+// is identical across runs. Credit returns for the reverse direction
+// use a disjoint key space.
+func linkKey(srcIdx int, p Port) uint64 { return uint64(srcIdx)<<3 | uint64(p) }
+
+func creditKey(srcIdx int, p Port) uint64 { return 1<<40 | linkKey(srcIdx, p) }
 
 // finishFlit completes one flit's traversal of output port p: hand it
 // to the neighbor (or eject at Local) and re-arbitrate. The busy flag
@@ -136,8 +185,20 @@ func (r *router) finishFlit(p Port) {
 	r.kick()
 }
 
+// freePort ends a cross-cut traversal: the arrival was prescheduled
+// through the mailbox, so only the port state is released here.
+func (r *router) freePort(p Port) {
+	o := &r.out[p]
+	o.inflight = flit{}
+	o.busy = false
+	r.kick()
+}
+
 // returnCredit tells whoever feeds input port p that a buffer slot
-// freed up.
+// freed up. Within a partition the return is instantaneous, as in the
+// sequential fabric; across a cut it rides the mailbox and lands one
+// FlitTime later (the wire is the lookahead), which is invisible while
+// the upstream never exhausts its credit window.
 func (r *router) returnCredit(p Port) {
 	if p == Local {
 		// The NI feeds this port; let it inject more.
@@ -145,6 +206,10 @@ func (r *router) returnCredit(p Port) {
 		return
 	}
 	up := r.noc.router(neighbor(r.at, p))
+	if up.eng != r.eng {
+		r.eng.CrossAfter(up.eng, r.noc.cfg.FlitTime, creditKey(r.noc.idx(r.at), p), up.creditFns[opposite(p)])
+		return
+	}
 	up.credits[opposite(p)]++
 	up.kick()
 }
@@ -153,8 +218,8 @@ func (r *router) returnCredit(p Port) {
 func (r *router) eject(f flit) {
 	if f.tail {
 		pkt := f.pkt
-		pkt.Delivered = r.noc.eng.Now()
-		r.noc.delivered++
+		pkt.Delivered = r.eng.Now()
+		r.delivered++
 		if r.noc.tel != nil {
 			r.noc.traceDeliver(pkt, pkt.Delivered)
 		}

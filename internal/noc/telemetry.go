@@ -59,6 +59,13 @@ func (n *NoC) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer, mon *t
 		n.tel = nil
 		return
 	}
+	if n.par != nil && n.par.Partitions() > 1 {
+		// Registry counters, tracers and monitors are single-writer
+		// structures; routers on concurrent partitions would race on
+		// them. The platform layer keeps instrumented fabrics on one
+		// partition instead.
+		panic("noc: telemetry is not supported on a fabric spanning multiple kernel partitions")
+	}
 	ts := &telemetryState{reg: reg, tr: tr, mon: mon, latHists: make(map[string]*telemetry.Histogram)}
 	if reg != nil {
 		ts.cDelivered = reg.Counter("noc.delivered")
@@ -109,8 +116,10 @@ func flowLabel(p *Packet) string {
 // warm network can meter a fresh measurement interval. In-flight
 // packets and buffer occupancy are untouched.
 func (n *NoC) ResetCounters() {
-	n.delivered = 0
-	n.flitHops = 0
+	for _, r := range n.routers {
+		r.delivered = 0
+		r.flitHops = 0
+	}
 	for _, ni := range n.nis {
 		ni.submitted = 0
 		ni.injected = 0

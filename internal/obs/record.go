@@ -189,6 +189,12 @@ func MetricDirection(name string) Direction {
 			return d
 		}
 	}
+	// Per-partition-count series points from the parallel-kernel bench
+	// ("parallel.series.events_per_sec_p4") carry a _p<N> suffix; they
+	// judge exactly like the base metric.
+	if base, ok := stripPartitionSuffix(name); ok {
+		return MetricDirection(base)
+	}
 	switch {
 	case strings.HasSuffix(name, "_per_sec"),
 		strings.HasSuffix(name, "_per_ns"),
@@ -207,4 +213,20 @@ func MetricDirection(name string) Direction {
 		return LowerBetter
 	}
 	return Unknown
+}
+
+// stripPartitionSuffix removes a trailing _p<digits> partition-count
+// marker ("events_per_sec_p4" → "events_per_sec"); ok reports whether
+// one was present.
+func stripPartitionSuffix(name string) (base string, ok bool) {
+	i := strings.LastIndex(name, "_p")
+	if i < 0 || i+2 >= len(name) {
+		return name, false
+	}
+	for _, r := range name[i+2:] {
+		if r < '0' || r > '9' {
+			return name, false
+		}
+	}
+	return name[:i], true
 }

@@ -205,6 +205,17 @@ func TestMetricDirection(t *testing.T) {
 		"rejection_rate":                Unknown,
 		"some.brand.new.metric":         Unknown,
 		"convolve.cached.allocs_per_op": LowerBetter,
+		// Parallel-kernel per-partition-count series: the _p<N> suffix
+		// is a core-count marker, not part of the metric, so each point
+		// judges like its base metric.
+		"parallel.series.events_per_sec_p4":   HigherBetter,
+		"parallel.series.events_per_sec_p8":   HigherBetter,
+		"parallel.series.ns_per_event_p2":     LowerBetter,
+		"parallel.series.allocs_per_event_p1": LowerBetter,
+		"parallel.gomaxprocs":                 Unknown,
+		// Not partition markers: no digits, or an unknown base.
+		"throughput_p":      Unknown,
+		"mystery_metric_p4": Unknown,
 	}
 	for name, want := range cases {
 		if got := MetricDirection(name); got != want {

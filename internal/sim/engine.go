@@ -99,6 +99,12 @@ type Engine struct {
 	fired  uint64
 	halted bool
 	obs    Observer
+
+	// par/pid identify this engine as one partition of a Parallel
+	// kernel (nil/0 for a standalone sequential engine); see
+	// parallel.go. They cost nothing on the sequential hot path.
+	par *Parallel
+	pid int32
 }
 
 // NewEngine returns an empty engine at time zero.

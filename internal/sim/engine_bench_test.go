@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"flag"
 	"os"
+	"runtime"
 	"testing"
 )
 
@@ -243,6 +244,44 @@ func TestEmitBench(t *testing.T) {
 		t.Errorf("allocs/event = %.3f, want ~0 (pooled records must not allocate in steady state)", allocsPerEventNew)
 	}
 
+	// Parallel-kernel scaling series: the same dispatch workload
+	// sharded over 1/2/4/8 conservative-lookahead partitions. The
+	// scaling floor is meaningful only where cores exist to scale onto,
+	// so the gate arms when GOMAXPROCS allows 4 truly concurrent
+	// partition windows (the CI bench-smoke matrix does); the emitted
+	// numbers are honest either way, with gomaxprocs recorded alongside
+	// so a reader can tell a 1-core series from a 4-core one.
+	gomaxprocs := runtime.GOMAXPROCS(0)
+	type parPoint struct {
+		Partitions     int     `json:"partitions"`
+		NsPerEvent     float64 `json:"ns_per_event"`
+		EventsPerSec   float64 `json:"events_per_sec"`
+		AllocsPerEvent float64 `json:"allocs_per_event"`
+	}
+	var series []parPoint
+	perSec := map[int]float64{}
+	for _, parts := range []int{1, 2, 4, 8} {
+		res := testing.Benchmark(benchmarkKernelParallel(parts))
+		perEvent := float64(res.NsPerOp()) / benchEvents
+		pt := parPoint{
+			Partitions:     parts,
+			NsPerEvent:     perEvent,
+			EventsPerSec:   1e9 / perEvent,
+			AllocsPerEvent: float64(res.AllocsPerOp()) / benchEvents,
+		}
+		perSec[parts] = pt.EventsPerSec
+		series = append(series, pt)
+		t.Logf("parallel p%d: %.1f ns/event, %.0f events/sec, %.3f allocs/event",
+			parts, pt.NsPerEvent, pt.EventsPerSec, pt.AllocsPerEvent)
+	}
+	if gomaxprocs >= 4 {
+		if scale := perSec[4] / perSec[1]; scale < 1.5 {
+			t.Errorf("parallel kernel scaling %.2fx at 4 partitions (GOMAXPROCS=%d), want >= 1.5x", scale, gomaxprocs)
+		}
+	} else {
+		t.Logf("GOMAXPROCS=%d < 4: scaling floor not enforced on this host (CI bench-smoke matrix enforces it)", gomaxprocs)
+	}
+
 	if *benchOut == "" {
 		return
 	}
@@ -260,6 +299,10 @@ func TestEmitBench(t *testing.T) {
 			"allocs_per_event": allocsPerEventOld,
 		},
 		"speedup": speedup,
+		"parallel": map[string]interface{}{
+			"gomaxprocs": gomaxprocs,
+			"series":     series,
+		},
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -1,0 +1,390 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Parallel is a conservative-lookahead parallel discrete-event kernel:
+// N event partitions, each a full *Engine (pooled slab, specialized
+// heap, Every/Cancel machinery), executed concurrently in
+// barrier-synchronized windows.
+//
+// The protocol is the classic null-message-free conservative scheme.
+// Every cross-partition interaction is required to carry at least
+// `lookahead` of virtual-time delay (for the SoC model this is the NoC
+// link traversal time: a flit physically cannot affect the far side of
+// a link sooner than FlitTime). Each round the coordinator computes
+//
+//	W = min over partitions of next-event time
+//	H = W + lookahead
+//
+// and every partition executes its events with timestamps < H
+// concurrently: no event executed this round can influence another
+// partition before H, so no partition can receive a message in its own
+// past. Cross-partition sends (Engine.CrossAt) are appended to
+// per-(src,dst) single-producer/single-consumer mailboxes during the
+// round — the producing partition's goroutine is the only writer, the
+// coordinator the only reader, with the barrier as the
+// synchronization point — and are drained into the destination heaps
+// between rounds in a deterministic total order.
+//
+// Determinism: each partition's events execute in its own (at, seq)
+// order exactly as the sequential kernel would, and mailbox messages
+// are merged sorted by (at, key, src, send order), so two runs with
+// the same partition count are bit-identical. Across different
+// partition counts, results are bit-identical as long as the model's
+// cross-partition interactions are either uniquely timestamped per
+// destination or commutative at equal timestamps — the contract the
+// platform layer maintains by co-locating synchronously coupled
+// components (see internal/core.PartitionPlan and
+// docs/PERFORMANCE.md).
+//
+// Threading contract: model code runs only inside events, and an event
+// executing on partition i may touch only state owned by partition i,
+// schedule locally via the partition's own Engine methods, and
+// communicate with other partitions via CrossAt. Handles must be
+// canceled from their owning partition. With those rules the kernel is
+// race-free (verified under -race by the stress tests).
+type Parallel struct {
+	parts     []*Engine
+	lookahead Duration
+
+	// boxes[src*n+dst] is the SPSC mailbox from partition src to dst.
+	boxes []mailbox
+	// drain is the coordinator's scratch merge buffer, reused across
+	// rounds so steady-state draining allocates nothing.
+	drain []crossMsg
+
+	// work fans horizons out to the persistent round workers
+	// (parts[1:]); the coordinator runs parts[0] inline. Workers are
+	// spawned lazily on the first round that has 2+ active partitions
+	// and torn down when the run returns.
+	work      []chan Time
+	wg        sync.WaitGroup
+	workersUp bool
+
+	halted bool
+	rounds uint64
+}
+
+// crossMsg is one cross-partition event in flight through a mailbox.
+type crossMsg struct {
+	at  Time
+	key uint64
+	src int32
+	idx uint32 // append order within the round's mailbox
+	fn  Event
+}
+
+// mailbox is a single-producer/single-consumer message buffer. The
+// slice is written only by the source partition's goroutine during a
+// round and read only by the coordinator between rounds; the round
+// barrier provides the happens-before edges. Padding keeps neighboring
+// producers off each other's cache line.
+type mailbox struct {
+	msgs []crossMsg
+	_    [40]byte
+}
+
+// NewParallel returns a kernel with n partitions. For n > 1 the
+// lookahead must be positive: it is the minimum virtual-time delay of
+// every cross-partition interaction, and the width of each execution
+// window. A 1-partition kernel degenerates to the sequential engine
+// (lookahead is ignored) so the same construction path serves both.
+func NewParallel(n int, lookahead Duration) *Parallel {
+	if n < 1 {
+		panic(fmt.Sprintf("sim: NewParallel needs at least 1 partition, got %d", n))
+	}
+	if n > 1 && lookahead <= 0 {
+		panic(fmt.Sprintf("sim: NewParallel with %d partitions needs a positive lookahead, got %v", n, lookahead))
+	}
+	par := &Parallel{lookahead: lookahead}
+	par.parts = make([]*Engine, n)
+	for i := range par.parts {
+		par.parts[i] = &Engine{par: par, pid: int32(i)}
+	}
+	par.boxes = make([]mailbox, n*n)
+	par.work = make([]chan Time, n)
+	return par
+}
+
+// Partitions reports the partition count.
+func (par *Parallel) Partitions() int { return len(par.parts) }
+
+// Lookahead reports the conservative lookahead.
+func (par *Parallel) Lookahead() Duration { return par.lookahead }
+
+// Partition returns partition i's engine. Model components are built
+// against it exactly as against a standalone Engine.
+func (par *Parallel) Partition(i int) *Engine { return par.parts[i] }
+
+// Fired reports the total events executed across all partitions.
+func (par *Parallel) Fired() uint64 {
+	var n uint64
+	for _, pt := range par.parts {
+		n += pt.Fired()
+	}
+	return n
+}
+
+// PendingLive reports the live queued events across all partitions
+// (mailboxes are drained into the heaps at round boundaries, so
+// between runs this is the complete future-work count).
+func (par *Parallel) PendingLive() int {
+	n := 0
+	for _, pt := range par.parts {
+		n += pt.PendingLive()
+	}
+	return n
+}
+
+// Rounds reports how many barrier-synchronized windows have executed —
+// the denominator of the synchronization overhead.
+func (par *Parallel) Rounds() uint64 { return par.rounds }
+
+// Halted reports whether the most recent Run/RunUntil stopped because
+// a partition called Halt.
+func (par *Parallel) Halted() bool { return par.halted }
+
+// Run executes events until every partition's queue (and every
+// mailbox) is empty, or a partition Halts.
+func (par *Parallel) Run() { par.runCore(Forever, false) }
+
+// RunUntil executes events with timestamps <= deadline, then (unless
+// halted) fast-forwards every partition's clock to the deadline,
+// matching Engine.RunUntil's resumption semantics. On Halt, clocks
+// stay where their partitions stopped: every partition is guaranteed
+// to be within lookahead of the halting event's timestamp.
+func (par *Parallel) RunUntil(deadline Time) { par.runCore(deadline, true) }
+
+func (par *Parallel) runCore(deadline Time, fastForward bool) {
+	par.halted = false
+	for _, pt := range par.parts {
+		pt.halted = false
+	}
+	if len(par.parts) == 1 {
+		// Degenerate to the sequential kernel: same code path, same
+		// clock semantics, bit-identical behavior.
+		if fastForward {
+			par.parts[0].RunUntil(deadline)
+		} else {
+			par.parts[0].Run()
+		}
+		par.halted = par.parts[0].halted
+		return
+	}
+	defer par.stopWorkers()
+	for {
+		par.drainBoxes()
+		w := Forever
+		for _, pt := range par.parts {
+			if t := pt.NextEventAt(); t < w {
+				w = t
+			}
+		}
+		if w == Forever || w > deadline {
+			break
+		}
+		// Execute events with at < limit this round: the safe horizon
+		// W+lookahead, capped so nothing beyond the deadline fires.
+		limit := Forever
+		if deadline < Forever {
+			limit = deadline + 1
+		}
+		if w <= Forever-par.lookahead {
+			if h := w + par.lookahead; h < limit {
+				limit = h
+			}
+		}
+		par.runRound(limit)
+		par.rounds++
+		for _, pt := range par.parts {
+			if pt.halted {
+				par.halted = true
+			}
+		}
+		if par.halted {
+			// Preserve in-flight messages as pending events so a later
+			// run resumes exactly where this one stopped.
+			par.drainBoxes()
+			return
+		}
+	}
+	if fastForward {
+		for _, pt := range par.parts {
+			if pt.now < deadline {
+				pt.now = deadline
+			}
+		}
+	}
+}
+
+// runRound executes one window on every partition that has work in it.
+// Rounds with a single active partition (the common case when a model
+// concentrates in one partition, and every round's tail as others
+// drain) run inline: no handoff, no barrier, sequential-kernel cost.
+func (par *Parallel) runRound(limit Time) {
+	active := -1
+	multi := false
+	for i, pt := range par.parts {
+		if t := pt.NextEventAt(); t < limit {
+			if active >= 0 {
+				multi = true
+				break
+			}
+			active = i
+		}
+	}
+	if !multi {
+		if active >= 0 {
+			par.parts[active].runWindow(limit)
+		}
+		return
+	}
+	par.ensureWorkers()
+	par.wg.Add(len(par.parts) - 1)
+	for i := 1; i < len(par.parts); i++ {
+		par.work[i] <- limit
+	}
+	par.parts[0].runWindow(limit)
+	par.wg.Wait()
+}
+
+// ensureWorkers spawns the persistent round workers for parts[1:].
+func (par *Parallel) ensureWorkers() {
+	if par.workersUp {
+		return
+	}
+	par.workersUp = true
+	for i := 1; i < len(par.parts); i++ {
+		ch := make(chan Time)
+		par.work[i] = ch
+		pt := par.parts[i]
+		go func() {
+			for limit := range ch {
+				pt.runWindow(limit)
+				par.wg.Done()
+			}
+		}()
+	}
+}
+
+// stopWorkers tears the round workers down at the end of a run.
+func (par *Parallel) stopWorkers() {
+	if !par.workersUp {
+		return
+	}
+	for i := 1; i < len(par.parts); i++ {
+		close(par.work[i])
+		par.work[i] = nil
+	}
+	par.workersUp = false
+}
+
+// drainBoxes merges every mailbox into the destination heaps.
+// Messages to one destination are sorted by (at, key, src, send
+// order): a single sender's stream stays FIFO per key, and the merged
+// order is a pure function of the messages themselves, never of the
+// wall-clock interleaving of the round that produced them.
+func (par *Parallel) drainBoxes() {
+	n := len(par.parts)
+	for dst := 0; dst < n; dst++ {
+		par.drain = par.drain[:0]
+		for src := 0; src < n; src++ {
+			b := &par.boxes[src*n+dst]
+			if len(b.msgs) == 0 {
+				continue
+			}
+			par.drain = append(par.drain, b.msgs...)
+			for i := range b.msgs {
+				b.msgs[i].fn = nil // release the closure, keep capacity
+			}
+			b.msgs = b.msgs[:0]
+		}
+		if len(par.drain) == 0 {
+			continue
+		}
+		d := par.drain
+		sort.Slice(d, func(i, j int) bool {
+			if d[i].at != d[j].at {
+				return d[i].at < d[j].at
+			}
+			if d[i].key != d[j].key {
+				return d[i].key < d[j].key
+			}
+			if d[i].src != d[j].src {
+				return d[i].src < d[j].src
+			}
+			return d[i].idx < d[j].idx
+		})
+		pt := par.parts[dst]
+		for i := range d {
+			pt.At(d[i].at, d[i].fn)
+			d[i].fn = nil
+		}
+	}
+}
+
+// CrossAt schedules fn at absolute virtual time at on dst's partition.
+// With dst the calling engine itself (components co-located, or a
+// plain sequential engine) this is exactly At — same cost, same seq
+// assignment, byte-identical behavior — so model code can route every
+// potentially-remote callback through CrossAt unconditionally.
+//
+// Across partitions the event is appended to the (src,dst) mailbox
+// and scheduled at the next round barrier. The timestamp must respect
+// the kernel's conservative lookahead: at >= Now() + lookahead.
+// Violating it panics — a zero-latency cross-partition interaction is
+// a model partitioning bug, not a recoverable condition.
+//
+// key orders same-timestamp deliveries at the destination: messages
+// with equal (at, key) arrive in send order, distinct keys in key
+// order. Callers give each logical channel (a NoC link, a completion
+// stream) its own key so merged delivery order is deterministic and
+// independent of scheduling interleavings.
+func (e *Engine) CrossAt(dst *Engine, at Time, key uint64, fn Event) {
+	if dst == e {
+		e.At(at, fn)
+		return
+	}
+	par := e.par
+	if par == nil || dst == nil || dst.par != par {
+		panic("sim: CrossAt between engines of different kernels (build both components on the same Parallel)")
+	}
+	if at < e.now+par.lookahead {
+		panic(fmt.Sprintf("sim: cross-partition event at %v violates lookahead %v from now %v", at, par.lookahead, e.now))
+	}
+	n := int32(len(par.parts))
+	b := &par.boxes[e.pid*n+dst.pid]
+	b.msgs = append(b.msgs, crossMsg{at: at, key: key, src: e.pid, idx: uint32(len(b.msgs)), fn: fn})
+}
+
+// CrossAfter is CrossAt with a delay relative to the caller's clock.
+func (e *Engine) CrossAfter(dst *Engine, d Duration, key uint64, fn Event) {
+	e.CrossAt(dst, e.now+d, key, fn)
+}
+
+// SamePartition reports whether the two engines are the same partition
+// (or the same standalone engine) — i.e. whether scheduling between
+// them is direct rather than through a mailbox.
+func (e *Engine) SamePartition(other *Engine) bool { return e == other }
+
+// Kernel returns the Parallel this engine is a partition of, or nil
+// for a standalone sequential engine.
+func (e *Engine) Kernel() *Parallel { return e.par }
+
+// runWindow executes this partition's events with timestamps strictly
+// below limit. Unlike RunUntil it never fast-forwards the clock — the
+// coordinator owns clock advancement at round boundaries — and it
+// honors Halt exactly like the sequential loop.
+func (e *Engine) runWindow(limit Time) {
+	for !e.halted {
+		next, ok := e.peek()
+		if !ok || next >= limit {
+			return
+		}
+		e.Step()
+	}
+}

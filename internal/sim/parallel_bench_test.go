@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Parallel-kernel throughput: the dispatch workload sharded across N
+// partitions (strong scaling — the total event count stays fixed).
+// Each partition runs its own activity set; every 16th tick sends a
+// cross-partition message to the neighbor so the mailbox path stays on
+// the measured profile. Lookahead matches the activity period, so a
+// round's window covers one tick generation per partition.
+
+const benchParallelLookahead = Duration(10)
+
+func benchWorkloadParallel(par *Parallel, events int) {
+	parts := int(par.Partitions())
+	for p := 0; p < parts; p++ {
+		p := p
+		e := par.Partition(p)
+		next := par.Partition((p + 1) % parts)
+		remaining := events / parts
+		ticks := 0
+		var tick func()
+		tick = func() {
+			if remaining <= 0 {
+				return
+			}
+			remaining--
+			ticks++
+			for i := 0; i < benchBurst; i++ {
+				if remaining <= 0 {
+					break
+				}
+				remaining--
+				e.After(Duration(1+i), func() {})
+			}
+			if parts > 1 && ticks%16 == 0 && remaining > 0 {
+				remaining--
+				e.CrossAfter(next, benchParallelLookahead, uint64(p), func() {})
+			}
+			e.After(10, tick)
+		}
+		for a := 0; a < benchActivities; a++ {
+			e.At(Time(a), tick)
+		}
+	}
+	par.Run()
+}
+
+func benchmarkKernelParallel(parts int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			lookahead := benchParallelLookahead
+			if parts == 1 {
+				lookahead = 0
+			}
+			benchWorkloadParallel(NewParallel(parts, lookahead), benchEvents)
+		}
+		b.ReportMetric(float64(benchEvents), "events/op")
+	}
+}
+
+func BenchmarkKernelParallel(b *testing.B) {
+	for _, parts := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p%d", parts), benchmarkKernelParallel(parts))
+	}
+}

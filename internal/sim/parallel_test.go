@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestParallelSinglePartitionMatchesEngine pins the degenerate case:
+// a 1-partition kernel is the sequential engine — same event order,
+// same clock semantics, same Halt behavior.
+func TestParallelSinglePartitionMatchesEngine(t *testing.T) {
+	runLog := func(schedule func(e *Engine, log *[]Time)) []Time {
+		var log []Time
+		e := NewEngine()
+		schedule(e, &log)
+		e.RunUntil(1000)
+		return log
+	}
+	parLog := func(schedule func(e *Engine, log *[]Time)) []Time {
+		var log []Time
+		par := NewParallel(1, 0)
+		schedule(par.Partition(0), &log)
+		par.RunUntil(1000)
+		return log
+	}
+	schedule := func(e *Engine, log *[]Time) {
+		e.At(5, func() { *log = append(*log, e.Now()) })
+		e.At(5, func() { *log = append(*log, e.Now()+1000) }) // tie order
+		h := e.Every(7, func() { *log = append(*log, e.Now()) })
+		e.At(50, func() { h.Cancel() })
+	}
+	seq, parl := runLog(schedule), parLog(schedule)
+	if !reflect.DeepEqual(seq, parl) {
+		t.Fatalf("1-partition kernel diverged from sequential engine:\nseq: %v\npar: %v", seq, parl)
+	}
+}
+
+// TestParallelCrossAtDelivers checks the basic mailbox path: a ping
+// scheduled across partitions fires at the requested time on the
+// destination's clock.
+func TestParallelCrossAtDelivers(t *testing.T) {
+	par := NewParallel(2, 10)
+	a, b := par.Partition(0), par.Partition(1)
+	var got []Time
+	a.At(5, func() {
+		a.CrossAt(b, a.Now()+10, 1, func() { got = append(got, b.Now()) })
+	})
+	// b needs its own activity so its clock is live; also proves local
+	// events interleave with mailbox deliveries in time order.
+	b.At(12, func() { got = append(got, -b.Now()) })
+	par.Run()
+	want := []Time{-12, 15}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cross delivery order = %v, want %v", got, want)
+	}
+}
+
+// TestParallelLookaheadViolationPanics pins the conservative
+// contract: a cross-partition send closer than the lookahead is a
+// partitioning bug and must panic, not silently reorder causality.
+func TestParallelLookaheadViolationPanics(t *testing.T) {
+	par := NewParallel(2, 100)
+	a, b := par.Partition(0), par.Partition(1)
+	a.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("CrossAt below lookahead did not panic")
+			}
+			a.Halt()
+		}()
+		a.CrossAt(b, a.Now()+99, 0, func() {})
+	})
+	par.Run()
+}
+
+// TestParallelCrossAtForeignEnginePanics: engines from different
+// kernels (or a standalone engine) must not be mixed.
+func TestParallelCrossAtForeignEnginePanics(t *testing.T) {
+	par := NewParallel(2, 10)
+	other := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("CrossAt to a foreign engine did not panic")
+		}
+	}()
+	par.Partition(0).CrossAt(other, 100, 0, func() {})
+}
+
+// TestParallelDeterministicMergeOrder pins the mailbox drain order:
+// same-timestamp deliveries at one destination are ordered by key,
+// then by sender, then FIFO — independent of which partition's window
+// happened to run first in wall time.
+func TestParallelDeterministicMergeOrder(t *testing.T) {
+	run := func() []int {
+		par := NewParallel(4, 10)
+		dst := par.Partition(3)
+		var got []int
+		for src := 0; src < 3; src++ {
+			src := src
+			e := par.Partition(src)
+			e.At(1, func() {
+				// All three partitions send to dst for the same
+				// instant; two messages on the same key from src 0
+				// must stay FIFO.
+				if src == 0 {
+					e.CrossAt(dst, 20, 5, func() { got = append(got, 100) })
+					e.CrossAt(dst, 20, 5, func() { got = append(got, 101) })
+				} else {
+					e.CrossAt(dst, 20, uint64(4-src), func() { got = append(got, src) })
+				}
+			})
+		}
+		par.Run()
+		return got
+	}
+	want := []int{2, 1, 100, 101} // keys 2 (src2), 3 (src1), 5 (src0 FIFO)
+	first := run()
+	if !reflect.DeepEqual(first, want) {
+		t.Fatalf("merge order = %v, want %v", first, want)
+	}
+	for i := 0; i < 20; i++ {
+		if again := run(); !reflect.DeepEqual(again, first) {
+			t.Fatalf("merge order nondeterministic: run %d got %v, first run got %v", i, again, first)
+		}
+	}
+}
+
+// TestParallelRunUntilClockSemantics: like the sequential engine, a
+// drained RunUntil fast-forwards every partition clock to the
+// deadline so later calls resume from there.
+func TestParallelRunUntilClockSemantics(t *testing.T) {
+	par := NewParallel(2, 10)
+	par.Partition(0).At(5, func() {})
+	par.RunUntil(500)
+	for i := 0; i < 2; i++ {
+		if now := par.Partition(i).Now(); now != 500 {
+			t.Errorf("partition %d clock = %v after drained RunUntil(500), want 500", i, now)
+		}
+	}
+	// Events beyond the deadline stay queued.
+	fired := false
+	par.Partition(1).At(600, func() { fired = true })
+	par.RunUntil(550)
+	if fired {
+		t.Error("event beyond deadline fired")
+	}
+	par.RunUntil(650)
+	if !fired {
+		t.Error("event within extended deadline did not fire")
+	}
+}
+
+// TestParallelHaltStopsRun: Halt from inside any partition's event
+// stops the whole kernel at the round barrier, and every other
+// partition is at most lookahead past the halting timestamp.
+func TestParallelHaltStopsRun(t *testing.T) {
+	const lookahead = 10
+	par := NewParallel(4, lookahead)
+	var haltAt Time
+	for i := 0; i < 4; i++ {
+		e := par.Partition(i)
+		e.Every(1, func() {})
+	}
+	h := par.Partition(2)
+	h.At(57, func() {
+		haltAt = h.Now()
+		h.Halt()
+	})
+	par.RunUntil(10_000)
+	if !par.Halted() {
+		t.Fatal("kernel did not report Halted after a partition Halt")
+	}
+	if haltAt != 57 {
+		t.Fatalf("halt event ran at %v, want 57", haltAt)
+	}
+	for i := 0; i < 4; i++ {
+		now := par.Partition(i).Now()
+		if now > haltAt+lookahead {
+			t.Errorf("partition %d advanced to %v, beyond halt %v + lookahead %v", i, now, haltAt, lookahead)
+		}
+	}
+	// A later run resumes: pending Every activities keep going.
+	before := par.Fired()
+	par.RunUntil(haltAt + 100)
+	if par.Fired() <= before {
+		t.Error("kernel did not resume after Halt")
+	}
+}
+
+// TestParallelEveryAndCancelAcrossPartitions: periodic activities in
+// every partition, canceled via cross-partition request messages
+// (cancellation executes on the owning partition, per the threading
+// contract).
+func TestParallelEveryAndCancelAcrossPartitions(t *testing.T) {
+	par := NewParallel(3, 5)
+	fired := make([]int, 3)
+	handles := make([]Handle, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		e := par.Partition(i)
+		handles[i] = e.Every(10, func() { fired[i]++ })
+	}
+	// Partition 0 asks partitions 1 and 2 to cancel their activities
+	// at t=100 (delivered with lookahead).
+	ctrl := par.Partition(0)
+	ctrl.At(95, func() {
+		for i := 1; i < 3; i++ {
+			i := i
+			ctrl.CrossAt(par.Partition(i), 100, uint64(i), func() { handles[i].Cancel() })
+		}
+	})
+	par.RunUntil(1000)
+	if fired[0] != 100 {
+		t.Errorf("partition 0 fired %d, want 100", fired[0])
+	}
+	for i := 1; i < 3; i++ {
+		if fired[i] != 10 {
+			t.Errorf("partition %d fired %d, want 10 (canceled at t=100)", i, fired[i])
+		}
+	}
+}
+
+// TestParallelPendingAndFired: totals aggregate across partitions and
+// mailbox messages become pending events at the barrier.
+func TestParallelPendingAndFired(t *testing.T) {
+	par := NewParallel(2, 10)
+	a, b := par.Partition(0), par.Partition(1)
+	a.At(1, func() { a.CrossAt(b, 500, 0, func() {}) })
+	b.At(2, func() {})
+	par.RunUntil(100)
+	if got := par.Fired(); got != 2 {
+		t.Errorf("Fired = %d, want 2", got)
+	}
+	if got := par.PendingLive(); got != 1 {
+		t.Errorf("PendingLive = %d, want 1 (the cross message at t=500)", got)
+	}
+	par.RunUntil(600)
+	if got := par.Fired(); got != 3 {
+		t.Errorf("Fired = %d after second run, want 3", got)
+	}
+}
+
+// TestParallelManyPartitionsPingRing: a ring of partitions passing a
+// token with exactly-lookahead hops exercises window computation at
+// the tightest legal spacing.
+func TestParallelManyPartitionsPingRing(t *testing.T) {
+	for _, n := range []int{2, 3, 8} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			const lookahead = 7
+			par := NewParallel(n, lookahead)
+			var hops int
+			var forward func(i int)
+			forward = func(i int) {
+				e := par.Partition(i)
+				hops++
+				if hops >= 1000 {
+					return
+				}
+				next := (i + 1) % n
+				e.CrossAfter(par.Partition(next), lookahead, 0, func() { forward(next) })
+			}
+			par.Partition(0).At(0, func() { forward(0) })
+			par.Run()
+			if hops != 1000 {
+				t.Fatalf("ring made %d hops, want 1000", hops)
+			}
+			if got := par.Fired(); got != 1000 {
+				t.Fatalf("Fired = %d, want 1000", got)
+			}
+		})
+	}
+}
+
+// TestParallelNewParallelValidation pins constructor contracts.
+func TestParallelNewParallelValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero partitions", func() { NewParallel(0, 10) })
+	mustPanic("multi-partition zero lookahead", func() { NewParallel(2, 0) })
+	NewParallel(1, 0) // single partition, no lookahead: fine
+}

@@ -46,6 +46,13 @@ type Executor func(Spec) (Result, error)
 func Execute(s Spec) (Result, error) {
 	switch s.Kind {
 	case Contention:
+		// The sweep's parallelism is one whole run per worker; kernel
+		// partitions inside each run would oversubscribe the cores
+		// (workers defaults to GOMAXPROCS), so the event kernel stays
+		// sequential here. Output is byte-identical either way — the
+		// normalization is purely a scheduling decision (see
+		// docs/PERFORMANCE.md, "Parallel kernel").
+		s.Platform.KernelPartitions = 0
 		rr, err := s.Platform.Run()
 		if err != nil {
 			return Result{}, err
