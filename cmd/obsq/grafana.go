@@ -1,0 +1,204 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/obs"
+)
+
+// Grafana provisioning artifacts for the service plane. The dashboard
+// and alert rules are *generated* from obs.LiveServiceSLOs(), so the
+// committed JSON under config/grafana/ cannot drift from the
+// objectives `obsq watch` evaluates: change the SLOs, re-run
+// `obsq export-grafana`, and the diff shows up in review. Generation
+// is deterministic (struct field order and sorted map keys), which is
+// what lets a test compare the committed files byte-for-byte against
+// a fresh export.
+
+const (
+	grafanaDashboardFile = "dashboard-rmserver.json"
+	grafanaAlertsFile    = "alerts-rmserver.json"
+	// grafanaDatasource is the Prometheus datasource UID placeholder
+	// provisioning substitutes.
+	grafanaDatasource = "${DS_PROMETHEUS}"
+)
+
+// promExpr renders the PromQL a live objective corresponds to: the
+// sample itself, or its rate for counter objectives.
+func promExpr(l obs.LiveSLO) string {
+	if l.Rate {
+		return "rate(" + l.Sample + "[1m])"
+	}
+	return l.Sample
+}
+
+// grafanaPanel builds one timeseries panel. Maps marshal with sorted
+// keys, so output stays deterministic.
+func grafanaPanel(id int, title, expr, legend string, x, y int) map[string]any {
+	return map[string]any{
+		"id":    id,
+		"title": title,
+		"type":  "timeseries",
+		"datasource": map[string]any{
+			"type": "prometheus",
+			"uid":  grafanaDatasource,
+		},
+		"gridPos": map[string]any{"h": 8, "w": 12, "x": x, "y": y},
+		"targets": []map[string]any{{
+			"refId":        "A",
+			"expr":         expr,
+			"legendFormat": legend,
+		}},
+	}
+}
+
+// grafanaDashboard assembles the service-plane dashboard: one panel
+// per live SLO plus the operational families around them (per-shard
+// queue wait and depth, HTTP latency, trace volume).
+func grafanaDashboard() map[string]any {
+	var panels []map[string]any
+	id := 0
+	add := func(title, expr, legend string) {
+		x := (id % 2) * 12
+		y := (id / 2) * 8
+		id++
+		panels = append(panels, grafanaPanel(id, title, expr, legend, x, y))
+	}
+	for _, l := range obs.LiveServiceSLOs() {
+		add(l.Name, promExpr(l), l.Sample)
+	}
+	add("shard queue wait p99 (ns)",
+		`rmserver_shard_queue_wait_ns{quantile="0.99"}`, "shard {{shard}}")
+	add("shard queue depth peak",
+		"rmserver_shard_queue_depth", "shard {{shard}}")
+	add("HTTP p99 latency (ns)",
+		`rmserver_http_latency_ns{quantile="0.99"}`, "http p99")
+	add("trace spans recorded /s",
+		"rate(wtrace_spans_total[1m])", "spans")
+	return map[string]any{
+		"uid":           "rmserver-service-plane",
+		"title":         "RM Service Plane",
+		"schemaVersion": 39,
+		"editable":      true,
+		"refresh":       "5s",
+		"time":          map[string]any{"from": "now-15m", "to": "now"},
+		"templating": map[string]any{
+			"list": []map[string]any{{
+				"name":  "DS_PROMETHEUS",
+				"type":  "datasource",
+				"query": "prometheus",
+				"label": "Prometheus",
+			}},
+		},
+		"panels": panels,
+	}
+}
+
+// grafanaAlertRules assembles the provisioned alert-rule group: one
+// rule per live SLO, firing when the objective's expression breaches
+// its goal for 2m. The threshold direction follows the objective's Op
+// — a "<=" goal alerts above it, a ">=" goal alerts below it.
+func grafanaAlertRules() map[string]any {
+	var rules []map[string]any
+	for i, l := range obs.LiveServiceSLOs() {
+		evalType := "gt"
+		if l.Op == ">=" {
+			evalType = "lt"
+		}
+		rules = append(rules, map[string]any{
+			"uid":       fmt.Sprintf("rmserver-slo-%d", i+1),
+			"title":     l.Name + " breach",
+			"condition": "C",
+			"for":       "2m",
+			"labels":    map[string]any{"slo": l.Name, "service": "rmd"},
+			"annotations": map[string]any{
+				"summary": fmt.Sprintf("%s: %s %s %g violated", l.Name, promExpr(l), l.Op, l.Goal),
+			},
+			"data": []map[string]any{
+				{
+					"refId":         "A",
+					"datasourceUid": grafanaDatasource,
+					"relativeTimeRange": map[string]any{
+						"from": 300, "to": 0,
+					},
+					"model": map[string]any{
+						"refId": "A",
+						"expr":  promExpr(l),
+					},
+				},
+				{
+					"refId":         "C",
+					"datasourceUid": "__expr__",
+					"model": map[string]any{
+						"refId":      "C",
+						"type":       "threshold",
+						"expression": "A",
+						"conditions": []map[string]any{{
+							"evaluator": map[string]any{
+								"type":   evalType,
+								"params": []float64{l.Goal},
+							},
+						}},
+					},
+				},
+			},
+		})
+	}
+	return map[string]any{
+		"apiVersion": 1,
+		"groups": []map[string]any{{
+			"orgId":    1,
+			"name":     "rmserver-slo",
+			"folder":   "RM Service Plane",
+			"interval": "30s",
+			"rules":    rules,
+		}},
+	}
+}
+
+// grafanaArtifacts renders both provisioning files.
+func grafanaArtifacts() (map[string][]byte, error) {
+	out := make(map[string][]byte, 2)
+	for name, doc := range map[string]map[string]any{
+		grafanaDashboardFile: grafanaDashboard(),
+		grafanaAlertsFile:    grafanaAlertRules(),
+	} {
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		out[name] = append(b, '\n')
+	}
+	return out, nil
+}
+
+// cmdExportGrafana writes the provisioning JSON into -dir (the
+// committed config/grafana/ by default).
+func cmdExportGrafana(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("obsq export-grafana", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	dir := fs.String("dir", "config/grafana", "output directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	files, err := grafanaArtifacts()
+	if err != nil {
+		return fail(errw, err)
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return fail(errw, err)
+	}
+	for _, name := range []string{grafanaDashboardFile, grafanaAlertsFile} {
+		path := filepath.Join(*dir, name)
+		if err := os.WriteFile(path, files[name], 0o644); err != nil {
+			return fail(errw, err)
+		}
+		fmt.Fprintf(out, "wrote %s\n", path)
+	}
+	return 0
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// cmdPrune drops all but the newest -keep records from the store —
+// the retention lever for long-lived stores that accumulate a record
+// per CI run. The rewrite is atomic and holds the store's
+// cross-process lock, and surviving records keep their sequence
+// numbers (the sidecar counter is untouched), so concurrent appenders
+// and newest-run selection are unaffected.
+func cmdPrune(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("obsq prune", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	store := fs.String("store", ".obs", "store directory")
+	keep := fs.Int("keep", -1, "number of newest records to retain (required)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *keep < 0 {
+		fmt.Fprintln(errw, "obsq prune: -keep N is required (N >= 0)")
+		return 2
+	}
+	st, err := openStore(*store, errw)
+	if err != nil {
+		return fail(errw, err)
+	}
+	defer st.Close()
+	removed, err := st.Prune(*keep)
+	if err != nil {
+		return fail(errw, err)
+	}
+	fmt.Fprintf(out, "pruned %d record(s), kept at most %d\n", removed, *keep)
+	return 0
+}
+
+// cmdWatch polls a live OpenMetrics endpoint and streams the service
+// SLOs' burn rates per tick — the "is it healthy right now" view,
+// next to `obsq slo` which answers it for stored history.
+func cmdWatch(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("obsq watch", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	url := fs.String("url", "http://127.0.0.1:9090/metrics", "OpenMetrics endpoint to poll")
+	interval := fs.Duration("interval", time.Second, "poll interval")
+	count := fs.Int("count", 0, "number of polls (0 = until interrupted)")
+	ring := fs.Int("ring", 0, "points retained per series (0 = default)")
+	asJSON := fs.Bool("json", false, "emit one JSON status array per tick")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	sc := obs.NewScraper(*url, *ring)
+	slos := obs.LiveServiceSLOs()
+	for i := 0; *count == 0 || i < *count; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		if err := sc.Scrape(); err != nil {
+			fmt.Fprintf(errw, "obsq watch: %v\n", err)
+			continue
+		}
+		statuses, err := sc.EvaluateLive(slos)
+		if err != nil {
+			return fail(errw, err)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(out)
+			if err := enc.Encode(statuses); err != nil {
+				return fail(errw, err)
+			}
+			continue
+		}
+		okN, failN, _ := sc.Stats()
+		fmt.Fprintf(out, "-- poll %d (%d ok, %d failed) %s\n",
+			okN+failN, okN, failN, time.Now().Format(time.TimeOnly))
+		fmt.Fprintf(out, "%-22s %8s %6s %11s %9s %s\n",
+			"slo", "current", "points", "attainment", "burn", "met")
+		for _, s := range statuses {
+			fmt.Fprintf(out, "%-22s %8.3g %6d %10.1f%% %9.2f %v\n",
+				s.SLO.Name, s.Current, s.Points, 100*s.Attainment, s.BurnRate, s.Met)
+		}
+	}
+	return 0
+}

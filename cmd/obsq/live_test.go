@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestCmdPruneRetention(t *testing.T) {
+	dir := t.TempDir()
+	st, err := obs.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := st.Append(obs.RunRecord{Kind: obs.KindBench, Label: fmt.Sprintf("r%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	var out, errw bytes.Buffer
+	if code := run([]string{"prune", "-store", dir, "-keep", "2"}, &out, &errw); code != 0 {
+		t.Fatalf("prune exit %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "pruned 6 record(s)") {
+		t.Fatalf("prune output: %q", out.String())
+	}
+
+	st2, err := obs.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	recs, err := st2.Query(obs.Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Label != "r6" || recs[1].Seq != 8 {
+		t.Fatalf("post-prune records: %+v", recs)
+	}
+
+	// -keep is mandatory.
+	if code := run([]string{"prune", "-store", dir}, &out, &errw); code != 2 {
+		t.Fatalf("prune without -keep exit %d", code)
+	}
+}
+
+func TestCmdWatchStreamsLiveSLOs(t *testing.T) {
+	var polls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := polls.Add(1)
+		fmt.Fprintf(w, "rmserver_decision_latency_ns{quantile=\"0.99\"} %d\n", 800_000+n)
+		fmt.Fprintf(w, "rmserver_shard_decisions_total %d\n", n*200_000)
+		fmt.Fprint(w, "rmserver_breaker_state 0\n# EOF\n")
+	}))
+	defer srv.Close()
+
+	var out, errw bytes.Buffer
+	code := run([]string{"watch", "-url", srv.URL, "-interval", "1ms", "-count", "3"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("watch exit %d: %s", code, errw.String())
+	}
+	if polls.Load() != 3 {
+		t.Fatalf("server polled %d times, want 3", polls.Load())
+	}
+	for _, want := range []string{"live-decision-p99", "live-throughput", "live-breaker-closed", "-- poll 3 (3 ok, 0 failed)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("watch output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// JSON mode: one status array per tick, decodable.
+	out.Reset()
+	code = run([]string{"watch", "-url", srv.URL, "-interval", "1ms", "-count", "2", "-json"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("watch -json exit %d: %s", code, errw.String())
+	}
+	dec := json.NewDecoder(&out)
+	ticks := 0
+	for dec.More() {
+		var sts []obs.LiveStatus
+		if err := dec.Decode(&sts); err != nil {
+			t.Fatal(err)
+		}
+		if len(sts) != 3 {
+			t.Fatalf("tick carried %d statuses", len(sts))
+		}
+		ticks++
+	}
+	if ticks != 2 {
+		t.Fatalf("decoded %d ticks, want 2", ticks)
+	}
+
+	// A dead endpoint is a warning per tick, not a crash.
+	srv.Close()
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"watch", "-url", srv.URL, "-interval", "1ms", "-count", "1"}, &out, &errw); code != 0 {
+		t.Fatalf("watch against dead endpoint exit %d", code)
+	}
+	if !strings.Contains(errw.String(), "obsq watch:") {
+		t.Fatalf("no warning for failed scrape: %q", errw.String())
+	}
+}
+
+// TestGrafanaArtifactsCommitted pins the committed provisioning JSON
+// to the generator: if the live SLOs (or the panel set) change,
+// re-run `go run ./cmd/obsq export-grafana` and commit the diff.
+func TestGrafanaArtifactsCommitted(t *testing.T) {
+	files, err := grafanaArtifacts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range files {
+		path := filepath.Join("..", "..", "config", "grafana", name)
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("committed artifact missing (run `obsq export-grafana`): %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s is stale: regenerate with `go run ./cmd/obsq export-grafana`", path)
+		}
+	}
+}
+
+func TestGrafanaArtifactsCoverSLOs(t *testing.T) {
+	files, err := grafanaArtifacts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dash, alerts := string(files[grafanaDashboardFile]), string(files[grafanaAlertsFile])
+	for _, l := range obs.LiveServiceSLOs() {
+		if !strings.Contains(dash, l.Name) {
+			t.Errorf("dashboard missing panel for %s", l.Name)
+		}
+		if !strings.Contains(alerts, l.Name+" breach") {
+			t.Errorf("alerts missing rule for %s", l.Name)
+		}
+	}
+	// Rate objectives export as PromQL rates.
+	if !strings.Contains(dash, "rate(rmserver_shard_decisions_total[1m])") {
+		t.Error("throughput panel is not a rate() expression")
+	}
+	// Both parse as JSON.
+	for name, b := range files {
+		var v any
+		if err := json.Unmarshal(b, &v); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestCmdExportGrafanaWritesDir(t *testing.T) {
+	dir := t.TempDir()
+	var out, errw bytes.Buffer
+	if code := run([]string{"export-grafana", "-dir", dir}, &out, &errw); code != 0 {
+		t.Fatalf("export-grafana exit %d: %s", code, errw.String())
+	}
+	for _, name := range []string{grafanaDashboardFile, grafanaAlertsFile} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Error(err)
+		}
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("output does not mention %s: %q", name, out.String())
+		}
+	}
+}

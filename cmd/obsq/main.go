@@ -17,6 +17,10 @@
 //	sentinel  judge the newest run per group against its trajectory
 //	          (exits 1 when a regression is flagged)
 //	record    append a record from flags or an ingested bench JSON
+//	prune     drop all but the newest -keep records from the store
+//	watch     poll a live /metrics endpoint and stream SLO burn rates
+//	export-grafana
+//	          write provisioned Grafana dashboard + alert rule JSON
 package main
 
 import (
@@ -43,6 +47,10 @@ commands:
   slo       evaluate SLOs over the stored history
   sentinel  judge the newest run per group against its trajectory
   record    append a record from flags or a bench JSON file
+  prune     drop all but the newest -keep records from the store
+  watch     poll a live /metrics endpoint and stream SLO burn rates
+  export-grafana
+            write provisioned Grafana dashboard + alert rule JSON
 
 run "obsq <command> -h" for the command's flags
 `
@@ -66,6 +74,12 @@ func run(args []string, out, errw io.Writer) int {
 		return cmdSentinel(rest, out, errw)
 	case "record":
 		return cmdRecord(rest, out, errw)
+	case "prune":
+		return cmdPrune(rest, out, errw)
+	case "watch":
+		return cmdWatch(rest, out, errw)
+	case "export-grafana":
+		return cmdExportGrafana(rest, out, errw)
 	case "-h", "-help", "--help", "help":
 		fmt.Fprint(out, usage)
 		return 0

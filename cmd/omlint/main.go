@@ -11,12 +11,18 @@
 // precede their samples and are not duplicated; the exposition is
 // terminated by exactly one # EOF with nothing after it.
 //
+// Sample lines may carry an OpenMetrics exemplar clause
+// (` # {labels} value [timestamp]`) after the value; the clause is
+// split off before the sample is validated.
+//
 // -strict additionally enforces exposition hygiene suitable for
 // third-party scrapers: every sample must belong to a family with a
 // TYPE and a HELP declaration (standard suffixes like _total, _sum,
-// _count, _bucket resolve to their family), and label sets are parsed
+// _count, _bucket resolve to their family), label sets are parsed
 // in full — legal label names, double-quoted values, and only the
-// spec's escapes (\\, \", \n) inside them.
+// spec's escapes (\\, \", \n) inside them — and exemplar clauses are
+// validated: a well-formed labelset within the spec's 128-character
+// cap, a parseable value, and a parseable timestamp when present.
 package main
 
 import (
@@ -104,7 +110,8 @@ func lint(src string, r io.Reader, strict bool) []string {
 		case strings.TrimSpace(line) == "":
 			fail(n, "blank line not allowed in exposition")
 		default:
-			m := sampleRe.FindStringSubmatch(line)
+			sample, exemplar := cutExemplar(line)
+			m := sampleRe.FindStringSubmatch(sample)
 			if m == nil {
 				fail(n, "malformed sample line %q", line)
 				continue
@@ -114,6 +121,11 @@ func lint(src string, r io.Reader, strict bool) []string {
 			}
 			if !strict {
 				continue
+			}
+			if exemplar != "" {
+				if err := lintExemplar(exemplar); err != nil {
+					fail(n, "sample %q exemplar: %v", m[1], err)
+				}
 			}
 			if m[2] != "" {
 				if err := lintLabels(m[2]); err != nil {
@@ -213,6 +225,61 @@ func lintLabels(block string) error {
 		s = s[1:]
 		if s == "" {
 			return fmt.Errorf("trailing ',' in label set")
+		}
+	}
+	return nil
+}
+
+// cutExemplar splits a sample line into the sample proper and its
+// exemplar clause (the part after the ` # ` separator, labelset
+// included), empty when the line carries none. The separator is only
+// searched past the metric's own label block, so a '#' inside a label
+// value cannot be mistaken for it.
+func cutExemplar(line string) (sample, exemplar string) {
+	from := 0
+	if sp := strings.IndexByte(line, ' '); sp > 0 {
+		if br := strings.IndexByte(line, '{'); br >= 0 && br < sp {
+			if end := strings.IndexByte(line, '}'); end > br {
+				from = end
+			}
+		}
+	}
+	if i := strings.Index(line[from:], " # {"); i >= 0 {
+		i += from
+		return line[:i], line[i+3:]
+	}
+	return line, ""
+}
+
+// lintExemplar validates an exemplar clause `{labels} value
+// [timestamp]`: the labelset parses like any other (and stays within
+// the spec's 128-character cap, measured over the block's interior),
+// the value is a legal sample value, and the timestamp — when present
+// — parses as seconds.
+func lintExemplar(ex string) error {
+	end := strings.IndexByte(ex, '}')
+	if end < 0 {
+		return fmt.Errorf("labelset %q not closed", ex)
+	}
+	block := ex[:end+1]
+	if err := lintLabels(block); err != nil {
+		return err
+	}
+	if n := end - 1; n > 128 {
+		return fmt.Errorf("labelset is %d chars, spec cap 128", n)
+	}
+	fields := strings.Fields(ex[end+1:])
+	switch len(fields) {
+	case 1, 2:
+	default:
+		return fmt.Errorf("%q: want value [timestamp] after labelset", ex)
+	}
+	if !parseableValue(fields[0]) {
+		return fmt.Errorf("unparseable value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			return fmt.Errorf("unparseable timestamp %q", fields[1])
 		}
 	}
 	return nil

@@ -122,6 +122,64 @@ func TestLintStrictLabelEscaping(t *testing.T) {
 	wantClean(t, lintStr(head+`x{l="a\\b\"c\nd",m="plain"} 1`+"\n# EOF\n", true))
 }
 
+func TestLintAcceptsExemplars(t *testing.T) {
+	src := `# HELP lat latency
+# TYPE lat summary
+lat{quantile="0.99"} 900 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 900 1700000000.123
+lat_sum 5400
+lat_count 30
+# HELP c requests
+# TYPE c counter
+c_total 5 # {trace_id="00f067aa0ba902b7"} 1
+# EOF
+`
+	wantClean(t, lintStr(src, false))
+	wantClean(t, lintStr(src, true))
+}
+
+func TestLintStrictExemplarErrors(t *testing.T) {
+	head := "# HELP x x\n# TYPE x gauge\n"
+	long := strings.Repeat("a", 140)
+	for _, c := range []struct{ sample, want string }{
+		{`x 1 # {t="v"}`, "want value [timestamp] after labelset"},
+		{`x 1 # {t="v"} 1 2 3`, "want value [timestamp] after labelset"},
+		{`x 1 # {t="v"} wat`, `unparseable value "wat"`},
+		{`x 1 # {t="v"} 1 then`, `unparseable timestamp "then"`},
+		{`x 1 # {t="a\qb"} 1`, `illegal escape \q`},
+		{`x 1 # {0bad="v"} 1`, "illegal label name"},
+		{`x 1 # {t="` + long + `"} 1`, "spec cap 128"},
+	} {
+		wantError(t, lintStr(head+c.sample+"\n# EOF\n", true), c.want)
+		// Exemplar hygiene is a strict-mode concern; default mode only
+		// needs the sample proper to parse.
+		wantClean(t, lintStr(head+c.sample+"\n# EOF\n", false))
+	}
+	// A bare ` # ` with no labelset after it is not an exemplar
+	// separator, so the line fails as a malformed sample.
+	wantError(t, lintStr(head+"x 1 # nope\n# EOF\n", false), "malformed sample line")
+	// A ' # ' inside a label value is not a separator either.
+	wantClean(t, lintStr(head+`x{note="a # b"} 1`+"\n# EOF\n", true))
+}
+
+func TestLintExemplarOnRegistryOutput(t *testing.T) {
+	// End-to-end: the repo's own renderer with an exemplar-carrying
+	// histogram must pass -strict.
+	reg := telemetry.NewRegistry()
+	reg.SetHelp("lat_ns", "Latency.")
+	h := reg.Histogram("lat_ns")
+	for i := 1; i <= 100; i++ {
+		h.RecordExemplar(int64(i), "4bf92f3577b34da6a3ce929d0e0e4736", 1700000000123456789)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `# {trace_id="`) {
+		t.Fatalf("exposition has no exemplar:\n%s", buf.String())
+	}
+	wantClean(t, lint("registry", strings.NewReader(buf.String()), true))
+}
+
 func TestLintRegistryOutputStaysDefaultClean(t *testing.T) {
 	// End-to-end guard: whatever the repo's own registry renders must
 	// keep passing the default lint the CI smoke job applies.

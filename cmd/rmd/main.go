@@ -10,12 +10,24 @@
 //
 //	rmd [-listen 127.0.0.1:9092] [-shards 4] [-queue 64]
 //	    [-maxbatch 8192] [-publish 1s] [-store DIR]
-//	    [-decision-delay 0]
+//	    [-decision-delay 0] [-trace-sample 0] [-trace-ring 8192]
+//	    [-trace FILE]
 //
 // -store appends a KindService session record (decision counts,
 // latency quantiles, throttle/breaker totals) to the cross-run obs
 // store when the daemon exits, and feeds /slo from the same store's
 // history evaluated against obs.ServiceSLOs.
+//
+// -trace-sample enables request-scoped wall-clock tracing
+// (internal/wtrace): each /v1/* request is head-sampled at the given
+// probability (inbound W3C traceparent headers join their caller's
+// trace), decomposed into parse → queue_wait → decision (per-op
+// children) → encode spans, and served live as Chrome trace-event
+// JSON on /v1/traces. The default 0 keeps the hot path span-free.
+// -trace-ring bounds the in-memory span ring behind /v1/traces, and
+// -trace additionally streams every sampled span to FILE as a Chrome
+// trace on shutdown — loadable in Perfetto next to the simulator's
+// virtual-time traces.
 //
 // -decision-delay injects an artificial per-decision sleep in the
 // shard loops — an overload drill knob that lets load tests saturate
@@ -41,6 +53,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rmserver"
 	"repro/internal/telemetry"
+	"repro/internal/wtrace"
 )
 
 func main() {
@@ -59,6 +72,9 @@ func run() error {
 		publish       = flag.Duration("publish", time.Second, "metrics/SLO publish interval")
 		storeDir      = flag.String("store", "", "obs store directory (session record on exit, /slo history)")
 		decisionDelay = flag.Duration("decision-delay", 0, "artificial per-decision delay (overload drills only)")
+		traceSample   = flag.Float64("trace-sample", 0, "head-sampling probability for request traces (0 = off)")
+		traceRing     = flag.Int("trace-ring", 0, "completed spans retained for /v1/traces (0 = default 8192)")
+		traceFile     = flag.String("trace", "", "also write sampled spans as a Chrome trace to this file on exit")
 	)
 	flag.Parse()
 
@@ -70,11 +86,22 @@ func run() error {
 		DecisionDelay: *decisionDelay,
 	}, reg)
 
+	var chrome *telemetry.Tracer
+	if *traceFile != "" {
+		chrome = telemetry.NewWallTracer()
+	}
+	tracer := wtrace.New(wtrace.Config{
+		Sample:    *traceSample,
+		RingSpans: *traceRing,
+		Registry:  reg,
+		Chrome:    chrome,
+	})
+
 	srv, err := audit.NewServer(*listen)
 	if err != nil {
 		return err
 	}
-	srv.Handle("/v1/", rmserver.NewHandler(fleet))
+	srv.Handle("/v1/", rmserver.NewTracedHandler(fleet, tracer))
 
 	start := time.Now()
 	fmt.Printf("rmd: serving on http://%s (%d shards, queue %d, max batch %d)\n",
@@ -120,6 +147,12 @@ func run() error {
 	fmt.Printf("rmd: drained cleanly: %d decisions in %d batches, %d throttled, %d rejects, breaker %s (%d opens)\n",
 		st.Decisions, st.Batches, st.Throttled, st.Rejects, st.BreakerState, st.BreakerOpens)
 
+	if *traceFile != "" {
+		if err := writeChromeTrace(*traceFile, chrome, tracer); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+	}
+
 	if *storeDir != "" {
 		if err := recordSession(*storeDir, reg, st, time.Since(start)); err != nil {
 			return fmt.Errorf("session record: %w", err)
@@ -147,6 +180,22 @@ func publishOnce(srv *audit.Server, fleet *rmserver.Fleet, storeDir string, star
 	if status, err := obs.EvaluateStore(store, obs.ServiceSLOs()); err == nil {
 		srv.PublishSLO(status)
 	}
+}
+
+// writeChromeTrace dumps the wall-clock Chrome tracer to a file —
+// every span the wtrace tracer forwarded over the daemon's lifetime.
+func writeChromeTrace(path string, chrome *telemetry.Tracer, tracer *wtrace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := chrome.WriteJSON(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	fmt.Printf("rmd: wrote %d sampled spans to %s\n", tracer.SpansRecorded(), path)
+	return cerr
 }
 
 // recordSession appends the daemon's lifetime record to the obs store.

@@ -10,7 +10,12 @@
 //
 //	rmload -addr 127.0.0.1:9092 [-profile soak|spike] [-duration 5s]
 //	       [-batch 512] [-conns 2] [-platforms 32] [-interval 5ms]
-//	       [-store DIR] [-strict]
+//	       [-store DIR] [-strict] [-traceparent HDR]
+//
+// -traceparent attaches a fixed W3C traceparent header to every batch
+// request, so a traced rmd (rmd -trace-sample > 0) records the load
+// run's sampled requests under the given trace id — the way a real
+// upstream caller would propagate context into the admission service.
 //
 // Batches use the compact text/x-rmops wire format (see
 // internal/rmserver): each batch registers batch/2 apps and withdraws
@@ -71,6 +76,7 @@ func run() error {
 		interval  = flag.Duration("interval", 5*time.Millisecond, "pacing between batches per connection (soak only)")
 		storeDir  = flag.String("store", "", "obs store directory to append the run record to")
 		strict    = flag.Bool("strict", false, "evaluate obs.ServiceSLOs over the store and fail if unmet")
+		tracepar  = flag.String("traceparent", "", "W3C traceparent header to attach to every batch request")
 	)
 	flag.Parse()
 
@@ -101,7 +107,7 @@ func run() error {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			r := sender(client, base, c, *batch, *platforms, pace, deadline, lat)
+			r := sender(client, base, c, *batch, *platforms, pace, deadline, lat, *tracepar)
 			mu.Lock()
 			total.requests += r.requests
 			total.ok += r.ok
@@ -155,7 +161,7 @@ func run() error {
 }
 
 // sender drives one connection until the deadline.
-func sender(client *http.Client, base string, id, batch, platforms int, pace time.Duration, deadline time.Time, lat *telemetry.Histogram) result {
+func sender(client *http.Client, base string, id, batch, platforms int, pace time.Duration, deadline time.Time, lat *telemetry.Histogram, traceparent string) result {
 	var res result
 	var body bytes.Buffer
 	seq := 0
@@ -165,7 +171,17 @@ func sender(client *http.Client, base string, id, batch, platforms int, pace tim
 		seq++
 
 		t0 := time.Now()
-		resp, err := client.Post(base+"/v1/batch", rmserver.OpsContentType, bytes.NewReader(body.Bytes()))
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/batch", bytes.NewReader(body.Bytes()))
+		if err != nil {
+			res.errors++
+			res.requests++
+			continue
+		}
+		req.Header.Set("Content-Type", rmserver.OpsContentType)
+		if traceparent != "" {
+			req.Header.Set("traceparent", traceparent)
+		}
+		resp, err := client.Do(req)
 		if err != nil {
 			res.errors++
 			res.requests++

@@ -227,6 +227,93 @@ func (s *Store) Append(rec RunRecord) (RunRecord, error) {
 	return rec, nil
 }
 
+// Prune drops everything but the newest keep records (by append
+// order), rewriting the log atomically: the survivors are written to a
+// temporary file in the store directory, fsynced, and renamed over
+// runs.jsonl while both the handle mutex and the cross-process lock
+// are held. The seq sidecar is untouched — surviving records keep
+// their stamped Seq and the next Append continues from the counter, so
+// Seq stays unique and strictly increasing across the prune. A
+// salvageable torn tail counts as a record (and is kept or dropped by
+// age like any other); an unparseable torn tail is rewritten away.
+// Returns the number of records removed.
+func (s *Store) Prune(keep int) (int, error) {
+	if keep < 0 {
+		return 0, fmt.Errorf("obs: prune keep %d, want >= 0", keep)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return 0, fmt.Errorf("obs: prune on closed store")
+	}
+	unlock, err := lockDir(s.dir)
+	if err != nil {
+		return 0, fmt.Errorf("obs: lock store: %w", err)
+	}
+	defer unlock()
+
+	recs, torn, err := s.load()
+	if err != nil {
+		return 0, err
+	}
+	if torn != nil && torn.rec != nil {
+		recs = append(recs, *torn.rec)
+	}
+	if len(recs) <= keep && (torn == nil || torn.rec != nil) {
+		// Nothing to drop and no garbage tail to scrub: leave the file
+		// byte-identical rather than rewriting it for nothing.
+		return 0, nil
+	}
+	kept := recs
+	if len(recs) > keep {
+		kept = recs[len(recs)-keep:]
+	}
+
+	tmp, err := os.CreateTemp(s.dir, storeFile+".prune-*")
+	if err != nil {
+		return 0, fmt.Errorf("obs: prune: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op once renamed
+	bw := bufio.NewWriterSize(tmp, 64*1024)
+	for _, r := range kept {
+		line, merr := json.Marshal(r)
+		if merr != nil {
+			tmp.Close()
+			return 0, fmt.Errorf("obs: prune encode: %w", merr)
+		}
+		line = append(line, '\n')
+		if _, werr := bw.Write(line); werr != nil {
+			tmp.Close()
+			return 0, fmt.Errorf("obs: prune write: %w", werr)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("obs: prune write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("obs: prune sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, fmt.Errorf("obs: prune close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path); err != nil {
+		return 0, fmt.Errorf("obs: prune rename: %w", err)
+	}
+	// The old O_APPEND handle now points at the unlinked pre-prune
+	// inode; swap it for a handle on the new log so later Appends land
+	// in the surviving file.
+	s.f.Close()
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.f = nil
+		return 0, fmt.Errorf("obs: reopen pruned store: %w", err)
+	}
+	s.f = f
+	return len(recs) - len(kept), nil
+}
+
 // reserveSeqLocked hands out the next sequence number. Caller holds
 // both the handle mutex and the cross-process lock. The counter file
 // is advanced *before* the record is written: a crash in between

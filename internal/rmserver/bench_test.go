@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/telemetry"
+	"repro/internal/wtrace"
 )
 
 // The throughput acceptance criterion for the service plane is one
@@ -47,6 +48,24 @@ func BenchmarkFleetDoBatched(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i += len(ops) {
 		f.Do(ops)
+	}
+}
+
+// BenchmarkFleetDoTracedOff is the identical workload with a tracer
+// attached but head sampling at 0 — the default service deployment.
+// The ratio against BenchmarkFleetDoBatched is the tracing-off
+// overhead, gated < 3% via the `trace_off.speedup` metric the sentinel
+// tracks in BENCH_rmserver.json.
+func BenchmarkFleetDoTracedOff(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	f := New(Config{Shards: 4, QueueDepth: 64}, reg)
+	defer f.Drain()
+	tr := wtrace.New(wtrace.Config{Sample: 0, Registry: reg, Seed: 1})
+	ops := benchOps()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(ops) {
+		f.DoTraced(ops, tr.StartRequest(""))
 	}
 }
 
@@ -94,17 +113,52 @@ func TestEmitRMServerBench(t *testing.T) {
 	if testing.Short() && *benchOut == "" {
 		t.Skip("short mode without -benchout")
 	}
-	do := testing.Benchmark(BenchmarkFleetDoBatched)
+	// Best-of-3 on the two sides of the overhead ratio: scheduler or
+	// neighbor interference only ever slows a measurement, so the
+	// fastest of three is the robust estimator, and the speedup ratio
+	// stops jittering with whichever single run got preempted.
+	best := func(f func(*testing.B)) testing.BenchmarkResult {
+		r := testing.Benchmark(f)
+		for i := 0; i < 2; i++ {
+			if n := testing.Benchmark(f); n.NsPerOp() < r.NsPerOp() {
+				r = n
+			}
+		}
+		return r
+	}
+	do := best(BenchmarkFleetDoBatched)
 	parse := testing.Benchmark(BenchmarkParseOpsText)
+	tracedOff := best(BenchmarkFleetDoTracedOff)
 
 	decPerSec := 1e9 / float64(do.NsPerOp())
 	// One parse op decodes a whole batch.
 	parsedOpsPerSec := 1e9 / float64(parse.NsPerOp()) * benchBatchOps
+	tracedOffPerSec := 1e9 / float64(tracedOff.NsPerOp())
+	// Same-process ratio: decisions/sec with a sample-0 tracer attached
+	// over decisions/sec without one. A cross-machine absolute floor
+	// cannot gate a 3% budget, but this ratio can — both measurements
+	// share the process, the core, and the thermal state. A ratio above
+	// parity is measurement noise (a disabled tracer cannot speed up
+	// decisions), so it is capped at 1.0: the committed baseline then
+	// anchors at parity and the sentinel's 3% band is exactly the
+	// overhead budget, instead of wobbling around whichever side of 1.0
+	// the baseline machine happened to land on.
+	traceOffSpeedup := min(tracedOffPerSec/decPerSec, 1.0)
 
 	t.Logf("fleet.Do batched: %d ns/decision, %.0f decisions/sec, %d allocs/decision",
 		do.NsPerOp(), decPerSec, do.AllocsPerOp())
 	t.Logf("compact parse:    %.0f ops/sec decoded (%d ns per %d-op batch)",
 		parsedOpsPerSec, parse.NsPerOp(), benchBatchOps)
+	t.Logf("trace off:        %.0f decisions/sec with sample-0 tracer (speedup %.4f)",
+		tracedOffPerSec, traceOffSpeedup)
+
+	// The sample-0 tracer must cost < 3% of batched throughput. 5% here
+	// absorbs same-process measurement noise; the sentinel gates the
+	// committed trajectory at 3%.
+	if traceOffSpeedup < 0.95 {
+		t.Errorf("sample-0 tracing costs %.1f%% of batched throughput, budget 3%%",
+			(1-traceOffSpeedup)*100)
+	}
 
 	// Target: >= 1e6 decisions/sec on the batched path (see the
 	// committed BENCH_rmserver.json for measured numbers). CI floor
@@ -132,6 +186,10 @@ func TestEmitRMServerBench(t *testing.T) {
 			"ops_per_sec":      parsedOpsPerSec,
 			"mb_per_sec":       float64(parse.Bytes) / float64(parse.NsPerOp()) * 1e3,
 			"allocs_per_batch": float64(parse.AllocsPerOp()),
+		},
+		"trace_off": map[string]float64{
+			"decisions_per_sec": tracedOffPerSec,
+			"speedup":           traceOffSpeedup,
 		},
 		"target_decisions_per_sec":   1e6,
 		"ci_floor_decisions_per_sec": 250_000.0,

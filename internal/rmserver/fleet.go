@@ -2,8 +2,10 @@ package rmserver
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/wtrace"
 )
 
 // Fleet is the sharded RM service: the ring routes platforms onto
@@ -56,6 +58,7 @@ func setFleetHelp(reg *telemetry.Registry) {
 		"rmserver_shard_batches":       "Batches drained from shard queues.",
 		"rmserver_shard_rejects":       "Decisions that rejected the requested operation.",
 		"rmserver_shard_queue_depth":   "High-water mark of pending batches across shard queues.",
+		"rmserver_shard_queue_wait_ns": "Time a batch spent waiting in its shard queue, nanoseconds.",
 		"rmserver_decision_latency_ns": "Per-decision latency on the batched path (amortized), nanoseconds.",
 		"rmserver_throttled":           "Operations shed by backpressure (full shard queue or open breaker).",
 		"rmserver_breaker_opens":       "Circuit-breaker transitions to the open state.",
@@ -86,7 +89,14 @@ func (f *Fleet) Allowed() bool {
 // shard queue throttles that shard's portion — those ops return
 // Decision{Throttled: true} while other shards' portions still
 // complete. The outcome (any throttling) feeds the breaker.
-func (f *Fleet) Do(ops []Op) []Decision {
+func (f *Fleet) Do(ops []Op) []Decision { return f.DoTraced(ops, nil) }
+
+// DoTraced is Do carrying a sampled request's trace context into the
+// shard loops: each per-shard batch records queue_wait and decision
+// spans (per-op children inside) parented on the request's root span,
+// and a shed shard portion records a queue_wait span with
+// outcome=shed. rt may be nil (untraced), which costs only nil checks.
+func (f *Fleet) DoTraced(ops []Op, rt *wtrace.ReqTrace) []Decision {
 	out := make([]Decision, len(ops))
 	if len(ops) == 0 {
 		return out
@@ -101,6 +111,9 @@ func (f *Fleet) Do(ops []Op) []Decision {
 		groups[sh] = append(groups[sh], i)
 	}
 
+	// One enqueue stamp for the whole scatter: it feeds every shard's
+	// queue-wait histogram, so it is read once per Do, not per group.
+	enqueuedNS := time.Now().UnixNano()
 	done := f.pool.Get().(chan *batchReq)
 	type pending struct {
 		req  *batchReq
@@ -110,9 +123,12 @@ func (f *Fleet) Do(ops []Op) []Decision {
 	throttledOps := 0
 	for sh, idxs := range groups {
 		req := &batchReq{
-			ops:  make([]Op, len(idxs)),
-			out:  make([]Decision, len(idxs)),
-			done: done,
+			ops:        make([]Op, len(idxs)),
+			out:        make([]Decision, len(idxs)),
+			done:       done,
+			enqueuedNS: enqueuedNS,
+			rt:         rt,
+			parent:     rt.Root(),
 		}
 		for j, i := range idxs {
 			req.ops[j] = ops[i]
@@ -125,6 +141,10 @@ func (f *Fleet) Do(ops []Op) []Decision {
 		throttledOps += len(idxs)
 		for _, i := range idxs {
 			out[i] = Decision{Throttled: true, Reason: "shard queue full"}
+		}
+		if rt != nil {
+			rt.Span(rt.Root(), "queue_wait", enqueuedNS, rt.NowNS(),
+				"shard", f.shards[sh].idStr, "outcome", "shed")
 		}
 	}
 	if throttledOps > 0 {
@@ -159,23 +179,34 @@ func (f *Fleet) publishBreaker() {
 // Stats is a point-in-time snapshot of the fleet's counters, served
 // by the HTTP API's /v1/stats for load harnesses.
 type Stats struct {
-	Shards       int     `json:"shards"`
-	Decisions    uint64  `json:"decisions"`
-	Batches      uint64  `json:"batches"`
-	Rejects      uint64  `json:"rejects"`
-	Throttled    uint64  `json:"throttled"`
-	BreakerOpens uint64  `json:"breaker_opens"`
-	BreakerState string  `json:"breaker_state"`
-	DecisionP50  int64   `json:"decision_p50_ns"`
-	DecisionP99  int64   `json:"decision_p99_ns"`
-	DecisionMean float64 `json:"decision_mean_ns"`
+	Shards       int          `json:"shards"`
+	Decisions    uint64       `json:"decisions"`
+	Batches      uint64       `json:"batches"`
+	Rejects      uint64       `json:"rejects"`
+	Throttled    uint64       `json:"throttled"`
+	BreakerOpens uint64       `json:"breaker_opens"`
+	BreakerState string       `json:"breaker_state"`
+	DecisionP50  int64        `json:"decision_p50_ns"`
+	DecisionP99  int64        `json:"decision_p99_ns"`
+	DecisionMean float64      `json:"decision_mean_ns"`
+	PerShard     []ShardStats `json:"per_shard,omitempty"`
+}
+
+// ShardStats is the per-shard detail of Stats, mirroring the labeled
+// `rmserver_shard_*{shard="N"}` families on /metrics.
+type ShardStats struct {
+	Shard          int     `json:"shard"`
+	Decisions      uint64  `json:"decisions"`
+	QueueDepthPeak float64 `json:"queue_depth_peak"`
+	QueueWaitP50NS int64   `json:"queue_wait_p50_ns"`
+	QueueWaitP99NS int64   `json:"queue_wait_p99_ns"`
 }
 
 // Snapshot reads the current stats.
 func (f *Fleet) Snapshot() Stats {
 	st, opens := f.breaker.State()
 	h := f.reg.Histogram("rmserver_decision_latency_ns")
-	return Stats{
+	stats := Stats{
 		Shards:       f.cfg.Shards,
 		Decisions:    f.reg.Counter("rmserver_shard_decisions").Value(),
 		Batches:      f.reg.Counter("rmserver_shard_batches").Value(),
@@ -187,6 +218,17 @@ func (f *Fleet) Snapshot() Stats {
 		DecisionP99:  h.Quantile(0.99),
 		DecisionMean: h.Mean(),
 	}
+	stats.PerShard = make([]ShardStats, len(f.shards))
+	for i, s := range f.shards {
+		stats.PerShard[i] = ShardStats{
+			Shard:          s.id,
+			Decisions:      s.myDecisions.Value(),
+			QueueDepthPeak: s.myDepth.Value(),
+			QueueWaitP50NS: s.myWait.Quantile(0.50),
+			QueueWaitP99NS: s.myWait.Quantile(0.99),
+		}
+	}
+	return stats
 }
 
 // Registry exposes the fleet's telemetry registry (for OpenMetrics

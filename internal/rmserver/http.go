@@ -2,6 +2,7 @@ package rmserver
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/admission"
+	"repro/internal/wtrace"
 )
 
 // OpsContentType is the compact batch wire format: one operation per
@@ -39,34 +41,95 @@ const RetryAfterSeconds = 1
 // is open (rejected before the body is read) or the target shard's
 // queue was full (per-op Throttled decisions; the whole response is
 // 429 when every op was shed).
+//
+// Every request passes the wall-clock tracer's head sampler: sampled
+// requests carry a W3C traceparent (the inbound header's trace is
+// joined when present, a fresh trace is rooted otherwise), record
+// parse → queue_wait → decision (per-op children) → encode spans, and
+// return their traceparent in the response. GET /v1/traces serves the
+// tracer's bounded span ring as Chrome trace_event JSON.
 type Handler struct {
-	fleet *Fleet
-	mux   *http.ServeMux
+	fleet  *Fleet
+	tracer *wtrace.Tracer
+	mux    *http.ServeMux
 }
 
-// NewHandler wraps a fleet in its HTTP API.
-func NewHandler(f *Fleet) *Handler {
-	h := &Handler{fleet: f, mux: http.NewServeMux()}
+// NewHandler wraps a fleet in its HTTP API, with tracing disabled.
+func NewHandler(f *Fleet) *Handler { return NewTracedHandler(f, nil) }
+
+// NewTracedHandler wraps a fleet in its HTTP API with request tracing.
+// tr may be nil or configured with Sample 0 — both leave the request
+// path untraced at the cost of one nil/threshold check.
+func NewTracedHandler(f *Fleet, tr *wtrace.Tracer) *Handler {
+	h := &Handler{fleet: f, tracer: tr, mux: http.NewServeMux()}
 	h.mux.HandleFunc("POST /v1/register", h.single(OpRegister))
 	h.mux.HandleFunc("POST /v1/withdraw", h.single(OpWithdraw))
 	h.mux.HandleFunc("POST /v1/modechange", h.single(OpModeChange))
 	h.mux.HandleFunc("POST /v1/batch", h.batch)
 	h.mux.HandleFunc("GET /v1/stats", h.stats)
+	h.mux.HandleFunc("GET /v1/traces", h.traces)
 	return h
 }
 
-// ServeHTTP implements http.Handler: breaker check first, then the
-// per-endpoint instrumentation.
+// reqTraceKey carries the sampled request's trace context to endpoint
+// handlers; absent (nil) for unsampled requests.
+type reqTraceKey struct{}
+
+func reqTraceFrom(ctx context.Context) *wtrace.ReqTrace {
+	rt, _ := ctx.Value(reqTraceKey{}).(*wtrace.ReqTrace)
+	return rt
+}
+
+// statusWriter captures the response status for the root span. It is
+// allocated only on traced requests.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP implements http.Handler: head sampling decision, breaker
+// check, then the per-endpoint instrumentation. The untraced path is
+// byte-for-byte the pre-tracing behavior plus one sampler check.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt := h.tracer.StartRequest(r.Header.Get("traceparent"))
 	if strings.HasPrefix(r.URL.Path, "/v1/") && r.Method == http.MethodPost && !h.fleet.Allowed() {
+		if rt != nil {
+			w.Header().Set("traceparent", rt.Responseparent())
+		}
 		throttle(w, "breaker open")
+		// Breaker rejections close the trace with a single root span:
+		// nothing was parsed, queued, or decided.
+		rt.Finish(rt.NowNS(), "endpoint", r.URL.Path, "status", "429", "outcome", "breaker_open")
 		return
 	}
 	reg := h.fleet.Registry()
 	start := time.Now()
-	h.mux.ServeHTTP(w, r)
+	if rt == nil {
+		h.mux.ServeHTTP(w, r)
+		reg.Counter("rmserver_http_requests").Inc()
+		reg.Histogram("rmserver_http_latency_ns").Record(time.Since(start).Nanoseconds())
+		return
+	}
+	w.Header().Set("traceparent", rt.Responseparent())
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	h.mux.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), reqTraceKey{}, rt)))
+	lat := time.Since(start).Nanoseconds()
 	reg.Counter("rmserver_http_requests").Inc()
-	reg.Histogram("rmserver_http_latency_ns").Record(time.Since(start).Nanoseconds())
+	reg.Histogram("rmserver_http_latency_ns").RecordExemplar(lat, rt.TraceID(), start.UnixNano()+lat)
+	rt.Finish(rt.NowNS(), "endpoint", r.URL.Path, "status", strconv.Itoa(sw.code))
+}
+
+// traces serves the live span ring as Chrome trace_event JSON. The
+// payload loads directly in Perfetto and carries span-conservation
+// totals ("spans", "spans_total", "dropped") as extra top-level keys.
+func (h *Handler) traces(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = h.tracer.WriteTraceEvents(w)
 }
 
 func throttle(w http.ResponseWriter, reason string) {
@@ -131,23 +194,30 @@ func kindOf(s string) (OpKind, error) {
 
 func (h *Handler) single(kind OpKind) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		rt := reqTraceFrom(r.Context())
+		parseStart := rt.NowNS()
 		var wo wireOp
 		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&wo); err != nil {
+			rt.Span(rt.Root(), "parse", parseStart, rt.NowNS(), "outcome", "error")
 			httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 			return
 		}
 		op, err := wo.toOp(kind)
 		if err != nil {
+			rt.Span(rt.Root(), "parse", parseStart, rt.NowNS(), "outcome", "error")
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		d := h.fleet.Do([]Op{op})[0]
+		rt.Span(rt.Root(), "parse", parseStart, rt.NowNS(), "ops", "1")
+		d := h.fleet.DoTraced([]Op{op}, rt)[0]
 		if d.Throttled {
 			throttle(w, d.Reason)
 			return
 		}
+		encodeStart := rt.NowNS()
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(d)
+		rt.Span(rt.Root(), "encode", encodeStart, rt.NowNS())
 	}
 }
 
@@ -178,6 +248,8 @@ func summarize(ds []Decision) BatchSummary {
 }
 
 func (h *Handler) batch(w http.ResponseWriter, r *http.Request) {
+	rt := reqTraceFrom(r.Context())
+	parseStart := rt.NowNS()
 	ct := r.Header.Get("Content-Type")
 	var (
 		ops     []Op
@@ -191,20 +263,24 @@ func (h *Handler) batch(w http.ResponseWriter, r *http.Request) {
 		ops, err = parseOpsJSON(r.Body, h.fleet.cfg.MaxBatch)
 	}
 	if err != nil {
+		rt.Span(rt.Root(), "parse", parseStart, rt.NowNS(), "outcome", "error")
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	ds := h.fleet.Do(ops)
+	rt.Span(rt.Root(), "parse", parseStart, rt.NowNS(), "ops", strconv.Itoa(len(ops)))
+	ds := h.fleet.DoTraced(ops, rt)
 	sum := summarize(ds)
 	if !compact {
 		sum.Decisions = ds
 	}
+	encodeStart := rt.NowNS()
 	w.Header().Set("Content-Type", "application/json")
 	if sum.Throttled == sum.Ops && sum.Ops > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
 		w.WriteHeader(http.StatusTooManyRequests)
 	}
 	json.NewEncoder(w).Encode(sum)
+	rt.Span(rt.Root(), "encode", encodeStart, rt.NowNS())
 }
 
 func parseOpsJSON(body io.Reader, maxBatch int) ([]Op, error) {

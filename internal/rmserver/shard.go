@@ -1,10 +1,12 @@
 package rmserver
 
 import (
+	"strconv"
 	"time"
 
 	"repro/internal/netcalc"
 	"repro/internal/telemetry"
+	"repro/internal/wtrace"
 )
 
 // batchReq is one batch's worth of operations destined for a single
@@ -16,6 +18,15 @@ type batchReq struct {
 	ops  []Op
 	out  []Decision // len(ops), filled by the shard
 	done chan<- *batchReq
+
+	// enqueuedNS stamps when the batch entered the shard queue (Unix
+	// ns), feeding the per-shard queue-wait histogram on every batch
+	// and the queue_wait span on traced ones.
+	enqueuedNS int64
+	// rt/parent carry the sampled request's trace context into the
+	// shard loop; rt is nil (free no-ops) for unsampled requests.
+	rt     *wtrace.ReqTrace
+	parent wtrace.SpanID
 }
 
 // shard is one RM loop: a bounded queue of batches drained by a
@@ -26,6 +37,7 @@ type batchReq struct {
 // terMsg events.
 type shard struct {
 	id    int
+	idStr string // label value, rendered once
 	cfg   Config
 	queue chan *batchReq
 	stop  chan struct{}
@@ -39,11 +51,21 @@ type shard struct {
 	rejects    *telemetry.Counter
 	queueDepth *telemetry.Gauge
 	latency    *telemetry.Histogram // per-op decision latency, ns
+
+	// Per-shard labeled instruments (`...{shard="N"}`): the aggregate
+	// families above answer "is the fleet keeping up", these answer
+	// "which shard is the hot one" — consistent hashing skews, and a
+	// single overloaded shard hides inside a healthy aggregate.
+	myDecisions *telemetry.Counter
+	myDepth     *telemetry.Gauge
+	myWait      *telemetry.Histogram // batch queue wait, ns
 }
 
 func newShard(id int, cfg Config, reg *telemetry.Registry) *shard {
+	label := `{shard="` + strconv.Itoa(id) + `"}`
 	s := &shard{
 		id:        id,
+		idStr:     strconv.Itoa(id),
 		cfg:       cfg,
 		queue:     make(chan *batchReq, cfg.QueueDepth),
 		stop:      make(chan struct{}),
@@ -56,6 +78,10 @@ func newShard(id int, cfg Config, reg *telemetry.Registry) *shard {
 		rejects:    reg.Counter("rmserver_shard_rejects"),
 		queueDepth: reg.Gauge("rmserver_shard_queue_depth"),
 		latency:    reg.Histogram("rmserver_decision_latency_ns"),
+
+		myDecisions: reg.Counter("rmserver_shard_decisions" + label),
+		myDepth:     reg.Gauge("rmserver_shard_queue_depth" + label),
+		myWait:      reg.Histogram("rmserver_shard_queue_wait_ns" + label),
 	}
 	go s.loop()
 	return s
@@ -68,7 +94,9 @@ func newShard(id int, cfg Config, reg *telemetry.Registry) *shard {
 func (s *shard) tryEnqueue(b *batchReq) bool {
 	select {
 	case s.queue <- b:
-		s.queueDepth.SetMax(float64(len(s.queue)))
+		depth := float64(len(s.queue))
+		s.queueDepth.SetMax(depth)
+		s.myDepth.SetMax(depth)
 		return true
 	default:
 		return false
@@ -100,20 +128,53 @@ func (s *shard) loop() {
 
 func (s *shard) process(b *batchReq) {
 	start := time.Now()
+	startNS := start.UnixNano()
+	if b.enqueuedNS > 0 {
+		s.myWait.Record(startNS - b.enqueuedNS)
+	}
+	// Traced batches get a queue_wait span plus a decision span whose
+	// id is allocated up front so per-op child spans can parent on it
+	// before it closes.
+	var decSpan wtrace.SpanID
+	if b.rt != nil {
+		b.rt.Span(b.parent, "queue_wait", b.enqueuedNS, startNS, "shard", s.idStr)
+		decSpan = b.rt.NewSpanID()
+	}
 	for i := range b.ops {
+		opStart := b.rt.NowNS() // 0 when untraced
 		b.out[i] = s.decide(&b.ops[i])
 		if s.cfg.DecisionDelay > 0 {
 			time.Sleep(s.cfg.DecisionDelay)
 		}
+		if b.rt != nil {
+			outcome := "rejected"
+			if b.out[i].OK {
+				outcome = "admitted"
+			}
+			b.rt.Span(decSpan, "op."+b.ops[i].Kind.String(), opStart, b.rt.NowNS(),
+				"platform", b.ops[i].Platform, "outcome", outcome)
+		}
 	}
 	s.batches.Inc()
-	s.decisions.Add(uint64(len(b.ops)))
-	if n := len(b.ops); n > 0 {
+	n := len(b.ops)
+	s.decisions.Add(uint64(n))
+	s.myDecisions.Add(uint64(n))
+	if n > 0 {
 		// One observation per batch at the amortized per-op cost: this
 		// is the decision latency a client experiences on the batched
 		// path, and a single Record keeps the histogram off the
-		// per-operation hot path.
-		s.latency.Record(time.Since(start).Nanoseconds() / int64(n))
+		// per-operation hot path. Traced batches donate the trace id as
+		// the histogram's exemplar, linking the p99 on /metrics to a
+		// complete trace on /v1/traces.
+		perOp := time.Since(start).Nanoseconds() / int64(n)
+		if b.rt != nil {
+			endNS := b.rt.NowNS()
+			s.latency.RecordExemplar(perOp, b.rt.TraceID(), endNS)
+			b.rt.RecordSpan(decSpan, b.parent, "decision", startNS, endNS,
+				"shard", s.idStr, "ops", strconv.Itoa(n))
+		} else {
+			s.latency.Record(perOp)
+		}
 	}
 	b.done <- b
 }

@@ -54,6 +54,7 @@ type Histogram struct {
 	sum    int64
 	min    int64
 	max    int64
+	ex     Exemplar
 }
 
 // NewHistogram returns an empty histogram.
@@ -196,7 +197,7 @@ func (h *Histogram) Quantile(p float64) int64 {
 	return h.max
 }
 
-// Reset clears all recorded observations.
+// Reset clears all recorded observations (and any held exemplar).
 func (h *Histogram) Reset() {
 	if h == nil {
 		return
@@ -204,7 +205,68 @@ func (h *Histogram) Reset() {
 	h.mu.Lock()
 	h.counts = [numBuckets]uint64{}
 	h.count, h.sum, h.min, h.max = 0, 0, 0, 0
+	h.ex = Exemplar{}
 	h.mu.Unlock()
+}
+
+// Exemplar links one recorded observation to the distributed trace
+// that produced it, per the OpenMetrics exemplar mechanism: the
+// exposition renders it after the p99 quantile line as
+// `# {trace_id="..."} value timestamp`, so a tail-latency outlier on
+// /metrics resolves directly to its multi-span trace on /v1/traces.
+type Exemplar struct {
+	TraceID    string
+	Value      int64
+	AtUnixNano int64
+}
+
+// exemplarMaxAgeNS bounds how long a large-but-stale exemplar can
+// shadow fresher samples: after ~10s of wall time any new traced
+// sample replaces it, so the exposed exemplar always points at a
+// *recent* trace still likely to be in the bounded trace ring.
+const exemplarMaxAgeNS = int64(10_000_000_000)
+
+// RecordExemplar adds one observation (like Record) and offers it as
+// the histogram's exemplar. The slot keeps the slowest recent sample:
+// a candidate wins if the slot is empty, its value is >= the held one,
+// or the held one has aged out. Callers without a trace in hand should
+// use Record; an empty traceID records the value but never the
+// exemplar.
+func (h *Histogram) RecordExemplar(v int64, traceID string, atUnixNano int64) {
+	if h == nil {
+		return
+	}
+	if traceID == "" {
+		h.Record(v)
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.mu.Lock()
+	h.counts[bucketOf(uint64(v))]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if h.ex.TraceID == "" || v >= h.ex.Value || atUnixNano-h.ex.AtUnixNano > exemplarMaxAgeNS {
+		h.ex = Exemplar{TraceID: traceID, Value: v, AtUnixNano: atUnixNano}
+	}
+	h.mu.Unlock()
+}
+
+// Exemplar returns the held exemplar, if any.
+func (h *Histogram) Exemplar() (Exemplar, bool) {
+	if h == nil {
+		return Exemplar{}, false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ex, h.ex.TraceID != ""
 }
 
 // Summary is a point-in-time digest of a histogram, the shape the

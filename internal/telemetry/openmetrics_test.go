@@ -102,3 +102,112 @@ func TestWriteOpenMetricsSortedAndStable(t *testing.T) {
 		}
 	}
 }
+
+func TestWriteOpenMetricsLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.SetHelp("rmserver_shard_queue_depth", "Shard queue depth high-water mark.")
+	r.SetHelp("rmserver_shard_queue_wait_ns", "Batch queue wait.")
+	for _, shard := range []string{"0", "1", "2"} {
+		r.Gauge(`rmserver_shard_queue_depth{shard="` + shard + `"}`).Set(float64(len(shard)))
+		r.Counter(`rmserver_shard_decisions{shard="` + shard + `"}`).Add(10)
+		r.Histogram(`rmserver_shard_queue_wait_ns{shard="` + shard + `"}`).Record(100)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	// TYPE/HELP once per family, not once per member.
+	for _, meta := range []string{
+		"# TYPE rmserver_shard_queue_depth gauge\n",
+		"# HELP rmserver_shard_queue_depth Shard queue depth high-water mark.\n",
+		"# TYPE rmserver_shard_decisions counter\n",
+		"# TYPE rmserver_shard_queue_wait_ns summary\n",
+		"# TYPE rmserver_shard_queue_wait_ns_min gauge\n",
+		"# TYPE rmserver_shard_queue_wait_ns_max gauge\n",
+	} {
+		if got := strings.Count(out, meta); got != 1 {
+			t.Errorf("%q appears %d times, want 1:\n%s", meta, got, out)
+		}
+	}
+	// One sample line per labeled member; quantile merges into the block.
+	for _, want := range []string{
+		"rmserver_shard_queue_depth{shard=\"0\"} 1\n",
+		"rmserver_shard_queue_depth{shard=\"2\"} 1\n",
+		"rmserver_shard_decisions_total{shard=\"1\"} 10\n",
+		"rmserver_shard_queue_wait_ns{shard=\"0\",quantile=\"0.5\"} 100\n",
+		"rmserver_shard_queue_wait_ns{shard=\"2\",quantile=\"0.99\"} 100\n",
+		"rmserver_shard_queue_wait_ns_sum{shard=\"1\"} 100\n",
+		"rmserver_shard_queue_wait_ns_count{shard=\"1\"} 1\n",
+		"rmserver_shard_queue_wait_ns_min{shard=\"0\"} 100\n",
+		"rmserver_shard_queue_wait_ns_max{shard=\"2\"} 100\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Family samples must be contiguous (no interleaving with the
+	// min/max companion families).
+	depthFirst := strings.Index(out, `rmserver_shard_queue_wait_ns{shard="0"`)
+	depthLast := strings.Index(out, `rmserver_shard_queue_wait_ns_count{shard="2"}`)
+	minFirst := strings.Index(out, `rmserver_shard_queue_wait_ns_min{shard="0"}`)
+	if !(depthFirst < depthLast && depthLast < minFirst) {
+		t.Fatalf("summary family members not contiguous before companions:\n%s", out)
+	}
+}
+
+func TestWriteOpenMetricsExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("rmserver_http_latency_ns")
+	h.Record(100)
+	h.RecordExemplar(5000, "4bf92f3577b34da6a3ce929d0e0e4736", 1700000000_123_000_000)
+
+	var buf bytes.Buffer
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := ` # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 5000 1700000000.123` + "\n"
+	if !strings.Contains(out, want) {
+		t.Fatalf("output missing exemplar line %q:\n%s", want, out)
+	}
+	// Exemplar rides only the 0.99 line.
+	if got := strings.Count(out, "# {trace_id="); got != 1 {
+		t.Fatalf("exemplar appears %d times, want 1:\n%s", got, out)
+	}
+}
+
+func TestHistogramExemplarReplacement(t *testing.T) {
+	h := NewHistogram()
+	if _, ok := h.Exemplar(); ok {
+		t.Fatal("empty histogram has exemplar")
+	}
+	h.RecordExemplar(100, "aaaa", 1_000_000_000)
+	h.RecordExemplar(50, "bbbb", 2_000_000_000) // smaller + fresh: keep aaaa
+	if ex, _ := h.Exemplar(); ex.TraceID != "aaaa" {
+		t.Fatalf("exemplar = %v, want aaaa kept", ex)
+	}
+	h.RecordExemplar(200, "cccc", 3_000_000_000) // larger: replace
+	if ex, _ := h.Exemplar(); ex.TraceID != "cccc" || ex.Value != 200 {
+		t.Fatalf("exemplar = %v, want cccc/200", ex)
+	}
+	// Stale holder: anything fresh replaces after the age bound.
+	h.RecordExemplar(1, "dddd", 3_000_000_000+exemplarMaxAgeNS+1)
+	if ex, _ := h.Exemplar(); ex.TraceID != "dddd" {
+		t.Fatalf("exemplar = %v, want dddd after staleness", ex)
+	}
+	// Empty trace id records the value but not the exemplar.
+	h.RecordExemplar(10_000, "", 0)
+	if ex, _ := h.Exemplar(); ex.TraceID != "dddd" {
+		t.Fatalf("exemplar = %v, want dddd kept", ex)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	h.Reset()
+	if _, ok := h.Exemplar(); ok {
+		t.Fatal("Reset did not clear exemplar")
+	}
+}
