@@ -45,9 +45,10 @@ func benchFile(t *testing.T, dir string, eventsPerSec float64) string {
 }
 
 // benchFileParallel writes a bench file in the current BENCH_kernel.json
-// schema — including the per-partition-count scaling series — with the
-// 4-partition events/sec parameterized for regression-injection tests.
-func benchFileParallel(t *testing.T, dir, name string, p4PerSec float64) string {
+// schema — the per-partition-count scaling series plus the big-mesh
+// platform series — with the kernel 4-partition and big-mesh
+// 8-partition events/sec parameterized for regression-injection tests.
+func benchFileParallel(t *testing.T, dir, name string, p4PerSec, bigmeshP8PerSec float64) string {
 	t.Helper()
 	point := func(parts int, perSec float64) map[string]any {
 		return map[string]any{
@@ -55,6 +56,14 @@ func benchFileParallel(t *testing.T, dir, name string, p4PerSec float64) string 
 			"ns_per_event":     1e9 / perSec,
 			"events_per_sec":   perSec,
 			"allocs_per_event": 0.001,
+		}
+	}
+	bigmesh := func(parts int, perSec float64) map[string]any {
+		return map[string]any{
+			"partitions":     parts,
+			"events_per_sec": perSec,
+			"events":         190466,
+			"gomaxprocs":     8,
 		}
 	}
 	doc := map[string]any{
@@ -74,6 +83,12 @@ func benchFileParallel(t *testing.T, dir, name string, p4PerSec float64) string 
 				point(4, p4PerSec),
 				point(8, 23.5e6),
 			},
+			"bigmesh": []any{
+				bigmesh(0, 2.3e6),
+				bigmesh(1, 2.4e6),
+				bigmesh(4, 5.1e6),
+				bigmesh(8, bigmeshP8PerSec),
+			},
 		},
 	}
 	data, err := json.Marshal(doc)
@@ -88,7 +103,7 @@ func benchFileParallel(t *testing.T, dir, name string, p4PerSec float64) string 
 }
 
 func TestIngestBenchParallelSeries(t *testing.T) {
-	path := benchFileParallel(t, t.TempDir(), "bench.json", 19.1e6)
+	path := benchFileParallel(t, t.TempDir(), "bench.json", 19.1e6, 7.5e6)
 	name, vals, err := ingestBench(path)
 	if err != nil {
 		t.Fatal(err)
@@ -96,15 +111,20 @@ func TestIngestBenchParallelSeries(t *testing.T) {
 	if name != "kernel_dispatch" {
 		t.Fatalf("benchmark name = %q", name)
 	}
-	// The series flattens by its partitions discriminator, never by
+	// The series flatten by their partitions discriminator, never by
 	// array index, so the metric names survive reordering or extending
-	// the series.
+	// the series. parallel.bigmesh is the clustered-platform scaling
+	// series (p0 = the sequential engine), the one the scale-smoke CI
+	// job gates on.
 	for metric, want := range map[string]float64{
 		"parallel.gomaxprocs":                 4,
 		"parallel.series.events_per_sec_p1":   15.7e6,
 		"parallel.series.events_per_sec_p4":   19.1e6,
 		"parallel.series.events_per_sec_p8":   23.5e6,
 		"parallel.series.allocs_per_event_p2": 0.001,
+		"parallel.bigmesh.events_per_sec_p0":  2.3e6,
+		"parallel.bigmesh.events_per_sec_p8":  7.5e6,
+		"parallel.bigmesh.events_p4":          190466,
 		"new.events_per_sec":                  16.6e6,
 	} {
 		if got, ok := vals[metric]; !ok || got != want {
@@ -125,7 +145,7 @@ func TestSentinelParallelScalingRegression(t *testing.T) {
 	// heuristics to read events_per_sec_p4 as higher-better.
 	dir := t.TempDir()
 	store := filepath.Join(dir, "store")
-	good := benchFileParallel(t, dir, "good.json", 19.1e6)
+	good := benchFileParallel(t, dir, "good.json", 19.1e6, 7.5e6)
 	for i := 0; i < 2; i++ {
 		if code, _, errOut := exec(t, "record", "-store", store, "-bench", good); code != 0 {
 			t.Fatalf("record failed: %s", errOut)
@@ -135,7 +155,7 @@ func TestSentinelParallelScalingRegression(t *testing.T) {
 		t.Fatalf("identical parallel series flagged: %s", errOut)
 	}
 
-	bad := benchFileParallel(t, dir, "bad.json", 1.91e6)
+	bad := benchFileParallel(t, dir, "bad.json", 1.91e6, 7.5e6)
 	if code, _, errOut := exec(t, "record", "-store", store, "-bench", bad); code != 0 {
 		t.Fatalf("bad record failed: %s", errOut)
 	}
@@ -145,6 +165,37 @@ func TestSentinelParallelScalingRegression(t *testing.T) {
 	}
 	if !strings.Contains(out, "parallel.series.events_per_sec_p4") {
 		t.Fatalf("finding does not name the regressed series point:\n%s", out)
+	}
+}
+
+func TestSentinelBigMeshScalingRegression(t *testing.T) {
+	// The scale-smoke gate's shape: a collapse confined to the big-mesh
+	// 8-partition point must trip the sentinel under -only
+	// parallel.bigmesh.events_per_sec_p8, the metric that CI job names.
+	dir := t.TempDir()
+	store := filepath.Join(dir, "store")
+	good := benchFileParallel(t, dir, "good.json", 19.1e6, 7.5e6)
+	for i := 0; i < 2; i++ {
+		if code, _, errOut := exec(t, "record", "-store", store, "-bench", good); code != 0 {
+			t.Fatalf("record failed: %s", errOut)
+		}
+	}
+	if code, _, errOut := exec(t, "sentinel", "-store", store, "-min-history", "1",
+		"-only", "parallel.bigmesh.events_per_sec_p8"); code != 0 {
+		t.Fatalf("identical big-mesh series flagged: %s", errOut)
+	}
+
+	bad := benchFileParallel(t, dir, "bad.json", 19.1e6, 0.75e6)
+	if code, _, errOut := exec(t, "record", "-store", store, "-bench", bad); code != 0 {
+		t.Fatalf("bad record failed: %s", errOut)
+	}
+	code, out, errOut := exec(t, "sentinel", "-store", store, "-min-history", "1",
+		"-only", "parallel.bigmesh.events_per_sec_p8")
+	if code != 1 {
+		t.Fatalf("big-mesh p8 collapse exit = %d, stderr = %q\n%s", code, errOut, out)
+	}
+	if !strings.Contains(out, "parallel.bigmesh.events_per_sec_p8") {
+		t.Fatalf("finding does not name the big-mesh series point:\n%s", out)
 	}
 }
 

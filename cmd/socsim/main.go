@@ -9,6 +9,7 @@
 //
 //	socsim [-hogs 6] [-ms 4] [-seed 100] [-dsu] [-memguard] [-shape]
 //	       [-mpam] [-all] [-workers N] [-parallel N]
+//	       [-mesh WxH] [-clusters N] [-channels N] [-apps-per-tile N]
 //	       [-metrics file.json] [-trace file.json]
 //	       [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
@@ -23,7 +24,21 @@
 // Output — stdout, metrics, traces — is byte-identical to the
 // sequential engine for every N; see docs/PERFORMANCE.md ("Parallel
 // kernel") for the protocol and for why -all rejects it (the sweep
-// parallelizes across scenarios instead).
+// parallelizes across scenarios instead). N is clamped to the mesh
+// width (and, on a clustered platform, the cluster count); the clamp
+// and the effective partition count are reported on stderr so stdout
+// stays byte-identical across partition counts.
+//
+// -mesh WxH, -clusters, -channels and -apps-per-tile grow the platform
+// into the clustered scale-out shape (per-cluster L2/L3 and MemGuard,
+// multi-channel DRAM with per-cluster home channels; see
+// docs/PERFORMANCE.md "Clustered platforms"). Any one of them selects
+// the scaled scenario — unset knobs take the scaled defaults (16x16
+// mesh, min(8,width) clusters, one channel per cluster, 1 app per
+// tile) and -hogs is ignored: every tile slot beyond the critical
+// loop's carries a hog. `socsim -mesh 16x16 -clusters 8 -channels 8
+// -apps-per-tile 2 -parallel 8` runs 512 apps across 256 tiles on 8
+// kernel partitions.
 //
 // -metrics dumps the unified telemetry registry (counters, gauges,
 // latency histograms) as JSON; -trace records a Chrome trace_event
@@ -115,6 +130,10 @@ func main() {
 	all := flag.Bool("all", false, "run the full scenario matrix")
 	workers := flag.Int("workers", 0, "parallel workers for -all (0 = GOMAXPROCS)")
 	parallelN := flag.Int("parallel", 0, "run the event kernel with N conservative-lookahead partitions (output is byte-identical to sequential for every N; 0 = sequential engine)")
+	meshFlag := flag.String("mesh", "", "scaled platform mesh as WxH (e.g. 16x16) or W for square; selects the clustered scenario")
+	clustersFlag := flag.Int("clusters", 0, "scaled platform cluster count (0 = min(8, mesh width); selects the clustered scenario)")
+	channelsFlag := flag.Int("channels", 0, "scaled platform DRAM channel count (0 = one per cluster; selects the clustered scenario)")
+	appsPerTile := flag.Int("apps-per-tile", 0, "apps on every mesh tile in the scaled scenario (0 = 1; selects the clustered scenario)")
 	metricsPath := flag.String("metrics", "", "write telemetry metrics to this file (\"-\" for stdout)")
 	metricsFormat := flag.String("metrics-format", "json", "encoding for -metrics: json or openmetrics")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (\"-\" for stdout)")
@@ -137,8 +156,17 @@ func main() {
 	}
 	defer stopProfiles()
 
+	meshW, meshH, err := parseMesh(*meshFlag)
+	if err != nil {
+		fatal(err)
+	}
+	scaled := meshW != 0 || *clustersFlag != 0 || *channelsFlag != 0 || *appsPerTile != 0
+
 	if *all && (*metricsPath != "" || *tracePath != "" || *auditOn || *listen != "" || *storeDir != "") {
 		fatal(fmt.Errorf("-metrics/-trace/-audit/-listen/-store apply to a single scenario; drop -all (cmd/sweep has the matrix equivalents)"))
+	}
+	if *all && scaled {
+		fatal(fmt.Errorf("-mesh/-clusters/-channels/-apps-per-tile configure a single scaled scenario; drop -all"))
 	}
 	if *parallelN < 0 {
 		fatal(fmt.Errorf("-parallel must be >= 0, got %d", *parallelN))
@@ -171,12 +199,25 @@ func main() {
 		Hogs: *hogs, DSU: *useDSU, MemGuard: *useMG, Shape: *useShape, MPAM: *useMPAM,
 		HogClass: trace.Infotainment, Duration: horizon, Seed: *seed,
 		KernelPartitions: *parallelN,
-		Telemetry:        *metricsPath != "" || *tracePath != "" || *listen != "" || *storeDir != "",
-		Trace:            *tracePath != "",
+		MeshWidth:        meshW, MeshHeight: meshH,
+		Clusters: *clustersFlag, Channels: *channelsFlag, AppsPerTile: *appsPerTile,
+		Telemetry: *metricsPath != "" || *tracePath != "" || *listen != "" || *storeDir != "",
+		Trace:     *tracePath != "",
 	}
 	p, crit, err := core.BuildPlatform(spec)
 	if err != nil {
 		fatal(err)
+	}
+	if *parallelN > 0 {
+		// The effective count goes to stderr: stdout must stay
+		// byte-identical across -parallel values (the determinism
+		// contract CI diffs).
+		eff := p.Plan().Partitions
+		if eff != *parallelN {
+			fmt.Fprintf(os.Stderr, "socsim: -parallel %d clamped to %d partitions (mesh is %d columns wide, %d clusters)\n",
+				*parallelN, eff, p.MeshConfig().Width, p.ClusterCount())
+		}
+		fmt.Fprintf(os.Stderr, "socsim: event kernel running %d partitions, lookahead %v\n", eff, p.Plan().Lookahead)
 	}
 
 	// The auditor is enabled here rather than via spec.Audit so the
@@ -220,13 +261,23 @@ func main() {
 		}
 	}
 	st := crit.Stats()
-	fmt.Printf("critical app read latency over %dms with %d hogs (dsu=%v memguard=%v shape=%v mpam=%v):\n",
-		*msec, *hogs, *useDSU, *useMG, *useShape, *useMPAM)
+	if scaled {
+		// The platform shape replaces the hog count in the header: the
+		// scaled scenario derives its population from the mesh. Only
+		// facts invariant across -parallel values may appear here.
+		mc := p.MeshConfig()
+		fmt.Printf("critical app read latency over %dms on a %dx%d mesh (%d clusters, %d channels, %d apps; dsu=%v memguard=%v shape=%v mpam=%v):\n",
+			*msec, mc.Width, mc.Height, p.ClusterCount(), p.Channels(), len(p.Apps()),
+			*useDSU, *useMG, *useShape, *useMPAM)
+	} else {
+		fmt.Printf("critical app read latency over %dms with %d hogs (dsu=%v memguard=%v shape=%v mpam=%v):\n",
+			*msec, *hogs, *useDSU, *useMG, *useShape, *useMPAM)
+	}
 	fmt.Printf("  accesses  %d (hits %d, misses %d)\n", st.Issued, st.L3Hits, st.L3Misses)
 	fmt.Printf("  mean      %.1f ns\n", st.MeanReadLatency.Nanoseconds())
 	fmt.Printf("  p95       %.1f ns\n", st.P95ReadLatency.Nanoseconds())
 	fmt.Printf("  max       %.1f ns\n", st.MaxReadLatency.Nanoseconds())
-	fmt.Printf("  DRAM row-hit rate %.2f\n", p.Memory().Stats().RowHitRate())
+	fmt.Printf("  DRAM row-hit rate %.2f\n", p.RowHitRate())
 	if aud != nil {
 		printAuditSummary(aud)
 	}
@@ -313,7 +364,7 @@ func recordRun(dir string, spec core.RunSpec, auditOn bool, p *core.Platform, st
 		Platform: spec,
 	}
 	sp.Platform.Audit = auditOn
-	res := sweep.Result{Crit: st, RowHitRate: p.Memory().Stats().RowHitRate()}
+	res := sweep.Result{Crit: st, RowHitRate: p.RowHitRate()}
 	if aud := p.Auditor(); aud != nil {
 		res.Violations = aud.TotalViolations()
 		for _, s := range aud.Snapshot() {
@@ -358,6 +409,25 @@ func printAuditSummary(aud *audit.Auditor) {
 				st.Stage, 100*st.Share, st.MaxPS.Nanoseconds())
 		}
 	}
+}
+
+// parseMesh parses -mesh: "WxH", or a bare "W" for a square mesh.
+// Empty means unset (0, 0).
+func parseMesh(s string) (w, h int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	if n, e := fmt.Sscanf(s, "%dx%d", &w, &h); e == nil && n == 2 {
+		// fallthrough to validation
+	} else if n, e := fmt.Sscanf(s, "%d", &w); e == nil && n == 1 {
+		h = w
+	} else {
+		return 0, 0, fmt.Errorf("-mesh %q: want WxH (e.g. 16x16)", s)
+	}
+	if w < 1 || h < 1 {
+		return 0, 0, fmt.Errorf("-mesh %q: dimensions must be positive", s)
+	}
+	return w, h, nil
 }
 
 func fatal(err error) {

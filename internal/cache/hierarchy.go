@@ -1,0 +1,60 @@
+package cache
+
+// Hierarchy chains an optional cluster-private L2 in front of a shared
+// L3, the per-cluster cache arrangement of a clustered platform: hits
+// at either level stay inside the cluster (and therefore inside one
+// kernel partition), only misses travel to memory. The L2 warms on its
+// own misses via the normal allocate-on-miss path, so the model stays
+// a pure hit/miss and occupancy model like Cache itself.
+//
+// With a nil L2 the hierarchy degenerates to the bare L3 — the access
+// stream the L3 sees is bit-identical to calling it directly, which is
+// what keeps single-level (legacy) platforms on their goldens.
+type Hierarchy struct {
+	l2 *Cache
+	l3 *Cache
+}
+
+// NewHierarchy builds a hierarchy; l2 may be nil, l3 must not be.
+func NewHierarchy(l2, l3 *Cache) *Hierarchy {
+	if l3 == nil {
+		panic("cache: hierarchy needs an L3")
+	}
+	return &Hierarchy{l2: l2, l3: l3}
+}
+
+// L2 returns the private level, nil when absent.
+func (h *Hierarchy) L2() *Cache { return h.l2 }
+
+// L3 returns the shared level.
+func (h *Hierarchy) L3() *Cache { return h.l3 }
+
+// HierResult reports which level served an access.
+type HierResult struct {
+	// Level is 2 for an L2 hit, 3 for an L3 hit, and 0 when both
+	// missed (the access goes to memory).
+	Level int
+	// L3 is the shared level's raw result whenever it was consulted
+	// (i.e. Level != 2); zero-valued on an L2 hit.
+	L3 Result
+}
+
+// Hit reports whether any level served the access.
+func (r HierResult) Hit() bool { return r.Level != 0 }
+
+// Access performs one access through the hierarchy. An L2 miss falls
+// through to the L3 (installing into the L2 along the way via the
+// allocate-on-miss path); an L3 miss is the caller's signal to issue a
+// memory transaction.
+func (h *Hierarchy) Access(owner Owner, addr uint64, write bool) HierResult {
+	if h.l2 != nil {
+		if r := h.l2.Access(owner, addr, write); r.Hit {
+			return HierResult{Level: 2}
+		}
+	}
+	r := h.l3.Access(owner, addr, write)
+	if r.Hit {
+		return HierResult{Level: 3, L3: r}
+	}
+	return HierResult{L3: r}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/dram"
 	"repro/internal/dsu"
+	"repro/internal/memguard"
 	"repro/internal/mpam"
 	"repro/internal/noc"
 	"repro/internal/sim"
@@ -22,7 +23,8 @@ const requestHeaderBytes = 16
 type AppConfig struct {
 	Name string
 	// Node is where the app's core sits on the mesh; Cluster selects
-	// the shared L3 it allocates into.
+	// the shared L3 it allocates into. On a clustered platform the node
+	// must sit inside the cluster's column slab.
 	Node    noc.Coord
 	Cluster int
 	// Scheme is the app's DSU scheme ID (its identification label for
@@ -55,6 +57,15 @@ type App struct {
 	p   *Platform
 	cfg AppConfig
 
+	// eng is the engine owning the app's mesh node — the platform
+	// engine on the legacy shape, the node's slab engine under a
+	// partitioned clustered fabric. Everything the app schedules on its
+	// own behalf goes here.
+	eng *sim.Engine
+	// reg is the app's cluster's MemGuard regulator (nil when
+	// regulation is disabled).
+	reg *memguard.Regulator
+
 	running bool
 	count   uint64
 
@@ -71,27 +82,34 @@ type App struct {
 	// latency decomposition through it.
 	aud *audit.AppAuditor
 
-	// Hot-path caches: the app's NI and the memory node's NI (both
-	// fixed after AddApp), the response flow label, the step callback
-	// bound once, and the free list of recycled transactions — in
-	// steady state an access allocates nothing.
+	// Hot-path caches: the app's NI (fixed after AddApp), the response
+	// flow label, the step callback bound once, and the free list of
+	// recycled transactions — in steady state an access allocates
+	// nothing.
 	ni       *noc.NI
-	memNI    *noc.NI
 	respFlow string
 	stepFn   sim.Event
 	txnFree  []*txn
 }
 
-// txn carries one access through the platform: L3 → (MemGuard) → mesh
-// → (MPAM channel) → DRAM → response. The request, both packets, and
-// the MPAM channel request are embedded by value, and every
+// txn carries one access through the platform: caches → (MemGuard) →
+// mesh → (MPAM channel) → DRAM → response. The request, both packets,
+// and the MPAM channel request are embedded by value, and every
 // continuation along the chain is bound once when the txn is first
 // built, so the per-access hot path performs zero heap allocations
 // after the pool warms up. A txn is recycled when its last leg
 // completes (hit latency served, read response delivered, or posted
 // write retired by the controller).
+//
+// On a clustered platform the chain changes engines twice: the request
+// packet's delivery hands the txn to the channel node's engine (where
+// arbitration, DRAM service, and the response send run), and the
+// response delivery hands it back to the app's engine. Posted-write
+// retirement crosses back via the controller's CompleteOn machinery so
+// the pool is only ever touched from the app's engine.
 type txn struct {
 	a     *App
+	ch    *memChannel
 	bank  int
 	row   int64
 	write bool
@@ -173,6 +191,12 @@ func (p *Platform) AddApp(cfg AppConfig) (*App, error) {
 	if !p.mesh.InMesh(cfg.Node) {
 		return nil, fmt.Errorf("core: app %s node %v outside mesh", cfg.Name, cfg.Node)
 	}
+	if p.distributed {
+		if own := p.ClusterOfColumn(cfg.Node.X); own != cfg.Cluster {
+			return nil, fmt.Errorf("core: app %s at %v sits in cluster %d's slab, not cluster %d",
+				cfg.Name, cfg.Node, own, cfg.Cluster)
+		}
+	}
 	if cfg.Profile == nil || cfg.Profile.Pattern == nil || cfg.Profile.ReqBytes <= 0 {
 		return nil, fmt.Errorf("core: app %s needs a valid profile", cfg.Name)
 	}
@@ -183,7 +207,8 @@ func (p *Platform) AddApp(cfg AppConfig) (*App, error) {
 	a.stepFn = a.step
 	a.respFlow = cfg.Name + ":resp"
 	a.ni, _ = p.mesh.NI(cfg.Node)
-	a.memNI, _ = p.mesh.NI(p.cfg.MemoryNode)
+	a.eng = p.mesh.EngineAt(cfg.Node)
+	a.reg = p.ClusterRegulator(cfg.Cluster)
 	p.apps[cfg.Name] = a
 	p.order = append(p.order, cfg.Name)
 	if p.aud != nil {
@@ -213,7 +238,7 @@ func (a *App) Start() {
 		return
 	}
 	a.running = true
-	a.p.Eng.At(a.p.Eng.Now(), a.stepFn)
+	a.eng.At(a.eng.Now(), a.stepFn)
 }
 
 // Stop halts the loop after the in-flight access completes.
@@ -242,7 +267,7 @@ func (a *App) step() {
 	a.issued++
 	addr := a.cfg.Profile.Next()
 	write := a.cfg.Profile.WriteEvery > 0 && a.count%uint64(a.cfg.Profile.WriteEvery) == 0
-	start := a.p.Eng.Now()
+	start := a.eng.Now()
 
 	// Software page coloring, when enabled, remaps the address before
 	// it reaches the cache.
@@ -251,44 +276,48 @@ func (a *App) step() {
 	}
 
 	cl := a.p.clusters[a.cfg.Cluster]
-	res := cl.Access(a.cfg.Scheme, addr, write)
+	res := cl.AccessHier(a.cfg.Scheme, addr, write)
 	t := a.acquireTxn()
 	t.write = write
 	t.start = start
-	if res.Hit {
+	if res.Hit() {
 		a.hits++
-		a.p.Eng.After(a.p.cfg.L3HitLatency, t.hitFn)
+		lat := a.p.cfg.L3HitLatency
+		if res.Level == 2 {
+			lat = a.p.cfg.L2HitLatency
+		}
+		a.eng.After(lat, t.hitFn)
 		return
 	}
 	a.misses++
-	t.bank, t.row = a.p.bankRow(addr)
+	t.ch, t.bank, t.row = a.p.route(addr, a.cfg.Cluster)
 
-	if a.p.reg != nil {
+	if a.reg != nil {
 		// MemGuard meters misses (the traffic that actually reaches
 		// memory), per application.
-		if err := a.p.reg.Request(a.cfg.Name, a.cfg.Profile.ReqBytes, t.issueFn); err == nil {
+		if err := a.reg.Request(a.cfg.Name, a.cfg.Profile.ReqBytes, t.issueFn); err == nil {
 			return
 		}
 	}
 	t.issue()
 }
 
-// hit completes an L3-hit access after the hit latency.
+// hit completes a cache-hit access after the hit latency.
 func (t *txn) hit() {
 	a := t.a
 	if a.aud != nil {
 		var b audit.Breakdown
-		b[audit.StageL3Hit] = a.p.Eng.Now() - t.start
-		a.aud.Observe(a.p.Eng.Now(), b)
+		b[audit.StageL3Hit] = a.eng.Now() - t.start
+		a.aud.Observe(a.eng.Now(), b)
 	}
 	a.finish(t.start, t.write, false)
 	a.releaseTxn(t)
 }
 
-// issue sends the miss across the mesh to the memory controller.
+// issue sends the miss across the mesh to its memory channel.
 func (t *txn) issue() {
 	a := t.a
-	t.issueAt = a.p.Eng.Now()
+	t.issueAt = a.eng.Now()
 	if a.ni == nil {
 		a.releaseTxn(t)
 		return
@@ -298,10 +327,10 @@ func (t *txn) issue() {
 		reqBytes = a.cfg.Profile.ReqBytes // write carries its data
 	}
 	if a.memTap != nil {
-		a.memTap(a.p.Eng.Now(), a.cfg.Profile.ReqBytes)
+		a.memTap(a.eng.Now(), a.cfg.Profile.ReqBytes)
 	}
 	t.reqPkt = noc.Packet{
-		Dst:         a.p.cfg.MemoryNode,
+		Dst:         t.ch.node,
 		Bytes:       reqBytes,
 		Flow:        a.cfg.Name,
 		OnDelivered: t.onReqDeliv,
@@ -317,22 +346,23 @@ func (t *txn) issue() {
 	}
 }
 
-// atMemory runs when the request packet reaches the controller node:
-// through the MPAM channel arbiter (when enabled), then the DRAM
-// controller.
+// atMemory runs when the request packet reaches the channel node (on
+// that node's engine): through the channel's MPAM arbiter (when
+// enabled), then the DRAM controller.
 func (t *txn) atMemory() {
 	a := t.a
-	t.memAt = a.p.Eng.Now()
+	t.memAt = t.ch.eng.Now()
 	t.bwReq = mpam.BWRequest{
 		Label:  mpam.Label{PARTID: a.cfg.PARTID, PMG: a.cfg.PMG},
 		Bytes:  a.cfg.Profile.ReqBytes,
 		Write:  t.write,
 		OnDone: t.onBWDone,
 	}
-	a.p.channelSubmit(&t.bwReq, t.ctrlFn)
+	a.p.channelSubmit(t.ch, &t.bwReq, t.ctrlFn)
 }
 
-// atController submits the transaction to the DRAM controller.
+// atController submits the transaction to its channel's DRAM
+// controller.
 func (t *txn) atController() {
 	a := t.a
 	op := dram.Read
@@ -347,20 +377,24 @@ func (t *txn) atController() {
 		Size:   a.cfg.Profile.ReqBytes,
 	}
 	if t.write {
-		// Posted; already accounted — completion just recycles the txn.
+		// Posted; already accounted — completion just recycles the txn,
+		// on the app's engine (a cross-partition hop when the channel
+		// sits on another slab; synchronous and byte-identical to a nil
+		// CompleteOn when it does not).
+		t.req.CompleteOn = a.eng
 		t.req.OnComplete = t.releaseFn
-		a.p.submitDRAM(&t.req)
+		a.p.submitDRAM(t.ch, &t.req)
 		return
 	}
 	t.req.OnComplete = t.onDRAMDone
-	a.p.submitDRAM(&t.req)
+	a.p.submitDRAM(t.ch, &t.req)
 }
 
-// sendResponse runs at read completion: the data travels back to the
-// app's node.
+// sendResponse runs at read completion (on the channel's engine): the
+// data travels back to the app's node.
 func (t *txn) sendResponse() {
 	a := t.a
-	if a.memNI == nil {
+	if t.ch.ni == nil {
 		a.releaseTxn(t)
 		return
 	}
@@ -370,16 +404,17 @@ func (t *txn) sendResponse() {
 		Flow:        a.respFlow,
 		OnDelivered: t.onRespDeliv,
 	}
-	if a.memNI.Send(&t.respPkt) != nil {
+	if t.ch.ni.Send(&t.respPkt) != nil {
 		a.releaseTxn(t)
 	}
 }
 
-// finishRead completes the round trip when the response lands.
+// finishRead completes the round trip when the response lands (back on
+// the app's engine).
 func (t *txn) finishRead() {
 	a := t.a
 	if a.aud != nil {
-		a.aud.Observe(a.p.Eng.Now(), t.breakdown(a.p.Eng.Now()))
+		a.aud.Observe(a.eng.Now(), t.breakdown(a.eng.Now()))
 	}
 	a.finish(t.start, false, true)
 	a.releaseTxn(t)
@@ -407,7 +442,7 @@ func (t *txn) breakdown(now sim.Time) audit.Breakdown {
 // finish records one access and schedules the next step after the
 // profile's think time.
 func (a *App) finish(start sim.Time, write, toMemory bool) {
-	now := a.p.Eng.Now()
+	now := a.eng.Now()
 	if write {
 		a.writes++
 	} else {
@@ -432,5 +467,5 @@ func (a *App) finish(start sim.Time, write, toMemory bool) {
 	if delay <= 0 {
 		delay = 1
 	}
-	a.p.Eng.After(delay, a.stepFn)
+	a.eng.After(delay, a.stepFn)
 }

@@ -79,7 +79,7 @@ func TestSubmitDRAMBackpressureRetries(t *testing.T) {
 	// Fill the queue from the side.
 	for i := 0; i < 8; i++ {
 		req := &dram.Request{Op: dram.Read, Bank: 0, Row: int64(i)}
-		p.submitDRAM(req)
+		p.submitDRAM(p.chans[0], req)
 	}
 	pat, err := trace.NewStrided(0, 32<<20, 1<<14)
 	if err != nil {

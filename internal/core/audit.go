@@ -47,7 +47,12 @@ func (p *Platform) EnableAudit(opts AuditOptions) (*audit.Auditor, error) {
 	for _, name := range p.order {
 		p.registerAudit(p.apps[name])
 	}
-	if p.tel != nil && p.tel.Registry != nil {
+	// Per-flow NoC histograms are single-writer and sample-order
+	// dependent, so a clustered platform keeps them off at every
+	// partition count — including the sequential engine, where they
+	// would otherwise silently reappear and break the byte-identity of
+	// metric dumps across partition counts.
+	if p.tel != nil && p.tel.Registry != nil && !p.distributed {
 		p.mesh.EnableFlowLatencyHistograms()
 	}
 	return p.aud, nil
@@ -64,12 +69,35 @@ func (p *Platform) registerAudit(a *App) {
 	} else {
 		b.DelayBoundNS = p.analyticDelayBoundNS(a)
 	}
-	if p.reg != nil {
-		if budget, ok := p.reg.Budget(a.cfg.Name); ok {
+	if a.reg != nil {
+		if budget, ok := a.reg.Budget(a.cfg.Name); ok {
 			b.BudgetBytesPerPeriod = budget
 		}
 	}
 	a.aud = p.aud.Register(a.cfg.Name, b)
+}
+
+// channelContenders counts the apps (other than a) whose miss traffic
+// shares a's memory channels: under ChannelPartition only the apps
+// homed on the same channel contend, otherwise every app does (an
+// interleaved stream touches every channel).
+func (p *Platform) channelContenders(a *App) int {
+	if !p.distributed || p.cfg.ChannelMode != ChannelPartition {
+		n := len(p.apps) - 1
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	home := p.HomeChannel(a.cfg.Cluster)
+	n := 0
+	for _, name := range p.order {
+		o := p.apps[name]
+		if o != a && p.HomeChannel(o.cfg.Cluster) == home {
+			n++
+		}
+	}
+	return n
 }
 
 // analyticDelayBoundNS composes the app's Section IV-A end-to-end
@@ -77,9 +105,14 @@ func (p *Platform) registerAudit(a *App) {
 // arrival contract (one request of ReqBytes per think interval)
 // pushed through the NoC request path, the WCD-derived DRAM service
 // curve, and the NoC response path, each shared with the app's
-// co-runners. A budgeted app additionally absorbs one full MemGuard
-// period (the worst throttle stall). +Inf (an infeasible composition)
-// disables conformance checking for the app.
+// channel contenders. On a multi-channel platform the composition is
+// per channel: under ChannelPartition the path runs to the app's home
+// channel node against only the apps homed there; under
+// ChannelInterleave the stream touches every channel, so the bound is
+// the worst per-channel composition against all co-runners. A budgeted
+// app additionally absorbs one full MemGuard period (the worst
+// throttle stall). +Inf (an infeasible composition) disables
+// conformance checking for the app.
 func (p *Platform) analyticDelayBoundNS(a *App) float64 {
 	prof := a.cfg.Profile
 	thinkNS := prof.Think.Nanoseconds()
@@ -88,12 +121,7 @@ func (p *Platform) analyticDelayBoundNS(a *App) float64 {
 	}
 	alpha := netcalc.TokenBucket(float64(prof.ReqBytes), float64(prof.ReqBytes)/thinkNS)
 
-	contenders := len(p.apps) - 1
-	if contenders < 0 {
-		contenders = 0
-	}
-	nocThere := p.mesh.ServiceCurve(a.cfg.Node, p.cfg.MemoryNode, contenders)
-	nocBack := p.mesh.ServiceCurve(p.cfg.MemoryNode, a.cfg.Node, contenders)
+	contenders := p.channelContenders(a)
 
 	dramReq, err := wcd.ServiceCurve(wcd.DefaultParams(), 32)
 	if err != nil {
@@ -101,10 +129,22 @@ func (p *Platform) analyticDelayBoundNS(a *App) float64 {
 	}
 	dramBytes := netcalc.Scale(dramReq, float64(prof.ReqBytes))
 
-	bound := p.ncCache.DelayBoundThrough(alpha, nocThere, dramBytes, nocBack)
-	if p.reg != nil {
-		if _, budgeted := p.reg.Budget(a.cfg.Name); budgeted {
-			bound += p.reg.Period().Nanoseconds()
+	targets := p.chans
+	if p.distributed && p.cfg.ChannelMode == ChannelPartition {
+		targets = p.chans[p.HomeChannel(a.cfg.Cluster) : p.HomeChannel(a.cfg.Cluster)+1]
+	}
+	var bound float64
+	for _, ch := range targets {
+		nocThere := p.mesh.ServiceCurve(a.cfg.Node, ch.node, contenders)
+		nocBack := p.mesh.ServiceCurve(ch.node, a.cfg.Node, contenders)
+		b := p.ncCache.DelayBoundThrough(alpha, nocThere, dramBytes, nocBack)
+		if b > bound {
+			bound = b
+		}
+	}
+	if a.reg != nil {
+		if _, budgeted := a.reg.Budget(a.cfg.Name); budgeted {
+			bound += a.reg.Period().Nanoseconds()
 		}
 	}
 	return bound

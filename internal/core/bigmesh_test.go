@@ -1,0 +1,167 @@
+package core
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// The big-mesh scenario is the clustered platform's acceptance
+// workload: 16x16 mesh, 8 clusters, 8 DRAM channels, 512 apps. These
+// tests pin its two load-bearing properties — the structure really is
+// distributed (per-cluster resources on their own slabs), and the run
+// is byte-identical at every partition count.
+
+func bigMeshIdentitySpec(partitions int) RunSpec {
+	spec := BigMeshSpec(partitions)
+	spec.Duration = 10 * sim.Microsecond // identity needs coverage, not length
+	spec.Telemetry = true
+	spec.Audit = true
+	return spec
+}
+
+// fingerprintRun executes the spec and hashes everything observable:
+// the metrics snapshot plus the full result struct.
+func fingerprintRun(t *testing.T, spec RunSpec) (string, RunResult) {
+	t.Helper()
+	var metrics []byte
+	spec.MetricsSink = func(b []byte) { metrics = b }
+	res, err := spec.Run()
+	if err != nil {
+		t.Fatalf("partitions=%d: %v", spec.KernelPartitions, err)
+	}
+	if len(metrics) == 0 {
+		t.Fatalf("partitions=%d: no metrics snapshot", spec.KernelPartitions)
+	}
+	h := sha256.New()
+	h.Write(metrics)
+	fmt.Fprintf(h, "%+v", res)
+	return fmt.Sprintf("%x", h.Sum(nil)), res
+}
+
+// TestBigMeshByteIdentity: the scenario's metrics dump and results are
+// byte-identical on the sequential engine and at kernel partition
+// counts 1/2/4/8. This holds by construction — channel-aware placement
+// keeps every cluster's memory path inside its own slab, so there is
+// no cross-partition traffic whose same-instant arbitration could
+// diverge — and this test is the check that construction argument
+// stays true as the platform evolves.
+func TestBigMeshByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("big-mesh identity sweep is seconds-long")
+	}
+	want, res := fingerprintRun(t, bigMeshIdentitySpec(0))
+	if res.Crit.Issued == 0 {
+		t.Fatal("critical app issued nothing; scenario is vacuous")
+	}
+	if len(res.HogStats) < 500 {
+		t.Fatalf("only %d hogs; acceptance floor is 500+ apps", len(res.HogStats))
+	}
+	var active int
+	for _, h := range res.HogStats {
+		if h.Issued > 0 {
+			active++
+		}
+	}
+	if active < 500 {
+		t.Fatalf("only %d hogs issued traffic", active)
+	}
+	for _, parts := range []int{1, 2, 4, 8} {
+		got, _ := fingerprintRun(t, bigMeshIdentitySpec(parts))
+		if got != want {
+			t.Errorf("partitions=%d fingerprint %s != sequential %s", parts, got, want)
+		}
+	}
+}
+
+// TestBigMeshStructure pins the distributed shape: one controller per
+// channel on its own slab engine, per-cluster regulators, home
+// channels resolving inside the owning cluster's columns, and the
+// partition plan keeping clusters atomic for every partition count.
+func TestBigMeshStructure(t *testing.T) {
+	spec := BigMeshSpec(8)
+	p, _, err := BuildPlatform(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Distributed() {
+		t.Fatal("big-mesh platform not distributed")
+	}
+	if p.Channels() != 8 {
+		t.Fatalf("channels = %d, want 8", p.Channels())
+	}
+	if got := len(p.Apps()); got < 500 {
+		t.Fatalf("apps = %d, want >= 500", got)
+	}
+	plan := p.Plan()
+	if plan.Partitions != 8 {
+		t.Fatalf("plan partitions = %d, want 8", plan.Partitions)
+	}
+	for k := 0; k < 8; k++ {
+		if p.ClusterRegulator(k) == nil {
+			t.Fatalf("cluster %d has no regulator", k)
+		}
+		if k > 0 && p.ClusterRegulator(k) == p.ClusterRegulator(k-1) {
+			t.Fatalf("clusters %d and %d share a regulator", k-1, k)
+		}
+		// Home channel node inside the cluster's slab: every miss stays
+		// on the cluster's own columns, hence its own partition.
+		home := p.HomeChannel(k)
+		node, err := p.ChannelNode(home)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.ClusterOfColumn(node.X); got != k {
+			t.Errorf("cluster %d home channel %d sits at %v in cluster %d's slab", k, home, node, got)
+		}
+	}
+	// Cluster atomicity: for every partition count, both columns of a
+	// cluster land in the same partition.
+	for _, n := range []int{2, 3, 4, 5, 8} {
+		pl := PlanPartitionsClustered(p.cfg.Mesh, p.cfg.MemoryNode, 8, n)
+		for k := 0; k < 8; k++ {
+			left := pl.Assign(noc.Coord{X: 2 * k, Y: 0})
+			right := pl.Assign(noc.Coord{X: 2*k + 1, Y: 15})
+			if left != right {
+				t.Errorf("n=%d: cluster %d straddles partitions %d/%d", n, k, left, right)
+			}
+		}
+	}
+	// Per-channel controllers are distinct and hold distinct engines
+	// across slabs.
+	c0, _ := p.ChannelController(0)
+	c7, _ := p.ChannelController(7)
+	if c0 == c7 {
+		t.Fatal("channels share a controller")
+	}
+	if p.chans[0].eng == p.chans[7].eng {
+		t.Error("channels on different slabs share an engine under an 8-way cut")
+	}
+}
+
+// TestBigMeshChannelsBalanceTraffic: after a run, every channel's
+// controller has served requests — the scale-out actually spreads
+// load, rather than funnelling 500 apps into one controller.
+func TestBigMeshChannelsBalanceTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the big-mesh scenario")
+	}
+	spec := BigMeshSpec(0)
+	spec.Duration = 5 * sim.Microsecond
+	p, _, err := BuildPlatform(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.StartApps()
+	p.RunFor(spec.Duration)
+	for i := 0; i < p.Channels(); i++ {
+		ctrl, _ := p.ChannelController(i)
+		st := ctrl.Stats()
+		if st.RowHits+st.RowClosed+st.RowConflicts == 0 {
+			t.Errorf("channel %d served no traffic", i)
+		}
+	}
+}

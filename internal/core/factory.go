@@ -72,6 +72,64 @@ type RunSpec struct {
 	// store without routing them through the filesystem. The sink
 	// owns the slice.
 	MetricsSink func(openmetrics []byte)
+
+	// Scale knobs. Setting any of them switches the build from the
+	// default 4x4 platform to a clustered platform: a MeshWidth x
+	// MeshHeight mesh, Clusters CPU clusters (each with a private L2 in
+	// front of its L3), Channels DRAM controllers under channel-aware
+	// placement (ChannelPartition — each cluster's misses stay on its
+	// home channel), and AppsPerTile apps on every mesh tile (the tile
+	// (0,0) slot 0 app is the critical control loop; the rest are
+	// hogs). Hogs is ignored in this shape. Zero values default to
+	// MeshWidth 16, MeshHeight = MeshWidth, Clusters = min(8, width),
+	// Channels = Clusters, AppsPerTile 1.
+	MeshWidth   int
+	MeshHeight  int
+	Clusters    int
+	Channels    int
+	AppsPerTile int
+}
+
+// Scaled reports whether the spec builds the clustered platform shape.
+func (s RunSpec) Scaled() bool {
+	return s.MeshWidth != 0 || s.MeshHeight != 0 || s.Clusters != 0 || s.Channels != 0 || s.AppsPerTile != 0
+}
+
+// platformConfig derives the platform configuration for the spec.
+func (s RunSpec) platformConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Partitions = s.KernelPartitions
+	if !s.Scaled() {
+		return cfg
+	}
+	w := s.MeshWidth
+	if w == 0 {
+		w = 16
+	}
+	h := s.MeshHeight
+	if h == 0 {
+		h = w
+	}
+	clusters := s.Clusters
+	if clusters == 0 {
+		clusters = min(8, w)
+	}
+	channels := s.Channels
+	if channels == 0 {
+		channels = clusters
+	}
+	cfg.Mesh.Width, cfg.Mesh.Height = w, h
+	ccfg := dsu.DefaultConfig()
+	ccfg.L2Sets, ccfg.L2Ways = 256, 8 // 128 KiB private L2 per cluster
+	cfg.Clusters = make([]dsu.Config, clusters)
+	for i := range cfg.Clusters {
+		cfg.Clusters[i] = ccfg
+	}
+	cfg.Channels = channels
+	cfg.ChannelMode = ChannelPartition
+	cfg.MemoryNode = noc.Coord{X: w - 1, Y: h - 1}
+	cfg.L2HitLatency = sim.NS(8)
+	return cfg
 }
 
 // Validate checks the spec.
@@ -85,6 +143,17 @@ func (s RunSpec) Validate() error {
 	if s.KernelPartitions < 0 {
 		return fmt.Errorf("core: RunSpec.KernelPartitions = %d, must be >= 0", s.KernelPartitions)
 	}
+	for _, knob := range []struct {
+		name string
+		v    int
+	}{
+		{"MeshWidth", s.MeshWidth}, {"MeshHeight", s.MeshHeight},
+		{"Clusters", s.Clusters}, {"Channels", s.Channels}, {"AppsPerTile", s.AppsPerTile},
+	} {
+		if knob.v < 0 {
+			return fmt.Errorf("core: RunSpec.%s = %d, must be >= 0", knob.name, knob.v)
+		}
+	}
 	return nil
 }
 
@@ -92,7 +161,7 @@ func (s RunSpec) Validate() error {
 type RunResult struct {
 	// Crit is the critical app's latency profile.
 	Crit AppStats
-	// RowHitRate is the DRAM controller's aggregate row-hit rate.
+	// RowHitRate is the DRAM row-hit rate aggregated over every channel.
 	RowHitRate float64
 	// HogStats holds each hog's stats, in registration order.
 	HogStats []AppStats
@@ -117,9 +186,7 @@ func BuildPlatform(spec RunSpec) (*Platform, *App, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, nil, err
 	}
-	pcfg := DefaultConfig()
-	pcfg.Partitions = spec.KernelPartitions
-	p, err := New(pcfg)
+	p, err := New(spec.platformConfig())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -149,31 +216,33 @@ func BuildPlatform(spec RunSpec) (*Platform, *App, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	for i := 0; i < spec.Hogs; i++ {
-		name := fmt.Sprintf("hog%d", i)
-		prof, err := trace.NewProfile(spec.HogClass, uint64(1+i)<<30, spec.Seed+uint64(i))
-		if err != nil {
-			return nil, nil, err
+	if spec.Scaled() {
+		// Every tile carries AppsPerTile apps; the crit loop holds tile
+		// (0,0)'s first slot, everything else is a hog homed on its
+		// column's cluster.
+		apt := spec.AppsPerTile
+		if apt == 0 {
+			apt = 1
 		}
-		node := noc.Coord{X: 1 + i%3, Y: i / 3 % 4}
-		hog, err := p.AddApp(AppConfig{
-			Name: name, Node: node, Cluster: 0, Scheme: dsu.SchemeID(2 + i%6), Profile: prof,
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		if spec.MemGuard {
-			if err := p.SetMemBudget(name, 16<<10); err != nil {
-				return nil, nil, err
+		i := 0
+		for y := 0; y < p.cfg.Mesh.Height; y++ {
+			for x := 0; x < p.cfg.Mesh.Width; x++ {
+				for k := 0; k < apt; k++ {
+					if x == 0 && y == 0 && k == 0 {
+						continue // crit's slot
+					}
+					node := noc.Coord{X: x, Y: y}
+					if err := buildHog(p, spec, i, node, p.ClusterOfColumn(x)); err != nil {
+						return nil, nil, err
+					}
+					i++
+				}
 			}
 		}
-		if spec.Shape {
-			if err := p.SetNodeShaper(node, 256, 0.2); err != nil {
-				return nil, nil, err
-			}
-		}
-		if spec.MPAM {
-			if err := p.ConfigureMPAM(mpam.PARTID(hog.Config().Scheme), mpam.PartitionBW{MaxBytesPerNS: 0.15}); err != nil {
+	} else {
+		for i := 0; i < spec.Hogs; i++ {
+			node := noc.Coord{X: 1 + i%3, Y: i / 3 % 4}
+			if err := buildHog(p, spec, i, node, 0); err != nil {
 				return nil, nil, err
 			}
 		}
@@ -183,8 +252,14 @@ func BuildPlatform(spec RunSpec) (*Platform, *App, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		if err := p.ProgramDSU(0, reg); err != nil {
-			return nil, nil, err
+		clusters := 1
+		if spec.Scaled() {
+			clusters = len(p.clusters) // protect the crit scheme on every L3
+		}
+		for c := 0; c < clusters; c++ {
+			if err := p.ProgramDSU(c, reg); err != nil {
+				return nil, nil, err
+			}
 		}
 	}
 	if spec.Audit {
@@ -195,6 +270,74 @@ func BuildPlatform(spec RunSpec) (*Platform, *App, error) {
 		}
 	}
 	return p, crit, nil
+}
+
+// BigMeshSpec returns the canonical big-mesh scale-out scenario: a
+// 16x16 mesh, 8 clusters (each with a private L2), 8 DRAM channels
+// under channel-aware placement, and 2 apps on every tile — 512 hogs
+// plus the critical loop — with the DSU, MemGuard, and MPAM mechanisms
+// armed. partitions selects the kernel cut (0 = sequential engine);
+// output is byte-identical for every value because each cluster's
+// entire memory path (L2/L3, regulator, MPAM arbiter, home DRAM
+// channel) lives inside its own column slab, so no traffic ever
+// crosses a partition cut. Callers override Duration/Seed as needed.
+func BigMeshSpec(partitions int) RunSpec {
+	return RunSpec{
+		MeshWidth:        16,
+		MeshHeight:       16,
+		Clusters:         8,
+		Channels:         8,
+		AppsPerTile:      2,
+		DSU:              true,
+		MemGuard:         true,
+		MPAM:             true,
+		Duration:         50 * sim.Microsecond,
+		Seed:             1,
+		KernelPartitions: partitions,
+	}
+}
+
+// buildHog adds aggressor i at node (on the given cluster) and arms
+// the spec's per-hog mechanisms: MemGuard budget, NI shaper, MPAM cap.
+func buildHog(p *Platform, spec RunSpec, i int, node noc.Coord, cluster int) error {
+	name := fmt.Sprintf("hog%d", i)
+	prof, err := trace.NewProfile(spec.HogClass, uint64(1+i)<<30, spec.Seed+uint64(i))
+	if err != nil {
+		return err
+	}
+	hog, err := p.AddApp(AppConfig{
+		Name: name, Node: node, Cluster: cluster, Scheme: dsu.SchemeID(2 + i%6), Profile: prof,
+	})
+	if err != nil {
+		return err
+	}
+	if spec.MemGuard {
+		if err := p.SetMemBudget(name, 16<<10); err != nil {
+			return err
+		}
+	}
+	if spec.Shape {
+		if err := p.SetNodeShaper(node, 256, 0.2); err != nil {
+			return err
+		}
+	}
+	if spec.MPAM {
+		// The arbiter's token bucket holds MaxBytesPerNS * 100ns of
+		// credit, so a cap must admit at least one whole request or the
+		// partition can never conform. On the clustered platform hogs
+		// are homed on channels with no uncapped co-runner, so the cap
+		// has to be self-feasible: 0.8 B/ns = an 80-byte burst against
+		// 64-byte requests. The legacy scenario keeps its historical
+		// 0.15 cap (its single arbiter is shared with crit).
+		capBps := 0.15
+		if spec.Scaled() {
+			capBps = 0.8
+		}
+		if err := p.ConfigureMPAM(mpam.PARTID(hog.Config().Scheme), mpam.PartitionBW{MaxBytesPerNS: capBps}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // StartApps starts every registered app at the current virtual time,
@@ -257,14 +400,13 @@ func (spec RunSpec) Run() (RunResult, error) {
 	}
 	res := RunResult{
 		Crit:       crit.Stats(),
-		RowHitRate: p.Memory().Stats().RowHitRate(),
+		RowHitRate: p.RowHitRate(),
 	}
-	for i := 0; i < spec.Hogs; i++ {
-		h, err := p.App(fmt.Sprintf("hog%d", i))
-		if err != nil {
-			return RunResult{}, err
+	for _, name := range p.order {
+		if name == crit.Name() {
+			continue
 		}
-		res.HogStats = append(res.HogStats, h.Stats())
+		res.HogStats = append(res.HogStats, p.apps[name].Stats())
 	}
 	if aud := p.Auditor(); aud != nil {
 		if h := aud.App(crit.Name()); h != nil {

@@ -7,64 +7,97 @@ import (
 )
 
 // EnableMPAMChannel inserts an MPAM-regulated bandwidth arbiter in
-// front of the DRAM controller — the Section III-B deployment where
+// front of each DRAM controller — the Section III-B deployment where
 // bandwidth controls live "in networks-on-chip or memory controllers".
-// Miss traffic arriving at the memory node is labelled with the
-// issuing app's PARTID and arbitrated under the configured controls
-// before the controller sees it; memory-bandwidth usage monitors
+// Miss traffic arriving at a memory node is labelled with the issuing
+// app's PARTID and arbitrated under the configured controls before
+// that channel's controller sees it; memory-bandwidth usage monitors
 // account the served traffic per PARTID/PMG.
+//
+// On the legacy single-channel shape this is exactly one arbiter at
+// the memory node; a clustered platform gets one arbiter per channel,
+// each living on its channel's engine with its own monitor set.
 //
 // Must be called before apps start issuing traffic.
 func (p *Platform) EnableMPAMChannel(cfg mpam.BWConfig) error {
 	if p.mpamArb != nil {
 		return fmt.Errorf("core: MPAM channel already enabled")
 	}
-	p.mpamMons = mpam.NewMonitorSet()
-	arb, err := mpam.NewArbiter(p.Eng, cfg, p.mpamMons)
-	if err != nil {
-		return err
+	for _, ch := range p.chans {
+		ch.mons = mpam.NewMonitorSet()
+		arb, err := mpam.NewArbiter(ch.eng, cfg, ch.mons)
+		if err != nil {
+			return err
+		}
+		ch.arb = arb
+		if p.tel != nil {
+			if p.distributed {
+				arb.SetTelemetry(p.tel.Registry, nil, nil)
+			} else {
+				arb.SetTelemetry(p.tel.Registry, p.tel.Tracer, p.tel.Monitors)
+			}
+		}
 	}
-	p.mpamArb = arb
-	if p.tel != nil {
-		arb.SetTelemetry(p.tel.Registry, p.tel.Tracer, p.tel.Monitors)
-	}
+	p.mpamArb = p.chans[0].arb
+	p.mpamMons = p.chans[0].mons
 	return nil
 }
 
-// ConfigureMPAM installs the bandwidth controls for a PARTID on the
+// ConfigureMPAM installs the bandwidth controls for a PARTID on every
 // memory channel (max/min bandwidth, proportional stride, priority,
 // bandwidth-portion quanta).
 func (p *Platform) ConfigureMPAM(id mpam.PARTID, cfg mpam.PartitionBW) error {
 	if p.mpamArb == nil {
 		return fmt.Errorf("core: MPAM channel not enabled")
 	}
-	return p.mpamArb.Configure(id, cfg)
+	for _, ch := range p.chans {
+		if err := ch.arb.Configure(id, cfg); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // MPAMMonitors exposes the channel's monitor set for installing
-// bandwidth monitors (nil when the channel is disabled).
+// bandwidth monitors (nil when the channel is disabled; channel 0's
+// set on a clustered platform — see ChannelMPAMMonitors).
 func (p *Platform) MPAMMonitors() *mpam.MonitorSet { return p.mpamMons }
 
-// MPAMServed reports bytes and requests the channel delivered for a
-// PARTID.
+// ChannelMPAMMonitors exposes one channel's monitor set (nil when the
+// MPAM channel is disabled or the index is out of range).
+func (p *Platform) ChannelMPAMMonitors(i int) *mpam.MonitorSet {
+	if i < 0 || i >= len(p.chans) {
+		return nil
+	}
+	return p.chans[i].mons
+}
+
+// MPAMServed reports bytes and requests delivered for a PARTID,
+// summed over every channel.
 func (p *Platform) MPAMServed(id mpam.PARTID) (bytes, requests uint64) {
 	if p.mpamArb == nil {
 		return 0, 0
 	}
-	return p.mpamArb.Served(id)
+	for _, ch := range p.chans {
+		b, r := ch.arb.Served(id)
+		bytes += b
+		requests += r
+	}
+	return bytes, requests
 }
 
-// channelSubmit routes a memory-node transaction through the MPAM
-// arbiter when enabled, then to the DRAM controller. The caller owns
-// req (typically embedded in a pooled txn, with OnDone pre-bound);
-// bypass runs instead of the arbiter path when the channel is disabled
-// or rejects the request, so the transaction never vanishes.
-func (p *Platform) channelSubmit(req *mpam.BWRequest, bypass func()) {
-	if p.mpamArb == nil {
+// channelSubmit routes a memory-node transaction through its channel's
+// MPAM arbiter when enabled, then to the DRAM controller. The caller
+// owns req (typically embedded in a pooled txn, with OnDone
+// pre-bound); bypass runs instead of the arbiter path when the channel
+// is disabled or rejects the request, so the transaction never
+// vanishes. Runs on the channel's engine.
+func (p *Platform) channelSubmit(ch *memChannel, req *mpam.BWRequest, bypass func()) {
+	if ch.arb == nil {
 		bypass()
 		return
 	}
-	if err := p.mpamArb.Submit(req); err != nil {
+	if err := ch.arb.Submit(req); err != nil {
 		bypass() // malformed requests bypass rather than vanish
 	}
 }

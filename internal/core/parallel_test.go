@@ -125,3 +125,151 @@ func TestPlanPartitionsClamps(t *testing.T) {
 		t.Error("negative KernelPartitions accepted")
 	}
 }
+
+// nonSquareMesh builds a WxH mesh config for plan tests; only Width
+// matters to the column cut, Height exercises Y-independence.
+func nonSquareMesh(w, h int) noc.Config {
+	cfg := noc.DefaultConfig()
+	cfg.Width, cfg.Height = w, h
+	return cfg
+}
+
+// TestPlanPartitionsNonSquare: the column cut on wide-and-short and
+// narrow-and-tall meshes is balanced (slab widths differ by at most
+// one column), surjective (no empty slabs), monotone in X, and
+// entirely independent of Y.
+func TestPlanPartitionsNonSquare(t *testing.T) {
+	for _, tc := range []struct{ w, h, n int }{
+		{8, 2, 4},  // wide, even split
+		{2, 8, 2},  // tall, two 1-column slabs
+		{7, 3, 3},  // width not divisible by n
+		{5, 1, 4},  // single-row mesh
+		{3, 9, 5},  // n > width: clamps to one slab per column
+		{16, 4, 8}, // big-mesh aspect
+	} {
+		mesh := nonSquareMesh(tc.w, tc.h)
+		pl := PlanPartitions(mesh, noc.Coord{X: tc.w - 1, Y: tc.h - 1}, tc.n)
+		wantParts := tc.n
+		if wantParts > tc.w {
+			wantParts = tc.w
+		}
+		if pl.Partitions != wantParts {
+			t.Errorf("%dx%d n=%d: planned %d partitions, want %d", tc.w, tc.h, tc.n, pl.Partitions, wantParts)
+		}
+		cols := make([]int, pl.Partitions) // columns per slab
+		prev := 0
+		for x := 0; x < tc.w; x++ {
+			p := pl.Assign(noc.Coord{X: x, Y: 0})
+			if p < 0 || p >= pl.Partitions {
+				t.Fatalf("%dx%d n=%d: column %d assigned out-of-range partition %d", tc.w, tc.h, tc.n, x, p)
+			}
+			if p < prev {
+				t.Errorf("%dx%d n=%d: assignment not monotone at column %d (%d after %d)", tc.w, tc.h, tc.n, x, p, prev)
+			}
+			prev = p
+			cols[p]++
+			for y := 1; y < tc.h; y++ {
+				if q := pl.Assign(noc.Coord{X: x, Y: y}); q != p {
+					t.Errorf("%dx%d n=%d: (%d,%d) in partition %d but (%d,0) in %d — cut depends on Y", tc.w, tc.h, tc.n, x, y, q, x, p)
+				}
+			}
+		}
+		minC, maxC := tc.w, 0
+		for p, c := range cols {
+			if c == 0 {
+				t.Errorf("%dx%d n=%d: partition %d owns no columns", tc.w, tc.h, tc.n, p)
+			}
+			if c < minC {
+				minC = c
+			}
+			if c > maxC {
+				maxC = c
+			}
+		}
+		if maxC-minC > 1 {
+			t.Errorf("%dx%d n=%d: unbalanced slabs, column counts %v", tc.w, tc.h, tc.n, cols)
+		}
+	}
+}
+
+// TestPlanPartitionsEdgeMemoryColumns: the home partition tracks the
+// memory node wherever its column sits — leftmost column, rightmost
+// column, and interior — on square and non-square meshes alike.
+func TestPlanPartitionsEdgeMemoryColumns(t *testing.T) {
+	for _, tc := range []struct {
+		w, h, n  int
+		memX     int
+		wantHome int
+	}{
+		{8, 2, 4, 0, 0},    // west edge -> first slab
+		{8, 2, 4, 7, 3},    // east edge -> last slab
+		{8, 2, 4, 3, 1},    // interior
+		{7, 3, 3, 6, 2},    // east edge, uneven slabs ({0,1,2},{3,4},{5,6})
+		{7, 3, 3, 0, 0},    // west edge, uneven slabs
+		{5, 1, 5, 4, 4},    // one column per slab
+		{16, 16, 8, 15, 7}, // big-mesh corner
+	} {
+		mesh := nonSquareMesh(tc.w, tc.h)
+		for _, memY := range []int{0, tc.h - 1} { // corner rows both ways
+			pl := PlanPartitions(mesh, noc.Coord{X: tc.memX, Y: memY}, tc.n)
+			if pl.Home != tc.wantHome {
+				t.Errorf("%dx%d n=%d mem=(%d,%d): home %d, want %d",
+					tc.w, tc.h, tc.n, tc.memX, memY, pl.Home, tc.wantHome)
+			}
+			if got := pl.Assign(noc.Coord{X: tc.memX, Y: memY}); got != pl.Home {
+				t.Errorf("%dx%d n=%d: memory node assigned %d but Home says %d", tc.w, tc.h, tc.n, got, pl.Home)
+			}
+		}
+	}
+}
+
+// TestPlanPartitionsClusteredClampsAndAtomicity: the clustered planner
+// clamps n to min(width, clusters), keeps every cluster inside one
+// partition for every n, spreads clusters over all partitions with no
+// empty slab, and degenerates to the plain column cut when clusters
+// is zero.
+func TestPlanPartitionsClusteredClampsAndAtomicity(t *testing.T) {
+	mesh := nonSquareMesh(12, 3)
+	mem := noc.Coord{X: 11, Y: 2}
+
+	if pl := PlanPartitionsClustered(mesh, mem, 0, 4); pl.Partitions != 4 || pl.clusters != 0 {
+		t.Errorf("clusters=0 did not fall back to plain cut: %+v", pl)
+	}
+	if pl := PlanPartitionsClustered(mesh, mem, 6, 9); pl.Partitions != 6 {
+		t.Errorf("n=9 with 6 clusters planned %d partitions, want clamp to 6", pl.Partitions)
+	}
+	if pl := PlanPartitionsClustered(nonSquareMesh(2, 8), noc.Coord{X: 1, Y: 7}, 4, 4); pl.Partitions != 2 {
+		t.Errorf("n=4 on a 2-wide mesh planned %d partitions, want clamp to width", pl.Partitions)
+	}
+
+	clusterOf := func(x, clusters, width int) int {
+		k := x * clusters / width
+		if k >= clusters {
+			k = clusters - 1
+		}
+		return k
+	}
+	for _, n := range []int{1, 2, 3, 4, 5, 6} {
+		pl := PlanPartitionsClustered(mesh, mem, 6, n)
+		if pl.Partitions > 6 || pl.Partitions > mesh.Width {
+			t.Fatalf("n=%d: planned %d partitions", n, pl.Partitions)
+		}
+		owner := make(map[int]int)   // cluster -> partition
+		filled := make(map[int]bool) // partitions with at least one cluster
+		for x := 0; x < mesh.Width; x++ {
+			k := clusterOf(x, 6, mesh.Width)
+			p := pl.Assign(noc.Coord{X: x, Y: 1})
+			if prev, ok := owner[k]; ok && prev != p {
+				t.Errorf("n=%d: cluster %d straddles partitions %d and %d", n, k, prev, p)
+			}
+			owner[k] = p
+			filled[p] = true
+		}
+		if len(filled) != pl.Partitions {
+			t.Errorf("n=%d: only %d of %d partitions own a cluster", n, len(filled), pl.Partitions)
+		}
+		if pl.Home != pl.Assign(mem) {
+			t.Errorf("n=%d: home %d != memory node's partition %d", n, pl.Home, pl.Assign(mem))
+		}
+	}
+}

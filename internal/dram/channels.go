@@ -1,0 +1,60 @@
+package dram
+
+import "fmt"
+
+// Interleave maps physical addresses onto a multi-channel DRAM system:
+// consecutive row-sized lines round-robin across channels, and the
+// per-channel address space then decomposes into bank and row exactly
+// like a single-channel controller. This is the classic fine-grained
+// channel interleave — sequential streams spread evenly over every
+// channel's FR-FCFS queues, which is what lets independent clusters
+// drive independent controllers (cf. channel/bank-aware memory
+// partitioning, Kim et al.).
+//
+// With Channels == 1 the mapping reduces bit-for-bit to the
+// single-channel (bank, row) decomposition, so legacy configurations
+// see the exact same bank/row stream.
+type Interleave struct {
+	// Channels is the number of memory channels (>= 1).
+	Channels int
+	// RowBytes is the row-buffer granularity used for line selection.
+	RowBytes int64
+	// Banks is the per-channel bank count.
+	Banks int
+}
+
+// Validate checks the interleave parameters.
+func (iv Interleave) Validate() error {
+	if iv.Channels < 1 {
+		return fmt.Errorf("dram: interleave needs >= 1 channel, got %d", iv.Channels)
+	}
+	if iv.RowBytes <= 0 {
+		return fmt.Errorf("dram: interleave RowBytes must be positive, got %d", iv.RowBytes)
+	}
+	if iv.Banks <= 0 {
+		return fmt.Errorf("dram: interleave Banks must be positive, got %d", iv.Banks)
+	}
+	return nil
+}
+
+// Route decomposes a physical address into (channel, bank, row):
+//
+//	line    = addr / RowBytes
+//	channel = line % Channels
+//	within  = line / Channels   // channel-local line index
+//	bank    = within % Banks
+//	row     = within / Banks
+//
+// Negative addresses are clamped to 0 (the model's address streams are
+// non-negative; this keeps the function total).
+func (iv Interleave) Route(addr int64) (channel, bank int, row int64) {
+	if addr < 0 {
+		addr = 0
+	}
+	line := addr / iv.RowBytes
+	channel = int(line % int64(iv.Channels))
+	within := line / int64(iv.Channels)
+	bank = int(within % int64(iv.Banks))
+	row = within / int64(iv.Banks)
+	return channel, bank, row
+}

@@ -1,0 +1,72 @@
+package dram
+
+import "testing"
+
+// TestInterleaveSingleChannelReduction: with one channel the mapping
+// must equal the classic single-controller (bank, row) decomposition —
+// this is what keeps legacy platform goldens byte-identical.
+func TestInterleaveSingleChannelReduction(t *testing.T) {
+	iv := Interleave{Channels: 1, RowBytes: 2048, Banks: 8}
+	for _, addr := range []int64{0, 1, 2047, 2048, 4096, 1 << 20, 123456789} {
+		ch, bank, row := iv.Route(addr)
+		if ch != 0 {
+			t.Fatalf("addr %d routed to channel %d with 1 channel", addr, ch)
+		}
+		wantBank := int((addr / iv.RowBytes) % int64(iv.Banks))
+		wantRow := addr / (iv.RowBytes * int64(iv.Banks))
+		if bank != wantBank || row != wantRow {
+			t.Errorf("addr %d: got (bank %d, row %d), want (%d, %d)", addr, bank, row, wantBank, wantRow)
+		}
+	}
+}
+
+// TestInterleaveRoundRobin: consecutive row-sized lines must rotate
+// across channels, and a full rotation advances the channel-local line
+// index by exactly one.
+func TestInterleaveRoundRobin(t *testing.T) {
+	iv := Interleave{Channels: 4, RowBytes: 2048, Banks: 8}
+	for line := int64(0); line < 64; line++ {
+		ch, bank, row := iv.Route(line * iv.RowBytes)
+		if want := int(line % 4); ch != want {
+			t.Fatalf("line %d on channel %d, want %d", line, ch, want)
+		}
+		within := line / 4
+		if want := int(within % 8); bank != want {
+			t.Errorf("line %d bank %d, want %d", line, bank, want)
+		}
+		if want := within / 8; row != want {
+			t.Errorf("line %d row %d, want %d", line, row, want)
+		}
+	}
+}
+
+// TestInterleaveIntraLineStability: addresses within one row-sized
+// line land on the same (channel, bank, row).
+func TestInterleaveIntraLineStability(t *testing.T) {
+	iv := Interleave{Channels: 4, RowBytes: 2048, Banks: 8}
+	base := int64(7 * 2048)
+	ch0, b0, r0 := iv.Route(base)
+	for _, off := range []int64{1, 63, 1024, 2047} {
+		ch, b, r := iv.Route(base + off)
+		if ch != ch0 || b != b0 || r != r0 {
+			t.Errorf("offset %d moved (%d,%d,%d) -> (%d,%d,%d)", off, ch0, b0, r0, ch, b, r)
+		}
+	}
+}
+
+// TestInterleaveValidate pins the parameter contracts.
+func TestInterleaveValidate(t *testing.T) {
+	good := Interleave{Channels: 2, RowBytes: 2048, Banks: 8}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid interleave rejected: %v", err)
+	}
+	for _, bad := range []Interleave{
+		{Channels: 0, RowBytes: 2048, Banks: 8},
+		{Channels: 2, RowBytes: 0, Banks: 8},
+		{Channels: 2, RowBytes: 2048, Banks: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid interleave %+v accepted", bad)
+		}
+	}
+}

@@ -14,42 +14,55 @@ type telemetryState struct {
 	reg *telemetry.Registry
 	tr  *telemetry.Tracer
 
+	// prefix namespaces this controller's metrics and trace tracks
+	// ("dram" for a single-channel system, "dram.ch<N>" per channel in
+	// a multi-channel one).
+	prefix string
+
 	// bankTracks precomputes per-bank trace track names so span
 	// emission does not allocate.
 	bankTracks []string
 
-	cReads      *telemetry.Counter
-	cWrites     *telemetry.Counter
-	cRefreshes  *telemetry.Counter
-	cSwitches   *telemetry.Counter
-	cRowHits    *telemetry.Counter
-	cRowMisses  *telemetry.Counter
-	gReadQ      *telemetry.Gauge
-	gWriteQ     *telemetry.Gauge
+	cReads     *telemetry.Counter
+	cWrites    *telemetry.Counter
+	cRefreshes *telemetry.Counter
+	cSwitches  *telemetry.Counter
+	cRowHits   *telemetry.Counter
+	cRowMisses *telemetry.Counter
+	gReadQ     *telemetry.Gauge
+	gWriteQ    *telemetry.Gauge
 }
 
 // SetTelemetry attaches a metrics registry and/or tracer to the
 // controller. Either may be nil. Call before the simulation starts;
 // with both nil the controller behaves exactly as if never called.
 func (c *Controller) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	c.SetTelemetryPrefixed(reg, tr, "dram")
+}
+
+// SetTelemetryPrefixed is SetTelemetry with an explicit metric/track
+// namespace: a multi-channel system gives each controller its own
+// prefix (e.g. "dram.ch0") so per-channel queues, row-hit rates and
+// refresh activity stay distinguishable in one registry.
+func (c *Controller) SetTelemetryPrefixed(reg *telemetry.Registry, tr *telemetry.Tracer, prefix string) {
 	if reg == nil && tr == nil {
 		c.tel = nil
 		return
 	}
-	ts := &telemetryState{reg: reg, tr: tr}
+	ts := &telemetryState{reg: reg, tr: tr, prefix: prefix}
 	ts.bankTracks = make([]string, c.cfg.Banks)
 	for i := range ts.bankTracks {
-		ts.bankTracks[i] = "dram.bank" + strconv.Itoa(i)
+		ts.bankTracks[i] = prefix + ".bank" + strconv.Itoa(i)
 	}
 	if reg != nil {
-		ts.cReads = reg.Counter("dram.reads")
-		ts.cWrites = reg.Counter("dram.writes")
-		ts.cRefreshes = reg.Counter("dram.refreshes")
-		ts.cSwitches = reg.Counter("dram.mode_switches")
-		ts.cRowHits = reg.Counter("dram.row_hits")
-		ts.cRowMisses = reg.Counter("dram.row_misses")
-		ts.gReadQ = reg.Gauge("dram.read_queue_hwm")
-		ts.gWriteQ = reg.Gauge("dram.write_queue_hwm")
+		ts.cReads = reg.Counter(prefix + ".reads")
+		ts.cWrites = reg.Counter(prefix + ".writes")
+		ts.cRefreshes = reg.Counter(prefix + ".refreshes")
+		ts.cSwitches = reg.Counter(prefix + ".mode_switches")
+		ts.cRowHits = reg.Counter(prefix + ".row_hits")
+		ts.cRowMisses = reg.Counter(prefix + ".row_misses")
+		ts.gReadQ = reg.Gauge(prefix + ".read_queue_hwm")
+		ts.gWriteQ = reg.Gauge(prefix + ".write_queue_hwm")
 	}
 	c.tel = ts
 }
@@ -101,7 +114,7 @@ func (c *Controller) traceRefresh(dur sim.Duration) {
 	ts.cRefreshes.Inc()
 	if ts.tr != nil {
 		now := c.eng.Now()
-		ts.tr.Span("dram", "refresh", now, now+dur)
+		ts.tr.Span(ts.prefix, "refresh", now, now+dur)
 	}
 }
 
@@ -113,7 +126,7 @@ func (c *Controller) traceModeSwitch(m Mode) {
 	}
 	ts.cSwitches.Inc()
 	if ts.tr != nil {
-		ts.tr.Instant("dram", "switch to "+m.String(), c.eng.Now(),
+		ts.tr.Instant(ts.prefix, "switch to "+m.String(), c.eng.Now(),
 			"reads", strconv.Itoa(len(c.readQ)), "writes", strconv.Itoa(len(c.writeQ)))
 	}
 }
@@ -122,12 +135,19 @@ func (c *Controller) traceModeSwitch(m Mode) {
 // histogram into reg under "dram.read_latency.<master>" so quantiles
 // appear in metrics dumps without re-recording samples.
 func (c *Controller) RegisterLatencyHistograms(reg *telemetry.Registry) {
+	c.RegisterLatencyHistogramsPrefixed(reg, "dram")
+}
+
+// RegisterLatencyHistogramsPrefixed is RegisterLatencyHistograms under
+// an explicit namespace ("<prefix>.read_latency.<master>") for
+// per-channel controllers.
+func (c *Controller) RegisterLatencyHistogramsPrefixed(reg *telemetry.Registry, prefix string) {
 	if reg == nil {
 		return
 	}
 	for name, m := range c.stats.PerMaster {
 		if h := m.readLat; h != nil {
-			reg.RegisterHistogram("dram.read_latency."+name, h)
+			reg.RegisterHistogram(prefix+".read_latency."+name, h)
 		}
 	}
 }

@@ -139,12 +139,20 @@ func Encode(assign map[SchemeID][]Group) (ClusterPartCR, error) {
 	return r, nil
 }
 
-// Config describes a DynamIQ cluster's shared L3.
+// Config describes a DynamIQ cluster's shared L3 and optional private
+// L2.
 type Config struct {
 	// Ways must be 12 or 16: the L3 is split into 4 groups of Ways/4.
 	Ways     int
 	Sets     int
 	LineSize int
+
+	// L2Sets/L2Ways describe a cluster-private L2 in front of the L3
+	// (shared LineSize). Zero means no L2 — the legacy single-level
+	// cluster, whose L3 access stream is unchanged. The L2 is unmanaged
+	// (open allocation): way partitioning is an L3/DSU mechanism.
+	L2Sets int
+	L2Ways int
 }
 
 // DefaultConfig returns a 16-way 2 MiB L3 (2048 sets x 16 ways x 64 B).
@@ -163,19 +171,32 @@ func (c Config) Validate() error {
 	if c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0 {
 		return fmt.Errorf("dsu: LineSize must be a positive power of two, got %d", c.LineSize)
 	}
+	if (c.L2Sets == 0) != (c.L2Ways == 0) {
+		return fmt.Errorf("dsu: L2Sets and L2Ways must both be zero or both be set, got %d/%d", c.L2Sets, c.L2Ways)
+	}
+	if c.L2Sets != 0 {
+		if c.L2Sets < 0 || c.L2Sets&(c.L2Sets-1) != 0 {
+			return fmt.Errorf("dsu: L2Sets must be a positive power of two, got %d", c.L2Sets)
+		}
+		if c.L2Ways <= 0 || c.L2Ways > 64 {
+			return fmt.Errorf("dsu: L2Ways must be in 1..64, got %d", c.L2Ways)
+		}
+	}
 	return nil
 }
 
 // Cluster is a DynamIQ cluster's shared L3 with hardware way
-// partitioning driven by a ClusterPartCR value.
+// partitioning driven by a ClusterPartCR value, plus an optional
+// cluster-private L2 in front of it.
 type Cluster struct {
 	cfg    Config
 	reg    ClusterPartCR
 	l3     *cache.Cache
+	hier   *cache.Hierarchy
 	policy *cache.WayPartition
 }
 
-// NewCluster builds the cluster and its L3.
+// NewCluster builds the cluster and its cache hierarchy.
 func NewCluster(cfg Config) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -188,12 +209,25 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	cl.l3 = l3
+	var l2 *cache.Cache
+	if cfg.L2Sets != 0 {
+		l2, err = cache.New(cache.Config{
+			Sets: cfg.L2Sets, Ways: cfg.L2Ways, LineSize: cfg.LineSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	cl.hier = cache.NewHierarchy(l2, l3)
 	cl.Program(0)
 	return cl, nil
 }
 
-// L3 exposes the underlying cache model.
+// L3 exposes the underlying shared cache model.
 func (c *Cluster) L3() *cache.Cache { return c.l3 }
+
+// L2 exposes the private level, nil when the cluster has none.
+func (c *Cluster) L2() *cache.Cache { return c.hier.L2() }
 
 // Register returns the current CLUSTERPARTCR value.
 func (c *Cluster) Register() ClusterPartCR { return c.reg }
@@ -232,9 +266,17 @@ func (c *Cluster) Program(reg ClusterPartCR) {
 	c.policy.Default = openMask
 }
 
-// Access performs one L3 access attributed to the given scheme ID.
+// Access performs one L3 access attributed to the given scheme ID,
+// bypassing any L2 (the legacy single-level path).
 func (c *Cluster) Access(s SchemeID, addr uint64, write bool) cache.Result {
 	return c.l3.Access(cache.Owner(s), addr, write)
+}
+
+// AccessHier performs one access through the cluster's cache
+// hierarchy. Without an L2 this is exactly Access (the L3 sees an
+// identical stream); with one, L2 hits never reach the L3.
+func (c *Cluster) AccessHier(s SchemeID, addr uint64, write bool) cache.HierResult {
+	return c.hier.Access(cache.Owner(s), addr, write)
 }
 
 // AllowedWays reports the way mask scheme s may allocate into.

@@ -228,7 +228,15 @@ func (a *Arbiter) eligible(st *partitionState, now sim.Time) (bool, sim.Time) {
 	// Maximum-bandwidth partitioning: the head transfer must conform.
 	if st.cfg.MaxBytesPerNS > 0 && st.maxTokens < float64(head.Bytes) {
 		needNS := (float64(head.Bytes) - st.maxTokens) / st.cfg.MaxBytesPerNS
-		return false, now + sim.NS(needNS)
+		wait := sim.NS(needNS)
+		if wait <= 0 {
+			// Token accrual approaches the requirement from below in
+			// floating-point steps, so the last shortfall can round to
+			// a zero wait. The retry must still advance virtual time,
+			// or the dispatcher re-arms at the same instant forever.
+			wait = sim.Picosecond
+		}
+		return false, now + wait
 	}
 
 	// Bandwidth-portion partitioning: the current quantum must be one

@@ -224,8 +224,8 @@ func TestNoCPartitionedTightCredits(t *testing.T) {
 }
 
 // TestNoCPartitionedValidation pins the constructor contracts: the
-// kernel lookahead may not exceed the link time, node assignments must
-// be in range, and telemetry is refused on a multi-partition fabric.
+// kernel lookahead may not exceed the link time and node assignments
+// must be in range.
 func TestNoCPartitionedValidation(t *testing.T) {
 	cfg := DefaultConfig()
 
@@ -243,15 +243,69 @@ func TestNoCPartitionedValidation(t *testing.T) {
 		}()
 		NewPartitioned(ok, cfg, func(Coord) int { return 7 })
 	}()
+}
 
-	par2, n := buildPartitioned(t, cfg)
-	_ = par2
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("telemetry on a multi-partition fabric did not panic")
+// TestNoCPartitionedTelemetryMergedTotals: telemetry on a
+// multi-partition fabric keeps per-partition (per-router) accumulators
+// and publishes them at barrier time via SyncCounters — the merged
+// registry totals must equal the sequential fabric's live-incremented
+// counters, and the per-event hooks (monitors, tracer, per-flow
+// histograms) must stay quiet so nothing single-writer races.
+func TestNoCPartitionedTelemetryMergedTotals(t *testing.T) {
+	cfg := Config{Width: 4, Height: 4, FlitBytes: 16, FlitTime: sim.NS(1), BufferFlits: 4}
+	inject := func(n *NoC) {
+		for y := 0; y < cfg.Height; y++ {
+			for x := 0; x < cfg.Width; x++ {
+				src := Coord{x, y}
+				dst := Coord{(x + 2) % cfg.Width, (y + 1) % cfg.Height}
+				if src == dst {
+					continue
+				}
+				for k := 0; k < 5; k++ {
+					sendAt(t, n, sim.Time(7*k), src, dst, 128)
+				}
 			}
-		}()
-		n.SetTelemetry(nil, nil, telemetry.NewMonitorSet(sim.Microsecond))
-	}()
+		}
+	}
+	counters := func(reg *telemetry.Registry) (uint64, uint64) {
+		return reg.Counter("noc.delivered").Value(), reg.Counter("noc.flit_hops").Value()
+	}
+
+	seqReg := telemetry.NewRegistry()
+	eng := sim.NewEngine()
+	ns, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns.SetTelemetry(seqReg, nil, telemetry.NewMonitorSet(sim.Microsecond))
+	inject(ns)
+	eng.RunUntil(sim.US(5))
+	ns.SyncCounters() // no-op on a sequential fabric
+	wantDel, wantHops := counters(seqReg)
+	if wantDel == 0 || wantHops == 0 {
+		t.Fatal("sequential run produced no traffic")
+	}
+
+	parReg := telemetry.NewRegistry()
+	par, np := buildPartitioned(t, cfg)
+	np.SetTelemetry(parReg, nil, telemetry.NewMonitorSet(sim.Microsecond))
+	np.EnableFlowLatencyHistograms() // must stay off across a cut
+	inject(np)
+	par.RunUntil(sim.US(5))
+
+	if d, h := counters(parReg); d != 0 || h != 0 {
+		t.Errorf("partitioned counters nonzero before SyncCounters: delivered=%d hops=%d", d, h)
+	}
+	np.SyncCounters()
+	gotDel, gotHops := counters(parReg)
+	if gotDel != wantDel {
+		t.Errorf("merged delivered %d, sequential %d", gotDel, wantDel)
+	}
+	if gotHops != wantHops {
+		t.Errorf("merged flit-hops %d, sequential %d", gotHops, wantHops)
+	}
+	if np.Delivered() != gotDel || np.FlitHops() != gotHops {
+		t.Errorf("registry counters (%d, %d) disagree with accumulator sums (%d, %d)",
+			gotDel, gotHops, np.Delivered(), np.FlitHops())
+	}
 }

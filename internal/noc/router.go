@@ -134,7 +134,7 @@ func (r *router) tryOutput(p Port) {
 	r.returnCredit(inPort)
 
 	r.flitHops++
-	if ts := r.noc.tel; ts != nil {
+	if ts := r.noc.tel; ts != nil && !ts.multi {
 		ts.cFlitHops.Inc()
 	}
 	o.inflight = f

@@ -14,6 +14,14 @@ type telemetryState struct {
 	tr  *telemetry.Tracer
 	mon *telemetry.MonitorSet
 
+	// multi marks a fabric spanning >1 concurrent kernel partitions.
+	// Monitors, tracers and per-flow histograms are single-writer
+	// structures, so in this mode the per-event hooks are disabled and
+	// only the registry counters are kept — published at barrier time
+	// from the per-router accumulators via SyncCounters instead of
+	// incremented on the hot path.
+	multi bool
+
 	cDelivered *telemetry.Counter
 	cFlitHops  *telemetry.Counter
 
@@ -46,7 +54,7 @@ func (ts *telemetryState) latHist(flow string) *telemetry.Histogram {
 // runtime auditor switches it on. Requires SetTelemetry with a
 // registry first.
 func (n *NoC) EnableFlowLatencyHistograms() {
-	if n.tel != nil {
+	if n.tel != nil && !n.tel.multi {
 		n.tel.latOn = true
 	}
 }
@@ -54,19 +62,21 @@ func (n *NoC) EnableFlowLatencyHistograms() {
 // SetTelemetry attaches a metrics registry, tracer, and PMU-style
 // monitor set to the fabric. Any argument may be nil; with all nil the
 // fabric runs uninstrumented.
+//
+// On a fabric spanning multiple kernel partitions the per-event hooks
+// (monitors, tracer spans, per-flow histograms) stay disabled — they
+// are single-writer structures and routers on concurrent partitions
+// would race on them. The registry counters are still registered, but
+// are fed from the per-router accumulators at barrier time: call
+// SyncCounters after Run/RunUntil (i.e. at snapshot time) to publish
+// them. Merged totals equal the sequential fabric's exactly.
 func (n *NoC) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer, mon *telemetry.MonitorSet) {
 	if reg == nil && tr == nil && mon == nil {
 		n.tel = nil
 		return
 	}
-	if n.par != nil && n.par.Partitions() > 1 {
-		// Registry counters, tracers and monitors are single-writer
-		// structures; routers on concurrent partitions would race on
-		// them. The platform layer keeps instrumented fabrics on one
-		// partition instead.
-		panic("noc: telemetry is not supported on a fabric spanning multiple kernel partitions")
-	}
-	ts := &telemetryState{reg: reg, tr: tr, mon: mon, latHists: make(map[string]*telemetry.Histogram)}
+	multi := n.par != nil && n.par.Partitions() > 1
+	ts := &telemetryState{reg: reg, tr: tr, mon: mon, multi: multi, latHists: make(map[string]*telemetry.Histogram)}
 	if reg != nil {
 		ts.cDelivered = reg.Counter("noc.delivered")
 		ts.cFlitHops = reg.Counter("noc.flit_hops")
@@ -74,10 +84,26 @@ func (n *NoC) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer, mon *t
 	n.tel = ts
 }
 
+// SyncCounters publishes the per-router delivered/flit-hop
+// accumulators into the registry counters. It is required (and only
+// meaningful) on a multi-partition fabric, where the hot path never
+// touches the shared counters; call it at a barrier — outside
+// Run/RunUntil — before reading or dumping the registry. On a
+// sequential fabric the counters are maintained live and this is a
+// no-op.
+func (n *NoC) SyncCounters() {
+	ts := n.tel
+	if ts == nil || !ts.multi || ts.reg == nil {
+		return
+	}
+	ts.cDelivered.Store(n.Delivered())
+	ts.cFlitHops.Store(n.FlitHops())
+}
+
 // traceSubmit records a packet entering an NI queue.
 func (n *NoC) traceSubmit(p *Packet) {
 	ts := n.tel
-	if ts == nil {
+	if ts == nil || ts.multi {
 		return
 	}
 	ts.mon.Monitor("noc:" + flowLabel(p)).TxnStart()
@@ -87,7 +113,7 @@ func (n *NoC) traceSubmit(p *Packet) {
 // submission to delivery, window bandwidth, and outstanding count.
 func (n *NoC) traceDeliver(p *Packet, at sim.Time) {
 	ts := n.tel
-	if ts == nil {
+	if ts == nil || ts.multi {
 		return
 	}
 	ts.cDelivered.Inc()
